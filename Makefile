@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full experiments examples clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) scripts/generate_experiments_md.py
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf benchmarks/output .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

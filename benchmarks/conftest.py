@@ -1,0 +1,33 @@
+"""Benchmark-harness helpers.
+
+Each benchmark regenerates one table/figure of the paper, asserts the
+paper's qualitative findings (who wins, by roughly what factor, where
+crossovers fall), and writes the rendered artifact to
+``benchmarks/output/``. Set ``REPRO_FULL=1`` to run the paper-length
+parameterizations (50 one-second samples, 4 s averaging windows, 1000
+FTaLaT samples, 60 s max-power windows); the default scales these down
+to keep the harness fast while preserving every shape.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def write_artifact(name: str, text: str) -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def full_mode() -> bool:
+    return FULL

@@ -1,0 +1,91 @@
+"""Bench: the ablation studies from DESIGN.md section 5."""
+
+import pytest
+
+from benchmarks.conftest import FULL, write_artifact
+from repro.analysis.tables import render_table
+from repro.cstates.states import CState
+from repro.experiments.ablations import (
+    run_acpi_update_ablation,
+    run_dram_mode_ablation,
+    run_eet_ablation,
+    run_pcps_ablation,
+    run_quantum_sweep,
+)
+from repro.units import ms
+
+
+def test_pcu_quantum_sweep_benchmark(benchmark):
+    n = 200 if FULL else 60
+    points = benchmark.pedantic(
+        lambda: run_quantum_sweep(quanta_us=(100.0, 250.0, 500.0, 1000.0),
+                                  n_samples=n),
+        iterations=1, rounds=1)
+    medians = {p.quantum_us: p.median_latency_us for p in points}
+    # latency scales with the grant quantum — the 500 us choice is the
+    # direct cause of the paper's poor DVFS responsiveness verdict
+    assert medians[100.0] < medians[250.0] < medians[500.0] < medians[1000.0]
+    assert medians[500.0] == pytest.approx(5 * medians[100.0], rel=0.4)
+    text = render_table(
+        headers=["quantum [us]", "median latency [us]", "max latency [us]"],
+        rows=[[f"{p.quantum_us:.0f}", f"{p.median_latency_us:.0f}",
+               f"{p.max_latency_us:.0f}"] for p in points],
+        title="Ablation: p-state latency vs PCU grant quantum")
+    write_artifact("ablation_quantum_sweep", text)
+    print("\n" + text)
+
+
+def test_eet_phase_switching_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_eet_ablation(period_ns=ms(1), measure_s=2.0),
+        iterations=1, rounds=1)
+    # Section II-E: EET's sporadic 1 ms polling costs performance on
+    # workloads that flip characteristics at an unfavorable rate
+    assert 0.0 < result.slowdown < 0.2
+    text = (f"Ablation: EET vs 1 ms phase-switching workload\n"
+            f"IPS with EET: {result.ips_eet_on / 1e9:.3f} G | "
+            f"without: {result.ips_eet_off / 1e9:.3f} G | "
+            f"slowdown: {result.slowdown * 100:.1f} %")
+    write_artifact("ablation_eet", text)
+    print("\n" + text)
+
+
+def test_dram_mode_misconfiguration_benchmark(benchmark):
+    result = benchmark.pedantic(run_dram_mode_ablation, iterations=1,
+                                rounds=1)
+    # Section IV: the SDM unit yields "unreasonably high values" (~4x)
+    assert result.overestimate_factor == pytest.approx(61 / 15.3, rel=0.02)
+    assert result.misconfigured_dram_w > 3.5 * result.correct_dram_w
+    text = (f"Ablation: DRAM RAPL energy-unit misconfiguration\n"
+            f"mode 1 (15.3 uJ): {result.correct_dram_w:.1f} W | "
+            f"SDM unit: {result.misconfigured_dram_w:.1f} W | "
+            f"factor: {result.overestimate_factor:.2f}x")
+    write_artifact("ablation_dram_mode", text)
+    print("\n" + text)
+
+
+def test_pcps_savings_benchmark(benchmark):
+    result = benchmark.pedantic(run_pcps_ablation, iterations=1, rounds=1)
+    # the FIVR/PCPS motivation: slow background cores save package power
+    # while the critical core keeps its frequency
+    assert result.savings_w > 3.0
+    text = (f"Ablation: per-core p-states vs chip-wide p-state\n"
+            f"PCPS: {result.pkg_power_pcps_w:.1f} W | "
+            f"chip-wide: {result.pkg_power_chipwide_w:.1f} W | "
+            f"savings: {result.savings_w:.1f} W")
+    write_artifact("ablation_pcps", text)
+    print("\n" + text)
+
+
+def test_acpi_update_benchmark(benchmark):
+    result = benchmark.pedantic(run_acpi_update_ablation, iterations=1,
+                                rounds=1)
+    # Section VI-B's closing argument, made operational
+    assert result.shipped_choice is CState.C3
+    assert result.updated_choice is CState.C6
+    text = (f"Ablation: ACPI-table runtime update "
+            f"(idle estimate {result.idle_estimate_us:.0f} us)\n"
+            f"shipped table picks {result.shipped_choice.name}, "
+            f"measured-latency table picks {result.updated_choice.name}")
+    write_artifact("ablation_acpi_update", text)
+    print("\n" + text)

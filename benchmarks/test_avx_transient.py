@@ -1,0 +1,24 @@
+"""Bench: the AVX license transient timeline (Section II-F)."""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.avx_transient import (
+    render_avx_transient,
+    run_avx_transient,
+)
+from repro.units import ms, us
+
+
+def test_avx_transient_benchmark(benchmark):
+    result = benchmark.pedantic(run_avx_transient, iterations=1, rounds=1)
+    # the throttled voltage-request window is short but real
+    assert us(5) <= result.request_window_ns <= us(60)
+    # the PCU returns to non-AVX mode ~1 ms after AVX completes
+    assert result.relax_delay_ns == pytest.approx(ms(1), abs=us(60))
+    # single active core: non-AVX bin 3.3 GHz, AVX bin 3.1 GHz
+    assert result.scalar_freq_hz == pytest.approx(3.3e9, abs=30e6)
+    assert result.avx_freq_hz == pytest.approx(3.1e9, abs=30e6)
+    text = render_avx_transient(result)
+    write_artifact("study_avx_transient", text)
+    print("\n" + text)

@@ -1,0 +1,102 @@
+"""Bench: EDP frequency analysis and placement studies on the zoo.
+
+Extension studies: where the energy-delay-optimal frequency sits per
+kernel class (the Section VII payoff quantified), and what thread
+placement does to bandwidth- vs compute-bound work on the two-socket
+node.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.tables import render_table
+from repro.engine.simulator import Simulator
+from repro.sched.placement import PlacementPolicy, Scheduler
+from repro.specs.node import HASWELL_TEST_NODE
+from repro.system.node import build_node
+from repro.tuning.edp import EdpAnalysis
+from repro.units import ghz, ms
+from repro.workloads.firestarter import firestarter
+from repro.workloads.zoo import is_memory_bound, kernel, kernel_names
+
+
+def test_edp_zoo_benchmark(benchmark):
+    analysis = EdpAnalysis()
+    freqs = [ghz(1.2), ghz(1.6), ghz(2.0), ghz(2.5)]
+
+    def run():
+        rows = []
+        for name in kernel_names():
+            points = analysis.sweep(kernel(name), n_cores=12,
+                                    freqs_hz=freqs)
+            best = analysis.optimal(points, "edp")
+            rows.append((name, is_memory_bound(name), best.f_hz,
+                         best.throughput, best.pkg_power_w))
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    by_name = {r[0]: r for r in rows}
+    # memory-bound kernels optimize EDP at the bottom of the range,
+    # compute-bound at the top — the paper's Section VII/IX conclusion
+    assert by_name["stream"][2] == pytest.approx(ghz(1.2))
+    assert by_name["spmv"][2] <= ghz(1.6)
+    assert by_name["gemm"][2] == pytest.approx(ghz(2.5))
+    assert by_name["montecarlo"][2] == pytest.approx(ghz(2.5))
+
+    text = render_table(
+        headers=["kernel", "memory-bound", "EDP-optimal GHz",
+                 "throughput", "pkg W"],
+        rows=[[n, str(mb), f"{f / 1e9:.1f}", f"{t:.1f}", f"{p:.1f}"]
+              for n, mb, f, t, p in rows],
+        title="EDP-optimal frequency per kernel class (12 cores)")
+    write_artifact("study_edp_zoo", text)
+    print("\n" + text)
+
+
+def test_placement_study_benchmark(benchmark):
+    def run():
+        sim = Simulator(seed=151)
+        node = build_node(sim, HASWELL_TEST_NODE)
+        sched = Scheduler(sim, node)
+        cases = [
+            ("stream x12", kernel("stream"), 12),
+            ("gemm x12", kernel("gemm"), 12),
+            ("firestarter x12", firestarter(ht=False), 12),
+            ("montecarlo x4", kernel("montecarlo"), 4),
+        ]
+        rows = []
+        for label, wl, n in cases:
+            outcomes = sched.compare(wl, n, measure_ns=ms(10))
+            rows.append((label, outcomes))
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    outcomes = dict(rows)
+    # bandwidth-bound work gains strongly from scatter (two IMCs)
+    stream = outcomes["stream x12"]
+    assert stream[PlacementPolicy.SCATTER].throughput \
+        > 1.4 * stream[PlacementPolicy.COMPACT].throughput
+    # TDP-bound compute gains from two power budgets
+    fs = outcomes["firestarter x12"]
+    assert fs[PlacementPolicy.SCATTER].throughput \
+        > 1.1 * fs[PlacementPolicy.COMPACT].throughput
+    # small compute jobs: compact saves node power
+    mc = outcomes["montecarlo x4"]
+    assert mc[PlacementPolicy.COMPACT].node_dc_power_w \
+        < mc[PlacementPolicy.SCATTER].node_dc_power_w
+
+    table_rows = []
+    for label, out in rows:
+        for policy in (PlacementPolicy.COMPACT, PlacementPolicy.SCATTER):
+            o = out[policy]
+            table_rows.append([label, policy.value,
+                               f"{o.throughput:.1f}",
+                               f"{o.node_dc_power_w:.1f}",
+                               f"{o.efficiency:.3f}"])
+    text = render_table(
+        headers=["case", "placement", "throughput", "node DC W",
+                 "throughput/W"],
+        rows=table_rows,
+        title="Placement study: compact vs scatter on the two-socket node")
+    write_artifact("study_placement", text)
+    print("\n" + text)

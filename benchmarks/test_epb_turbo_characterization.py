@@ -1,0 +1,48 @@
+"""Bench: EPB-mapping and turbo-bin characterization studies."""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.epb_turbo_characterization import (
+    render_epb_mapping,
+    render_turbo_bins,
+    run_epb_mapping,
+    run_turbo_bins,
+)
+from repro.pcu.epb import Epb
+
+
+def test_epb_mapping_benchmark(benchmark):
+    rows = benchmark.pedantic(run_epb_mapping, iterations=1, rounds=1)
+    by_raw = {r.raw_value: r for r in rows}
+    # the paper's measured mapping: 0 perf, 1-7 balanced, 8-15 saving
+    assert by_raw[0].behaviour is Epb.PERFORMANCE
+    assert all(by_raw[v].behaviour is Epb.BALANCED for v in range(1, 8))
+    assert all(by_raw[v].behaviour is Epb.POWERSAVE for v in range(8, 16))
+    # behavioural consequences: performance turbos past the 2.5 GHz
+    # setting; energy saving trims below it (EET)
+    assert by_raw[0].observed_freq_hz > 2.6e9
+    assert by_raw[15].observed_freq_hz < 2.5e9
+    assert by_raw[6].observed_freq_hz == pytest.approx(2.5e9, abs=30e6)
+    text = render_epb_mapping(rows)
+    write_artifact("study_epb_mapping", text)
+    print("\n" + text)
+
+
+def test_turbo_bins_benchmark(benchmark):
+    rows = benchmark.pedantic(run_turbo_bins, iterations=1, rounds=1)
+    by_n = {r.active_cores: r for r in rows}
+    # Section II-F: single-core 3.3 non-AVX; AVX turbo 2.8-3.1 by count
+    assert by_n[1].scalar_freq_hz == pytest.approx(3.3e9, abs=20e6)
+    assert by_n[1].avx_freq_hz == pytest.approx(3.1e9, abs=20e6)
+    assert by_n[12].avx_freq_hz == pytest.approx(2.8e9, abs=20e6)
+    assert by_n[12].scalar_freq_hz == pytest.approx(2.9e9, abs=20e6)
+    # bins never increase with more active cores
+    for kind in ("scalar_freq_hz", "avx_freq_hz"):
+        freqs = [getattr(by_n[n], kind) for n in range(1, 13)]
+        assert all(b <= a + 1e6 for a, b in zip(freqs, freqs[1:]))
+    # AVX capped at or below non-AVX everywhere
+    assert all(r.avx_freq_hz <= r.scalar_freq_hz + 1e6 for r in rows)
+    text = render_turbo_bins(rows)
+    write_artifact("study_turbo_bins", text)
+    print("\n" + text)

@@ -1,0 +1,23 @@
+"""Bench: regenerate the Fig. 1 die-layout summary."""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.fig1_topology import render_fig1, run_fig1
+
+
+def test_fig1_benchmark(benchmark):
+    summaries = benchmark(run_fig1)
+    by_sku = {s.sku_cores: s for s in summaries}
+    # Fig. 1: 12-core die = 8+4 partitions, 18-core = 8+10, queue-bridged
+    assert by_sku[12].partition_core_counts == (8, 4)
+    assert by_sku[18].partition_core_counts == (8, 10)
+    assert by_sku[12].n_queue_pairs == by_sku[18].n_queue_pairs == 2
+    assert by_sku[8].n_partitions == 1
+    # each partition has an IMC with two DRAM channels -> 4 channels/package
+    assert all(s.dram_channels == 4 or s.n_partitions == 1
+               for s in summaries)
+    # larger dies pay more ring hops on average
+    assert (by_sku[8].avg_core_l3_hops < by_sku[12].avg_core_l3_hops
+            < by_sku[18].avg_core_l3_hops)
+    text = render_fig1(summaries)
+    write_artifact("fig1_topology", text)
+    print("\n" + text)

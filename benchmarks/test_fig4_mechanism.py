@@ -1,0 +1,28 @@
+"""Bench: reconstruct the Fig. 4 grant mechanism from measurements.
+
+The paper infers the mechanism (periodic opportunities in external
+logic, same-socket synchronicity) from Fig. 3 data; this benchmark runs
+that inference programmatically and checks it recovers the true PCU
+parameters.
+"""
+
+import pytest
+
+from benchmarks.conftest import FULL, write_artifact
+from repro.experiments.fig4_mechanism import estimate_mechanism, render_fig4
+
+
+def test_fig4_benchmark(benchmark):
+    n = 400 if FULL else 200
+    est = benchmark.pedantic(lambda: estimate_mechanism(n_samples=n),
+                             iterations=1, rounds=1)
+    assert est.quantum_estimate_us == pytest.approx(est.true_quantum_us,
+                                                    rel=0.12)
+    assert est.same_socket_synchronous
+    assert est.cross_socket_independent
+    # the latency floor is the verification quantum, far above the actual
+    # electrical switching time
+    assert est.switch_floor_us > 10 * est.true_switch_us
+    text = render_fig4(est)
+    write_artifact("fig4_mechanism", text)
+    print("\n" + text)

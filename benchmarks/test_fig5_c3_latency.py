@@ -1,0 +1,43 @@
+"""Bench: regenerate Fig. 5 — C3 wake latencies.
+
+Shape targets: C3 mostly flat vs frequency with a +1.5 us step above
+1.5 GHz; package C3 adds 2-4 us; Haswell beats the Sandy Bridge grey
+reference; everything undercuts the 33 us ACPI claim.
+"""
+
+import pytest
+
+from benchmarks.conftest import FULL, write_artifact
+from repro.cstates.states import CState
+from repro.experiments.fig5_fig6_cstate_latency import (
+    render_cstate_figure,
+    run_cstate_figure,
+)
+
+
+def test_fig5_benchmark(benchmark):
+    n = 30 if FULL else 8
+    result = benchmark.pedantic(
+        lambda: run_cstate_figure(CState.C3, n_samples=n),
+        iterations=1, rounds=1)
+
+    local = result.bundles["local"].get("Haswell-EP")
+    assert local.value_at(2.5) - local.value_at(1.2) \
+        == pytest.approx(1.5, abs=0.5)
+    # flat below the 1.5 GHz threshold
+    assert local.value_at(1.4) == pytest.approx(local.value_at(1.2), abs=0.4)
+
+    remote = result.bundles["remote_active"].get("Haswell-EP")
+    package = result.bundles["remote_idle"].get("Haswell-EP")
+    extra = [package.value_at(f) - remote.value_at(f) for f in (1.2, 2.0, 2.5)]
+    assert all(1.5 <= e <= 4.8 for e in extra)
+
+    snb = result.bundles["local"].get("Sandy Bridge-EP")
+    assert all(s > h for s, h in zip(snb.y, local.y))
+
+    acpi = result.acpi_claim_us["Haswell-EP"]
+    assert max(package.y) < acpi
+
+    text = render_cstate_figure(result)
+    write_artifact("fig5_c3_latency", text)
+    print("\n" + text)

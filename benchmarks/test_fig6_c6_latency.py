@@ -1,0 +1,50 @@
+"""Bench: regenerate Fig. 6 — C6 wake latencies.
+
+Shape targets: strong frequency dependence (latency rises toward low
+clocks, +2 to +8 us over C3); package C6 adds ~8 us over package C3;
+all well below the 133 us ACPI claim and below the ~500 us p-state
+grant quantum (the paper's DVFS-vs-DCT conclusion).
+"""
+
+import pytest
+
+from benchmarks.conftest import FULL, write_artifact
+from repro.cstates.states import CState
+from repro.experiments.fig5_fig6_cstate_latency import (
+    render_cstate_figure,
+    run_cstate_figure,
+)
+from repro.specs.cpu import E5_2680_V3
+
+
+def test_fig6_benchmark(benchmark):
+    n = 30 if FULL else 8
+    c6 = benchmark.pedantic(
+        lambda: run_cstate_figure(CState.C6, n_samples=n),
+        iterations=1, rounds=1)
+    c3 = run_cstate_figure(CState.C3, n_samples=n,
+                           include_sandybridge=False)
+
+    local6 = c6.bundles["local"].get("Haswell-EP")
+    local3 = c3.bundles["local"].get("Haswell-EP")
+    # +2 us over C3 at top frequency, +8 us at the bottom
+    assert local6.value_at(2.5) - local3.value_at(2.5) \
+        == pytest.approx(2.0, abs=1.0)
+    assert local6.value_at(1.2) - local3.value_at(1.2) \
+        == pytest.approx(8.0, abs=1.5)
+    # strong frequency dependence
+    assert local6.value_at(1.2) > local6.value_at(2.5) + 3.0
+
+    pkg6 = c6.bundles["remote_idle"].get("Haswell-EP")
+    pkg3 = c3.bundles["remote_idle"].get("Haswell-EP")
+    c6_extra_local = local6.value_at(2.0) - local3.value_at(2.0)
+    pkg_extra = (pkg6.value_at(2.0) - pkg3.value_at(2.0)) - c6_extra_local
+    assert pkg_extra == pytest.approx(8.0, abs=2.0)
+
+    # measured < ACPI claim; c-states faster than p-state transitions
+    assert max(pkg6.y) < c6.acpi_claim_us["Haswell-EP"]
+    assert max(pkg6.y) * 1000 < E5_2680_V3.pcu_quantum_ns
+
+    text = render_cstate_figure(c6)
+    write_artifact("fig6_c6_latency", text)
+    print("\n" + text)

@@ -1,0 +1,40 @@
+"""Bench: regenerate Fig. 7 — relative L3/DRAM bandwidth vs core frequency.
+
+Shape targets: at maximum concurrency, Haswell DRAM bandwidth is flat in
+core frequency (like Westmere, unlike Sandy Bridge whose tied uncore
+makes it proportional); Haswell L3 bandwidth tracks core frequency.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.fig7_fig8_bandwidth import render_fig7, run_fig7
+
+
+def test_fig7_benchmark(benchmark):
+    result = benchmark.pedantic(run_fig7, iterations=1, rounds=1)
+
+    dram = result.dram_relative
+    hsw = dram.get("Haswell-EP")
+    snb = dram.get("Sandy Bridge-EP")
+    wsm = dram.get("Westmere-EP")
+
+    # Haswell: DRAM at max concurrency independent of core frequency —
+    # "back at the level of Westmere-EP"
+    assert min(hsw.y) > 0.97
+    assert min(wsm.y) > 0.90
+    # Sandy Bridge: strongly frequency-dependent (uncore tied to cores)
+    rel_f_min = snb.x.min()
+    assert snb.y.min() < 0.75
+    assert snb.y.min() == pytest.approx(snb.value_at(rel_f_min), abs=0.05)
+
+    l3 = result.l3_relative
+    hsw_l3 = l3.get("Haswell-EP")
+    # L3 strongly correlates with core frequency ...
+    assert hsw_l3.y.min() < 0.65
+    # ... linearly at low frequency, flattening toward the top
+    assert hsw_l3.y.min() > 0.9 * hsw_l3.x.min()
+
+    text = render_fig7(result)
+    write_artifact("fig7_relative_bandwidth", text)
+    print("\n" + text)

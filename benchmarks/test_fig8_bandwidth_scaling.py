@@ -1,0 +1,44 @@
+"""Bench: regenerate Fig. 8 — L3/DRAM bandwidth vs concurrency x frequency.
+
+Shape targets: DRAM read bandwidth saturates at 8 cores (~60 GB/s) and
+is frequency-independent from 10 cores on; L3 bandwidth scales with both
+concurrency and frequency (slightly superlinear at low counts); SMT
+helps only at low concurrency.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.fig7_fig8_bandwidth import render_fig8, run_fig8
+
+
+def test_fig8_benchmark(benchmark):
+    result = benchmark.pedantic(run_fig8, iterations=1, rounds=1)
+
+    dram_fast = result.dram.get("2.5 GHz")
+    dram_slow = result.dram.get("1.2 GHz")
+    # saturation at 8 cores near 60 GB/s
+    assert dram_fast.value_at(8) == pytest.approx(60.0, rel=0.05)
+    assert dram_fast.value_at(12) == pytest.approx(dram_fast.value_at(8),
+                                                   rel=0.02)
+    # frequency-independent at >= 10 cores, dependent at 1 core
+    assert dram_slow.value_at(10) == pytest.approx(dram_fast.value_at(10),
+                                                   rel=0.03)
+    assert dram_slow.value_at(1) < 0.95 * dram_fast.value_at(1)
+
+    l3_fast = result.l3.get("2.5 GHz")
+    l3_slow = result.l3.get("1.2 GHz")
+    # L3 scales with cores and frequency
+    assert l3_fast.value_at(12) > 3.0 * l3_fast.value_at(3)
+    assert l3_fast.value_at(12) > 1.6 * l3_slow.value_at(12)
+    # slightly superlinear at low concurrency
+    assert l3_fast.value_at(2) > 2.0 * l3_fast.value_at(1)
+
+    # SMT: beneficial at low concurrency only
+    ht = result.ht_dram.get("2.5 GHz")
+    assert ht.value_at(2) > dram_fast.value_at(1)          # 2 threads/1 core
+    assert ht.value_at(24) == pytest.approx(dram_fast.value_at(12), rel=0.02)
+
+    text = render_fig8(result)
+    write_artifact("fig8_bandwidth_scaling", text)
+    print("\n" + text)

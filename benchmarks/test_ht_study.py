@@ -1,0 +1,24 @@
+"""Bench: Hyper-Threading on/off under FIRESTARTER."""
+
+import pytest
+
+from benchmarks.conftest import FULL, write_artifact
+from repro.experiments.ht_study import render_ht_study, run_ht_study
+
+
+def test_ht_study_benchmark(benchmark):
+    measure_s = 10.0 if FULL else 4.0
+    ht_on, ht_off = benchmark.pedantic(
+        lambda: run_ht_study(measure_s=measure_s), iterations=1, rounds=1)
+    # power pins at the TDP either way (Table V: HT "very little impact")
+    assert ht_on.pkg_power_w == pytest.approx(120.0, abs=1.5)
+    assert ht_off.pkg_power_w == pytest.approx(120.0, abs=1.5)
+    # the paper's cross-table frequency gap: 2.31 (IV) vs 2.44 (V)
+    assert ht_on.core_freq_hz == pytest.approx(2.31e9, abs=40e6)
+    assert ht_off.core_freq_hz == pytest.approx(2.44e9, abs=40e6)
+    # Section VIII IPC: 3.1 with HT, 2.8 without
+    assert ht_on.ipc_per_core == pytest.approx(3.1, abs=0.1)
+    assert ht_off.ipc_per_core == pytest.approx(2.8, abs=0.1)
+    text = render_ht_study(ht_on, ht_off)
+    write_artifact("study_ht", text)
+    print("\n" + text)

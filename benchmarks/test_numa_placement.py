@@ -1,0 +1,47 @@
+"""Bench: NUMA placement study over the QPI substrate.
+
+Extension experiment grounded in Table I's QPI numbers: remote placement
+caps a socket's stream at the QPI data bandwidth (~29 GB/s of the
+38.4 GB/s raw link) versus ~60 GB/s local; interleaving recovers part of
+it. Also checks the generational QPI ratio (9.6 vs 8 GT/s).
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.tables import render_table
+from repro.memory.numa import NumaBandwidthModel, Placement
+from repro.specs.cpu import E5_2670_SNB, E5_2680_V3
+from repro.units import ghz
+
+
+def test_numa_placement_benchmark(benchmark):
+    model = NumaBandwidthModel(E5_2680_V3)
+    results = benchmark(
+        lambda: model.placement_sweep(ghz(2.5), ghz(3.0),
+                                      core_counts=[1, 4, 8, 12]))
+
+    by_key = {(r.placement, r.n_threads): r for r in results}
+    local12 = by_key[(Placement.LOCAL, 12)]
+    remote12 = by_key[(Placement.REMOTE, 12)]
+    inter12 = by_key[(Placement.INTERLEAVED, 12)]
+    assert local12.bandwidth_gbs == pytest.approx(60.0, rel=0.02)
+    assert remote12.bandwidth_gbs == pytest.approx(model.qpi_data_gbs,
+                                                   rel=0.01)
+    assert remote12.bandwidth_gbs < inter12.bandwidth_gbs \
+        < local12.bandwidth_gbs
+    # generational link ratio from Table I
+    snb = NumaBandwidthModel(E5_2670_SNB)
+    assert model.qpi_data_gbs / snb.qpi_data_gbs \
+        == pytest.approx(9.6 / 8.0, rel=0.01)
+
+    rows = [[r.placement.value, str(r.n_threads),
+             f"{r.bandwidth_gbs:.1f}", f"{r.latency_ns:.0f}"]
+            for r in results]
+    text = render_table(
+        headers=["placement", "cores", "bandwidth [GB/s]", "latency [ns]"],
+        rows=rows,
+        title=(f"NUMA placement study (QPI data bandwidth "
+               f"{model.qpi_data_gbs:.1f} GB/s)"))
+    write_artifact("study_numa_placement", text)
+    print("\n" + text)

@@ -1,0 +1,39 @@
+"""Bench: performance under a hardware-enforced power bound.
+
+Extension experiment for the paper's Section V-B remark (citing [24]):
+under a RAPL package power cap, the per-part voltage asymmetry turns
+into a performance imbalance — and the imbalance grows as the cap
+tightens, because the V/f curve is steeper at the bottom of the range.
+"""
+
+import pytest
+
+from benchmarks.conftest import FULL, write_artifact
+from repro.experiments.powercap import render_powercap, run_powercap_sweep
+
+
+def test_powercap_benchmark(benchmark):
+    measure_s = 8.0 if FULL else 2.0
+    points = benchmark.pedantic(
+        lambda: run_powercap_sweep(caps_w=(120.0, 100.0, 80.0, 60.0),
+                                   measure_s=measure_s),
+        iterations=1, rounds=1)
+    by_cap = {p.cap_w: p for p in points}
+
+    for cap, p in by_cap.items():
+        # the bound is enforced on both packages
+        assert p.pkg_w[0] == pytest.approx(cap, abs=1.5)
+        assert p.pkg_w[1] == pytest.approx(cap, abs=1.5)
+        # processor 1 (lower voltage) sustains more
+        assert p.freq_hz[1] > p.freq_hz[0]
+        assert p.gips[1] > p.gips[0]
+
+    # monotone: tighter cap, lower frequency; growing relative imbalance
+    freqs = [by_cap[c].freq_hz[1] for c in (120.0, 100.0, 80.0, 60.0)]
+    assert all(b < a for a, b in zip(freqs, freqs[1:]))
+    assert by_cap[60.0].frequency_imbalance \
+        > by_cap[120.0].frequency_imbalance
+
+    text = render_powercap(points)
+    write_artifact("study_powercap", text)
+    print("\n" + text)

@@ -1,0 +1,52 @@
+"""Bench: die-interconnect study across the Fig. 1 variants.
+
+Derives, from the slotted-ring transaction simulation, what the Fig. 1
+layouts imply: per-ring bandwidth limits, latency growth with die size,
+and the aggregate gain of the partitioned (queue-bridged) designs.
+Cross-validates the analytic L3 transport constant.
+"""
+
+from benchmarks.conftest import FULL, write_artifact
+from repro.analysis.tables import render_table
+from repro.memory.bandwidth import bandwidth_config_for
+from repro.specs.cpu import E5_2680_V3
+from repro.topology.builder import build_haswell_die
+from repro.topology.ring_sim import RingSimulator
+from repro.units import ghz
+
+
+def test_ring_interconnect_benchmark(benchmark):
+    cycles = 6000 if FULL else 2500
+
+    def run():
+        rows = []
+        for sku in (8, 12, 18):
+            die = build_haswell_die(sku)
+            light = RingSimulator(die, seed=7).run(0.05, cycles=cycles)
+            sat = RingSimulator(die, seed=7).run(2.0, cycles=cycles)
+            rows.append((sku, die.name, light.mean_latency_cycles,
+                         sat.mean_latency_cycles,
+                         sat.delivered_flits_per_cycle,
+                         sat.bandwidth_gbs(ghz(3.0))))
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    by_sku = {r[0]: r for r in rows}
+    # latency grows with die size; aggregate bandwidth grows with rings
+    assert by_sku[8][2] < by_sku[12][2] < by_sku[18][2]
+    assert by_sku[18][5] > 1.3 * by_sku[8][5]
+    # the analytic transport constant is consistent with the derived one
+    analytic = (bandwidth_config_for(E5_2680_V3)
+                .l3_transport_gbs_per_uncore_ghz * 3.0)
+    derived = by_sku[12][5]
+    assert abs(derived - analytic) / analytic < 0.35
+
+    text = render_table(
+        headers=["SKU", "die", "latency@5% [cyc]", "latency@sat [cyc]",
+                 "sat flits/cyc", "sat GB/s @3GHz"],
+        rows=[[str(r[0]), r[1], f"{r[2]:.1f}", f"{r[3]:.1f}",
+               f"{r[4]:.2f}", f"{r[5]:.0f}"] for r in rows],
+        title=(f"Ring-interconnect study (analytic 12-core transport "
+               f"limit: {analytic:.0f} GB/s @3GHz)"))
+    write_artifact("study_ring_interconnect", text)
+    print("\n" + text)

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table I and verify the derived arithmetic."""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.table1_microarch import (
+    PAPER_DRAM_PEAK_GBS,
+    PAPER_FLOPS_PER_CYCLE,
+    PAPER_QPI_GBS,
+    render_table1,
+    run_table1,
+)
+
+
+def test_table1_benchmark(benchmark):
+    result = benchmark(run_table1)
+    snb, hsw = result.specs
+    # the paper's derived rows fall out of the primitive spec fields
+    assert snb.flops_per_cycle_double == PAPER_FLOPS_PER_CYCLE[snb.codename]
+    assert hsw.flops_per_cycle_double == PAPER_FLOPS_PER_CYCLE[hsw.codename]
+    assert abs(hsw.dram_bandwidth_peak_bytes / 1e9
+               - PAPER_DRAM_PEAK_GBS[hsw.codename]) < 0.1
+    assert abs(hsw.qpi_bandwidth_bytes / 1e9
+               - PAPER_QPI_GBS[hsw.codename]) < 0.1
+    # headline: Haswell doubles FLOPS/cycle and L1/L2 bandwidth
+    assert hsw.flops_per_cycle_double == 2 * snb.flops_per_cycle_double
+    assert hsw.l2_bytes_per_cycle == 2 * snb.l2_bytes_per_cycle
+    text = render_table1(result)
+    write_artifact("table1_microarch", text)
+    print("\n" + text)

@@ -1,0 +1,23 @@
+"""Bench: regenerate Table II, including the 261.5 W idle-power check."""
+
+import pytest
+
+from benchmarks.conftest import FULL, write_artifact
+from repro.experiments.table2_system import (
+    PAPER_IDLE_POWER_W,
+    render_table2,
+    run_table2,
+)
+
+
+def test_table2_benchmark(benchmark):
+    measure_s = 4.0 if FULL else 1.5
+    result = benchmark.pedantic(
+        lambda: run_table2(measure_s=measure_s),
+        iterations=1, rounds=1)
+    assert result.idle_power_w == pytest.approx(PAPER_IDLE_POWER_W, abs=3.0)
+    text = render_table2(result)
+    write_artifact("table2_system", text)
+    print("\n" + text)
+    print(f"\npaper idle power: {PAPER_IDLE_POWER_W} W | "
+          f"measured: {result.idle_power_w:.1f} W")

@@ -1,0 +1,60 @@
+"""Bench: regenerate Table III — uncore frequencies, no-stall scenario.
+
+Shape targets: the active socket's uncore follows the fastest active
+core's setting (3.0 at turbo, 2.2 at 2.5 GHz, floor 1.2), the passive
+socket sits one step below, and EPB=performance pins 3.0 GHz at the
+2.5 GHz setting (the table's asterisk).
+"""
+
+import pytest
+
+from benchmarks.conftest import FULL, write_artifact
+from repro.experiments.table3_uncore import render_table3, run_table3
+from repro.pcu.epb import Epb
+from repro.units import ghz
+
+# (setting GHz or None=turbo, active uncore, passive uncore) — Table III
+PAPER_ROWS = [
+    (None, 3.0, 2.95),
+    (2.5, 2.2, 2.1),
+    (2.4, 2.1, 2.0),
+    (2.3, 2.0, 1.9),
+    (2.2, 1.9, 1.8),
+    (2.1, 1.8, 1.7),
+    (2.0, 1.75, 1.65),
+    (1.9, 1.65, 1.55),
+    (1.8, 1.6, 1.5),
+    (1.7, 1.5, 1.4),
+    (1.6, 1.4, 1.2),
+    (1.5, 1.3, 1.2),
+    (1.4, 1.2, 1.2),
+    (1.3, 1.2, 1.2),
+    (1.2, 1.2, 1.2),
+]
+
+
+def test_table3_benchmark(benchmark):
+    measure_s = 10.0 if FULL else 1.0
+    result = benchmark.pedantic(
+        lambda: run_table3(measure_s=measure_s), iterations=1, rounds=1)
+    assert len(result.rows) == len(PAPER_ROWS)
+    for row, (setting, active, passive) in zip(result.rows, PAPER_ROWS):
+        assert row.active_uncore_hz == pytest.approx(ghz(active), abs=25e6), \
+            f"setting {row.setting_label}"
+        assert row.passive_uncore_hz == pytest.approx(ghz(passive), abs=25e6), \
+            f"setting {row.setting_label}"
+    text = render_table3(result)
+    write_artifact("table3_uncore", text)
+    print("\n" + text)
+
+
+def test_table3_epb_performance_asterisk(benchmark):
+    # "(*): 3.0 GHz if EPB is set to performance"
+    from repro.units import ghz as _ghz
+    result = benchmark.pedantic(
+        lambda: run_table3(epb=Epb.PERFORMANCE, measure_s=0.5,
+                           settings=[None, _ghz(2.5)]),
+        iterations=1, rounds=1)
+    for row in result.rows:
+        assert row.active_uncore_hz == pytest.approx(_ghz(3.0), abs=25e6)
+    write_artifact("table3_uncore_epb_perf", render_table3(result))

@@ -1,0 +1,63 @@
+"""Bench: regenerate Table V — maximum power consumption.
+
+Shape targets: LINPACK draws ~12 W less at the wall than FIRESTARTER and
+mprime (which are on par within a few W) and runs at the lowest measured
+frequency; mprime runs at the highest; FIRESTARTER's power is the most
+constant; EPB/turbo barely matter except for mprime at the 2.5 GHz
+setting where EET (power) trims below nominal and EPB=performance
+activates turbo at base frequency.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import FULL, write_artifact
+from repro.experiments.table5_max_power import render_table5, run_table5
+from repro.pcu.epb import Epb
+from repro.units import ghz
+
+
+def test_table5_benchmark(benchmark):
+    measure_s, window_s = (75.0, 60.0) if FULL else (20.0, 15.0)
+    result = benchmark.pedantic(
+        lambda: run_table5(measure_s=measure_s, window_s=window_s),
+        iterations=1, rounds=1)
+
+    def cell(wl, setting, epb):
+        return result.cell(wl, setting, epb)
+
+    for setting in (ghz(2.5), None):
+        for epb in (Epb.POWERSAVE, Epb.BALANCED, Epb.PERFORMANCE):
+            fs = cell("FIRESTARTER", setting, epb)
+            lp = cell("LINPACK", setting, epb)
+            mp = cell("mprime", setting, epb)
+            # LINPACK notably lower power, lowest frequency
+            assert fs.max_window_power_w - lp.max_window_power_w > 5.0
+            assert lp.mean_core_freq_hz < fs.mean_core_freq_hz
+            # FIRESTARTER and mprime almost on par; mprime faster clocks
+            assert abs(fs.max_window_power_w - mp.max_window_power_w) < 6.0
+            assert mp.mean_core_freq_hz > fs.mean_core_freq_hz
+
+    # absolute ballparks (paper: FS ~560 W, LP ~548 W, mprime ~560 W)
+    fs_bal = cell("FIRESTARTER", None, Epb.BALANCED)
+    assert fs_bal.max_window_power_w == pytest.approx(560.0, abs=12.0)
+    lp_bal = cell("LINPACK", None, Epb.BALANCED)
+    assert lp_bal.max_window_power_w == pytest.approx(548.0, abs=12.0)
+    assert lp_bal.mean_core_freq_hz == pytest.approx(ghz(2.28), abs=60e6)
+
+    # mprime EPB ladder at the 2.5 GHz setting (EET + the perf-turbo rule)
+    mp_power = cell("mprime", ghz(2.5), Epb.POWERSAVE).mean_core_freq_hz
+    mp_bal = cell("mprime", ghz(2.5), Epb.BALANCED).mean_core_freq_hz
+    mp_perf = cell("mprime", ghz(2.5), Epb.PERFORMANCE).mean_core_freq_hz
+    assert mp_power < mp_bal <= ghz(2.5) < mp_perf
+    assert mp_power == pytest.approx(ghz(2.45), abs=40e6)
+
+    # EPB/turbo have very little impact on FIRESTARTER
+    fs_freqs = [cell("FIRESTARTER", s, e).mean_core_freq_hz
+                for s in (ghz(2.5), None) for e in
+                (Epb.POWERSAVE, Epb.BALANCED, Epb.PERFORMANCE)]
+    assert np.ptp(fs_freqs) < 60e6
+
+    text = render_table5(result)
+    write_artifact("table5_max_power", text)
+    print("\n" + text)

@@ -1,0 +1,110 @@
+"""Bench: the DCT/DVFS tuning studies built on the paper's findings.
+
+Not a table/figure of the paper — these quantify its *conclusions*:
+DCT+DVFS operating-point optimization for memory-bound codes
+(Section VII/IX) and the idle-energy value of truthful ACPI tables
+(Section VI-B).
+"""
+
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.tables import render_table
+from repro.cstates.acpi import acpi_table_for
+from repro.cstates.idleloop import IdleLoopSimulator, interrupt_interval_mix
+from repro.cstates.states import CState
+from repro.engine.simulator import Simulator
+from repro.specs.cpu import E5_2680_V3
+from repro.specs.node import HASWELL_TEST_NODE
+from repro.system.node import build_node
+from repro.tuning.dct import DctController
+from repro.tuning.optimizer import OperatingPointOptimizer
+from repro.units import ghz, mib
+from repro.workloads.micro import memory_read
+
+
+def test_memory_bound_operating_point_benchmark(benchmark):
+    """The combined DCT+DVFS optimization the paper says Haswell enables."""
+
+    def run():
+        sim = Simulator(seed=111)
+        node = build_node(sim, HASWELL_TEST_NODE)
+        spec = node.spec.cpu
+        opt = OperatingPointOptimizer(sim, node)
+        points = opt.sweep(memory_read(spec, mib(350)),
+                           core_counts=[2, 4, 8, 10, 12],
+                           freqs_hz=[ghz(1.2), ghz(1.8), ghz(2.5)])
+        return opt, points
+
+    opt, points = benchmark.pedantic(run, iterations=1, rounds=1)
+    saturated = max(p.throughput for p in points)
+    best = opt.cheapest_meeting(points, 0.97 * saturated)
+    naive = next(p for p in points
+                 if p.n_cores == 12 and p.f_hz == ghz(2.5))
+    saving = 1 - best.pkg_power_w / naive.pkg_power_w
+    # the paper's promise: full bandwidth at a fraction of the power
+    assert best.f_hz < ghz(1.9)
+    assert best.throughput >= 0.97 * naive.throughput
+    assert saving > 0.15
+
+    rows = [[str(p.n_cores), f"{p.f_hz / 1e9:.1f}", f"{p.throughput:.1f}",
+             f"{p.pkg_power_w:.1f}", f"{p.efficiency:.2f}"]
+            for p in sorted(points, key=lambda p: (p.n_cores, p.f_hz))]
+    text = render_table(
+        headers=["cores", "GHz", "GB/s", "pkg W", "GB/s per W"],
+        rows=rows,
+        title=(f"DCT+DVFS operating points, 350 MB stream "
+               f"(best: {best.n_cores} cores @ {best.f_hz / 1e9:.1f} GHz, "
+               f"{saving * 100:.0f} % below naive)"))
+    write_artifact("study_operating_points", text)
+    print("\n" + text)
+
+
+def test_dct_finds_saturation_benchmark(benchmark):
+    def run():
+        sim = Simulator(seed=113)
+        node = build_node(sim, HASWELL_TEST_NODE)
+        ctrl = DctController(sim, node, marginal_threshold_gbs=1.5)
+        n = ctrl.find_concurrency(memory_read(node.spec.cpu, mib(350)))
+        return ctrl, n
+
+    ctrl, n = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert 7 <= n <= 9                      # Fig. 8 saturation point
+    rows = [[str(s.n_cores), f"{s.total_gbs:.1f}", f"{s.marginal_gbs:.1f}"]
+            for s in ctrl.steps]
+    text = render_table(headers=["cores", "total GB/s", "marginal GB/s"],
+                        rows=rows,
+                        title=f"DCT concurrency search (stops at {n} cores)")
+    write_artifact("study_dct_search", text)
+    print("\n" + text)
+
+
+def test_idle_loop_table_update_benchmark(benchmark):
+    """Idle-energy value of the runtime ACPI update the paper calls for."""
+    intervals = interrupt_interval_mix(5000, mean_us=180.0)
+    shipped_table = acpi_table_for(E5_2680_V3)
+    updated_table = shipped_table.updated_from_measurement(
+        {CState.C3: 5.5, CState.C6: 12.0})
+
+    def run():
+        shipped = IdleLoopSimulator(E5_2680_V3, shipped_table,
+                                    ghz(2.5)).run(intervals)
+        updated = IdleLoopSimulator(E5_2680_V3, updated_table,
+                                    ghz(2.5)).run(intervals)
+        return shipped, updated
+
+    shipped, updated = benchmark.pedantic(run, iterations=1, rounds=1)
+    saving = 1 - updated.idle_energy_j / shipped.idle_energy_j
+    assert saving > 0.2
+    assert updated.mean_wake_latency_us < 15.0
+    text = "\n".join([
+        "Idle-loop study: shipped vs measured-latency ACPI tables "
+        f"({len(intervals)} intervals, mean 180 us)",
+        f"  shipped : energy {shipped.idle_energy_j * 1e3:.1f} mJ, "
+        f"choices {dict((s.name, c) for s, c in shipped.choices.items())}",
+        f"  updated : energy {updated.idle_energy_j * 1e3:.1f} mJ, "
+        f"choices {dict((s.name, c) for s, c in updated.choices.items())}",
+        f"  => {saving * 100:.0f} % idle-energy saving at "
+        f"{updated.mean_wake_latency_us:.1f} us mean wake latency",
+    ])
+    write_artifact("study_idle_tables", text)
+    print("\n" + text)

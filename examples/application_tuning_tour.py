@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A full tuning tour over the HPC kernel zoo.
+
+Puts the paper's conclusions to work as a workflow a performance
+engineer would run: classify each kernel (memory- vs compute-bound),
+find its EDP-optimal frequency, pick concurrency with the DCT
+controller, and choose thread placement — all on the simulated
+Haswell-EP node.
+
+Run:  python examples/application_tuning_tour.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.engine.simulator import Simulator
+from repro.sched.placement import PlacementPolicy, Scheduler
+from repro.specs.node import HASWELL_TEST_NODE
+from repro.system.node import build_node
+from repro.tuning.dct import DctController
+from repro.tuning.edp import EdpAnalysis
+from repro.units import ghz, ms
+from repro.workloads.zoo import is_memory_bound, kernel, kernel_names
+
+
+def main() -> None:
+    print("Tuning tour over the kernel zoo "
+          "(simulated 2x E5-2680 v3 node)\n")
+    edp = EdpAnalysis()
+    freqs = [ghz(1.2), ghz(1.6), ghz(2.0), ghz(2.5)]
+
+    rows = []
+    for name in kernel_names():
+        wl = kernel(name)
+        # 1. frequency: EDP-optimal over the p-state range
+        points = edp.sweep(wl, n_cores=12, freqs_hz=freqs)
+        best = edp.optimal(points, "edp")
+        # 2. concurrency: stop adding cores once the marginal gain dies
+        if is_memory_bound(name):
+            sim = Simulator(seed=hash(name) % 2 ** 31)
+            node = build_node(sim, HASWELL_TEST_NODE)
+            dct = DctController(sim, node, marginal_threshold_gbs=1.5)
+            n_cores = dct.find_concurrency(wl)
+        else:
+            n_cores = 12
+        # 3. placement: scatter for bandwidth or TDP pressure
+        placement = "scatter" if is_memory_bound(name) \
+            or wl.phases[0].power_activity > 0.8 else "compact"
+        rows.append([
+            name,
+            "memory" if is_memory_bound(name) else "compute",
+            f"{best.f_hz / 1e9:.1f}",
+            str(n_cores),
+            placement,
+            f"{best.throughput:.1f}",
+            f"{best.pkg_power_w:.0f}",
+        ])
+
+    print(render_table(
+        headers=["kernel", "bound by", "EDP-opt GHz", "cores/socket",
+                 "placement", "throughput", "pkg W"],
+        rows=rows,
+        title="Recommended operating points"))
+
+    print("\nCross-check: what the placement choice is worth for "
+          "'stream' at 12 threads:")
+    sim = Simulator(seed=42)
+    node = build_node(sim, HASWELL_TEST_NODE)
+    sched = Scheduler(sim, node)
+    outcomes = sched.compare(kernel("stream"), 12, measure_ns=ms(10))
+    for policy in (PlacementPolicy.COMPACT, PlacementPolicy.SCATTER):
+        o = outcomes[policy]
+        print(f"  {policy.value:8s}: {o.throughput:6.1f} GB/s at "
+              f"{o.node_dc_power_w:.0f} W DC "
+              f"({o.efficiency:.2f} GB/s per W)")
+    print("\n=> memory-bound kernels: bottom-of-range frequency, "
+          "~8 cores/socket, scatter placement —\n   the optimization the "
+          "paper says Haswell-EP makes 'viable again' (Section IX).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Energy tuning for memory-bound codes (Section VII).
+
+The paper's Fig. 7/8 finding: on Haswell-EP, DRAM bandwidth at high
+concurrency is *independent* of the core frequency (the uncore pins
+itself at 3.0 GHz under memory stalls). That re-enables the classic
+optimization for memory-bound workloads — drop the core clock, keep the
+bandwidth, save power. This study measures the bandwidth surface and
+then quantifies the saving.
+
+Run:  python examples/memory_bandwidth_study.py
+"""
+
+from repro import build_haswell_node, memory_read
+from repro.instruments.bwbench import BandwidthBenchmark
+from repro.units import ghz, mib, ms, seconds, to_ghz
+
+
+def main() -> None:
+    sim, node = build_haswell_node(seed=13)
+    bench = BandwidthBenchmark(sim, node)
+
+    print("DRAM read bandwidth [GB/s] on processor 1 "
+          "(350 MB stream, prefetchers on):\n")
+    freqs = (1.2, 1.5, 2.0, 2.5)
+    threads = (1, 2, 4, 8, 12)
+    header = "threads " + "".join(f"{f:>9.1f}GHz" for f in freqs)
+    print(header)
+    surface = {}
+    for n in threads:
+        row = [bench.run("mem", n, ghz(f), measure_ns=ms(10)).read_gbs
+               for f in freqs]
+        surface[n] = row
+        print(f"{n:>7} " + "".join(f"{bw:>12.1f}" for bw in row))
+
+    print("\n-> saturation at 8 cores; at 12 cores the bandwidth is flat "
+          "in core frequency.")
+
+    # Quantify the energy win: run the memory workload on all 12 cores at
+    # 2.5 GHz vs 1.2 GHz and compare package power at equal bandwidth.
+    spec = node.spec.cpu
+    core_ids = [c.core_id for c in node.sockets[1].cores]
+    results = {}
+    for f in (2.5, 1.2):
+        node.run_workload(core_ids, memory_read(spec, mib(350)))
+        node.set_pstate(core_ids, ghz(f))
+        sim.run_for(ms(50))
+        e0 = node.sockets[1].energy_pkg_j
+        b0 = node.sockets[1].uncore.counters.dram_bytes
+        t0 = sim.now_ns
+        sim.run_for(seconds(1))
+        dt = (sim.now_ns - t0) / 1e9
+        results[f] = {
+            "power": (node.sockets[1].energy_pkg_j - e0) / dt,
+            "bw": (node.sockets[1].uncore.counters.dram_bytes - b0) / dt / 1e9,
+            "uncore": to_ghz(node.sockets[1].uncore.freq_hz),
+        }
+        node.stop_workload(core_ids)
+
+    fast, slow = results[2.5], results[1.2]
+    print(f"\n12-core memory stream at 2.5 GHz: {fast['bw']:.1f} GB/s, "
+          f"{fast['power']:.1f} W pkg (uncore {fast['uncore']:.1f} GHz)")
+    print(f"12-core memory stream at 1.2 GHz: {slow['bw']:.1f} GB/s, "
+          f"{slow['power']:.1f} W pkg (uncore {slow['uncore']:.1f} GHz)")
+    saving = (1 - slow["power"] / fast["power"]) * 100
+    bw_loss = max(0.0, (1 - slow["bw"] / fast["bw"]) * 100)
+    print(f"\n=> {saving:.0f} % package-power saving for {bw_loss:.1f} % "
+          "bandwidth loss — the DVFS\n   optimization for memory-bound "
+          "codes is 'viable again' on Haswell-EP (Section IX).")
+
+
+if __name__ == "__main__":
+    main()

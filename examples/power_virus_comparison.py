@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Stress-test shoot-out: FIRESTARTER vs LINPACK vs mprime (Section VIII).
+
+Reproduces the Table V methodology on the simulated node: each stress
+test runs with Hyper-Threading off, the LMG450 trace's highest window is
+extracted, and the measured core frequency over that window reported.
+Also inspects the FIRESTARTER code generator itself: the instruction
+groups, the per-level mix, and the loop-size constraint.
+
+Run:  python examples/power_virus_comparison.py
+"""
+
+import numpy as np
+
+from repro import build_haswell_node, firestarter, linpack, mprime
+from repro.instruments import LikwidSampler, Lmg450
+from repro.units import seconds, to_ghz
+from repro.workloads.firestarter import FirestarterKernel
+
+
+def main() -> None:
+    print("=== The FIRESTARTER stress loop (code-generator view) ===")
+    kernel = FirestarterKernel()
+    print(f"loop: {len(kernel.groups)} groups x 16 B fetch windows "
+          f"= {kernel.code_bytes / 1024:.0f} KiB "
+          "(> uop cache 6 KiB, <= L1I 32 KiB: "
+          f"{kernel.fits_constraints()})")
+    mix = kernel.mix_fractions()
+    print("mix:  " + "  ".join(f"{k}={v * 100:.1f}%" for k, v in mix.items())
+          + "   (paper: reg=27.8% L1=62.7% L2=7.1% L3=0.8% mem=1.6%)")
+    print(f"FMA slot fraction: {kernel.fma_fraction * 100:.0f} %\n")
+
+    print("=== Power shoot-out (HT off, turbo on, EPB balanced) ===")
+    rows = []
+    for name, workload in [("FIRESTARTER", firestarter(ht=False)),
+                           ("LINPACK", linpack()),
+                           ("mprime", mprime())]:
+        sim, node = build_haswell_node(seed=19)
+        core_ids = [c.core_id for c in node.all_cores]
+        node.run_workload(core_ids, workload)
+        sim.run_for(seconds(2))
+        meter = Lmg450(sim, node)
+        meter.start()
+        sampler = LikwidSampler(sim, node, core_ids=[0, 12],
+                                period_ns=seconds(1))
+        sampler.start()
+        sim.run_for(seconds(30))
+        watts = np.asarray(meter.watts)
+        freq = np.mean([sampler.median_metrics(c)["core_freq_hz"]
+                        for c in (0, 12)])
+        rows.append((name, watts.max(), watts.mean(), watts.std(),
+                     to_ghz(freq)))
+
+    print(f"{'test':12s} {'peak W':>8s} {'mean W':>8s} {'std W':>7s} "
+          f"{'freq GHz':>9s}")
+    for name, peak, mean, std, freq in rows:
+        print(f"{name:12s} {peak:8.1f} {mean:8.1f} {std:7.2f} {freq:9.2f}")
+
+    fs, lp, mp = rows
+    print(f"\n-> LINPACK draws {fs[2] - lp[2]:.0f} W less and runs at the "
+          "lowest frequency (hardest TDP throttle);")
+    print(f"   FIRESTARTER matches mprime's power with "
+          f"{mp[3] / fs[3]:.1f}x steadier consumption "
+          "(std "
+          f"{fs[3]:.2f} vs {mp[3]:.2f} W) — exactly the paper's Table V "
+          "reading.")
+
+
+if __name__ == "__main__":
+    main()

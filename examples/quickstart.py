@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: boot the paper's test node, stress it, read the meters.
+
+Builds the simulated dual-socket Xeon E5-2680 v3 node (Table II), runs
+FIRESTARTER on all cores with turbo and Hyper-Threading (the Table IV
+configuration), and reports what the paper's instruments see: measured
+core/uncore frequencies, instructions per second, RAPL power, and the
+wall power from the LMG450.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_haswell_node, firestarter
+from repro.instruments import LikwidSampler, Lmg450
+from repro.units import seconds, to_ghz
+
+
+def main() -> None:
+    sim, node = build_haswell_node(seed=1)
+    print(f"node: {node.spec.name}")
+    print(f"cores: {node.spec.total_cores} "
+          f"({node.spec.total_threads} hardware threads)")
+
+    # Everything idle: the paper's 261.5 W baseline.
+    sim.run_for(seconds(1))
+    print(f"\nidle wall power: {node.ac_power_w():.1f} W "
+          "(paper Table II: 261.5 W)")
+
+    # All cores on FIRESTARTER, turbo + HT — the Table IV setup.
+    node.run_workload([c.core_id for c in node.all_cores], firestarter())
+    meter = Lmg450(sim, node)
+    meter.start()
+    sampler = LikwidSampler(sim, node, core_ids=[0, 12])
+    sampler.start()
+    t0 = sim.now_ns
+    sim.run_for(seconds(5))
+
+    print("\nFIRESTARTER, turbo + Hyper-Threading (5 s):")
+    for socket_id, core_id in ((0, 0), (1, 12)):
+        m = sampler.median_metrics(core_id)
+        print(f"  processor {socket_id}: "
+              f"core {to_ghz(m['core_freq_hz']):.2f} GHz, "
+              f"uncore {to_ghz(m['uncore_freq_hz']):.2f} GHz, "
+              f"{m['ips'] / 1e9:.2f} GIPS/thread, "
+              f"RAPL pkg {m['pkg_power_w']:.0f} W "
+              f"+ DRAM {m['dram_power_w']:.0f} W")
+    print(f"  wall power: {meter.average(t0, sim.now_ns):.1f} W "
+          "(paper Table V: ~560 W)")
+    print("\nBoth packages sit exactly at the 120 W TDP: every frequency "
+          "above the\n2.1 GHz AVX base is opportunistic (Section II-F).")
+
+
+if __name__ == "__main__":
+    main()

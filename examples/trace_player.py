@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Replay an application phase trace and let the controllers react.
+
+Loads a CSV phase trace (the kind a profiler would emit: duration,
+activity, stall fraction, traffic), plays it on the simulated node, and
+runs the stall-driven DVFS controller against it — showing how the
+~500 µs p-state grant quantum and the 10 ms governor period bound how
+much of a bursty application's energy-saving potential is reachable.
+
+Run:  python examples/trace_player.py
+"""
+
+from repro.engine.simulator import Simulator
+from repro.specs.node import HASWELL_TEST_NODE
+from repro.system.node import build_node
+from repro.tuning.dvfs import DvfsController
+from repro.units import seconds
+from repro.workloads.trace import synthetic_hpc_trace, workload_from_csv
+
+EXAMPLE_TRACE_CSV = """\
+duration_ms,power_activity,ipc_parity,stall_fraction,avx_fraction,l3_bytes_per_cycle,dram_bytes_per_cycle
+12,0.85,1.5,0.05,0.8,2.0,0.2
+6,0.30,0.4,0.70,0.0,0.0,8.0
+2,0.15,1.0,0.10,0.0,0.0,0.0
+"""
+
+
+def run_case(label: str, workload, use_dvfs: bool) -> dict:
+    sim = Simulator(seed=33)
+    node = build_node(sim, HASWELL_TEST_NODE)
+    core_ids = list(range(8))
+    node.run_workload(core_ids, workload)
+    ctrl = None
+    if use_dvfs:
+        ctrl = DvfsController(sim, node)
+        ctrl.start()
+    sim.run_for(seconds(1))
+    e0 = node.sockets[0].energy_pkg_j
+    i0 = sum(node.core(c).counters.instructions_core for c in core_ids)
+    t0 = sim.now_ns
+    sim.run_for(seconds(4))
+    dt = (sim.now_ns - t0) / 1e9
+    return {
+        "label": label,
+        "power": (node.sockets[0].energy_pkg_j - e0) / dt,
+        "gips": (sum(node.core(c).counters.instructions_core
+                     for c in core_ids) - i0) / dt / 1e9,
+        "switches": len(ctrl.decisions) if ctrl else 0,
+    }
+
+
+def main() -> None:
+    print("Phase trace (CSV, as a profiler would emit):\n")
+    print(EXAMPLE_TRACE_CSV)
+    workload = workload_from_csv(EXAMPLE_TRACE_CSV, name="profiled_app")
+    print(f"parsed: {len(workload.phases)} phases, cyclic\n")
+
+    rows = [
+        run_case("static nominal", workload, use_dvfs=False),
+        run_case("stall-driven DVFS", workload, use_dvfs=True),
+    ]
+    hpc = synthetic_hpc_trace(n_iterations=3)
+    rows.append(run_case("synthetic HPC trace + DVFS", hpc, use_dvfs=True))
+
+    print(f"{'case':28s} {'pkg W':>7s} {'GIPS':>7s} {'p-state switches':>17s}")
+    for r in rows:
+        print(f"{r['label']:28s} {r['power']:7.1f} {r['gips']:7.1f} "
+              f"{r['switches']:17d}")
+
+    base, dvfs = rows[0], rows[1]
+    saving = (1 - dvfs["power"] / base["power"]) * 100
+    perf = (1 - dvfs["gips"] / base["gips"]) * 100
+    print(f"\n=> the controller saves {saving:.0f} % package power for "
+          f"{perf:.1f} % throughput cost on this trace;")
+    print("   every decision still waits for a ~500 us PCU grant "
+          "opportunity (Section VI-A).")
+
+
+if __name__ == "__main__":
+    main()

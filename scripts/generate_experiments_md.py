@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from a full paper-vs-measured run.
+
+Usage: python scripts/generate_experiments_md.py [--full] [--out PATH]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.validation.report import write_experiments_md
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-length runs (slower)")
+    parser.add_argument("--out", default=Path(__file__).parents[1]
+                        / "EXPERIMENTS.md")
+    args = parser.parse_args()
+    results = write_experiments_md(args.out, quick=not args.full)
+    n_ok = sum(1 for r in results if r.ok)
+    print(f"wrote {args.out}: {n_ok}/{len(results)} claims ok")
+
+
+if __name__ == "__main__":
+    main()

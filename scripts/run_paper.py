@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""One-shot paper reproduction: run every table/figure, print and save.
+
+A pytest-free driver for users who just want the artifacts:
+
+    python scripts/run_paper.py [--full] [--only table4 fig3 ...]
+
+Artifacts land in benchmarks/output/ (same files the benchmark harness
+writes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parents[1] / "benchmarks"))
+
+from conftest import write_artifact  # noqa: E402  (benchmarks/conftest.py)
+
+from repro.cstates.states import CState  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    render_cstate_figure,
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig7,
+    render_fig8,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    run_cstate_figure,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig7,
+    run_fig8,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.experiments.fig4_mechanism import (  # noqa: E402
+    estimate_mechanism,
+    render_fig4,
+)
+
+
+def _experiments(full: bool) -> dict:
+    return {
+        "table1": lambda: render_table1(run_table1()),
+        "fig1": lambda: render_fig1(run_fig1()),
+        "table2": lambda: render_table2(
+            run_table2(measure_s=4.0 if full else 1.5)),
+        "fig2": lambda: "\n\n".join(
+            render_fig2(run_fig2(arch, measure_s=4.0 if full else 1.0))
+            for arch in ("haswell", "sandybridge")),
+        "table3": lambda: render_table3(
+            run_table3(measure_s=10.0 if full else 1.0)),
+        "table4": lambda: render_table4(
+            run_table4(n_samples=50 if full else 8)),
+        "fig3": lambda: render_fig3(
+            run_fig3(n_samples=1000 if full else 250)),
+        "fig4": lambda: render_fig4(
+            estimate_mechanism(n_samples=400 if full else 200)),
+        "fig5": lambda: render_cstate_figure(
+            run_cstate_figure(CState.C3, n_samples=30 if full else 8)),
+        "fig6": lambda: render_cstate_figure(
+            run_cstate_figure(CState.C6, n_samples=30 if full else 8)),
+        "fig7": lambda: render_fig7(run_fig7()),
+        "fig8": lambda: render_fig8(run_fig8()),
+        "table5": lambda: render_table5(run_table5(
+            measure_s=75.0 if full else 20.0,
+            window_s=60.0 if full else 15.0)),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-length parameterizations")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of experiment ids")
+    args = parser.parse_args()
+
+    experiments = _experiments(args.full)
+    selected = args.only if args.only else list(experiments)
+    unknown = [s for s in selected if s not in experiments]
+    if unknown:
+        parser.error(f"unknown experiment ids {unknown}; "
+                     f"valid: {sorted(experiments)}")
+
+    for name in selected:
+        t0 = time.time()
+        print(f"### {name} " + "#" * 50)
+        text = experiments[name]()
+        print(text)
+        path = write_artifact(f"run_paper_{name}", text)
+        print(f"[{time.time() - t0:.1f} s] -> {path}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

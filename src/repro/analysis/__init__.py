@@ -1,0 +1,24 @@
+"""Fitting, statistics and rendering helpers for the experiments."""
+
+from repro.analysis.fitting import FitResult, polynomial_fit, linear_fit, quadratic_fit
+from repro.analysis.stats import median, histogram, iqr
+from repro.analysis.series import Series, SeriesBundle
+from repro.analysis.tables import render_table, render_csv
+from repro.analysis.plotting import ascii_chart, ascii_histogram, ascii_bars
+
+__all__ = [
+    "FitResult",
+    "polynomial_fit",
+    "linear_fit",
+    "quadratic_fit",
+    "median",
+    "histogram",
+    "iqr",
+    "Series",
+    "SeriesBundle",
+    "render_table",
+    "render_csv",
+    "ascii_chart",
+    "ascii_histogram",
+    "ascii_bars",
+]

@@ -1,0 +1,58 @@
+"""Least-squares polynomial fits with R² (the paper's footnote-2 fit)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Polynomial fit y ≈ sum(coeffs[i] * x^i) with goodness of fit."""
+
+    coeffs: tuple[float, ...]        # ascending powers
+    r_squared: float
+    residual_max: float
+
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        x = np.asarray(x, dtype=np.float64)
+        result = np.zeros_like(x)
+        for power, c in enumerate(self.coeffs):
+            result = result + c * x ** power
+        return result
+
+
+def polynomial_fit(x: np.ndarray, y: np.ndarray, degree: int) -> FitResult:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ConfigurationError("x and y must be equal-length 1-D arrays")
+    if len(x) <= degree:
+        raise ConfigurationError(
+            f"need more than {degree} points for a degree-{degree} fit")
+    coeffs_desc = np.polyfit(x, y, degree)
+    predicted = np.polyval(coeffs_desc, x)
+    residuals = y - predicted
+    ss_res = float(np.sum(residuals ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return FitResult(
+        coeffs=tuple(float(c) for c in coeffs_desc[::-1]),
+        r_squared=r2,
+        residual_max=float(np.abs(residuals).max()),
+    )
+
+
+def linear_fit(x: np.ndarray, y: np.ndarray) -> FitResult:
+    return polynomial_fit(x, y, 1)
+
+
+def quadratic_fit(x: np.ndarray, y: np.ndarray) -> FitResult:
+    return polynomial_fit(x, y, 2)

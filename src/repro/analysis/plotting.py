@@ -1,0 +1,97 @@
+"""Terminal plotting: ASCII line charts, bars and histograms.
+
+The benchmark artifacts are text files; these helpers make the figure
+reproductions *look* like figures — good enough to eyeball the shapes
+the paper plots (bandwidth curves, latency histograms) without a
+graphics stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.series import Series, SeriesBundle
+from repro.errors import ConfigurationError
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(bundle: SeriesBundle, width: int = 64,
+                height: int = 16) -> str:
+    """Multi-series scatter/line chart on a character grid."""
+    if not bundle.series:
+        raise ConfigurationError("empty bundle")
+    if width < 16 or height < 4:
+        raise ConfigurationError("chart too small")
+
+    x_min = min(float(s.x.min()) for s in bundle.series)
+    x_max = max(float(s.x.max()) for s in bundle.series)
+    y_min = min(float(s.y.min()) for s in bundle.series)
+    y_max = max(float(s.y.max()) for s in bundle.series)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    y_min = min(y_min, 0.0) if y_min > 0 and y_min < 0.2 * y_max else y_min
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, series in enumerate(bundle.series):
+        marker = _MARKERS[s_idx % len(_MARKERS)]
+        cols = np.round((series.x - x_min) / (x_max - x_min)
+                        * (width - 1)).astype(int)
+        rows = np.round((series.y - y_min) / (y_max - y_min)
+                        * (height - 1)).astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+
+    lines = [bundle.title]
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    pad = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(grid):
+        label = top_label if i == 0 else (
+            bottom_label if i == height - 1 else "")
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(f"{'':>{pad}}  {x_min:<.3g}"
+                 + " " * (width - 12) + f"{x_max:>.3g}")
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} {s.label}"
+                        for i, s in enumerate(bundle.series))
+    lines.append(f"{'':>{pad}}  [{bundle.x_label}]  {legend}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(values, bin_width: float, width: int = 50,
+                    label: str = "") -> str:
+    """Horizontal-bar histogram."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("empty data")
+    if bin_width <= 0:
+        raise ConfigurationError("bin width must be positive")
+    lo = np.floor(arr.min() / bin_width) * bin_width
+    hi = np.ceil(arr.max() / bin_width) * bin_width + bin_width
+    edges = np.arange(lo, hi + bin_width, bin_width)
+    counts, edges = np.histogram(arr, bins=edges)
+    peak = counts.max() if counts.max() else 1
+    lines = [label] if label else []
+    for count, edge in zip(counts, edges[:-1]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{edge:8.1f} | {bar} {count if count else ''}")
+    return "\n".join(lines)
+
+
+def ascii_bars(labels: list[str], values: list[float], width: int = 40,
+               title: str = "") -> str:
+    """Labeled horizontal bars."""
+    if len(labels) != len(values):
+        raise ConfigurationError("labels/values length mismatch")
+    if not values:
+        raise ConfigurationError("empty data")
+    peak = max(values) if max(values) > 0 else 1.0
+    pad = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{label:>{pad}} | {bar} {value:.3g}")
+    return "\n".join(lines)

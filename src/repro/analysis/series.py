@@ -1,0 +1,61 @@
+"""Labeled data series — the in-memory form of the paper's figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labeled curve: y over x."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", np.asarray(self.x, dtype=np.float64))
+        object.__setattr__(self, "y", np.asarray(self.y, dtype=np.float64))
+        if self.x.shape != self.y.shape:
+            raise ConfigurationError(f"series {self.label!r}: shape mismatch")
+
+    def normalized_to(self, x_ref: float) -> "Series":
+        """y divided by the y value at the x closest to ``x_ref``."""
+        idx = int(np.argmin(np.abs(self.x - x_ref)))
+        ref = self.y[idx]
+        if ref == 0:
+            raise ConfigurationError(f"series {self.label!r}: zero reference")
+        return Series(label=self.label, x=self.x, y=self.y / ref)
+
+    def value_at(self, x_val: float) -> float:
+        idx = int(np.argmin(np.abs(self.x - x_val)))
+        return float(self.y[idx])
+
+
+@dataclass
+class SeriesBundle:
+    """A figure: several series plus axis metadata."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+
+    def add(self, series: Series) -> None:
+        if any(s.label == series.label for s in self.series):
+            raise ConfigurationError(f"duplicate series {series.label!r}")
+        self.series.append(series)
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise ConfigurationError(f"no series {label!r} in {self.title!r}")
+
+    @property
+    def labels(self) -> list[str]:
+        return [s.label for s in self.series]

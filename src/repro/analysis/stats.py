@@ -1,0 +1,48 @@
+"""Small statistics helpers shared by the experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def median(values) -> float:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("median of empty data")
+    return float(np.median(arr))
+
+
+def iqr(values) -> float:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("iqr of empty data")
+    q1, q3 = np.percentile(arr, [25, 75])
+    return float(q3 - q1)
+
+
+def histogram(values, bin_width: float,
+              lo: float | None = None,
+              hi: float | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Fixed-width histogram; returns (counts, edges)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("histogram of empty data")
+    if bin_width <= 0:
+        raise ConfigurationError("bin width must be positive")
+    lo = float(arr.min()) if lo is None else lo
+    hi = float(arr.max()) if hi is None else hi
+    if hi <= lo:
+        hi = lo + bin_width
+    edges = np.arange(lo, hi + bin_width, bin_width)
+    counts, edges = np.histogram(arr, bins=edges)
+    return counts, edges
+
+
+def fraction_within(values, lo: float, hi: float) -> float:
+    """Fraction of samples inside [lo, hi]."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("empty data")
+    return float(np.mean((arr >= lo) & (arr <= hi)))

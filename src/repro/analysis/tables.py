@@ -1,0 +1,36 @@
+"""Plain-text table rendering for the benchmark harnesses."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def render_table(headers: list[str], rows: list[list[str]],
+                 title: str | None = None) -> str:
+    """Fixed-width ASCII table."""
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_csv(headers: list[str], rows: list[list[str]]) -> str:
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError("ragged rows")
+    out = [",".join(headers)]
+    out.extend(",".join(row) for row in rows)
+    return "\n".join(out)

@@ -1,0 +1,13 @@
+"""A Linux-cpufreq-like frequency-control subsystem.
+
+The paper's FTaLaT modification exists because ``scaling_cur_freq`` "is
+not a reliable indicator for an actual frequency switch in hardware"
+(Section VI-A). This package models the software stack that produces
+that unreliability: per-core policies, governors, and the sysfs-style
+attribute surface whose cached value lags the hardware.
+"""
+
+from repro.cpufreq.policy import CpufreqPolicy, Governor
+from repro.cpufreq.subsystem import CpufreqSubsystem
+
+__all__ = ["CpufreqPolicy", "Governor", "CpufreqSubsystem"]

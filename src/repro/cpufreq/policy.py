@@ -1,0 +1,90 @@
+"""Per-core cpufreq policy and governors."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.specs.cpu import CpuSpec
+
+
+class Governor(enum.Enum):
+    PERFORMANCE = "performance"   # pin scaling_max
+    POWERSAVE = "powersave"       # pin scaling_min
+    USERSPACE = "userspace"       # honor scaling_setspeed
+    ONDEMAND = "ondemand"         # utilization-driven
+
+
+@dataclass
+class CpufreqPolicy:
+    """The sysfs-visible frequency policy of one core.
+
+    ``scaling_cur_freq`` is the *software's* idea of the frequency: the
+    last value the governor requested — not what the PCU granted. The
+    paper's point exactly.
+    """
+
+    spec: CpuSpec
+    core_id: int
+    governor: Governor = Governor.ONDEMAND
+    scaling_min_hz: float = 0.0
+    scaling_max_hz: float = 0.0
+    scaling_setspeed_hz: float | None = None
+    scaling_cur_freq_hz: float = 0.0          # cached, possibly stale
+    # ondemand tunables (fractions of utilization)
+    up_threshold: float = 0.80
+    down_threshold: float = 0.20
+
+    def __post_init__(self) -> None:
+        if self.scaling_min_hz == 0.0:
+            self.scaling_min_hz = self.spec.min_hz
+        if self.scaling_max_hz == 0.0:
+            self.scaling_max_hz = self.spec.nominal_hz
+        if self.scaling_cur_freq_hz == 0.0:
+            self.scaling_cur_freq_hz = self.scaling_max_hz
+        self._validate_limits()
+
+    def _validate_limits(self) -> None:
+        if not (self.spec.min_hz <= self.scaling_min_hz
+                <= self.scaling_max_hz <= self.spec.nominal_hz):
+            raise ConfigurationError(
+                f"core {self.core_id}: scaling limits outside the p-state "
+                "range")
+
+    def set_limits(self, min_hz: float, max_hz: float) -> None:
+        self.scaling_min_hz = self.spec.validate_pstate(min_hz)
+        self.scaling_max_hz = self.spec.validate_pstate(max_hz)
+        self._validate_limits()
+
+    def set_speed(self, f_hz: float) -> None:
+        if self.governor is not Governor.USERSPACE:
+            raise ConfigurationError(
+                "scaling_setspeed requires the userspace governor")
+        self.scaling_setspeed_hz = self.spec.validate_pstate(f_hz)
+
+    def decide(self, utilization: float) -> float:
+        """The governor's frequency request for the observed utilization."""
+        if not (0.0 <= utilization <= 1.0):
+            raise ConfigurationError("utilization outside [0, 1]")
+        if self.governor is Governor.PERFORMANCE:
+            target = self.scaling_max_hz
+        elif self.governor is Governor.POWERSAVE:
+            target = self.scaling_min_hz
+        elif self.governor is Governor.USERSPACE:
+            target = self.scaling_setspeed_hz \
+                if self.scaling_setspeed_hz is not None \
+                else self.scaling_cur_freq_hz
+        else:  # ONDEMAND
+            if utilization >= self.up_threshold:
+                target = self.scaling_max_hz
+            elif utilization <= self.down_threshold:
+                target = self.scaling_min_hz
+            else:
+                # proportional: freq that would put utilization at ~80 %
+                want = self.scaling_cur_freq_hz * utilization \
+                    / self.up_threshold
+                target = self.spec.nearest_pstate(want)
+        target = min(max(target, self.scaling_min_hz), self.scaling_max_hz)
+        self.scaling_cur_freq_hz = target     # the cached (stale) value
+        return target

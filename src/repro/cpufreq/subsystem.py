@@ -1,0 +1,113 @@
+"""The cpufreq subsystem: policies wired to the simulated node.
+
+Runs a periodic governor tick (ondemand-style sampling), computes
+utilization from APERF/MPERF deltas, and forwards requests through
+``Node.set_pstate`` — where Haswell's PCU grant machinery takes over.
+``scaling_cur_freq`` reflects the *request*, and
+``verified_cur_freq`` reads the cycle counters the way the paper's
+modified FTaLaT does; tests assert they disagree right after a request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpufreq.policy import CpufreqPolicy, Governor
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.system.node import Node
+from repro.units import ms, NS_PER_S
+
+
+@dataclass
+class _CoreSnapshot:
+    time_ns: int = 0
+    aperf: float = 0.0
+    mperf: float = 0.0
+    tsc: float = 0.0
+
+
+class CpufreqSubsystem:
+    """One policy per core, plus the sampling tick."""
+
+    def __init__(self, sim: Simulator, node: Node,
+                 sampling_period_ns: int = ms(10)) -> None:
+        self.sim = sim
+        self.node = node
+        self.policies: dict[int, CpufreqPolicy] = {
+            core.core_id: CpufreqPolicy(spec=core.spec, core_id=core.core_id)
+            for core in node.all_cores
+        }
+        self.sampling_period_ns = sampling_period_ns
+        self._snapshots: dict[int, _CoreSnapshot] = {
+            cid: _CoreSnapshot() for cid in self.policies}
+        self._task = None
+
+    # ---- sysfs-like surface ----------------------------------------------------
+
+    def policy(self, core_id: int) -> CpufreqPolicy:
+        try:
+            return self.policies[core_id]
+        except KeyError:
+            raise ConfigurationError(f"no policy for core {core_id}") from None
+
+    def set_governor(self, governor: Governor,
+                     core_ids: list[int] | None = None) -> None:
+        for cid in (core_ids if core_ids is not None else self.policies):
+            self.policies[cid].governor = governor
+
+    def scaling_cur_freq(self, core_id: int) -> float:
+        """What sysfs reports — the last request, not the granted value."""
+        return self.policy(core_id).scaling_cur_freq_hz
+
+    def verified_cur_freq(self, core_id: int, window_ns: int = ms(1)) -> float:
+        """Frequency verified via cycle counters over a busy window
+        (the paper's FTaLaT modification)."""
+        core = self.node.core(core_id)
+        a0 = core.counters.aperf
+        t0 = self.sim.now_ns
+        self.sim.run_for(window_ns)
+        dt_s = (self.sim.now_ns - t0) / NS_PER_S
+        return (core.counters.aperf - a0) / dt_s
+
+    # ---- governor tick ----------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._task is not None:
+            raise ConfigurationError("cpufreq subsystem already started")
+        self._snapshot_all(self.sim.now_ns)
+        self._task = self.sim.schedule_every(
+            self.sampling_period_ns, self._tick, label="cpufreq-tick")
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _snapshot_all(self, now_ns: int) -> None:
+        for cid, snap in self._snapshots.items():
+            counters = self.node.core(cid).counters
+            snap.time_ns = now_ns
+            snap.aperf = counters.aperf
+            snap.mperf = counters.mperf
+            snap.tsc = counters.tsc
+
+    def utilization(self, core_id: int, now_ns: int) -> float:
+        """Busy fraction since the last snapshot (MPERF over TSC)."""
+        snap = self._snapshots[core_id]
+        counters = self.node.core(core_id).counters
+        d_tsc = counters.tsc - snap.tsc
+        if d_tsc <= 0:
+            return 0.0
+        return min((counters.mperf - snap.mperf) / d_tsc, 1.0)
+
+    def _tick(self, now_ns: int) -> None:
+        for cid, policy in self.policies.items():
+            target = policy.decide(self.utilization(cid, now_ns))
+            core = self.node.core(cid)
+            if policy.governor is Governor.USERSPACE \
+                    and policy.scaling_setspeed_hz is None:
+                continue
+            if abs((core.requested_hz or 0.0) - target) > 1e6:
+                self.node.set_pstate([cid], target)
+        self._snapshot_all(now_ns)

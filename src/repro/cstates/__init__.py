@@ -1,0 +1,26 @@
+"""ACPI processor idle states: core/package c-states and wake latencies."""
+
+from repro.cstates.states import CState, PackageCState, resolve_package_cstate
+from repro.cstates.latency import WakeScenario, WakeLatencyModel
+from repro.cstates.acpi import AcpiCStateTable, AcpiCStateEntry, acpi_table_for
+from repro.cstates.governor import MenuGovernor
+from repro.cstates.idleloop import (
+    IdleLoopSimulator,
+    IdleLoopResult,
+    interrupt_interval_mix,
+)
+
+__all__ = [
+    "CState",
+    "PackageCState",
+    "resolve_package_cstate",
+    "WakeScenario",
+    "WakeLatencyModel",
+    "AcpiCStateTable",
+    "AcpiCStateEntry",
+    "acpi_table_for",
+    "MenuGovernor",
+    "IdleLoopSimulator",
+    "IdleLoopResult",
+    "interrupt_interval_mix",
+]

@@ -1,0 +1,87 @@
+"""ACPI c-state tables: claimed latencies vs. measured reality.
+
+The OS picks idle states using these (static) tables. Section VI-B shows
+the measured C3/C6 transition times on Haswell-EP are *lower* than the
+table entries (33 and 133 us), which makes the OS overly conservative —
+the paper argues for a runtime interface to update the tables. The
+:meth:`AcpiCStateTable.updated_from_measurement` helper models exactly
+that interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cstates.states import CState
+from repro.errors import ConfigurationError
+from repro.specs.cpu import CpuSpec
+
+
+@dataclass(frozen=True)
+class AcpiCStateEntry:
+    """One _CST-style entry."""
+
+    state: CState
+    latency_us: float
+    target_residency_us: float     # OS-side break-even heuristic input
+
+    def __post_init__(self) -> None:
+        if self.latency_us < 0 or self.target_residency_us < 0:
+            raise ConfigurationError("ACPI entry values must be non-negative")
+
+
+@dataclass(frozen=True)
+class AcpiCStateTable:
+    """The c-state menu the OS idle governor consults."""
+
+    entries: tuple[AcpiCStateEntry, ...]
+
+    def __post_init__(self) -> None:
+        states = [e.state for e in self.entries]
+        if states != sorted(states):
+            raise ConfigurationError("ACPI entries must be depth-ordered")
+        if CState.C1 not in states:
+            raise ConfigurationError("ACPI table must include C1")
+
+    def entry(self, state: CState) -> AcpiCStateEntry:
+        for e in self.entries:
+            if e.state is state:
+                return e
+        raise ConfigurationError(f"no ACPI entry for {state}")
+
+    def deepest_for(self, expected_idle_us: float) -> CState:
+        """Deepest state whose target residency fits the idle estimate."""
+        chosen = CState.C1
+        for e in self.entries:
+            if e.target_residency_us <= expected_idle_us:
+                chosen = e.state
+        return chosen
+
+    def updated_from_measurement(
+            self, measured_us: dict[CState, float],
+            residency_factor: float = 3.0) -> "AcpiCStateTable":
+        """The runtime-update interface the paper calls for.
+
+        Replaces claimed latencies with measured ones and rescales target
+        residencies by the conventional latency multiple.
+        """
+        new_entries = []
+        for e in self.entries:
+            if e.state in measured_us:
+                lat = measured_us[e.state]
+                new_entries.append(replace(
+                    e, latency_us=lat,
+                    target_residency_us=lat * residency_factor))
+            else:
+                new_entries.append(e)
+        return AcpiCStateTable(entries=tuple(new_entries))
+
+
+def acpi_table_for(spec: CpuSpec) -> AcpiCStateTable:
+    """The shipped (firmware) table for a CPU spec."""
+    lat = spec.cstate_latency
+    return AcpiCStateTable(entries=(
+        AcpiCStateEntry(CState.C1, 2.0, 2.0),
+        AcpiCStateEntry(CState.C3, lat.acpi_c3_us, lat.acpi_c3_us * 3),
+        AcpiCStateEntry(CState.C6, lat.acpi_c6_us, lat.acpi_c6_us * 3),
+    ))

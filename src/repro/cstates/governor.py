@@ -1,0 +1,55 @@
+"""A menu-style idle governor driven by the ACPI table.
+
+Chooses an idle state from the predicted idle duration — the mechanism
+whose quality depends on the ACPI latency tables being truthful. The
+ablation benchmarks compare governor decisions under the shipped table
+against a table updated with measured latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cstates.acpi import AcpiCStateTable
+from repro.cstates.states import CState
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class MenuGovernor:
+    """Predicts idle duration (EWMA of history) and picks a c-state."""
+
+    table: AcpiCStateTable
+    ewma_alpha: float = 0.5
+    _predicted_us: float = field(default=100.0)
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.ewma_alpha <= 1.0):
+            raise ConfigurationError("ewma_alpha must be in (0, 1]")
+
+    @property
+    def predicted_idle_us(self) -> float:
+        return self._predicted_us
+
+    def select(self, hinted_idle_us: float | None = None) -> CState:
+        """Pick the deepest state that amortizes over the predicted idle."""
+        estimate = hinted_idle_us if hinted_idle_us is not None \
+            else self._predicted_us
+        return self.table.deepest_for(estimate)
+
+    def observe(self, actual_idle_us: float) -> None:
+        """Feed back the measured idle interval."""
+        if actual_idle_us < 0:
+            raise ConfigurationError("idle interval cannot be negative")
+        self._predicted_us = (self.ewma_alpha * actual_idle_us
+                              + (1.0 - self.ewma_alpha) * self._predicted_us)
+
+    def lost_residency_us(self, actual_idle_us: float, chosen: CState,
+                          true_latency_us: float) -> float:
+        """Idle time wasted if the governor under-selected due to a
+        pessimistic table: the extra time a deeper state would have
+        been resident (0 when the choice was already deepest-possible)."""
+        deepest = self.table.entries[-1].state
+        if chosen is deepest:
+            return 0.0
+        return max(0.0, actual_idle_us - true_latency_us)

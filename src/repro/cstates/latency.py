@@ -1,0 +1,118 @@
+"""Wake-latency model (Figs. 5 and 6).
+
+Latency to return a core to C0 depends on the idle state, the core
+frequency, the waker/wakee relationship, and the wakee package's state:
+
+* **C1** — interrupt un-gates the clocks: ~1-2 us, mildly worse at low
+  frequency and for cross-socket wakes.
+* **C3** — mostly frequency-independent, but 1.5 us *higher* above
+  1.5 GHz (the paper's measured quirk); package C3 adds another 2-4 us
+  because the uncore clock must restart.
+* **C6** — state restore runs at core clock, so latency rises strongly
+  toward low frequencies (2-8 us over C3); package C6 adds ~8 us over
+  package C3.
+
+The measured values undercut the ACPI-table claims (33/133 us) — the
+paper's argument for runtime-updatable tables; see
+:mod:`repro.cstates.acpi`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cstates.states import CState, PackageCState
+from repro.errors import ConfigurationError
+from repro.specs.cpu import CpuSpec, CStateLatencySpec
+from repro.units import to_ghz
+
+
+class WakeScenario(enum.Enum):
+    """The three measurement scenarios of Figs. 5 and 6."""
+
+    LOCAL = "local"                  # waker and wakee on the same socket
+    REMOTE_ACTIVE = "remote_active"  # different sockets, third core keeps
+                                     # the wakee package in PC0
+    REMOTE_IDLE = "remote_idle"      # different sockets, wakee package deep
+
+
+@dataclass(frozen=True)
+class WakeLatencyModel:
+    """Evaluates wake latency for a CPU spec."""
+
+    spec: CpuSpec
+
+    @property
+    def _lat(self) -> CStateLatencySpec:
+        return self.spec.cstate_latency
+
+    def _freq_span(self) -> tuple[float, float]:
+        return to_ghz(self.spec.min_hz), to_ghz(self.spec.nominal_hz)
+
+    def _low_freq_weight(self, f_hz: float) -> float:
+        """1.0 at the lowest p-state, 0.0 at nominal."""
+        f_lo, f_hi = self._freq_span()
+        f = min(max(to_ghz(f_hz), f_lo), f_hi)
+        if f_hi == f_lo:
+            return 0.0
+        # Restore work is clocked: weight ~ (1/f - 1/f_hi) normalized.
+        return (1.0 / f - 1.0 / f_hi) / (1.0 / f_lo - 1.0 / f_hi)
+
+    def wake_latency_us(
+        self,
+        state: CState,
+        f_core_hz: float,
+        scenario: WakeScenario,
+        package_state: PackageCState = PackageCState.PC0,
+    ) -> float:
+        """Time (us) for the wakee to reach C0."""
+        lat = self._lat
+        if state is CState.C0:
+            return 0.0
+        if scenario is not WakeScenario.REMOTE_IDLE \
+                and package_state is not PackageCState.PC0:
+            raise ConfigurationError(
+                "deep package state implies the remote-idle scenario")
+
+        w = self._low_freq_weight(f_core_hz)
+
+        if state is CState.C1:
+            base = lat.c1_local_us + lat.c1_freq_slope_us_per_ghz * w
+            if scenario is not WakeScenario.LOCAL:
+                base += lat.c1_remote_extra_us
+            return base
+
+        # C3 component is shared by C3 and C6 wakes.
+        base = lat.c3_local_us
+        if to_ghz(f_core_hz) > lat.c3_freq_threshold_ghz:
+            base += lat.c3_high_freq_penalty_us
+        if scenario is WakeScenario.REMOTE_ACTIVE:
+            base += lat.c3_remote_extra_us
+        elif scenario is WakeScenario.REMOTE_IDLE:
+            base += lat.c3_remote_extra_us
+            base += (lat.pc3_extra_low_us
+                     + (lat.pc3_extra_high_us - lat.pc3_extra_low_us) * w)
+
+        if state is CState.C3:
+            return base
+
+        if state is CState.C6:
+            base += (lat.c6_extra_min_us
+                     + (lat.c6_extra_max_us - lat.c6_extra_min_us) * w)
+            if scenario is WakeScenario.REMOTE_IDLE \
+                    and package_state is PackageCState.PC6:
+                base += lat.pc6_extra_us
+            return base
+
+        raise ConfigurationError(f"no latency model for {state}")
+
+    def acpi_claimed_us(self, state: CState) -> float:
+        """What the (static) ACPI table claims for this state."""
+        if state is CState.C3:
+            return self._lat.acpi_c3_us
+        if state is CState.C6:
+            return self._lat.acpi_c6_us
+        if state is CState.C1:
+            return 2.0
+        return 0.0

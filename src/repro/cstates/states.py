@@ -1,0 +1,76 @@
+"""Core and package c-state definitions and resolution rules.
+
+A package can only sink below PC0 when *every* core on it is at least as
+deep — and, on the paper's Haswell-EP test system, package sleep states
+are not used while any core anywhere in the system is active, even one on
+the other processor (Section V-A). :func:`resolve_package_cstate`
+implements both rules.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+
+from repro.errors import ConfigurationError
+
+
+@functools.total_ordering
+class CState(enum.Enum):
+    """Core c-states, ordered shallow to deep."""
+
+    C0 = 0     # executing
+    C1 = 1     # halted, clocks gated
+    C3 = 3     # caches flushed to L3, clocks off
+    C6 = 6     # core power-gated, state saved to SRAM
+
+    def __lt__(self, other: "CState") -> bool:
+        if not isinstance(other, CState):
+            return NotImplemented
+        return self.value < other.value
+
+    @classmethod
+    def from_name(cls, name: str) -> "CState":
+        try:
+            return cls[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown c-state {name!r}") from None
+
+
+@functools.total_ordering
+class PackageCState(enum.Enum):
+    """Package (uncore) c-states."""
+
+    PC0 = 0    # uncore active
+    PC3 = 3    # uncore clock halted, caches retained
+    PC6 = 6    # uncore power-gated
+
+    def __lt__(self, other: "PackageCState") -> bool:
+        if not isinstance(other, PackageCState):
+            return NotImplemented
+        return self.value < other.value
+
+    @property
+    def uncore_halted(self) -> bool:
+        """Section V-A: the uncore clock is halted in PC3/PC6."""
+        return self is not PackageCState.PC0
+
+
+def resolve_package_cstate(core_states: list[CState],
+                           any_core_active_in_system: bool) -> PackageCState:
+    """The package state permitted by the socket's core states.
+
+    ``any_core_active_in_system`` covers the cross-socket interlock the
+    paper observed: deep package states are withheld while any core in
+    the *system* is in C0.
+    """
+    if not core_states:
+        raise ConfigurationError("socket has no cores")
+    if any_core_active_in_system:
+        return PackageCState.PC0
+    shallowest = min(core_states)
+    if shallowest >= CState.C6:
+        return PackageCState.PC6
+    if shallowest >= CState.C3:
+        return PackageCState.PC3
+    return PackageCState.PC0

@@ -1,0 +1,16 @@
+"""Event-driven simulation engine (integer-nanosecond clock)."""
+
+from repro.engine.events import Event, EventQueue
+from repro.engine.simulator import Simulator
+from repro.engine.rng import make_rng, spawn_rng
+from repro.engine.trace import TraceRecorder, TraceRecord
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "make_rng",
+    "spawn_rng",
+    "TraceRecorder",
+    "TraceRecord",
+]

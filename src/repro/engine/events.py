@@ -1,0 +1,66 @@
+"""Event primitives for the simulator.
+
+Events are ordered by (time, sequence number) so same-time events run in
+scheduling order — a deterministic tie-break that keeps every simulation
+run bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    ``action`` receives the event's firing time (integer ns). Cancelled
+    events stay in the heap but are skipped when popped (lazy deletion).
+    """
+
+    time_ns: int
+    seq: int
+    action: Callable[[int], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of events with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def push(self, time_ns: int, action: Callable[[int], None], label: str = "") -> Event:
+        if time_ns < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time_ns}")
+        event = Event(time_ns=int(time_ns), seq=next(self._counter),
+                      action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> int | None:
+        """Firing time of the next live event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time_ns if self._heap else None
+
+    def pop(self) -> Event | None:
+        """Pop the next live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None

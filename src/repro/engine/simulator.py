@@ -1,0 +1,125 @@
+"""The event-driven simulator core.
+
+Model components register as *integrators*: between consecutive events
+nothing in the system changes (frequencies, voltages, workload phases are
+all piecewise-constant by construction), so each inter-event segment is
+integrated in closed form — there is no fixed time step and no per-cycle
+Python loop, per the optimization guidance for HPC Python.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.engine.events import Event, EventQueue
+from repro.engine.rng import make_rng
+from repro.engine.trace import TraceRecorder
+from repro.errors import SimulationError
+
+
+class Integrator(Protocol):
+    """A component whose state is advanced in closed form over a segment."""
+
+    def integrate(self, t0_ns: int, t1_ns: int) -> None: ...
+
+
+class RepeatingEvent:
+    """Handle for a periodic event created by :meth:`Simulator.schedule_every`."""
+
+    def __init__(self, sim: "Simulator", period_ns: int,
+                 action: Callable[[int], None], label: str) -> None:
+        if period_ns <= 0:
+            raise SimulationError("repeating event needs a positive period")
+        self._sim = sim
+        self.period_ns = period_ns
+        self._action = action
+        self._label = label
+        self._event: Event | None = None
+        self._stopped = False
+
+    def start(self, first_time_ns: int) -> "RepeatingEvent":
+        self._event = self._sim.schedule_at(first_time_ns, self._fire, self._label)
+        return self
+
+    def _fire(self, now_ns: int) -> None:
+        if self._stopped:
+            return
+        self._action(now_ns)
+        if not self._stopped:
+            self._event = self._sim.schedule_at(
+                now_ns + self.period_ns, self._fire, self._label)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+
+
+class Simulator:
+    """Owns the clock, the event queue, the RNG root, and the integrators."""
+
+    def __init__(self, seed: int | None = None,
+                 trace: TraceRecorder | None = None) -> None:
+        self.now_ns: int = 0
+        self.queue = EventQueue()
+        self.rng: np.random.Generator = make_rng(seed)
+        self.trace = trace if trace is not None else TraceRecorder(kinds=set())
+        self._integrators: list[Integrator] = []
+
+    # ---- component registration ------------------------------------------
+
+    def add_integrator(self, component: Integrator) -> None:
+        self._integrators.append(component)
+
+    # ---- scheduling ---------------------------------------------------------
+
+    def schedule_at(self, time_ns: int, action: Callable[[int], None],
+                    label: str = "") -> Event:
+        if time_ns < self.now_ns:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns} ns, now is {self.now_ns} ns")
+        return self.queue.push(time_ns, action, label)
+
+    def schedule_after(self, delay_ns: int, action: Callable[[int], None],
+                       label: str = "") -> Event:
+        if delay_ns < 0:
+            raise SimulationError("negative delay")
+        return self.queue.push(self.now_ns + delay_ns, action, label)
+
+    def schedule_every(self, period_ns: int, action: Callable[[int], None],
+                       label: str = "", phase_ns: int = 0) -> RepeatingEvent:
+        """Fire ``action`` every ``period_ns``, first at ``now + phase`` (or
+        the next period boundary if ``phase`` is 0)."""
+        first = self.now_ns + (phase_ns if phase_ns > 0 else period_ns)
+        return RepeatingEvent(self, period_ns, action, label).start(first)
+
+    # ---- execution ----------------------------------------------------------
+
+    def _advance_to(self, t_ns: int) -> None:
+        if t_ns < self.now_ns:
+            raise SimulationError("time cannot go backwards")
+        if t_ns == self.now_ns:
+            return
+        for component in self._integrators:
+            component.integrate(self.now_ns, t_ns)
+        self.now_ns = t_ns
+
+    def run_until(self, t_ns: int) -> None:
+        """Process all events with firing time <= ``t_ns``; end at ``t_ns``."""
+        if t_ns < self.now_ns:
+            raise SimulationError(
+                f"run_until({t_ns}) but now is {self.now_ns}")
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > t_ns:
+                break
+            self._advance_to(next_time)
+            event = self.queue.pop()
+            if event is not None:
+                event.action(self.now_ns)
+        self._advance_to(t_ns)
+
+    def run_for(self, duration_ns: int) -> None:
+        self.run_until(self.now_ns + duration_ns)

@@ -1,0 +1,32 @@
+"""Lightweight trace recording for debugging and assertions in tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time_ns: int
+    source: str
+    kind: str
+    payload: dict[str, Any]
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` entries; optionally filtered by kind."""
+
+    def __init__(self, kinds: set[str] | None = None) -> None:
+        self.records: list[TraceRecord] = []
+        self._kinds = kinds
+
+    def emit(self, time_ns: int, source: str, kind: str, **payload: Any) -> None:
+        if self._kinds is None or kind in self._kinds:
+            self.records.append(TraceRecord(time_ns, source, kind, payload))
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A spec or component was configured with inconsistent parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven incorrectly (e.g. time went backwards)."""
+
+
+class MsrError(ReproError):
+    """Invalid model-specific-register access (unknown address, bad value)."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """A feature is not available on the modeled architecture.
+
+    Mirrors real-hardware behaviour such as the PP0 RAPL domain being
+    absent on Haswell-EP, or DRAM RAPL mode 0 being unsupported.
+    """
+
+
+class MeasurementError(ReproError):
+    """An instrument was used outside its operating envelope."""

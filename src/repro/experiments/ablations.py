@@ -1,0 +1,213 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+These go beyond the paper's tables/figures to probe the mechanisms the
+paper only describes qualitatively:
+
+* **PCU grant quantum sweep** — what would p-state latency look like at
+  a 100 us quantum instead of 500 us?
+* **EET on/off on a phase-switching workload** — Section II-E's warning
+  that sporadic (1 ms) stall polling mis-clocks workloads that flip
+  characteristics at an unfavorable rate.
+* **DRAM RAPL mode 0 misconfiguration** — the "unreasonably high values"
+  Section IV warns about when using the SDM energy unit instead of the
+  15.3 uJ unit.
+* **PCPS vs chip-wide p-states** — the energy argument for per-core
+  p-states that motivates the FIVR design.
+* **ACPI-table update** — how much idle residency a governor recovers
+  once the tables reflect measured wake latencies (Section VI-B's
+  closing argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+
+from repro.cstates.acpi import acpi_table_for
+from repro.cstates.governor import MenuGovernor
+from repro.cstates.states import CState
+from repro.engine.simulator import Simulator
+from repro.instruments.ftalat import FtalatProbe, TransitionMode
+from repro.pcu.epb import Epb
+from repro.power.rapl import RaplDomain
+from repro.specs.cpu import E5_2680_V3
+from repro.specs.node import HASWELL_TEST_NODE
+from repro.system.node import build_node
+from repro.units import ghz, ms, seconds, us
+from repro.workloads.composite import square_wave
+from repro.workloads.micro import compute, memory_read, while1_spin
+
+
+# ---- PCU quantum sweep ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QuantumSweepPoint:
+    quantum_us: float
+    median_latency_us: float
+    max_latency_us: float
+
+
+def run_quantum_sweep(
+    quanta_us: tuple[float, ...] = (100.0, 250.0, 500.0, 1000.0),
+    seed: int = 81,
+    n_samples: int = 200,
+) -> list[QuantumSweepPoint]:
+    """Random-arrival p-state latency as a function of the grant quantum."""
+    points = []
+    for quantum in quanta_us:
+        cpu = replace(E5_2680_V3, pcu_quantum_ns=us(quantum))
+        node_spec = replace(HASWELL_TEST_NODE, cpu=cpu)
+        sim = Simulator(seed=seed)
+        node = build_node(sim, node_spec)
+        probe = FtalatProbe(sim, node)
+        res = probe.measure(0, ghz(1.2), ghz(1.3), TransitionMode.RANDOM,
+                            n_samples=n_samples)
+        points.append(QuantumSweepPoint(
+            quantum_us=quantum,
+            median_latency_us=res.median_us,
+            max_latency_us=res.max_us))
+    return points
+
+
+# ---- EET vs phase-switching workloads ------------------------------------------
+
+
+@dataclass(frozen=True)
+class EetAblationResult:
+    period_ns: int
+    ips_eet_on: float
+    ips_eet_off: float
+
+    @property
+    def slowdown(self) -> float:
+        """Relative performance lost to EET's stale trim decisions."""
+        return 1.0 - self.ips_eet_on / self.ips_eet_off
+
+
+def run_eet_ablation(
+    period_ns: int = ms(1),          # the unfavorable rate: ~the poll period
+    seed: int = 83,
+    measure_s: float = 5.0,
+) -> EetAblationResult:
+    spec = HASWELL_TEST_NODE.cpu
+    high = compute().phases[0]
+    low = memory_read(spec).phases[0]
+    workload = square_wave(high, low, period_ns=period_ns, name="flipper")
+
+    ips = {}
+    for eet_enabled in (True, False):
+        sim = Simulator(seed=seed)
+        node = build_node(sim, HASWELL_TEST_NODE, epb=Epb.POWERSAVE,
+                          eet_enabled=eet_enabled)
+        node.run_workload([0], workload)
+        sim.run_for(seconds(1))
+        i0 = node.core(0).counters.instructions_thread0
+        t0 = sim.now_ns
+        sim.run_for(seconds(measure_s))
+        ips[eet_enabled] = (node.core(0).counters.instructions_thread0
+                            - i0) / ((sim.now_ns - t0) / 1e9)
+    return EetAblationResult(period_ns=period_ns,
+                             ips_eet_on=ips[True], ips_eet_off=ips[False])
+
+
+# ---- DRAM RAPL mode 0 misconfiguration -----------------------------------------
+
+
+@dataclass(frozen=True)
+class DramModeResult:
+    correct_dram_w: float            # 15.3 uJ unit (mode 1)
+    misconfigured_dram_w: float      # generic SDM unit
+    overestimate_factor: float
+
+
+def run_dram_mode_ablation(seed: int = 85,
+                           measure_s: float = 2.0) -> DramModeResult:
+    sim = Simulator(seed=seed)
+    node = build_node(sim, HASWELL_TEST_NODE)
+    spec = node.spec.cpu
+    node.run_workload([c.core_id for c in node.sockets[1].cores],
+                      memory_read(spec))
+    sim.run_for(seconds(1))
+    socket = node.sockets[1]
+    c0 = socket.rapl.read_counter(RaplDomain.DRAM)
+    t0 = sim.now_ns
+    sim.run_for(seconds(measure_s))
+    delta = socket.rapl.read_counter(RaplDomain.DRAM) - c0
+    dt_s = (sim.now_ns - t0) / 1e9
+    correct = delta * socket.rapl.energy_unit_j(RaplDomain.DRAM) / dt_s
+    wrong = delta * spec.rapl_energy_unit_j / dt_s
+    return DramModeResult(
+        correct_dram_w=correct,
+        misconfigured_dram_w=wrong,
+        overestimate_factor=wrong / correct if correct > 0 else float("inf"))
+
+
+# ---- PCPS vs chip-wide p-states ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PcpsResult:
+    pkg_power_pcps_w: float          # busy core fast, idle-ish cores slow
+    pkg_power_chipwide_w: float      # all cores at the busy core's p-state
+    savings_w: float
+
+
+def run_pcps_ablation(seed: int = 87, measure_s: float = 2.0,
+                      n_light_cores: int = 8) -> PcpsResult:
+    """One latency-critical core at nominal + background cores.
+
+    With per-core p-states the background cores run at the minimum
+    p-state; the pre-Haswell alternative forces the whole chip to the
+    fastest request.
+    """
+    powers = {}
+    for mode in ("pcps", "chipwide"):
+        sim = Simulator(seed=seed)
+        node = build_node(sim, HASWELL_TEST_NODE)
+        spec = node.spec.cpu
+        light_ids = list(range(1, 1 + n_light_cores))
+        node.run_workload([0], compute())
+        node.run_workload(light_ids, while1_spin())
+        node.set_pstate([0], spec.nominal_hz)
+        slow = spec.min_hz if mode == "pcps" else spec.nominal_hz
+        node.set_pstate(light_ids, slow)
+        sim.run_for(seconds(1))
+        e0 = node.sockets[0].energy_pkg_j
+        t0 = sim.now_ns
+        sim.run_for(seconds(measure_s))
+        powers[mode] = (node.sockets[0].energy_pkg_j - e0) \
+            / ((sim.now_ns - t0) / 1e9)
+    return PcpsResult(
+        pkg_power_pcps_w=powers["pcps"],
+        pkg_power_chipwide_w=powers["chipwide"],
+        savings_w=powers["chipwide"] - powers["pcps"])
+
+
+# ---- ACPI table update --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AcpiUpdateResult:
+    shipped_choice: CState           # governor pick for a given idle estimate
+    updated_choice: CState
+    idle_estimate_us: float
+
+
+def run_acpi_update_ablation(idle_estimate_us: float = 150.0,
+                             measured_c3_us: float = 5.5,
+                             measured_c6_us: float = 12.0) -> AcpiUpdateResult:
+    """The paper's closing Section VI-B argument, made operational.
+
+    With the shipped table (C6 claims 133 us, so ~400 us residency is
+    demanded) a ~150 us idle gets a shallow state; after updating the
+    table with measured latencies the governor picks C6.
+    """
+    table = acpi_table_for(E5_2680_V3)
+    shipped = MenuGovernor(table=table).select(idle_estimate_us)
+    updated_table = table.updated_from_measurement(
+        {CState.C3: measured_c3_us, CState.C6: measured_c6_us})
+    updated = MenuGovernor(table=updated_table).select(idle_estimate_us)
+    return AcpiUpdateResult(shipped_choice=shipped, updated_choice=updated,
+                            idle_estimate_us=idle_estimate_us)

@@ -1,0 +1,92 @@
+"""AVX frequency-transition transient (Section II-F, measured).
+
+The paper lists the workflow: AVX execution is throttled until the PCU
+grants the voltage bump; the clock drops to the AVX caps; 1 ms after the
+last AVX instruction the core returns to non-AVX operating mode. This
+experiment drives a scalar -> AVX -> scalar phase sequence on one core
+and records the transient with the frequency tracer: the throttled
+request window, the licensed interval, the relax delay, and the
+frequency steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.simulator import Simulator
+from repro.instruments.freqtrace import FreqTrace
+from repro.specs.node import HASWELL_TEST_NODE
+from repro.system.core import AvxLicense
+from repro.system.node import build_node
+from repro.units import ms, us
+from repro.workloads.base import Workload, WorkloadPhase
+
+
+@dataclass(frozen=True)
+class AvxTransientResult:
+    request_window_ns: int          # throttled time at AVX entry
+    licensed_ns: int                # time under AVX caps
+    relax_delay_ns: int             # AVX end -> return to NORMAL
+    scalar_freq_hz: float
+    avx_freq_hz: float
+
+
+def _scalar_avx_scalar(avx_ms: float) -> Workload:
+    scalar = WorkloadPhase(name="scalar", duration_ns=ms(3),
+                           power_activity=0.4, ipc_parity=1.8)
+    avx = WorkloadPhase(name="avx_burst", duration_ns=ms(avx_ms),
+                        power_activity=0.85, ipc_parity=1.4,
+                        avx_fraction=0.9)
+    tail = WorkloadPhase(name="scalar_tail", duration_ns=None,
+                         power_activity=0.4, ipc_parity=1.8)
+    return Workload(name="scalar_avx_scalar", phases=(scalar, avx, tail),
+                    cyclic=False)
+
+
+def run_avx_transient(avx_ms: float = 3.0, seed: int = 171
+                      ) -> AvxTransientResult:
+    sim = Simulator(seed=seed)
+    node = build_node(sim, HASWELL_TEST_NODE)
+    trace = FreqTrace(sim, node, core_ids=[0], period_ns=us(10))
+    node.run_workload([0], _scalar_avx_scalar(avx_ms))
+    trace.start()
+    sim.run_for(ms(3 + avx_ms + 4))       # scalar + avx + relax + margin
+    trace.stop()
+
+    requesting = trace.license_intervals(0, AvxLicense.REQUESTING)
+    licensed = trace.license_intervals(0, AvxLicense.LICENSED)
+    relaxing = trace.license_intervals(0, AvxLicense.RELAXING)
+
+    request_window = sum(e - s for s, e in requesting)
+    licensed_total = sum(e - s for s, e in licensed)
+    relax_total = sum(e - s for s, e in relaxing)
+
+    t, f = trace.series(0)
+    scalar_mask = t < ms(2)
+    avx_mask = (t > ms(4)) & (t < ms(3 + avx_ms) - ms(0.5))
+    scalar_freq = float(f[scalar_mask].max()) if scalar_mask.any() else 0.0
+    avx_freq = float(f[avx_mask].min()) if avx_mask.any() else 0.0
+    return AvxTransientResult(
+        request_window_ns=request_window,
+        licensed_ns=licensed_total,
+        relax_delay_ns=relax_total,
+        scalar_freq_hz=scalar_freq,
+        avx_freq_hz=avx_freq,
+    )
+
+
+def render_avx_transient(result: AvxTransientResult) -> str:
+    lines = [
+        "AVX frequency-transition transient (Section II-F workflow)",
+        f"  1. voltage-request window (throttled execution): "
+        f"{result.request_window_ns / 1000:6.0f} us",
+        f"  2. licensed interval at AVX caps:                "
+        f"{result.licensed_ns / 1e6:6.2f} ms",
+        f"  3. relax delay back to non-AVX mode:             "
+        f"{result.relax_delay_ns / 1e6:6.2f} ms (spec: 1 ms)",
+        f"  scalar-mode frequency: {result.scalar_freq_hz / 1e9:.2f} GHz "
+        "(non-AVX turbo bin)",
+        f"  AVX-mode frequency:    {result.avx_freq_hz / 1e9:.2f} GHz "
+        "(AVX turbo bin)",
+    ]
+    return "\n".join(lines)

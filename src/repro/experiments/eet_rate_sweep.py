@@ -1,0 +1,81 @@
+"""EET vs workload phase-switching rate (Section II-E, quantified).
+
+"EET may impair performance and energy efficiency of workloads that
+change their characteristics at an unfavorable rate" — because the stall
+data is polled only sporadically (~1 ms). This experiment sweeps the
+phase-switching period of a compute/memory square wave and measures the
+slowdown EET's stale trim causes, locating the unfavorable band: phase
+periods near the polling period alias worst; much faster phases average
+out, much slower phases are tracked correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import render_table
+from repro.engine.simulator import Simulator
+from repro.pcu.epb import Epb
+from repro.specs.node import HASWELL_TEST_NODE
+from repro.system.node import build_node
+from repro.units import ms, seconds, us
+from repro.workloads.composite import square_wave
+from repro.workloads.micro import compute, memory_read
+
+
+@dataclass(frozen=True)
+class EetRatePoint:
+    period_ns: int
+    ips_eet_on: float
+    ips_eet_off: float
+
+    @property
+    def slowdown(self) -> float:
+        return 1.0 - self.ips_eet_on / self.ips_eet_off
+
+
+def _flipper(period_ns: int):
+    spec = HASWELL_TEST_NODE.cpu
+    high = compute().phases[0]
+    low = memory_read(spec).phases[0]
+    return square_wave(high, low, period_ns=period_ns, name="flipper")
+
+
+def run_eet_rate_sweep(
+    periods_ns: tuple[int, ...] = (us(250), us(500), ms(1), ms(2),
+                                   ms(5), ms(20)),
+    seed: int = 161,
+    measure_s: float = 3.0,
+) -> list[EetRatePoint]:
+    points = []
+    for period in periods_ns:
+        ips = {}
+        for eet_enabled in (True, False):
+            sim = Simulator(seed=seed)
+            node = build_node(sim, HASWELL_TEST_NODE, epb=Epb.POWERSAVE,
+                              eet_enabled=eet_enabled)
+            node.run_workload([0], _flipper(period))
+            sim.run_for(seconds(1))
+            i0 = node.core(0).counters.instructions_thread0
+            t0 = sim.now_ns
+            sim.run_for(seconds(measure_s))
+            ips[eet_enabled] = (node.core(0).counters.instructions_thread0
+                                - i0) / ((sim.now_ns - t0) / 1e9)
+        points.append(EetRatePoint(period_ns=period,
+                                   ips_eet_on=ips[True],
+                                   ips_eet_off=ips[False]))
+    return points
+
+
+def render_eet_rate_sweep(points: list[EetRatePoint]) -> str:
+    rows = [[f"{p.period_ns / 1000:.0f}",
+             f"{p.ips_eet_on / 1e9:.3f}",
+             f"{p.ips_eet_off / 1e9:.3f}",
+             f"{p.slowdown * 100:.1f} %"]
+            for p in points]
+    return render_table(
+        headers=["phase period [us]", "GIPS (EET on)", "GIPS (EET off)",
+                 "slowdown"],
+        rows=rows,
+        title="EET vs phase-switching rate (EPB = energy saving, "
+              "1 ms stall polling)")

@@ -1,0 +1,75 @@
+"""Fig. 1: the partitioned ring-interconnect die layouts.
+
+Builds every Haswell-EP die variant, checks the structural facts the
+figure shows (partition sizes, one IMC with two DRAM channels per
+partition, queue pairs bridging the rings), and derives hop statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import render_table
+from repro.topology.builder import DIE_VARIANTS, build_haswell_die
+from repro.topology.die import Die
+from repro.topology.routing import average_core_l3_hops, average_core_imc_hops
+
+
+@dataclass(frozen=True)
+class DieSummary:
+    sku_cores: int
+    die_name: str
+    n_partitions: int
+    partition_core_counts: tuple[int, ...]
+    n_imcs: int
+    dram_channels: int
+    n_queue_pairs: int
+    avg_core_l3_hops: float
+    avg_core_imc_hops: float
+    die: Die
+
+
+def run_fig1(sku_core_counts: tuple[int, ...] = (8, 12, 18)) -> list[DieSummary]:
+    out = []
+    for n in sku_core_counts:
+        die = build_haswell_die(n)
+        out.append(DieSummary(
+            sku_cores=n,
+            die_name=die.name,
+            n_partitions=die.n_partitions,
+            partition_core_counts=tuple(len(p.cores) for p in die.partitions),
+            n_imcs=die.n_imcs,
+            dram_channels=die.dram_channels,
+            n_queue_pairs=len(die.queue_pairs),
+            avg_core_l3_hops=average_core_l3_hops(die),
+            avg_core_imc_hops=average_core_imc_hops(die),
+            die=die,
+        ))
+    return out
+
+
+def render_fig1(summaries: list[DieSummary] | None = None) -> str:
+    summaries = summaries if summaries is not None else run_fig1()
+    rows = []
+    for s in summaries:
+        rows.append([
+            f"{s.sku_cores}-core SKU",
+            s.die_name,
+            "/".join(str(c) for c in s.partition_core_counts),
+            str(s.n_imcs),
+            str(s.dram_channels),
+            str(s.n_queue_pairs),
+            f"{s.avg_core_l3_hops:.2f}",
+            f"{s.avg_core_imc_hops:.2f}",
+        ])
+    return render_table(
+        headers=["SKU", "die", "cores/partition", "IMCs", "DDR4 ch",
+                 "queue pairs", "avg core-L3 hops", "avg core-IMC hops"],
+        rows=rows,
+        title="Fig. 1: Haswell-EP die layouts (partitioned rings)",
+    )
+
+
+def die_variant_table() -> dict[int, str]:
+    """SKU core count -> die name, for all valid SKUs."""
+    return {n: DIE_VARIANTS[n][0] for n in sorted(DIE_VARIANTS)}

@@ -1,0 +1,92 @@
+"""Fig. 4: the presumed p-state grant mechanism, reconstructed from data.
+
+Fig. 4 is the paper's *inference*: requests wait for periodic grant
+opportunities driven by external logic (the PCU). This module performs
+that inference programmatically — estimating the grant period and the
+switching-time floor purely from FTaLaT measurements, the way the
+authors reasoned from Fig. 3 — and checks the estimates against the
+mechanism's actual parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.simulator import Simulator
+from repro.instruments.ftalat import FtalatProbe, TransitionMode
+from repro.specs.node import HASWELL_TEST_NODE
+from repro.system.node import build_node
+from repro.units import ghz, to_us
+
+
+@dataclass(frozen=True)
+class MechanismEstimate:
+    """What an experimenter can infer about Fig. 4 from latency data."""
+
+    quantum_estimate_us: float        # from the random-mode latency span
+    switch_floor_us: float            # minimum observed latency
+    same_socket_synchronous: bool
+    cross_socket_independent: bool
+    true_quantum_us: float
+    true_switch_us: float
+
+    @property
+    def quantum_error(self) -> float:
+        return abs(self.quantum_estimate_us - self.true_quantum_us) \
+            / self.true_quantum_us
+
+
+def estimate_mechanism(seed: int = 97, n_samples: int = 400,
+                       n_parallel: int = 30) -> MechanismEstimate:
+    """Reconstruct the Fig. 4 mechanism from measurements alone."""
+    sim = Simulator(seed=seed)
+    node = build_node(sim, HASWELL_TEST_NODE)
+    probe = FtalatProbe(sim, node)
+
+    # Random arrivals: latency = U(0, quantum) + floor, so the span of
+    # the distribution estimates the grant period and the minimum the
+    # switching/verification floor.
+    res = probe.measure(0, ghz(1.2), ghz(1.3), TransitionMode.RANDOM,
+                        n_samples=n_samples)
+    quantum_est = res.max_us - res.min_us
+    floor = res.min_us
+
+    # Parallel transitions: same socket synchronous, cross socket not.
+    same_a, same_b = probe.measure_parallel(0, 1, ghz(1.2), ghz(1.3),
+                                            n_samples=n_parallel)
+    cross_a, cross_b = probe.measure_parallel(2, 14, ghz(1.2), ghz(1.3),
+                                              n_samples=n_parallel)
+    window_us = to_us(probe.poll_window_ns)
+    same_sync = float(np.median(np.abs(same_a - same_b))) <= window_us * 1000
+    cross_indep = float(np.median(np.abs(cross_a - cross_b))) \
+        > window_us * 1000
+
+    spec = node.spec.cpu
+    return MechanismEstimate(
+        quantum_estimate_us=quantum_est,
+        switch_floor_us=floor,
+        same_socket_synchronous=same_sync,
+        cross_socket_independent=cross_indep,
+        true_quantum_us=to_us(spec.pcu_quantum_ns),
+        true_switch_us=to_us(spec.pstate_switch_time_ns),
+    )
+
+
+def render_fig4(est: MechanismEstimate) -> str:
+    lines = [
+        "Fig. 4: presumed p-state change mechanism (reconstructed)",
+        f"  inferred grant period : {est.quantum_estimate_us:6.0f} us "
+        f"(actual {est.true_quantum_us:.0f} us, "
+        f"error {est.quantum_error * 100:.0f} %)",
+        f"  latency floor         : {est.switch_floor_us:6.0f} us "
+        "(switching time + verification window)",
+        f"  same-socket cores change together   : "
+        f"{est.same_socket_synchronous}",
+        f"  cross-socket cores change separately: "
+        f"{est.cross_socket_independent}",
+        "  => change requests wait for periodic opportunities in external",
+        "     logic, probably within the PCU (paper Section VI-A).",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Figs. 5 and 6: idle transition latencies for C3 and C6 scenarios.
+
+Sweeps the wake-latency probe over the p-state range for the three
+scenarios (local, remote-active, remote-idle/package) on the Haswell
+node and, as the figures' grey reference curves, on the Sandy Bridge-EP
+node. Also reports the ACPI-table claims the measurements undercut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.series import Series, SeriesBundle
+from repro.analysis.tables import render_table
+from repro.cstates.latency import WakeScenario
+from repro.cstates.states import CState
+from repro.engine.simulator import Simulator
+from repro.instruments.cstate_probe import CStateProbe
+from repro.specs.node import (
+    HASWELL_TEST_NODE,
+    SANDY_BRIDGE_TEST_NODE,
+    NodeSpec,
+)
+from repro.system.node import build_node
+
+
+@dataclass(frozen=True)
+class CStateFigureResult:
+    state: CState
+    bundles: dict[str, SeriesBundle]      # scenario -> per-arch series
+    acpi_claim_us: dict[str, float]       # arch -> claimed latency
+
+
+def _sweep(node_spec: NodeSpec, state: CState, scenario: WakeScenario,
+           seed: int, n_samples: int,
+           grid_hz: tuple[float, ...]) -> Series:
+    """Sweep over ``grid_hz``, snapping to the arch's nearest p-state so
+    the curves of different architectures share an x-axis."""
+    sim = Simulator(seed=seed)
+    node = build_node(sim, node_spec)
+    probe = CStateProbe(sim, node)
+    medians = []
+    for f in grid_hz:
+        snapped = node_spec.cpu.nearest_pstate(f)
+        m = probe.measure(state, scenario, snapped, n_samples=n_samples)
+        medians.append(m.median_us)
+    return Series(label=node_spec.cpu.microarch.name,
+                  x=np.array(grid_hz) / 1e9,
+                  y=np.array(medians))
+
+
+def run_cstate_figure(
+    state: CState,
+    seed: int = 51,
+    n_samples: int = 20,
+    include_sandybridge: bool = True,
+) -> CStateFigureResult:
+    """``state`` selects the figure: C3 -> Fig. 5, C6 -> Fig. 6."""
+    grid = HASWELL_TEST_NODE.cpu.pstates_hz
+    bundles: dict[str, SeriesBundle] = {}
+    for scenario in WakeScenario:
+        bundle = SeriesBundle(
+            title=f"{state.name} wake latency, {scenario.value}",
+            x_label="core frequency [GHz]",
+            y_label="wake latency [us]",
+        )
+        bundle.add(_sweep(HASWELL_TEST_NODE, state, scenario, seed,
+                          n_samples, grid))
+        if include_sandybridge:
+            bundle.add(_sweep(SANDY_BRIDGE_TEST_NODE, state, scenario,
+                              seed + 1, n_samples, grid))
+        bundles[scenario.value] = bundle
+
+    claims = {"Haswell-EP": (HASWELL_TEST_NODE.cpu.cstate_latency.acpi_c3_us
+                             if state is CState.C3
+                             else HASWELL_TEST_NODE.cpu.cstate_latency.acpi_c6_us)}
+    if include_sandybridge:
+        lat = SANDY_BRIDGE_TEST_NODE.cpu.cstate_latency
+        claims["Sandy Bridge-EP"] = (lat.acpi_c3_us if state is CState.C3
+                                     else lat.acpi_c6_us)
+    return CStateFigureResult(state=state, bundles=bundles,
+                              acpi_claim_us=claims)
+
+
+def render_cstate_figure(result: CStateFigureResult) -> str:
+    from repro.analysis.plotting import ascii_chart
+
+    blocks = []
+    fig_no = "5" if result.state is CState.C3 else "6"
+    for scenario, bundle in result.bundles.items():
+        rows = []
+        for series in bundle.series:
+            rows.append([series.label] +
+                        [f"{v:.1f}" for v in series.y])
+        freqs = [f"{x:.2f}" for x in bundle.series[0].x]
+        blocks.append(render_table(
+            headers=["arch \\ f [GHz]"] + freqs,
+            rows=rows,
+            title=f"Fig. {fig_no} ({scenario}): "
+                  f"{result.state.name} wake latency [us]"))
+        blocks.append(ascii_chart(bundle))
+    claims = ", ".join(f"{k}: {v:.0f} us" for k, v in
+                       result.acpi_claim_us.items())
+    blocks.append(f"ACPI table claims -- {claims} "
+                  "(measured latencies undercut these)")
+    return "\n\n".join(blocks)

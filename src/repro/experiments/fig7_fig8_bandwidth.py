@@ -1,0 +1,162 @@
+"""Figs. 7 and 8: L3/DRAM read bandwidth vs frequency and concurrency.
+
+Fig. 7 compares *relative* bandwidth at maximum concurrency (normalized
+to the base frequency) across architectures: on Haswell-EP, DRAM
+bandwidth is independent of the core frequency (uncore pinned at max
+under stalls) while L3 bandwidth tracks it; Sandy Bridge's tied uncore
+makes DRAM proportional to core frequency; Westmere's fixed uncore makes
+it flat.
+
+Fig. 8 sweeps thread count x frequency on the Haswell node: DRAM read
+bandwidth saturates at 8 cores and loses its frequency dependence at 10+,
+L3 scales with both; SMT only helps at low concurrency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.series import Series, SeriesBundle
+from repro.analysis.tables import render_table
+from repro.engine.simulator import Simulator
+from repro.instruments.bwbench import BandwidthBenchmark
+from repro.specs.node import (
+    HASWELL_TEST_NODE,
+    SANDY_BRIDGE_TEST_NODE,
+    WESTMERE_TEST_NODE,
+    NodeSpec,
+)
+from repro.system.node import build_node
+from repro.units import ms
+
+_ARCH_NODES: dict[str, NodeSpec] = {
+    "Haswell-EP": HASWELL_TEST_NODE,
+    "Sandy Bridge-EP": SANDY_BRIDGE_TEST_NODE,
+    "Westmere-EP": WESTMERE_TEST_NODE,
+}
+
+
+def _bench_for(spec: NodeSpec, seed: int) -> BandwidthBenchmark:
+    sim = Simulator(seed=seed)
+    node = build_node(sim, spec)
+    return BandwidthBenchmark(sim, node)
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    l3_relative: SeriesBundle        # x = relative frequency, y = relative BW
+    dram_relative: SeriesBundle
+
+
+def run_fig7(seed: int = 61, measure_ns: int = ms(20)) -> Fig7Result:
+    l3 = SeriesBundle(title="Fig. 7a: relative L3 read bandwidth",
+                      x_label="relative core frequency",
+                      y_label="relative bandwidth")
+    dram = SeriesBundle(title="Fig. 7b: relative DRAM read bandwidth",
+                        x_label="relative core frequency",
+                        y_label="relative bandwidth")
+    for offset, (arch, spec) in enumerate(_ARCH_NODES.items()):
+        bench = _bench_for(spec, seed + offset)
+        n_threads = spec.cpu.n_cores
+        freqs = list(spec.cpu.pstates_hz)
+        base = spec.cpu.nominal_hz
+        rel_f = np.array(freqs) / base
+        for bundle, level in ((l3, "L3"), (dram, "mem")):
+            bw = np.array([
+                bench.run(level, n_threads, f, measure_ns=measure_ns).read_gbs
+                for f in freqs])
+            series = Series(label=arch, x=rel_f, y=bw).normalized_to(1.0)
+            bundle.add(series)
+    return Fig7Result(l3_relative=l3, dram_relative=dram)
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    l3: SeriesBundle         # one series per frequency; x = threads
+    dram: SeriesBundle
+    ht_l3: SeriesBundle      # 2 threads/core variants
+    ht_dram: SeriesBundle
+
+
+def run_fig8(
+    seed: int = 63,
+    freqs_ghz: tuple[float, ...] = (1.2, 1.5, 2.0, 2.5),
+    measure_ns: int = ms(20),
+) -> Fig8Result:
+    spec = HASWELL_TEST_NODE
+    bench = _bench_for(spec, seed)
+    n_cores = spec.cpu.n_cores
+    threads = list(range(1, n_cores + 1))
+    ht_threads = list(range(2, 2 * n_cores + 1, 2))
+
+    def sweep(level: str, use_ht: bool, thread_list: list[int],
+              f_ghz: float) -> Series:
+        bw = [bench.run(level, n, f_ghz * 1e9, use_ht=use_ht,
+                        measure_ns=measure_ns).read_gbs
+              for n in thread_list]
+        return Series(label=f"{f_ghz:.1f} GHz",
+                      x=np.array(thread_list, dtype=float),
+                      y=np.array(bw))
+
+    bundles = {}
+    for key, level, use_ht, tl in (
+        ("l3", "L3", False, threads),
+        ("dram", "mem", False, threads),
+        ("ht_l3", "L3", True, ht_threads),
+        ("ht_dram", "mem", True, ht_threads),
+    ):
+        bundle = SeriesBundle(
+            title=f"Fig. 8 ({level}, {'HT' if use_ht else 'no HT'})",
+            x_label="threads", y_label="read bandwidth [GB/s]")
+        for f in freqs_ghz:
+            bundle.add(sweep(level, use_ht, tl, f))
+        bundles[key] = bundle
+    return Fig8Result(l3=bundles["l3"], dram=bundles["dram"],
+                      ht_l3=bundles["ht_l3"], ht_dram=bundles["ht_dram"])
+
+
+def _render_bundle(bundle: SeriesBundle, fmt: str = "{:.2f}") -> str:
+    """One table when all series share an x-grid; one table per series
+    otherwise (the per-arch p-state grids of Fig. 7 differ)."""
+    first_x = bundle.series[0].x
+    if all(len(s.x) == len(first_x) and np.allclose(s.x, first_x)
+           for s in bundle.series):
+        x_vals = [f"{x:g}" for x in first_x]
+        rows = [[s.label] + [fmt.format(v) for v in s.y]
+                for s in bundle.series]
+        return render_table(headers=[bundle.x_label + " \\"] + x_vals,
+                            rows=rows, title=bundle.title)
+    blocks = []
+    for s in bundle.series:
+        x_vals = [f"{x:g}" for x in s.x]
+        rows = [[s.label] + [fmt.format(v) for v in s.y]]
+        blocks.append(render_table(
+            headers=[bundle.x_label + " \\"] + x_vals,
+            rows=rows, title=bundle.title))
+    return "\n".join(blocks)
+
+
+def render_fig7(result: Fig7Result) -> str:
+    from repro.analysis.plotting import ascii_chart
+
+    return "\n\n".join([
+        _render_bundle(result.l3_relative),
+        _render_bundle(result.dram_relative),
+        ascii_chart(result.l3_relative),
+        ascii_chart(result.dram_relative),
+    ])
+
+
+def render_fig8(result: Fig8Result) -> str:
+    from repro.analysis.plotting import ascii_chart
+
+    return "\n\n".join([
+        _render_bundle(result.l3, "{:.0f}"),
+        _render_bundle(result.dram, "{:.1f}"),
+        _render_bundle(result.ht_l3, "{:.0f}"),
+        _render_bundle(result.ht_dram, "{:.1f}"),
+        ascii_chart(result.l3),
+        ascii_chart(result.dram),
+    ])

@@ -1,0 +1,45 @@
+"""Table I: Sandy Bridge-EP vs Haswell-EP microarchitecture comparison.
+
+Static, but not free of content: the derived rows (FLOPS/cycle, L1D/L2
+bandwidth, peak DRAM and QPI bandwidth) are *computed* from the primitive
+spec fields, so the benchmark verifies the paper's arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import render_table
+from repro.specs.microarch import (
+    MicroarchSpec,
+    SANDY_BRIDGE_EP,
+    HASWELL_EP,
+)
+
+# The paper's Table I values for the derived rows, used as assertions.
+PAPER_FLOPS_PER_CYCLE = {"sandybridge-ep": 8, "haswell-ep": 16}
+PAPER_DRAM_PEAK_GBS = {"sandybridge-ep": 51.2, "haswell-ep": 68.2}
+PAPER_QPI_GBS = {"sandybridge-ep": 32.0, "haswell-ep": 38.4}
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: list[tuple[str, str, str]]       # (quantity, SNB value, HSW value)
+    specs: tuple[MicroarchSpec, MicroarchSpec]
+
+
+def run_table1() -> Table1Result:
+    snb, hsw = SANDY_BRIDGE_EP, HASWELL_EP
+    row_snb = snb.table_row()
+    row_hsw = hsw.table_row()
+    rows = [(key, row_snb[key], row_hsw[key]) for key in row_snb]
+    return Table1Result(rows=rows, specs=(snb, hsw))
+
+
+def render_table1(result: Table1Result | None = None) -> str:
+    result = result if result is not None else run_table1()
+    return render_table(
+        headers=["Microarchitecture", "Sandy Bridge-EP", "Haswell-EP"],
+        rows=[[q, a, b] for q, a, b in result.rows],
+        title="Table I: comparison of Sandy Bridge and Haswell microarchitecture",
+    )

@@ -1,0 +1,65 @@
+"""Table II: the test-system configuration, including the idle-power check.
+
+Boots the simulated bullx node with everything idle (fans at maximum,
+as in the paper) and verifies the measured idle AC power against the
+261.5 W the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import render_table
+from repro.engine.simulator import Simulator
+from repro.instruments.lmg450 import Lmg450, ACCURACY_RELATIVE, ACCURACY_ABSOLUTE_W
+from repro.specs.node import HASWELL_TEST_NODE, NodeSpec
+from repro.system.node import build_node
+from repro.units import seconds
+
+PAPER_IDLE_POWER_W = 261.5
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    spec: NodeSpec
+    idle_power_w: float
+    rows: list[tuple[str, str]]
+
+
+def run_table2(seed: int = 0, settle_s: float = 1.0,
+               measure_s: float = 4.0) -> Table2Result:
+    sim = Simulator(seed=seed)
+    node = build_node(sim, HASWELL_TEST_NODE)
+    meter = Lmg450(sim, node)
+    sim.run_for(seconds(settle_s))
+    meter.start()
+    t0 = sim.now_ns
+    sim.run_for(seconds(measure_s))
+    idle_w = meter.average(t0, sim.now_ns)
+
+    cpu = node.spec.cpu
+    rows = [
+        ("Processor", f"{node.spec.n_sockets}x {cpu.model}"),
+        ("Frequency range (selectable p-states)",
+         f"{cpu.min_hz / 1e9:.1f} - {cpu.nominal_hz / 1e9:.1f} GHz"),
+        ("Turbo frequency", f"up to {cpu.turbo.max_hz / 1e9:.1f} GHz"),
+        ("AVX base frequency", f"{cpu.avx_base_hz / 1e9:.1f} GHz"),
+        ("Energy perf. bias", "balanced"),
+        ("Energy-efficient turbo (EET)", "enabled"),
+        ("Uncore frequency scaling (UFS)", "enabled"),
+        ("Per-core p-states (PCPS)", "enabled"),
+        ("Idle power (fan speed set to maximum)", f"{idle_w:.1f} Watt"),
+        ("Power meter", "ZES LMG 450 (simulated)"),
+        ("Accuracy",
+         f"{ACCURACY_RELATIVE * 100:.2f} % + {ACCURACY_ABSOLUTE_W:.2f} W"),
+    ]
+    return Table2Result(spec=node.spec, idle_power_w=idle_w, rows=rows)
+
+
+def render_table2(result: Table2Result | None = None) -> str:
+    result = result if result is not None else run_table2()
+    return render_table(
+        headers=["Item", "Value"],
+        rows=[[k, v] for k, v in result.rows],
+        title="Table II: test system details",
+    )

@@ -1,0 +1,89 @@
+"""Table III: uncore frequencies in the no-memory-stalls scenario.
+
+A ``while(1)`` loop runs on one core of processor 0 while both uncore
+clocks are measured via UBOXFIX for 10 s per setting, sweeping the core
+frequency setting from turbo down to 1.2 GHz. Reproduces the findings
+that the uncore follows the fastest active core's *setting* on both the
+active and the passive socket, and that EPB = performance pins it at
+3.0 GHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import render_table
+from repro.engine.simulator import Simulator
+from repro.instruments.perfctr import LikwidSampler
+from repro.pcu.epb import Epb
+from repro.specs.node import HASWELL_TEST_NODE
+from repro.system.node import build_node
+from repro.units import ghz, seconds, ms
+from repro.workloads.micro import while1_spin
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    setting_hz: float | None         # None = turbo
+    active_uncore_hz: float
+    passive_uncore_hz: float
+
+    @property
+    def setting_label(self) -> str:
+        return "Turbo" if self.setting_hz is None \
+            else f"{self.setting_hz / 1e9:.1f}"
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    epb: Epb
+    rows: list[Table3Row]
+
+
+def default_settings() -> list[float | None]:
+    return [None] + [ghz(2.5 - 0.1 * i) for i in range(14)]
+
+
+def run_table3(
+    epb: Epb = Epb.BALANCED,
+    seed: int = 21,
+    measure_s: float = 10.0,
+    settings: list[float | None] | None = None,
+) -> Table3Result:
+    sim = Simulator(seed=seed)
+    node = build_node(sim, HASWELL_TEST_NODE, epb=epb)
+    node.run_workload([0], while1_spin())
+    period_ns = min(seconds(1), seconds(measure_s / 5.0))
+    sampler = LikwidSampler(sim, node, core_ids=[0, node.spec.cpu.n_cores],
+                            period_ns=period_ns)
+    settings = settings if settings is not None else default_settings()
+
+    rows = []
+    for setting in settings:
+        node.set_pstate([0], setting)
+        sim.run_for(ms(5))           # cross the next grant opportunity
+        sampler.samples = {c: [] for c in sampler.core_ids}
+        sampler.start()
+        sim.run_for(seconds(measure_s))
+        sampler.stop()
+        active = sampler.median_metrics(0)["uncore_freq_hz"]
+        passive = sampler.median_metrics(node.spec.cpu.n_cores)["uncore_freq_hz"]
+        rows.append(Table3Row(setting_hz=setting,
+                              active_uncore_hz=active,
+                              passive_uncore_hz=passive))
+    return Table3Result(epb=epb, rows=rows)
+
+
+def render_table3(result: Table3Result) -> str:
+    headers = ["Core frequency setting [GHz]"] + \
+        [r.setting_label for r in result.rows]
+    active = ["Active processor uncore frequency [GHz]"] + \
+        [f"{r.active_uncore_hz / 1e9:.2f}" for r in result.rows]
+    passive = ["Passive processor uncore frequency [GHz]"] + \
+        [f"{r.passive_uncore_hz / 1e9:.2f}" for r in result.rows]
+    return render_table(
+        headers=headers,
+        rows=[active, passive],
+        title=(f"Table III: uncore frequencies, single-threaded while(1), "
+               f"EPB = {result.epb.value}"),
+    )

@@ -1,0 +1,27 @@
+"""Measurement instruments: the tools the paper measures with."""
+
+from repro.instruments.lmg450 import Lmg450
+from repro.instruments.perfctr import PerfSample, LikwidSampler, IntervalMetrics
+from repro.instruments.ftalat import FtalatProbe, TransitionMode, TransitionResult
+from repro.instruments.cstate_probe import CStateProbe, WakeMeasurement
+from repro.instruments.bwbench import BandwidthBenchmark, BandwidthMeasurement
+from repro.instruments.powertrace import PowerTrace, PowerTraceStats
+from repro.instruments.freqtrace import FreqTrace, FreqTraceSample
+
+__all__ = [
+    "Lmg450",
+    "PerfSample",
+    "LikwidSampler",
+    "IntervalMetrics",
+    "FtalatProbe",
+    "TransitionMode",
+    "TransitionResult",
+    "CStateProbe",
+    "WakeMeasurement",
+    "BandwidthBenchmark",
+    "BandwidthMeasurement",
+    "PowerTrace",
+    "PowerTraceStats",
+    "FreqTrace",
+    "FreqTraceSample",
+]

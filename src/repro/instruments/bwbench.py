@@ -1,0 +1,106 @@
+"""Bandwidth benchmark driver (Section VII, extending [28]).
+
+Consecutively reads a working set sized to pin the stream to one memory
+level — 17 MB for L3, 350 MB for DRAM — across a chosen number of
+threads and a chosen p-state, and reports the achieved read bandwidth
+from the uncore traffic counters. Hardware prefetchers are enabled
+(folded into the bandwidth model's issue limits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.simulator import Simulator
+from repro.errors import MeasurementError
+from repro.memory.hierarchy import classify_working_set
+from repro.system.node import Node
+from repro.units import mib, ms, NS_PER_S
+from repro.workloads.micro import memory_read
+
+L3_WORKING_SET = mib(17)
+DRAM_WORKING_SET = mib(350)
+
+
+def l3_working_set_for(spec) -> int:
+    """17 MB on the 30 MB Haswell L3; proportionally smaller caches on
+    the comparison architectures get a proportionally smaller stream."""
+    return min(L3_WORKING_SET, int(0.57 * spec.l3_mib * 1024 * 1024))
+
+
+@dataclass(frozen=True)
+class BandwidthMeasurement:
+    level: str                 # "L3" | "mem"
+    n_threads: int
+    n_cores: int
+    f_set_hz: float | None
+    l3_gbs: float
+    dram_gbs: float
+
+    @property
+    def read_gbs(self) -> float:
+        return self.l3_gbs if self.level == "L3" else self.dram_gbs
+
+
+class BandwidthBenchmark:
+    """Runs the read benchmark on one socket of the node."""
+
+    def __init__(self, sim: Simulator, node: Node, socket_id: int = 1) -> None:
+        # The paper arbitrarily measures on processor 1, which performs
+        # equal or better than processor 0; processor 0 stays idle.
+        self.sim = sim
+        self.node = node
+        self.socket_id = socket_id
+
+    def run(
+        self,
+        level: str,
+        n_threads: int,
+        f_hz: float | None,
+        use_ht: bool = False,
+        settle_ns: int = ms(5),
+        measure_ns: int = ms(20),
+    ) -> BandwidthMeasurement:
+        if level not in ("L3", "mem"):
+            raise MeasurementError(f"unknown level {level!r}")
+        spec = self.node.spec.cpu
+        threads_per_core = 2 if use_ht else 1
+        n_cores = -(-n_threads // threads_per_core)     # ceil division
+        if n_cores > spec.n_cores:
+            raise MeasurementError(
+                f"{n_threads} threads need {n_cores} cores; socket has "
+                f"{spec.n_cores}")
+
+        working_set = l3_working_set_for(spec) if level == "L3" \
+            else DRAM_WORKING_SET
+        expected = classify_working_set(spec, working_set, sharers=1).value
+        if expected != level:
+            raise MeasurementError(
+                f"{working_set} bytes streams from {expected}, not {level}")
+
+        socket = self.node.sockets[self.socket_id]
+        core_ids = [c.core_id for c in socket.cores[:n_cores]]
+        workload = memory_read(spec, working_set,
+                               threads_per_core=threads_per_core)
+
+        all_ids = [c.core_id for c in self.node.all_cores]
+        self.node.stop_workload(all_ids)
+        self.node.run_workload(core_ids, workload)
+        self.node.set_pstate(core_ids, f_hz)
+        self.sim.run_for(settle_ns)
+
+        u0 = socket.uncore.counters.snapshot()
+        t0 = self.sim.now_ns
+        self.sim.run_for(measure_ns)
+        u1 = socket.uncore.counters.snapshot()
+        dt_s = (self.sim.now_ns - t0) / NS_PER_S
+
+        self.node.stop_workload(core_ids)
+        return BandwidthMeasurement(
+            level=level,
+            n_threads=n_threads,
+            n_cores=n_cores,
+            f_set_hz=f_hz,
+            l3_gbs=(u1.l3_bytes - u0.l3_bytes) / dt_s / 1e9,
+            dram_gbs=(u1.dram_bytes - u0.dram_bytes) / dt_s / 1e9,
+        )

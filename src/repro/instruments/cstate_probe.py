@@ -1,0 +1,109 @@
+"""Waker/wakee c-state transition-latency probe (Section VI-B, [27]).
+
+Reproduces the measurement methodology of Schöne et al.: a waker core
+signals a wakee parked in a given c-state and times its return to C0.
+The three scenarios of Figs. 5/6 differ in core placement and in whether
+the wakee's package may sink into a package c-state; the probe arranges
+the live system accordingly and reads the *actual* package state off the
+socket at signal time — the latency model consumes what the system is
+really in, not what the scenario intended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cstates.latency import WakeLatencyModel, WakeScenario
+from repro.cstates.states import CState, PackageCState
+from repro.engine.rng import spawn_rng
+from repro.engine.simulator import Simulator
+from repro.errors import MeasurementError
+from repro.system.node import Node
+from repro.units import ms, us
+from repro.workloads.micro import busy_wait
+
+# Measurement noise: timer granularity plus cache-warmth variation.
+_RELATIVE_SIGMA = 0.02
+_ABSOLUTE_SIGMA_US = 0.05
+
+
+@dataclass(frozen=True)
+class WakeMeasurement:
+    scenario: WakeScenario
+    state: CState
+    f_core_hz: float
+    package_state: PackageCState
+    latencies_us: np.ndarray
+
+    @property
+    def median_us(self) -> float:
+        return float(np.median(self.latencies_us))
+
+
+class CStateProbe:
+    def __init__(self, sim: Simulator, node: Node) -> None:
+        self.sim = sim
+        self.node = node
+        self.model = WakeLatencyModel(node.spec.cpu)
+        self.rng = spawn_rng(sim.rng)
+        if node.spec.n_sockets < 2:
+            raise MeasurementError(
+                "the remote scenarios need a two-socket node")
+
+    def _roles(self, scenario: WakeScenario) -> tuple[int, int, int | None]:
+        """(waker, wakee, keeper) core ids for a scenario."""
+        per_socket = self.node.spec.cpu.n_cores
+        if scenario is WakeScenario.LOCAL:
+            return 0, 1, None
+        if scenario is WakeScenario.REMOTE_ACTIVE:
+            return 0, per_socket, per_socket + 1
+        return 0, per_socket, None       # REMOTE_IDLE
+
+    def measure(
+        self,
+        state: CState,
+        scenario: WakeScenario,
+        f_core_hz: float,
+        n_samples: int = 30,
+    ) -> WakeMeasurement:
+        if state is CState.C0:
+            raise MeasurementError("C0 is not an idle state")
+        waker_id, wakee_id, keeper_id = self._roles(scenario)
+        node = self.node
+
+        node.stop_workload([c.core_id for c in node.all_cores])
+        if keeper_id is not None:
+            node.run_workload([keeper_id], busy_wait())
+        node.set_pstate(None, node.spec.cpu.validate_pstate(f_core_hz))
+        self.sim.run_for(ms(3))          # let the PCU apply the p-state
+
+        waker = node.core(waker_id)
+        wakee = node.core(wakee_id)
+        latencies = np.empty(n_samples, dtype=np.float64)
+        pkg_state = PackageCState.PC0
+
+        for i in range(n_samples):
+            # Park the pair; in the remote-idle scenario everything idles
+            # so the wakee package can sink into PC3/PC6.
+            wakee.enter_cstate(state)
+            waker.enter_cstate(CState.C1)
+            self.sim.run_for(ms(2))      # residency before the wake signal
+
+            wakee_socket = node.socket_of(wakee_id)
+            pkg_state = wakee_socket.sync_package_state(node.any_core_active())
+
+            waker.wake()                 # timer fires on the waker ...
+            latency_us = self.model.wake_latency_us(
+                state, wakee.freq_hz, scenario, pkg_state)
+            noise = (self.rng.normal(0.0, _RELATIVE_SIGMA * latency_us)
+                     + self.rng.normal(0.0, _ABSOLUTE_SIGMA_US))
+            observed = max(latency_us + noise, 0.1)
+            self.sim.run_for(us(observed))
+            wakee.wake()                 # ... wakee reaches C0
+            latencies[i] = observed
+
+        return WakeMeasurement(
+            scenario=scenario, state=state, f_core_hz=f_core_hz,
+            package_state=pkg_state, latencies_us=latencies)

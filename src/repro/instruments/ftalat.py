@@ -1,0 +1,203 @@
+"""FTaLaT with the paper's modifications (Section VI-A).
+
+The original tool trusts ``scaling_cur_freq``; the paper instead verifies
+transitions by reading the cycle counters over 20 us busy-wait windows,
+raises the confidence level to 99 %, supports measuring two cores in
+parallel, and re-measures when the observed performance level does not
+match the target. This probe reproduces that methodology against the
+simulated cores: latency = request-to-*verified*-change, so the PCU's
+~500 us grant grid plus the 20 us verification quantum produce exactly
+the Fig. 3 histogram classes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.rng import spawn_rng
+from repro.engine.simulator import Simulator
+from repro.errors import MeasurementError
+from repro.system.core import Core
+from repro.system.node import Node
+from repro.units import ms, us, to_us
+from repro.workloads.micro import busy_wait
+
+
+class TransitionMode(enum.Enum):
+    """The four Fig. 3 experiment variants."""
+
+    RANDOM = "random"            # request at a random time
+    INSTANT = "instant"          # request right after detecting a change
+    FIXED_DELAY = "fixed_delay"  # request a fixed time after a change
+
+
+@dataclass(frozen=True)
+class TransitionResult:
+    mode: TransitionMode
+    delay_us: float | None
+    latencies_us: np.ndarray
+
+    @property
+    def min_us(self) -> float:
+        return float(self.latencies_us.min())
+
+    @property
+    def max_us(self) -> float:
+        return float(self.latencies_us.max())
+
+    @property
+    def median_us(self) -> float:
+        return float(np.median(self.latencies_us))
+
+    def histogram(self, bin_us: float = 25.0) -> tuple[np.ndarray, np.ndarray]:
+        hi = max(600.0, float(self.latencies_us.max()) + bin_us)
+        edges = np.arange(0.0, hi + bin_us, bin_us)
+        counts, edges = np.histogram(self.latencies_us, bins=edges)
+        return counts, edges
+
+
+# Random request times are drawn over two grant quanta so the arrival
+# phase is uniform.
+_RANDOM_SPAN_NS = ms(1)
+# Sleep overshoot of the delay loop (usleep-style granularity).
+_SLEEP_JITTER_NS = us(10)
+
+
+class FtalatProbe:
+    """Drives the simulation through FTaLaT's measurement loop."""
+
+    def __init__(self, sim: Simulator, node: Node,
+                 poll_window_ns: int = us(20),
+                 tolerance: float = 0.01,
+                 confirmations: int = 0) -> None:
+        self.sim = sim
+        self.node = node
+        self.poll_window_ns = poll_window_ns
+        self.tolerance = tolerance
+        self.confirmations = confirmations
+        self.rng = spawn_rng(sim.rng)
+
+    # ---- cycle-counter frequency verification --------------------------------
+
+    def _window_freq_hz(self, core: Core) -> float:
+        """Busy-wait one poll window and read cycles/time."""
+        aperf0 = core.counters.aperf
+        t0 = self.sim.now_ns
+        self.sim.run_for(self.poll_window_ns)
+        dt_s = (self.sim.now_ns - t0) / 1e9
+        return (core.counters.aperf - aperf0) / dt_s
+
+    def _matches(self, freq_hz: float, target_hz: float) -> bool:
+        return abs(freq_hz - target_hz) <= self.tolerance * target_hz
+
+    def wait_until_freq(self, core: Core, target_hz: float,
+                        timeout_ns: int = ms(5)) -> int:
+        """Poll until the measured frequency verifies; returns detection time."""
+        deadline = self.sim.now_ns + timeout_ns
+        needed = 1 + self.confirmations
+        streak = 0
+        while self.sim.now_ns < deadline:
+            if self._matches(self._window_freq_hz(core), target_hz):
+                streak += 1
+                if streak >= needed:
+                    return self.sim.now_ns
+            else:
+                streak = 0
+        raise MeasurementError(
+            f"core {core.core_id} never verified at "
+            f"{target_hz / 1e9:.2f} GHz within {to_us(timeout_ns):.0f} us")
+
+    # ---- the measurement loop --------------------------------------------------
+
+    def measure(
+        self,
+        core_id: int,
+        f_a_hz: float,
+        f_b_hz: float,
+        mode: TransitionMode,
+        n_samples: int = 100,
+        fixed_delay_ns: int = 0,
+    ) -> TransitionResult:
+        if mode is TransitionMode.FIXED_DELAY and fixed_delay_ns <= 0:
+            raise MeasurementError("FIXED_DELAY needs a positive delay")
+        core = self.node.core(core_id)
+        if core.workload is None:
+            self.node.run_workload([core_id], busy_wait())
+        self.node.set_pstate([core_id], f_a_hz)
+        last_detect = self.wait_until_freq(core, f_a_hz)
+
+        latencies = np.empty(n_samples, dtype=np.float64)
+        current, target = f_a_hz, f_b_hz
+        for i in range(n_samples):
+            self._apply_mode_delay(mode, fixed_delay_ns, last_detect)
+            t_request = self.sim.now_ns
+            self.node.set_pstate([core_id], target)
+            last_detect = self.wait_until_freq(core, target)
+            latencies[i] = to_us(last_detect - t_request)
+            current, target = target, current
+        delay_us = to_us(fixed_delay_ns) if mode is TransitionMode.FIXED_DELAY \
+            else None
+        return TransitionResult(mode=mode, delay_us=delay_us,
+                                latencies_us=latencies)
+
+    def _apply_mode_delay(self, mode: TransitionMode, fixed_delay_ns: int,
+                          last_detect_ns: int) -> None:
+        if mode is TransitionMode.RANDOM:
+            delay = int(self.rng.integers(0, _RANDOM_SPAN_NS))
+        elif mode is TransitionMode.INSTANT:
+            delay = 0
+        else:
+            elapsed = self.sim.now_ns - last_detect_ns
+            delay = max(0, fixed_delay_ns - elapsed)
+        delay += int(self.rng.integers(0, _SLEEP_JITTER_NS))
+        if delay > 0:
+            self.sim.run_for(delay)
+
+    # ---- the paper's parallelized variant ----------------------------------------
+
+    def measure_parallel(self, core_a_id: int, core_b_id: int,
+                         f_a_hz: float, f_b_hz: float,
+                         n_samples: int = 50) -> tuple[np.ndarray, np.ndarray]:
+        """Request transitions on two cores at the same instant.
+
+        Returns the per-core *detection times* (ns) of each transition —
+        cores on the same socket change together; cores on different
+        sockets transition independently (Section VI-A).
+        """
+        core_a = self.node.core(core_a_id)
+        core_b = self.node.core(core_b_id)
+        for cid in (core_a_id, core_b_id):
+            if self.node.core(cid).workload is None:
+                self.node.run_workload([cid], busy_wait())
+        self.node.set_pstate([core_a_id, core_b_id], f_a_hz)
+        self.wait_until_freq(core_a, f_a_hz)
+        self.wait_until_freq(core_b, f_a_hz)
+
+        detect_a = np.empty(n_samples, dtype=np.int64)
+        detect_b = np.empty(n_samples, dtype=np.int64)
+        current, target = f_a_hz, f_b_hz
+        for i in range(n_samples):
+            self.sim.run_for(int(self.rng.integers(0, _RANDOM_SPAN_NS)))
+            self.node.set_pstate([core_a_id, core_b_id], target)
+            # Poll both cores in the same windows.
+            det_a = det_b = None
+            deadline = self.sim.now_ns + ms(5)
+            while (det_a is None or det_b is None) and self.sim.now_ns < deadline:
+                a0, b0 = core_a.counters.aperf, core_b.counters.aperf
+                t0 = self.sim.now_ns
+                self.sim.run_for(self.poll_window_ns)
+                dt_s = (self.sim.now_ns - t0) / 1e9
+                if det_a is None and self._matches(
+                        (core_a.counters.aperf - a0) / dt_s, target):
+                    det_a = self.sim.now_ns
+                if det_b is None and self._matches(
+                        (core_b.counters.aperf - b0) / dt_s, target):
+                    det_b = self.sim.now_ns
+            if det_a is None or det_b is None:
+                raise MeasurementError("parallel verification timed out")
+            detect_a[i], detect_b[i] = det_a, det_b
+            current, target = target, current
+        return detect_a, detect_b

@@ -1,0 +1,35 @@
+"""Cache/DRAM bandwidth and latency models (Section VII substrate)."""
+
+from repro.memory.hierarchy import CacheLevel, MemoryHierarchy, classify_working_set
+from repro.memory.bandwidth import (
+    BandwidthConfig,
+    BandwidthDemand,
+    BandwidthResult,
+    SocketBandwidthModel,
+    bandwidth_config_for,
+)
+from repro.memory.latency import dram_latency_ns
+from repro.memory.numa import NumaBandwidthModel, Placement, PlacementResult
+from repro.memory.cache_sim import (
+    CacheGeometry,
+    CacheHierarchySim,
+    SetAssociativeCache,
+)
+
+__all__ = [
+    "CacheLevel",
+    "MemoryHierarchy",
+    "classify_working_set",
+    "BandwidthConfig",
+    "BandwidthDemand",
+    "BandwidthResult",
+    "SocketBandwidthModel",
+    "bandwidth_config_for",
+    "dram_latency_ns",
+    "NumaBandwidthModel",
+    "Placement",
+    "PlacementResult",
+    "CacheGeometry",
+    "CacheHierarchySim",
+    "SetAssociativeCache",
+]

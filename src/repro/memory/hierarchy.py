@@ -1,0 +1,67 @@
+"""Cache hierarchy description and working-set classification.
+
+The bandwidth benchmarks of Section VII choose working sets that pin the
+access stream to one level: 17 MB for the (30 MB) L3 and 350 MB for DRAM.
+``classify_working_set`` reproduces that placement logic so workload
+descriptors can be derived from a byte count instead of hand-tagging.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.specs.cpu import CpuSpec
+from repro.units import BYTES_PER_KIB, BYTES_PER_MIB
+
+
+class CacheLevel(enum.Enum):
+    REG = "reg"
+    L1 = "L1"
+    L2 = "L2"
+    L3 = "L3"
+    DRAM = "mem"
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """Capacities of one socket's cache levels, in bytes."""
+
+    l1_bytes: int
+    l2_bytes: int
+    l3_bytes: int
+    line_bytes: int = 64
+
+    @classmethod
+    def from_spec(cls, spec: CpuSpec) -> "MemoryHierarchy":
+        return cls(
+            l1_bytes=spec.l1_kib * BYTES_PER_KIB,
+            l2_bytes=spec.l2_kib * BYTES_PER_KIB,
+            l3_bytes=int(spec.l3_mib * BYTES_PER_MIB),
+        )
+
+    def level_for(self, working_set_bytes: int, sharers: int = 1) -> CacheLevel:
+        """Which level a consecutively-accessed working set streams from.
+
+        ``sharers`` is the number of cores touching *distinct* slices of
+        the set (private caches are per core; L3 is shared).
+        """
+        if working_set_bytes <= 0:
+            raise ConfigurationError("working set must be positive")
+        if sharers < 1:
+            raise ConfigurationError("sharers must be >= 1")
+        per_core = working_set_bytes // sharers
+        if per_core <= self.l1_bytes:
+            return CacheLevel.L1
+        if per_core <= self.l2_bytes:
+            return CacheLevel.L2
+        if working_set_bytes <= self.l3_bytes:
+            return CacheLevel.L3
+        return CacheLevel.DRAM
+
+
+def classify_working_set(spec: CpuSpec, working_set_bytes: int,
+                         sharers: int = 1) -> CacheLevel:
+    """Convenience wrapper over :class:`MemoryHierarchy`."""
+    return MemoryHierarchy.from_spec(spec).level_for(working_set_bytes, sharers)

@@ -1,0 +1,32 @@
+"""Loaded memory-latency model.
+
+DRAM access time seen by a core splits into an uncore/DRAM component
+(scales mildly with uncore frequency — ring transit, L3 lookup, IMC
+queueing) and a core-clocked component (issue, fill-buffer recycling).
+The split is what makes single-core DRAM bandwidth mildly core-frequency
+dependent while many-core bandwidth is not (Figs. 7b, 8).
+"""
+
+from __future__ import annotations
+
+from repro.units import to_ghz
+
+
+def dram_latency_ns(
+    f_core_hz: float,
+    f_uncore_hz: float,
+    uncore_ref_hz: float,
+    base_ns: float = 70.0,
+    uncore_exponent: float = 0.3,
+    core_cycles: float = 40.0,
+) -> float:
+    """Effective load-to-use DRAM latency in nanoseconds.
+
+    ``base_ns`` is the uncore+DRAM time at the reference uncore frequency;
+    it stretches as ``(f_ref / f_u)^exponent``. ``core_cycles`` of
+    core-clocked overhead are added on top.
+    """
+    f_u = max(to_ghz(f_uncore_hz), 1e-3)
+    f_c = max(to_ghz(f_core_hz), 1e-3)
+    f_ref = to_ghz(uncore_ref_hz)
+    return base_ns * (f_ref / f_u) ** uncore_exponent + core_cycles / f_c

@@ -1,0 +1,123 @@
+"""NUMA remote-access bandwidth model (QPI substrate).
+
+Table I lists the QPI speeds (9.6 GT/s, 38.4 GB/s on Haswell-EP); this
+module models what they imply for memory placement: remote DRAM accesses
+pay a QPI round trip (latency adder), and their aggregate is capped by
+the link's effective data bandwidth. Three canonical placements are
+evaluated — local, remote, and page-interleaved — per architecture.
+
+This complements the socket-local Section VII experiments (the paper
+measures local bandwidth only); the placement study quantifies why.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memory.bandwidth import SocketBandwidthModel
+from repro.memory.latency import dram_latency_ns
+from repro.specs.cpu import CpuSpec
+from repro.units import to_ghz
+
+
+class Placement(enum.Enum):
+    LOCAL = "local"            # memory on the executing socket
+    REMOTE = "remote"          # memory entirely on the other socket
+    INTERLEAVED = "interleave"  # pages round-robined across both
+
+
+# Protocol overhead: share of raw QPI bandwidth available to data.
+_QPI_DATA_EFFICIENCY = 0.75
+# Extra load-to-use latency of a remote access (QPI hop + remote uncore).
+_REMOTE_LATENCY_NS = 65.0
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    placement: Placement
+    n_threads: int
+    bandwidth_gbs: float
+    latency_ns: float
+
+    @property
+    def relative_to(self) -> float:     # populated by the study renderer
+        return 1.0
+
+
+class NumaBandwidthModel:
+    """Placement-aware bandwidth evaluation for one executing socket."""
+
+    def __init__(self, spec: CpuSpec) -> None:
+        self.spec = spec
+        self.local = SocketBandwidthModel(spec)
+
+    @property
+    def qpi_data_gbs(self) -> float:
+        return (self.spec.microarch.qpi_bandwidth_bytes / 1e9
+                * _QPI_DATA_EFFICIENCY)
+
+    def _per_core_limit(self, f_core_hz: float, f_uncore_hz: float,
+                        n_threads_per_core: int, remote: bool) -> float:
+        cfg = self.local.config
+        latency = dram_latency_ns(
+            f_core_hz, f_uncore_hz, cfg.uncore_ref_hz,
+            base_ns=cfg.dram_base_latency_ns
+            + (_REMOTE_LATENCY_NS if remote else 0.0),
+            core_cycles=cfg.dram_core_overhead_cycles)
+        mlp = cfg.lfb_per_core * (1.0 + cfg.ht_mlp_boost
+                                  * (min(n_threads_per_core, 2) - 1))
+        return mlp * 64.0 / (latency * 1e-9)
+
+    def evaluate(self, placement: Placement, n_cores: int,
+                 f_core_hz: float, f_uncore_hz: float,
+                 threads_per_core: int = 1) -> PlacementResult:
+        if not (1 <= n_cores <= self.spec.n_cores):
+            raise ConfigurationError("core count outside the socket")
+        cfg = self.local.config
+        fu_ghz = to_ghz(f_uncore_hz)
+        dram_capacity = min(cfg.dram_peak_gbs,
+                            cfg.dram_gbs_per_uncore_ghz * fu_ghz)
+
+        local_per_core = self._per_core_limit(
+            f_core_hz, f_uncore_hz, threads_per_core, remote=False)
+        remote_per_core = self._per_core_limit(
+            f_core_hz, f_uncore_hz, threads_per_core, remote=True)
+
+        if placement is Placement.LOCAL:
+            bw = min(n_cores * local_per_core / 1e9, dram_capacity)
+            lat = dram_latency_ns(f_core_hz, f_uncore_hz, cfg.uncore_ref_hz,
+                                  base_ns=cfg.dram_base_latency_ns,
+                                  core_cycles=cfg.dram_core_overhead_cycles)
+        elif placement is Placement.REMOTE:
+            bw = min(n_cores * remote_per_core / 1e9,
+                     self.qpi_data_gbs, dram_capacity)
+            lat = dram_latency_ns(f_core_hz, f_uncore_hz, cfg.uncore_ref_hz,
+                                  base_ns=cfg.dram_base_latency_ns
+                                  + _REMOTE_LATENCY_NS,
+                                  core_cycles=cfg.dram_core_overhead_cycles)
+        else:
+            # half the stream is local, half crosses QPI; each half is
+            # limited by its own bottleneck
+            local_half = min(n_cores * local_per_core / 2e9,
+                             dram_capacity / 2)
+            remote_half = min(n_cores * remote_per_core / 2e9,
+                              self.qpi_data_gbs / 2, dram_capacity / 2)
+            bw = local_half + remote_half
+            lat = (dram_latency_ns(f_core_hz, f_uncore_hz,
+                                   cfg.uncore_ref_hz,
+                                   base_ns=cfg.dram_base_latency_ns,
+                                   core_cycles=cfg.dram_core_overhead_cycles)
+                   + _REMOTE_LATENCY_NS / 2)
+        return PlacementResult(placement=placement,
+                               n_threads=n_cores * threads_per_core,
+                               bandwidth_gbs=bw, latency_ns=lat)
+
+    def placement_sweep(self, f_core_hz: float, f_uncore_hz: float,
+                        core_counts: list[int] | None = None
+                        ) -> list[PlacementResult]:
+        counts = core_counts if core_counts is not None \
+            else [1, 4, 8, self.spec.n_cores]
+        return [self.evaluate(p, n, f_core_hz, f_uncore_hz)
+                for p in Placement for n in counts]

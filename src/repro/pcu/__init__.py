@@ -1,0 +1,23 @@
+"""The Power Control Unit: every transparent frequency mechanism.
+
+One :class:`Pcu` per socket ticks every ~500 us (the grant quantum of
+Fig. 4) and decides core frequencies (requests, turbo bins, AVX caps,
+EET trim, TDP budget) and the uncore frequency (UFS).
+"""
+
+from repro.pcu.epb import Epb, decode_epb, encode_epb
+from repro.pcu.ufs import ufs_target_hz
+from repro.pcu.eet import EetController
+from repro.pcu.turbo import TdpLimiter, FrequencyDecision
+from repro.pcu.pcu import Pcu
+
+__all__ = [
+    "Epb",
+    "decode_epb",
+    "encode_epb",
+    "ufs_target_hz",
+    "EetController",
+    "TdpLimiter",
+    "FrequencyDecision",
+    "Pcu",
+]

@@ -1,0 +1,71 @@
+"""The AVX frequency-license state machine (Section II-F).
+
+Workflow modeled after the paper's description:
+
+1. a core starts executing 256-bit AVX: it signals the PCU for more
+   voltage and *slows AVX execution* meanwhile (state ``REQUESTING``,
+   throughput throttled);
+2. the PCU acknowledges after a short electrical delay — the core runs
+   at full throughput but is now capped by the AVX turbo bins
+   (``LICENSED``);
+3. 1 ms after the last AVX instruction the PCU returns the core to
+   non-AVX operating mode (``RELAXING`` -> ``NORMAL``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.simulator import Simulator
+from repro.system.core import AvxLicense, Core
+from repro.units import us
+
+
+# Electrical voltage-bump acknowledgement delay.
+GRANT_DELAY_NS = us(20)
+
+
+@dataclass
+class AvxUnit:
+    """Per-socket manager of the per-core AVX license machines."""
+
+    sim: Simulator
+    relax_delay_ns: int
+    _pending: dict[int, object] = field(default_factory=dict)  # core id -> Event
+
+    def on_phase_change(self, core: Core) -> None:
+        """Drive the license machine when a core's workload phase flips."""
+        phase = core.current_phase
+        uses_avx = (phase is not None and phase.active and phase.uses_avx)
+        if uses_avx:
+            self._cancel(core)
+            if core.avx_license is AvxLicense.NORMAL:
+                core.avx_license = AvxLicense.REQUESTING
+                self._pending[core.core_id] = self.sim.schedule_after(
+                    GRANT_DELAY_NS, lambda _t, c=core: self._grant(c),
+                    label=f"avx-grant-core{core.core_id}")
+            elif core.avx_license is AvxLicense.RELAXING:
+                # AVX resumed before the relax window expired.
+                core.avx_license = AvxLicense.LICENSED
+        else:
+            if core.avx_license in (AvxLicense.LICENSED, AvxLicense.REQUESTING):
+                self._cancel(core)
+                core.avx_license = AvxLicense.RELAXING
+                self._pending[core.core_id] = self.sim.schedule_after(
+                    self.relax_delay_ns, lambda _t, c=core: self._relax(c),
+                    label=f"avx-relax-core{core.core_id}")
+
+    def _grant(self, core: Core) -> None:
+        if core.avx_license is AvxLicense.REQUESTING:
+            core.avx_license = AvxLicense.LICENSED
+        self._pending.pop(core.core_id, None)
+
+    def _relax(self, core: Core) -> None:
+        if core.avx_license is AvxLicense.RELAXING:
+            core.avx_license = AvxLicense.NORMAL
+        self._pending.pop(core.core_id, None)
+
+    def _cancel(self, core: Core) -> None:
+        event = self._pending.pop(core.core_id, None)
+        if event is not None:
+            event.cancel()

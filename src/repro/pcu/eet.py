@@ -1,0 +1,50 @@
+"""Energy-efficient turbo (Section II-E).
+
+EET monitors stall cycles — but only polls sporadically (the patent
+lists a 1 ms period) — and, together with the EPB, trims turbo/upper
+frequencies whose performance return is predicted to be poor. The
+sporadic polling is why workloads that flip their characteristics at an
+unfavorable rate can end up mis-clocked (reproduced by the EET ablation
+benchmark with :mod:`repro.workloads.composite`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pcu.epb import Epb
+from repro.units import ghz
+
+# Frequency trimmed per unit of stall fraction, by EPB behaviour.
+TRIM_SCALE_HZ: dict[Epb, float] = {
+    Epb.PERFORMANCE: 0.0,
+    Epb.BALANCED: ghz(0.05),
+    Epb.POWERSAVE: ghz(0.2),
+}
+
+
+@dataclass
+class EetController:
+    """Per-socket EET state; ``poll`` runs on the 1 ms tick."""
+
+    enabled: bool = True
+    _trim_hz: float = 0.0
+    poll_count: int = field(default=0)
+
+    @property
+    def trim_hz(self) -> float:
+        """Current frequency trim (applies until the next poll)."""
+        return self._trim_hz if self.enabled else 0.0
+
+    def poll(self, stall_fraction: float, epb: Epb) -> float:
+        """Sample stall data and recompute the trim.
+
+        Between polls the trim is stale — the sampled stall fraction of a
+        phase-switching workload may belong to the *previous* phase.
+        """
+        self.poll_count += 1
+        if not self.enabled:
+            self._trim_hz = 0.0
+        else:
+            self._trim_hz = stall_fraction * TRIM_SCALE_HZ[epb]
+        return self._trim_hz

@@ -1,0 +1,42 @@
+"""Performance and Energy Bias Hint (Section II-C).
+
+A 4-bit MSR field with 16 encodings of which only three behaviours
+exist on the paper's test system: 0 = performance, 1-7 = balanced,
+8-15 = energy saving (the paper lists 6 and 15 as the canonical
+balanced/saving values and measured the rest of the mapping).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigurationError
+
+
+class Epb(enum.Enum):
+    PERFORMANCE = "performance"
+    BALANCED = "balanced"
+    POWERSAVE = "energy saving"
+
+
+# Canonical MSR encodings for each behaviour.
+CANONICAL_ENCODING: dict[Epb, int] = {
+    Epb.PERFORMANCE: 0,
+    Epb.BALANCED: 6,
+    Epb.POWERSAVE: 15,
+}
+
+
+def decode_epb(msr_value: int) -> Epb:
+    """Behaviour for a raw 4-bit EPB value, as measured by the paper."""
+    if not (0 <= msr_value <= 15):
+        raise ConfigurationError(f"EPB is a 4-bit field, got {msr_value}")
+    if msr_value == 0:
+        return Epb.PERFORMANCE
+    if 1 <= msr_value <= 7:
+        return Epb.BALANCED
+    return Epb.POWERSAVE
+
+
+def encode_epb(epb: Epb) -> int:
+    return CANONICAL_ENCODING[epb]

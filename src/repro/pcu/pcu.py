@@ -1,0 +1,219 @@
+"""The per-socket Power Control Unit.
+
+Ticks every ~500 us (:attr:`CpuSpec.pcu_quantum_ns`, with a small timing
+jitter — the paper infers "regular intervals of about 500 us" driven by
+an external source). Each tick re-derives every active core's frequency
+(request, turbo bins, EPB, EET trim, AVX caps, TDP budget) and the
+uncore frequency (UFS), then applies changes after the voltage-ramp
+switching time. All cores of a socket change together; sockets tick on
+independent phases — exactly the behaviour FTaLaT measures in Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.rng import spawn_rng
+from repro.engine.simulator import Simulator
+from repro.pcu.avx import AvxUnit
+from repro.pcu.eet import EetController
+from repro.pcu.epb import Epb
+from repro.pcu.turbo import FrequencyDecision, TdpLimiter
+from repro.pcu.ufs import ufs_target_hz
+from repro.specs.cpu import CpuSpec
+from repro.units import us
+
+if TYPE_CHECKING:
+    from repro.system.node import Node
+    from repro.system.socket import Socket
+
+# Tick-to-tick timing jitter of the grant opportunities.
+TICK_JITTER_NS = us(10)
+
+
+class Pcu:
+    """Control loop of one socket."""
+
+    def __init__(self, sim: Simulator, socket: "Socket", node: "Node",
+                 epb: Epb = Epb.BALANCED, turbo_enabled: bool = True,
+                 eet_enabled: bool = True,
+                 budget_w: float | None = None) -> None:
+        self.sim = sim
+        self.socket = socket
+        self.node = node
+        self.spec: CpuSpec = socket.spec
+        self.epb = epb
+        self.turbo_enabled = turbo_enabled
+        self.eet = EetController(enabled=eet_enabled)
+        self.limiter = TdpLimiter(self.spec, socket.power_model, budget_w)
+        self.avx_unit = AvxUnit(sim=sim,
+                                relax_delay_ns=self.spec.avx_relax_delay_ns)
+        self.rng = spawn_rng(sim.rng)
+        self.last_decision: FrequencyDecision | None = None
+        self.tick_count = 0
+        self._pending_apply: dict[int, object] = {}
+        self._tick_times: list[int] = []      # for tests/analysis
+        self._eet_last_stall = 0.0
+        self._eet_last_cycles = 0.0
+
+    # ---- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        quantum = self.spec.pcu_quantum_ns
+        if quantum <= 0:
+            # Pre-Haswell: requests are carried out immediately (handled by
+            # Node.set_pstate); still run a coarse control tick for TDP/UFS.
+            quantum = us(500)
+        phase = int(self.rng.integers(0, quantum))
+        self.sim.schedule_after(max(phase, 1), self._tick,
+                                label=f"pcu-tick-s{self.socket.socket_id}")
+        if self.spec.eet_poll_period_ns > 0:
+            self.sim.schedule_every(self.spec.eet_poll_period_ns,
+                                    self._eet_poll,
+                                    label=f"eet-poll-s{self.socket.socket_id}")
+
+    # ---- periodic work --------------------------------------------------------------
+
+    def _eet_poll(self, _now_ns: int) -> None:
+        self.eet.poll(self._stall_fraction_windowed(), self.epb)
+
+    def _stall_fraction_windowed(self) -> float:
+        """Stall cycles over unhalted cycles since the previous poll.
+
+        Hardware counts events over the interval; a phase that ended just
+        before the poll still dominates the sample — the staleness that
+        makes EET mis-clock fast phase-switchers (Section II-E).
+        """
+        stall = sum(c.counters.stall_cycles for c in self.socket.cores)
+        cycles = sum(c.counters.aperf for c in self.socket.cores)
+        d_stall = stall - self._eet_last_stall
+        d_cycles = cycles - self._eet_last_cycles
+        self._eet_last_stall = stall
+        self._eet_last_cycles = cycles
+        if d_cycles <= 0:
+            return 0.0
+        return min(d_stall / d_cycles, 1.0)
+
+    def _stall_fraction(self) -> float:
+        """Instantaneous activity-weighted stall fraction (UFS input)."""
+        active = self.socket.active_cores()
+        if not active:
+            return 0.0
+        return sum(c.current_phase.stall_fraction for c in active) / len(active)
+
+    def _tick(self, now_ns: int) -> None:
+        self.tick_count += 1
+        self._tick_times.append(now_ns)
+        self._control(now_ns)
+        quantum = self.spec.pcu_quantum_ns or us(500)
+        jitter = int(self.rng.integers(-TICK_JITTER_NS, TICK_JITTER_NS + 1))
+        self.sim.schedule_after(max(quantum + jitter, 1), self._tick,
+                                label=f"pcu-tick-s{self.socket.socket_id}")
+
+    # ---- the control decision ---------------------------------------------------------
+
+    def _uncore_target(self, active: list) -> float | None:
+        socket = self.socket
+        spec = self.spec
+        sleeping = socket.package_cstate.uncore_halted
+        coupling = spec.microarch.uncore_coupling
+        if coupling == "tied":
+            if sleeping:
+                return None
+            f = max((c.freq_hz for c in active), default=spec.uncore_min_hz)
+            return float(min(max(f, spec.uncore_min_hz), spec.uncore_max_hz))
+        if coupling == "fixed":
+            return None if sleeping else spec.uncore_min_hz
+        fastest = self.node.system_fastest_setting()
+        if fastest == "no-active-core":
+            fastest = spec.min_hz
+        max_stall = max((c.current_phase.stall_fraction for c in active),
+                        default=0.0)
+        return ufs_target_hz(
+            spec,
+            epb=self.epb,
+            package_sleeping=sleeping,
+            socket_has_active_core=bool(active),
+            max_stall_fraction=max_stall,
+            system_fastest_setting_hz=fastest,
+        )
+
+    def _control(self, now_ns: int) -> None:
+        socket = self.socket
+        socket.sync_package_state(self.node.any_core_active())
+        active = socket.active_cores()
+        n_active = max(len(active), 1)
+
+        # All cores get a grant — parked cores keep a granted p-state so
+        # they resume at the requested frequency when woken (PCPS).
+        targets: dict[int, float] = {}
+        for core in socket.cores:
+            phase = core.current_phase
+            avx_capped = (core.avx_license.avx_capped
+                          or (phase is not None and phase.active
+                              and phase.uses_avx))
+            targets[core.core_id] = self.limiter.core_target_hz(
+                requested_hz=core.requested_hz,
+                n_active=n_active,
+                avx_capped=avx_capped,
+                epb=self.epb,
+                turbo_enabled=self.turbo_enabled,
+                eet_trim_hz=self.eet.trim_hz,
+            )
+
+        active_ids = {c.core_id for c in active}
+        decision = self.limiter.decide(
+            targets_hz={cid: t for cid, t in targets.items()
+                        if cid in active_ids} or targets,
+            activity_sum=sum(c.current_phase.power_activity for c in active),
+            ufs_target_hz=self._uncore_target(active),
+            rng=self.rng,
+        )
+        self.last_decision = decision
+
+        for core in socket.cores:
+            granted = decision.core_targets_hz.get(core.core_id)
+            if granted is None:
+                # Idle core: honor the request directly (no power at stake).
+                granted = targets[core.core_id]
+            self._apply_core_freq(core, granted)
+
+        if decision.uncore_hz is not None and not socket.uncore.halted:
+            if abs(decision.uncore_hz - socket.uncore.freq_hz) > 1e6:
+                self.sim.trace.emit(
+                    self.sim.now_ns, f"pcu{socket.socket_id}",
+                    "uncore-apply", from_hz=socket.uncore.freq_hz,
+                    to_hz=decision.uncore_hz, tdp_bound=decision.tdp_bound)
+            socket.uncore.set_frequency(decision.uncore_hz)
+
+        breakdown = socket.last_breakdown
+        estimated_w = breakdown.package_w if breakdown is not None \
+            else socket.evaluate_power().package_w
+        self.node.mbvr.select_power_state(estimated_w)
+
+    # Grant changes smaller than the TDP-control dither are absorbed by the
+    # hardware duty-cycling and not worth a voltage ramp (also keeps the
+    # event rate down: steady workloads schedule no apply events at all).
+    _APPLY_THRESHOLD_HZ = 15e6
+
+    def _apply_core_freq(self, core, granted_hz: float) -> None:
+        """Schedule the voltage-ramped frequency switch (Fig. 4)."""
+        if (abs(granted_hz - core.freq_hz) < self._APPLY_THRESHOLD_HZ
+                and core.pending_freq_hz is None):
+            return
+        pending = self._pending_apply.pop(core.core_id, None)
+        if pending is not None:
+            pending.cancel()
+        core.pending_freq_hz = granted_hz
+        self._pending_apply[core.core_id] = self.sim.schedule_after(
+            self.spec.pstate_switch_time_ns,
+            lambda _t, c=core, f=granted_hz: self._finish_apply(c, f),
+            label=f"freq-apply-core{core.core_id}")
+
+    def _finish_apply(self, core, f_hz: float) -> None:
+        previous = core.freq_hz
+        core.apply_frequency(f_hz)
+        self._pending_apply.pop(core.core_id, None)
+        self.sim.trace.emit(
+            self.sim.now_ns, f"pcu{self.socket.socket_id}", "freq-apply",
+            core_id=core.core_id, from_hz=previous, to_hz=f_hz)

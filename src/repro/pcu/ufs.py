@@ -1,0 +1,62 @@
+"""Uncore frequency scaling (Sections II-D and V-A, Table III).
+
+The hardware picks the uncore frequency from stall cycles, the EPB, and
+c-states (per the patent), and — as the paper measured — from the core
+frequency of the fastest active core *in the system*:
+
+* package in PC3/PC6 -> uncore clock halted;
+* EPB = performance -> maximum uncore frequency;
+* any active core showing memory stalls -> maximum (3.0 GHz upper bound
+  "also for lower core frequencies");
+* otherwise the measured core-frequency-linked table (Table III), with
+  the active socket one step above the passive one.
+
+The returned value is a *target*; the PCU may cut it further for TDP
+headroom (Table IV).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.pcu.epb import Epb
+from repro.specs.cpu import CpuSpec
+
+# Stall fraction above which the uncore heads for its maximum.
+STALL_THRESHOLD = 0.05
+
+
+def _table_lookup(table: dict[float | None, float],
+                  setting_hz: float | None) -> float:
+    if setting_hz is None:
+        return table[None]
+    # settings are exact p-states; tolerate float jitter
+    best = min((k for k in table if k is not None),
+               key=lambda k: abs(k - setting_hz))
+    if abs(best - setting_hz) > 50e6:
+        raise ConfigurationError(
+            f"no UFS table entry near {setting_hz / 1e9:.2f} GHz")
+    return table[best]
+
+
+def ufs_target_hz(
+    spec: CpuSpec,
+    epb: Epb,
+    package_sleeping: bool,
+    socket_has_active_core: bool,
+    max_stall_fraction: float,
+    system_fastest_setting_hz: float | None,
+) -> float | None:
+    """Target uncore frequency; ``None`` means the clock is halted."""
+    if package_sleeping:
+        return None
+    if not spec.ufs_no_stall_active_hz:
+        # Pre-Haswell parts have no UFS; caller handles coupling.
+        raise ConfigurationError(f"{spec.model} does not implement UFS")
+    if epb is Epb.PERFORMANCE:
+        return spec.uncore_max_hz
+    if socket_has_active_core and max_stall_fraction > STALL_THRESHOLD:
+        return spec.uncore_max_hz
+
+    table = (spec.ufs_no_stall_active_hz if socket_has_active_core
+             else spec.ufs_no_stall_passive_hz)
+    return _table_lookup(table, system_fastest_setting_hz)

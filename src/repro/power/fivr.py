@@ -1,0 +1,53 @@
+"""Fully integrated voltage regulators (Section II-B).
+
+Haswell moves the per-domain voltage regulators onto the die: one FIVR
+per core plus one for the uncore. Each FIVR converts from the shared
+VCCin input rail (delivered by the mainboard regulator, see
+:mod:`repro.power.mbvr`) to its domain voltage, with a conversion loss.
+Per-core FIVRs are what make per-core p-states (PCPS) possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.specs.vf import VfCurve
+
+
+@dataclass
+class Fivr:
+    """One on-die voltage regulator domain."""
+
+    domain: str                   # e.g. "core3", "uncore"
+    vf_curve: VfCurve
+    efficiency: float = 0.90      # FIVR conversion efficiency
+    enabled: bool = True
+    _output_voltage: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if not (0.5 < self.efficiency <= 1.0):
+            raise ConfigurationError("implausible FIVR efficiency")
+
+    @property
+    def output_voltage(self) -> float:
+        """Current domain voltage (0 when gated off)."""
+        return self._output_voltage if self.enabled else 0.0
+
+    def set_frequency(self, f_hz: float) -> float:
+        """Regulate the domain voltage for ``f_hz``; returns the voltage."""
+        self._output_voltage = self.vf_curve.voltage(f_hz)
+        return self._output_voltage
+
+    def gate_off(self) -> None:
+        """Power-gate the domain (deep c-state)."""
+        self.enabled = False
+
+    def gate_on(self) -> None:
+        self.enabled = True
+
+    def input_power_w(self, load_w: float) -> float:
+        """VCCin power drawn to deliver ``load_w`` at the output."""
+        if not self.enabled or load_w <= 0.0:
+            return 0.0
+        return load_w / self.efficiency

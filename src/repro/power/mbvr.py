@@ -1,0 +1,77 @@
+"""Mainboard voltage regulator with SVID control (Section II-B).
+
+With FIVR on die, only three voltage lanes remain attached to the
+processor: VCCin plus two DRAM lanes (VCCD_01, VCCD_23) — down from five
+lanes on previous products. The processor steers the input voltage via
+serial voltage ID (SVID) commands, and the MBVR supports three power
+states that the processor selects according to its estimated power draw.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+class MbvrPowerState(enum.Enum):
+    """MBVR efficiency states (PS0 = full power ... PS2 = light load)."""
+
+    PS0 = 0
+    PS1 = 1
+    PS2 = 2
+
+
+@dataclass(frozen=True)
+class SvidCommand:
+    """One serial-voltage-ID request from the processor to the MBVR."""
+
+    lane: str                 # "VCCin" | "VCCD_01" | "VCCD_23"
+    voltage: float
+
+    VALID_LANES = ("VCCin", "VCCD_01", "VCCD_23")
+
+    def __post_init__(self) -> None:
+        if self.lane not in self.VALID_LANES:
+            raise ConfigurationError(
+                f"unknown SVID lane {self.lane!r}; Haswell-EP exposes only "
+                f"{self.VALID_LANES} (Section II-B)")
+        if not (0.0 <= self.voltage <= 3.0):
+            raise ConfigurationError(f"implausible SVID voltage {self.voltage}")
+
+
+# Power thresholds (W) above which the MBVR moves to a stronger state.
+_PS_THRESHOLDS_W = (0.0, 20.0, 90.0)
+
+
+@dataclass
+class Mbvr:
+    """The mainboard regulator: three lanes, three power states."""
+
+    lanes: dict[str, float] = field(
+        default_factory=lambda: {lane: 0.0 for lane in SvidCommand.VALID_LANES})
+    power_state: MbvrPowerState = MbvrPowerState.PS2
+    command_log: list[SvidCommand] = field(default_factory=list)
+
+    def apply(self, command: SvidCommand) -> None:
+        self.lanes[command.lane] = command.voltage
+        self.command_log.append(command)
+
+    def select_power_state(self, estimated_load_w: float) -> MbvrPowerState:
+        """Pick the efficiency state for the estimated processor load."""
+        if estimated_load_w >= _PS_THRESHOLDS_W[2]:
+            self.power_state = MbvrPowerState.PS0
+        elif estimated_load_w >= _PS_THRESHOLDS_W[1]:
+            self.power_state = MbvrPowerState.PS1
+        else:
+            self.power_state = MbvrPowerState.PS2
+        return self.power_state
+
+    def efficiency(self) -> float:
+        """Conversion efficiency in the current power state."""
+        return {
+            MbvrPowerState.PS0: 0.92,
+            MbvrPowerState.PS1: 0.90,
+            MbvrPowerState.PS2: 0.85,
+        }[self.power_state]

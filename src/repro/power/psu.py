@@ -1,0 +1,29 @@
+"""Chassis-level AC power: PSU losses, fans, board consumers.
+
+The LMG450 measures at the wall, so the AC value a Fig. 2 experiment sees
+is the DC draw pushed through this transfer function. The quadratic
+coefficients live in :class:`repro.specs.node.NodeSpec` and are calibrated
+so the paper's AC-vs-RAPL quadratic fit emerges from the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.specs.node import NodeSpec
+
+
+@dataclass(frozen=True)
+class PsuModel:
+    """Wraps the node spec's AC transfer function."""
+
+    node_spec: NodeSpec
+
+    def ac_power_w(self, dc_rapl_visible_w: float) -> float:
+        return self.node_spec.ac_power_w(dc_rapl_visible_w)
+
+    def efficiency(self, dc_rapl_visible_w: float) -> float:
+        """Apparent end-to-end efficiency DC/AC at this operating point."""
+        total_dc = dc_rapl_visible_w + self.node_spec.board_dc_w
+        ac = self.ac_power_w(dc_rapl_visible_w)
+        return total_dc / ac if ac > 0 else 0.0

@@ -1,0 +1,17 @@
+"""Thread placement across the node: compact/scatter policies.
+
+The paper measures socket-local behaviour; placement decides how an
+application experiences it. Scatter placement buys two memory systems
+and two TDP budgets; compact placement keeps one package in deep
+package-c-states (saving its static power and letting its uncore halt —
+Section V-A's interlock means this only happens when *everything* else
+sleeps too).
+"""
+
+from repro.sched.placement import (
+    PlacementPolicy,
+    Scheduler,
+    PlacementOutcome,
+)
+
+__all__ = ["PlacementPolicy", "Scheduler", "PlacementOutcome"]

@@ -1,0 +1,102 @@
+"""The placement scheduler."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.engine.rng import spawn_rng
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.system.node import Node
+from repro.units import ms
+from repro.workloads.base import Workload
+
+
+class PlacementPolicy(enum.Enum):
+    COMPACT = "compact"      # fill socket 0 first
+    SCATTER = "scatter"      # round-robin across sockets
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class PlacementOutcome:
+    policy: PlacementPolicy
+    core_ids: tuple[int, ...]
+    throughput: float             # GB/s for bw-bound, GIPS otherwise
+    node_dc_power_w: float
+
+    @property
+    def efficiency(self) -> float:
+        return self.throughput / self.node_dc_power_w \
+            if self.node_dc_power_w else 0.0
+
+
+class Scheduler:
+    """Chooses core sets per policy and measures the outcome."""
+
+    def __init__(self, sim: Simulator, node: Node) -> None:
+        self.sim = sim
+        self.node = node
+        self.rng = spawn_rng(sim.rng)
+
+    def select_cores(self, n_threads: int,
+                     policy: PlacementPolicy) -> list[int]:
+        total = self.node.spec.total_cores
+        if not (1 <= n_threads <= total):
+            raise ConfigurationError(
+                f"{n_threads} threads on a {total}-core node")
+        per_socket = self.node.spec.cpu.n_cores
+        if policy is PlacementPolicy.COMPACT:
+            return list(range(n_threads))
+        if policy is PlacementPolicy.SCATTER:
+            out = []
+            for i in range(n_threads):
+                socket = i % self.node.spec.n_sockets
+                index = i // self.node.spec.n_sockets
+                out.append(socket * per_socket + index)
+            return out
+        chosen = self.rng.choice(total, size=n_threads, replace=False)
+        return sorted(int(c) for c in chosen)
+
+    def run_and_measure(self, workload: Workload, n_threads: int,
+                        policy: PlacementPolicy,
+                        settle_ns: int = ms(5),
+                        measure_ns: int = ms(20)) -> PlacementOutcome:
+        core_ids = self.select_cores(n_threads, policy)
+        all_ids = [c.core_id for c in self.node.all_cores]
+        self.node.stop_workload(all_ids)
+        self.node.run_workload(core_ids, workload)
+        self.sim.run_for(settle_ns)
+
+        bw_bound = workload.phases[0].bw_bound
+        b0 = sum(s.uncore.counters.dram_bytes + s.uncore.counters.l3_bytes
+                 for s in self.node.sockets)
+        i0 = sum(c.counters.instructions_core for c in self.node.all_cores)
+        e0 = sum(s.energy_pkg_j + s.energy_dram_j
+                 for s in self.node.sockets)
+        t0 = self.sim.now_ns
+        self.sim.run_for(measure_ns)
+        dt = (self.sim.now_ns - t0) / 1e9
+
+        if bw_bound:
+            throughput = (sum(s.uncore.counters.dram_bytes
+                              + s.uncore.counters.l3_bytes
+                              for s in self.node.sockets) - b0) / dt / 1e9
+        else:
+            throughput = (sum(c.counters.instructions_core
+                              for c in self.node.all_cores) - i0) / dt / 1e9
+        power = (sum(s.energy_pkg_j + s.energy_dram_j
+                     for s in self.node.sockets) - e0) / dt
+        self.node.stop_workload(core_ids)
+        return PlacementOutcome(policy=policy, core_ids=tuple(core_ids),
+                                throughput=throughput,
+                                node_dc_power_w=power)
+
+    def compare(self, workload: Workload, n_threads: int,
+                measure_ns: int = ms(20)) -> dict[PlacementPolicy,
+                                                  PlacementOutcome]:
+        return {policy: self.run_and_measure(workload, n_threads, policy,
+                                             measure_ns=measure_ns)
+                for policy in (PlacementPolicy.COMPACT,
+                               PlacementPolicy.SCATTER)}

@@ -1,0 +1,52 @@
+"""Machine specifications and calibration constants.
+
+Everything the paper states about the hardware — Table I microarchitecture
+parameters, the Table II test-system configuration, frequency tables, the
+TDP, and the calibration constants our behavioral models were fitted to —
+lives in this package so the rest of the code base contains no magic
+numbers.
+"""
+
+from repro.specs.microarch import (
+    MicroarchSpec,
+    SANDY_BRIDGE_EP,
+    HASWELL_EP,
+    WESTMERE_EP,
+    MICROARCHES,
+)
+from repro.specs.vf import VfCurve
+from repro.specs.cpu import (
+    CpuSpec,
+    TurboTable,
+    CStateLatencySpec,
+    PowerCoefficients,
+    E5_2680_V3,
+    E5_2670_SNB,
+    X5670_WSM,
+)
+from repro.specs.node import (
+    NodeSpec,
+    HASWELL_TEST_NODE,
+    SANDY_BRIDGE_TEST_NODE,
+    WESTMERE_TEST_NODE,
+)
+
+__all__ = [
+    "MicroarchSpec",
+    "SANDY_BRIDGE_EP",
+    "HASWELL_EP",
+    "WESTMERE_EP",
+    "MICROARCHES",
+    "VfCurve",
+    "CpuSpec",
+    "TurboTable",
+    "CStateLatencySpec",
+    "PowerCoefficients",
+    "E5_2680_V3",
+    "E5_2670_SNB",
+    "X5670_WSM",
+    "NodeSpec",
+    "HASWELL_TEST_NODE",
+    "SANDY_BRIDGE_TEST_NODE",
+    "WESTMERE_TEST_NODE",
+]

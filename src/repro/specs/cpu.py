@@ -1,0 +1,374 @@
+"""Processor model specifications (SKU-level).
+
+A :class:`CpuSpec` bundles everything a simulated socket needs: the
+selectable p-states, the turbo and AVX frequency tables, the TDP, the V/f
+curves and the calibrated power-model coefficients. The Xeon E5-2680 v3
+instance reproduces the paper's test system (Table II); the Sandy Bridge
+and Westmere instances support the cross-generation comparisons in
+Figs. 2, 5, 6 and 7.
+
+Calibration notes
+-----------------
+The power coefficients were solved from the paper's own measurements
+(see DESIGN.md section 1): the FIRESTARTER equilibrium points of Table IV
+(P(2.31 GHz core, 2.33 GHz uncore) = P(2.19, 2.80) = TDP = 120 W,
+P(2.09, 3.00) < 120 W) pin the core/uncore dynamic-power ratio, and the
+idle point of Table II (261.5 W AC at the wall) pins the static terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.specs.microarch import MicroarchSpec, HASWELL_EP, SANDY_BRIDGE_EP, WESTMERE_EP
+from repro.specs.vf import VfCurve
+from repro.units import ghz, us, ms
+
+
+@dataclass(frozen=True)
+class TurboTable:
+    """Maximum turbo frequency by number of active cores (1-indexed).
+
+    ``bins[n-1]`` is the cap with ``n`` active cores. Separate tables exist
+    for non-AVX and AVX operation (Section II-F: AVX turbo frequencies are
+    defined for various core counts).
+    """
+
+    non_avx_hz: tuple[float, ...]
+    avx_hz: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.non_avx_hz) != len(self.avx_hz):
+            raise ConfigurationError("turbo tables must cover the same core counts")
+        for table in (self.non_avx_hz, self.avx_hz):
+            if any(b < a for a, b in zip(table[1:], table[:-1], strict=False)):
+                # bins must be non-increasing with more active cores
+                raise ConfigurationError("turbo bins must be non-increasing")
+
+    def limit(self, active_cores: int, avx: bool) -> float:
+        """Turbo frequency cap (Hz) for ``active_cores`` active cores."""
+        if active_cores < 1:
+            raise ConfigurationError("active_cores must be >= 1")
+        table = self.avx_hz if avx else self.non_avx_hz
+        idx = min(active_cores, len(table)) - 1
+        return table[idx]
+
+    @property
+    def max_hz(self) -> float:
+        return self.non_avx_hz[0]
+
+
+@dataclass(frozen=True)
+class CStateLatencySpec:
+    """Wake-latency model constants, in microseconds (Figs. 5 and 6).
+
+    The model implemented in :mod:`repro.cstates.latency` consumes these.
+    All values describe time to return to C0 as measured by a waker/wakee
+    pair.
+    """
+
+    c1_local_us: float              # at max frequency
+    c1_freq_slope_us_per_ghz: float  # added per GHz *below* max frequency
+    c1_remote_extra_us: float
+    c3_local_us: float
+    c3_high_freq_penalty_us: float  # added when f > c3 threshold
+    c3_freq_threshold_ghz: float
+    c3_remote_extra_us: float
+    pc3_extra_low_us: float         # package C3 adder at max frequency
+    pc3_extra_high_us: float        # package C3 adder at min frequency
+    c6_extra_min_us: float          # C6-over-C3 adder at max frequency
+    c6_extra_max_us: float          # C6-over-C3 adder at min frequency
+    pc6_extra_us: float             # package C6 adder over package C3
+    acpi_c3_us: float               # what the ACPI table *claims*
+    acpi_c6_us: float
+
+
+@dataclass(frozen=True)
+class PowerCoefficients:
+    """Calibrated CMOS power-model coefficients (per socket).
+
+    ``P_pkg = static + core_dyn * sum_i activity_i * f_i * V(f_i)^2
+             + uncore_dyn * f_u * Vu(f_u)^2``
+    with frequencies in GHz and voltages in volts.
+    """
+
+    static_w: float                 # leakage + always-on at reference voltage
+    core_dyn_w_per_ghz_v2: float    # per core, at activity 1.0
+    uncore_dyn_w_per_ghz_v2: float
+    dram_idle_w: float              # per socket's DRAM channels
+    dram_w_per_gbs: float           # DRAM power per GB/s of traffic
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """One processor SKU."""
+
+    model: str
+    microarch: MicroarchSpec
+    n_cores: int
+    smt: int                        # hardware threads per core
+    nominal_hz: float
+    pstates_hz: tuple[float, ...]   # selectable p-states, ascending
+    turbo: TurboTable
+    avx_base_hz: float | None       # None before Haswell (no AVX frequency)
+    tdp_w: float
+    uncore_min_hz: float
+    uncore_max_hz: float
+    vf_core: VfCurve
+    vf_uncore: VfCurve
+    power: PowerCoefficients
+    cstate_latency: CStateLatencySpec
+    # UFS behaviour for the no-memory-stall scenario (Table III). Keys are
+    # core-frequency settings in Hz, values are the uncore frequency the
+    # hardware chooses on the *active* socket. ``None`` key = turbo setting.
+    ufs_no_stall_active_hz: dict[float | None, float] = field(default_factory=dict)
+    ufs_no_stall_passive_hz: dict[float | None, float] = field(default_factory=dict)
+    pcu_quantum_ns: int = us(500)   # p-state grant opportunity period (Fig. 4)
+    # Voltage-ramp time once granted. Small on Haswell: the ~21 us floor of
+    # Fig. 3 is the FTaLaT verification-window granularity, not the ramp.
+    pstate_switch_time_ns: int = us(1)
+    rapl_update_period_ns: int = ms(1)
+    eet_poll_period_ns: int = ms(1)       # EET stall polling period (patent)
+    avx_relax_delay_ns: int = ms(1)       # return to non-AVX mode after 1 ms
+    acpi_pstate_latency_ns: int = us(10)  # what ACPI *claims* (Section VI-A)
+    l1_kib: int = 32
+    l2_kib: int = 256
+    l3_mib_per_core: float = 2.5
+    has_pp0_rapl: bool = False
+    rapl_energy_unit_j: float = 61e-6     # 1/2^14 J, package domain
+    rapl_dram_energy_unit_j: float = 15.3e-6  # Haswell-EP DRAM unit (Section IV)
+    pstate_granted_immediately: bool = False  # pre-Haswell behaviour
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1 or self.smt < 1:
+            raise ConfigurationError("core/thread counts must be positive")
+        if list(self.pstates_hz) != sorted(self.pstates_hz):
+            raise ConfigurationError("pstates_hz must be ascending")
+        if self.nominal_hz != self.pstates_hz[-1]:
+            raise ConfigurationError("nominal frequency must be the top p-state")
+        if self.avx_base_hz is not None and self.avx_base_hz > self.nominal_hz:
+            raise ConfigurationError("AVX base cannot exceed nominal frequency")
+        if not (self.uncore_min_hz < self.uncore_max_hz):
+            raise ConfigurationError("invalid uncore frequency range")
+
+    @property
+    def l3_mib(self) -> float:
+        return self.l3_mib_per_core * self.n_cores
+
+    @property
+    def min_hz(self) -> float:
+        return self.pstates_hz[0]
+
+    def nearest_pstate(self, f_hz: float) -> float:
+        """Snap ``f_hz`` to the closest selectable p-state."""
+        return min(self.pstates_hz, key=lambda p: abs(p - f_hz))
+
+    def validate_pstate(self, f_hz: float) -> float:
+        if not any(abs(f_hz - p) < 0.5e6 for p in self.pstates_hz):
+            raise ConfigurationError(
+                f"{f_hz / 1e9:.2f} GHz is not a selectable p-state of {self.model}"
+            )
+        return self.nearest_pstate(f_hz)
+
+
+def _hsw_pstates() -> tuple[float, ...]:
+    # 1.2 .. 2.5 GHz in 100 MHz steps (Table II: selectable p-states)
+    return tuple(ghz(1.2 + 0.1 * i) for i in range(14))
+
+
+_HSW_UFS_ACTIVE: dict[float | None, float] = {
+    None: ghz(3.0),            # turbo setting
+    ghz(2.5): ghz(2.2),        # 3.0 with EPB=performance (handled in ufs.py)
+    ghz(2.4): ghz(2.1),
+    ghz(2.3): ghz(2.0),
+    ghz(2.2): ghz(1.9),
+    ghz(2.1): ghz(1.8),
+    ghz(2.0): ghz(1.75),
+    ghz(1.9): ghz(1.65),
+    ghz(1.8): ghz(1.6),
+    ghz(1.7): ghz(1.5),
+    ghz(1.6): ghz(1.4),
+    ghz(1.5): ghz(1.3),
+    ghz(1.4): ghz(1.2),
+    ghz(1.3): ghz(1.2),
+    ghz(1.2): ghz(1.2),
+}
+
+_HSW_UFS_PASSIVE: dict[float | None, float] = {
+    None: ghz(2.95),           # paper reports 2.9-3.0
+    ghz(2.5): ghz(2.1),
+    ghz(2.4): ghz(2.0),
+    ghz(2.3): ghz(1.9),
+    ghz(2.2): ghz(1.8),
+    ghz(2.1): ghz(1.7),
+    ghz(2.0): ghz(1.65),
+    ghz(1.9): ghz(1.55),
+    ghz(1.8): ghz(1.5),
+    ghz(1.7): ghz(1.4),
+    ghz(1.6): ghz(1.2),
+    ghz(1.5): ghz(1.2),
+    ghz(1.4): ghz(1.2),
+    ghz(1.3): ghz(1.2),
+    ghz(1.2): ghz(1.2),
+}
+
+
+E5_2680_V3 = CpuSpec(
+    model="Intel Xeon E5-2680 v3",
+    microarch=HASWELL_EP,
+    n_cores=12,
+    smt=2,
+    nominal_hz=ghz(2.5),
+    pstates_hz=_hsw_pstates(),
+    turbo=TurboTable(
+        non_avx_hz=(
+            ghz(3.3), ghz(3.3), ghz(3.1), ghz(3.0),
+            ghz(2.9), ghz(2.9), ghz(2.9), ghz(2.9),
+            ghz(2.9), ghz(2.9), ghz(2.9), ghz(2.9),
+        ),
+        avx_hz=(
+            ghz(3.1), ghz(3.1), ghz(3.0), ghz(2.9),
+            ghz(2.8), ghz(2.8), ghz(2.8), ghz(2.8),
+            ghz(2.8), ghz(2.8), ghz(2.8), ghz(2.8),
+        ),
+    ),
+    avx_base_hz=ghz(2.1),
+    tdp_w=120.0,
+    uncore_min_hz=ghz(1.2),
+    uncore_max_hz=ghz(3.0),
+    vf_core=VfCurve(v0=0.65, v1=0.15, f_min_hz=ghz(1.2), f_max_hz=ghz(3.3)),
+    vf_uncore=VfCurve(v0=0.65, v1=0.15, f_min_hz=ghz(1.2), f_max_hz=ghz(3.0)),
+    power=PowerCoefficients(
+        static_w=12.0,
+        core_dyn_w_per_ghz_v2=3.196,   # 12 cores at activity 1.0 -> 38.35 W/(GHz V^2)
+        uncore_dyn_w_per_ghz_v2=8.603,
+        dram_idle_w=4.0,
+        dram_w_per_gbs=0.35,
+    ),
+    cstate_latency=CStateLatencySpec(
+        c1_local_us=1.1,
+        c1_freq_slope_us_per_ghz=0.38,
+        c1_remote_extra_us=0.5,
+        c3_local_us=4.0,
+        c3_high_freq_penalty_us=1.5,
+        c3_freq_threshold_ghz=1.5,
+        c3_remote_extra_us=1.0,
+        pc3_extra_low_us=2.0,
+        pc3_extra_high_us=4.0,
+        c6_extra_min_us=2.0,
+        c6_extra_max_us=8.0,
+        pc6_extra_us=8.0,
+        acpi_c3_us=33.0,
+        acpi_c6_us=133.0,
+    ),
+    ufs_no_stall_active_hz=_HSW_UFS_ACTIVE,
+    ufs_no_stall_passive_hz=_HSW_UFS_PASSIVE,
+)
+
+
+def _snb_pstates() -> tuple[float, ...]:
+    return tuple(ghz(1.2 + 0.1 * i) for i in range(15))  # 1.2 .. 2.6 GHz
+
+
+E5_2670_SNB = CpuSpec(
+    model="Intel Xeon E5-2670",
+    microarch=SANDY_BRIDGE_EP,
+    n_cores=8,
+    smt=2,
+    nominal_hz=ghz(2.6),
+    pstates_hz=_snb_pstates(),
+    turbo=TurboTable(
+        non_avx_hz=(
+            ghz(3.3), ghz(3.2), ghz(3.1), ghz(3.0),
+            ghz(3.0), ghz(3.0), ghz(3.0), ghz(3.0),
+        ),
+        # Sandy Bridge has no separate AVX frequency domain
+        avx_hz=(
+            ghz(3.3), ghz(3.2), ghz(3.1), ghz(3.0),
+            ghz(3.0), ghz(3.0), ghz(3.0), ghz(3.0),
+        ),
+    ),
+    avx_base_hz=None,
+    tdp_w=115.0,
+    uncore_min_hz=ghz(1.2),
+    uncore_max_hz=ghz(3.3),
+    vf_core=VfCurve(v0=0.70, v1=0.14, f_min_hz=ghz(1.2), f_max_hz=ghz(3.3)),
+    vf_uncore=VfCurve(v0=0.70, v1=0.14, f_min_hz=ghz(1.2), f_max_hz=ghz(3.3)),
+    power=PowerCoefficients(
+        static_w=16.0,
+        core_dyn_w_per_ghz_v2=4.1,
+        uncore_dyn_w_per_ghz_v2=7.0,
+        dram_idle_w=6.0,
+        dram_w_per_gbs=0.45,
+    ),
+    cstate_latency=CStateLatencySpec(
+        c1_local_us=1.5,
+        c1_freq_slope_us_per_ghz=0.5,
+        c1_remote_extra_us=0.8,
+        c3_local_us=6.5,
+        c3_high_freq_penalty_us=0.0,
+        c3_freq_threshold_ghz=1.5,
+        c3_remote_extra_us=1.5,
+        pc3_extra_low_us=4.0,
+        pc3_extra_high_us=6.0,
+        c6_extra_min_us=4.0,
+        c6_extra_max_us=10.0,
+        pc6_extra_us=12.0,
+        acpi_c3_us=80.0,
+        acpi_c6_us=104.0,
+    ),
+    pcu_quantum_ns=0,                   # pre-Haswell: requests applied immediately
+    pstate_switch_time_ns=us(25),
+    pstate_granted_immediately=True,
+    has_pp0_rapl=True,
+    rapl_dram_energy_unit_j=61e-6,
+)
+
+X5670_WSM = CpuSpec(
+    model="Intel Xeon X5670",
+    microarch=WESTMERE_EP,
+    n_cores=6,
+    smt=2,
+    nominal_hz=ghz(2.93),
+    pstates_hz=tuple(ghz(f) for f in (1.6, 1.73, 1.86, 2.0, 2.13, 2.26,
+                                      2.4, 2.53, 2.66, 2.8, 2.93)),
+    turbo=TurboTable(
+        non_avx_hz=(ghz(3.33), ghz(3.33), ghz(3.06), ghz(3.06), ghz(3.06), ghz(3.06)),
+        avx_hz=(ghz(3.33), ghz(3.33), ghz(3.06), ghz(3.06), ghz(3.06), ghz(3.06)),
+    ),
+    avx_base_hz=None,
+    tdp_w=95.0,
+    uncore_min_hz=ghz(2.66),
+    uncore_max_hz=ghz(2.67),            # effectively fixed uncore clock
+    vf_core=VfCurve(v0=0.75, v1=0.13, f_min_hz=ghz(1.6), f_max_hz=ghz(3.33)),
+    vf_uncore=VfCurve(v0=0.75, v1=0.13, f_min_hz=ghz(2.0), f_max_hz=ghz(3.33)),
+    power=PowerCoefficients(
+        static_w=18.0,
+        core_dyn_w_per_ghz_v2=4.5,
+        uncore_dyn_w_per_ghz_v2=6.0,
+        dram_idle_w=7.0,
+        dram_w_per_gbs=0.5,
+    ),
+    cstate_latency=CStateLatencySpec(
+        c1_local_us=1.8,
+        c1_freq_slope_us_per_ghz=0.5,
+        c1_remote_extra_us=1.0,
+        c3_local_us=9.0,
+        c3_high_freq_penalty_us=0.0,
+        c3_freq_threshold_ghz=1.5,
+        c3_remote_extra_us=2.0,
+        pc3_extra_low_us=5.0,
+        pc3_extra_high_us=8.0,
+        c6_extra_min_us=6.0,
+        c6_extra_max_us=14.0,
+        pc6_extra_us=15.0,
+        acpi_c3_us=64.0,
+        acpi_c6_us=96.0,
+    ),
+    pcu_quantum_ns=0,
+    pstate_granted_immediately=True,
+    has_pp0_rapl=False,
+    rapl_energy_unit_j=0.0,             # no RAPL on Westmere
+    rapl_dram_energy_unit_j=0.0,
+)

@@ -1,0 +1,201 @@
+"""Microarchitecture parameter sheets (paper Table I).
+
+Each :class:`MicroarchSpec` captures the front-end/back-end widths, SIMD
+capabilities and memory-system limits the paper tabulates for Sandy
+Bridge-EP and Haswell-EP (plus Westmere-EP, which Section VII uses as a
+comparison point for memory behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MicroarchSpec:
+    """Static microarchitecture description (one column of Table I)."""
+
+    name: str
+    codename: str
+    decode_width: int               # x86 instructions decoded per cycle
+    allocation_queue: int           # entries (per thread where applicable)
+    execute_ports: int              # micro-ops issued to execution per cycle
+    retire_width: int               # micro-ops retired per cycle
+    scheduler_entries: int
+    rob_entries: int
+    int_register_file: int
+    fp_register_file: int
+    simd_isa: str                   # "AVX" or "AVX2"
+    fpu_width_bits: int             # per FPU pipe
+    fpu_pipes: int
+    fma: bool                       # fused multiply-add support
+    load_bytes_per_cycle: int       # L1D load bandwidth
+    store_bytes_per_cycle: int      # L1D store bandwidth
+    l1d_loads_per_cycle: int
+    l1d_stores_per_cycle: int
+    l2_bytes_per_cycle: int
+    load_buffers: int
+    store_buffers: int
+    line_fill_buffers: int          # outstanding L1D misses per core
+    memory_channels: int
+    memory_type: str                # e.g. "DDR4-2133"
+    memory_transfer_rate_mts: int   # mega-transfers/s per channel
+    qpi_speed_gts: float            # QPI giga-transfers/s
+    uncore_coupling: str            # "independent" | "tied" | "fixed"
+
+    def __post_init__(self) -> None:
+        if self.uncore_coupling not in ("independent", "tied", "fixed"):
+            raise ConfigurationError(
+                f"unknown uncore coupling {self.uncore_coupling!r}"
+            )
+        if self.fpu_pipes < 1 or self.fpu_width_bits % 128:
+            raise ConfigurationError("implausible FPU configuration")
+
+    # ---- derived quantities (checked against Table I in the benchmarks) ----
+
+    @property
+    def flops_per_cycle_double(self) -> int:
+        """Peak double-precision FLOPS/cycle per core.
+
+        Each pipe processes ``width/64`` doubles; FMA counts two FLOPs.
+        Sandy Bridge has one add + one mul pipe (no FMA): 2 pipes x 4 = 8.
+        Haswell has two FMA pipes: 2 pipes x 4 x 2 = 16.
+        """
+        per_pipe = self.fpu_width_bits // 64
+        factor = 2 if self.fma else 1
+        return self.fpu_pipes * per_pipe * factor
+
+    @property
+    def dram_bandwidth_peak_bytes(self) -> float:
+        """Peak DRAM bandwidth in bytes/s (channels x rate x 8 bytes)."""
+        return self.memory_channels * self.memory_transfer_rate_mts * 1e6 * 8
+
+    @property
+    def qpi_bandwidth_bytes(self) -> float:
+        """Bidirectional QPI bandwidth in bytes/s (2 bytes/transfer x 2 dirs)."""
+        return self.qpi_speed_gts * 1e9 * 2 * 2
+
+    def table_row(self) -> dict[str, str]:
+        """Render this spec as the strings Table I prints."""
+        return {
+            "Decode": f"{self.decode_width}(+1) x86/cycle",
+            "Allocation queue": str(self.allocation_queue),
+            "Execute": f"{self.execute_ports} micro-ops/cycle",
+            "Retire": f"{self.retire_width} micro-ops/cycle",
+            "Scheduler entries": str(self.scheduler_entries),
+            "ROB entries": str(self.rob_entries),
+            "INT/FP register file": f"{self.int_register_file}/{self.fp_register_file}",
+            "SIMD ISA": self.simd_isa,
+            "FLOPS/cycle (double)": str(self.flops_per_cycle_double),
+            "Load/store buffers": f"{self.load_buffers}/{self.store_buffers}",
+            "L2 bytes/cycle": str(self.l2_bytes_per_cycle),
+            "Supported memory": (
+                f"{self.memory_channels}x{self.memory_type}"
+            ),
+            "DRAM bandwidth": (
+                f"up to {self.dram_bandwidth_peak_bytes / 1e9:.1f} GB/s"
+            ),
+            "QPI speed": (
+                f"{self.qpi_speed_gts} GT/s"
+                f" ({self.qpi_bandwidth_bytes / 1e9:.1f} GB/s)"
+            ),
+        }
+
+
+SANDY_BRIDGE_EP = MicroarchSpec(
+    name="Sandy Bridge-EP",
+    codename="sandybridge-ep",
+    decode_width=4,
+    allocation_queue=28,            # per thread
+    execute_ports=6,
+    retire_width=4,
+    scheduler_entries=54,
+    rob_entries=168,
+    int_register_file=160,
+    fp_register_file=144,
+    simd_isa="AVX",
+    fpu_width_bits=256,
+    fpu_pipes=2,
+    fma=False,                      # 1 add + 1 mul pipe
+    load_bytes_per_cycle=32,        # 2 x 16 B loads
+    store_bytes_per_cycle=16,       # 1 x 16 B store
+    l1d_loads_per_cycle=2,
+    l1d_stores_per_cycle=1,
+    l2_bytes_per_cycle=32,
+    load_buffers=64,
+    store_buffers=36,
+    line_fill_buffers=10,
+    memory_channels=4,
+    memory_type="DDR3-1600",
+    memory_transfer_rate_mts=1600,
+    qpi_speed_gts=8.0,
+    uncore_coupling="tied",         # uncore clock follows core clock
+)
+
+HASWELL_EP = MicroarchSpec(
+    name="Haswell-EP",
+    codename="haswell-ep",
+    decode_width=4,
+    allocation_queue=56,            # shared
+    execute_ports=8,
+    retire_width=4,
+    scheduler_entries=60,
+    rob_entries=192,
+    int_register_file=168,
+    fp_register_file=168,
+    simd_isa="AVX2",
+    fpu_width_bits=256,
+    fpu_pipes=2,
+    fma=True,
+    load_bytes_per_cycle=64,        # 2 x 32 B loads
+    store_bytes_per_cycle=32,       # 1 x 32 B store
+    l1d_loads_per_cycle=2,
+    l1d_stores_per_cycle=1,
+    l2_bytes_per_cycle=64,
+    load_buffers=72,
+    store_buffers=42,
+    line_fill_buffers=10,
+    memory_channels=4,
+    memory_type="DDR4-2133",
+    memory_transfer_rate_mts=2133,
+    qpi_speed_gts=9.6,
+    uncore_coupling="independent",  # uncore frequency scaling (UFS)
+)
+
+# Westmere-EP appears in Section VII (Fig. 7) as the generation whose fixed
+# uncore frequency made DRAM bandwidth independent of core frequency.
+WESTMERE_EP = MicroarchSpec(
+    name="Westmere-EP",
+    codename="westmere-ep",
+    decode_width=4,
+    allocation_queue=28,
+    execute_ports=6,
+    retire_width=4,
+    scheduler_entries=36,
+    rob_entries=128,
+    int_register_file=96,
+    fp_register_file=96,
+    simd_isa="SSE4.2",
+    fpu_width_bits=128,
+    fpu_pipes=2,
+    fma=False,
+    load_bytes_per_cycle=16,
+    store_bytes_per_cycle=16,
+    l1d_loads_per_cycle=1,
+    l1d_stores_per_cycle=1,
+    l2_bytes_per_cycle=32,
+    load_buffers=48,
+    store_buffers=32,
+    line_fill_buffers=10,
+    memory_channels=3,
+    memory_type="DDR3-1333",
+    memory_transfer_rate_mts=1333,
+    qpi_speed_gts=6.4,
+    uncore_coupling="fixed",        # fixed uncore clock
+)
+
+MICROARCHES: dict[str, MicroarchSpec] = {
+    spec.codename: spec for spec in (SANDY_BRIDGE_EP, HASWELL_EP, WESTMERE_EP)
+}

@@ -1,0 +1,112 @@
+"""Compute-node specifications (paper Table II and the Fig. 2a reference).
+
+A :class:`NodeSpec` describes the whole machine an LMG450 power meter is
+attached to: the sockets, DRAM, mainboard consumers, the PSU transfer
+function, and per-socket manufacturing skew.
+
+AC power model
+--------------
+The node's AC draw is ``P_AC = c2*P_dc^2 + c1*P_dc + c0`` with
+``P_dc = P_rapl_visible + board_dc_w``. For the Haswell test node the
+coefficients were chosen so that the paper's own quadratic fit of AC vs
+RAPL (footnote 2: ``P_AC = 0.0003 P^2 + 1.097 P + 225.7 W``) falls out of
+the simulation: ``c2 = 0.0003``, ``c1 = 1.097 - 2*board_dc*c2`` and
+``c0`` absorbing fans-at-maximum plus PSU standby losses. With these
+values the simulated idle node draws ~261.5 W AC (Table II) and a
+FIRESTARTER run draws ~561 W (Table V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.specs.cpu import CpuSpec, E5_2680_V3, E5_2670_SNB, X5670_WSM
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node (chassis-level view)."""
+
+    name: str
+    cpu: CpuSpec
+    n_sockets: int
+    dram_gib_per_socket: int
+    # Voltage skew per socket: the paper found that the cores of processor 0
+    # run at higher voltage for the same p-state than processor 1's, which
+    # makes socket 0 less efficient and gives it lower sustained frequencies
+    # (Section III, Table IV).
+    socket_voltage_offsets_v: tuple[float, ...]
+    board_dc_w: float               # mainboard consumers outside RAPL domains
+    psu_c0_w: float                 # AC model constant term (fans, standby)
+    psu_c1: float                   # AC model linear coefficient
+    psu_c2_per_w: float             # AC model quadratic coefficient
+    fan_setting: str = "maximum"
+
+    def __post_init__(self) -> None:
+        if self.n_sockets < 1:
+            raise ConfigurationError("a node needs at least one socket")
+        if len(self.socket_voltage_offsets_v) != self.n_sockets:
+            raise ConfigurationError(
+                "need one voltage offset per socket "
+                f"({self.n_sockets} sockets, "
+                f"{len(self.socket_voltage_offsets_v)} offsets)"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_sockets * self.cpu.n_cores
+
+    @property
+    def total_threads(self) -> int:
+        return self.total_cores * self.cpu.smt
+
+    def ac_power_w(self, dc_rapl_visible_w: float) -> float:
+        """Node AC draw for a given total RAPL-visible DC power."""
+        p_dc = dc_rapl_visible_w + self.board_dc_w
+        return self.psu_c0_w + self.psu_c1 * p_dc + self.psu_c2_per_w * p_dc * p_dc
+
+
+# The bullx R421 E4 node of Section III: 2x E5-2680 v3, fans at maximum.
+HASWELL_TEST_NODE = NodeSpec(
+    name="bullx R421 E4 (2x E5-2680 v3)",
+    cpu=E5_2680_V3,
+    n_sockets=2,
+    dram_gib_per_socket=32,
+    socket_voltage_offsets_v=(0.012, 0.0),
+    board_dc_w=25.0,
+    psu_c0_w=198.46,
+    psu_c1=1.082,
+    psu_c2_per_w=0.0003,
+    fan_setting="maximum",
+)
+
+# The Sandy Bridge-EP reference node of Fig. 2a ([20]); normal fan speeds,
+# nearly linear PSU over the measured range.
+SANDY_BRIDGE_TEST_NODE = NodeSpec(
+    name="Sandy Bridge-EP reference (2x E5-2670)",
+    cpu=E5_2670_SNB,
+    n_sockets=2,
+    dram_gib_per_socket=32,
+    socket_voltage_offsets_v=(0.0, 0.0),
+    board_dc_w=22.0,
+    psu_c0_w=58.0,
+    psu_c1=1.12,
+    psu_c2_per_w=0.00005,
+    fan_setting="normal",
+)
+
+# A Westmere-EP node used only for the Fig. 7 cross-generation bandwidth
+# comparison.
+WESTMERE_TEST_NODE = NodeSpec(
+    name="Westmere-EP reference (2x X5670)",
+    cpu=X5670_WSM,
+    n_sockets=2,
+    dram_gib_per_socket=24,
+    socket_voltage_offsets_v=(0.0, 0.0),
+    board_dc_w=20.0,
+    psu_c0_w=55.0,
+    psu_c1=1.15,
+    psu_c2_per_w=0.00006,
+    fan_setting="normal",
+)

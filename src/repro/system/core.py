@@ -1,0 +1,148 @@
+"""One processor core: frequency domain, c-state, workload binding.
+
+A core's *granted* frequency only changes when the PCU applies it (at a
+grant opportunity plus the voltage-ramp switching time on Haswell — see
+Fig. 4); the ``requested`` p-state is what software asked for via the
+cpufreq-like interface. ``None`` requests the hardware-managed maximum
+(turbo), mirroring the ondemand/turbo setting of the paper's tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cstates.states import CState
+from repro.errors import ConfigurationError, SimulationError
+from repro.power.fivr import Fivr
+from repro.specs.cpu import CpuSpec
+from repro.system.counters import CoreCounters
+from repro.workloads.base import Workload, WorkloadPhase
+
+
+class AvxLicense(enum.Enum):
+    """AVX voltage-license state machine (Section II-F)."""
+
+    NORMAL = "normal"          # non-AVX operating mode
+    REQUESTING = "requesting"  # waiting for the PCU voltage bump; throttled
+    LICENSED = "licensed"      # full AVX throughput at AVX-capped frequency
+    RELAXING = "relaxing"      # AVX done; 1 ms until return to normal mode
+
+    @property
+    def avx_capped(self) -> bool:
+        return self in (AvxLicense.REQUESTING, AvxLicense.LICENSED,
+                        AvxLicense.RELAXING)
+
+
+# Execution-throughput factor while the core waits for the voltage bump
+# ("slows the execution of AVX instructions" until the PCU acknowledges).
+AVX_REQUEST_THROTTLE = 0.75
+
+
+@dataclass
+class Core:
+    """Mutable state of one core."""
+
+    spec: CpuSpec
+    core_id: int               # global (node-wide) id
+    socket_id: int
+    fivr: Fivr
+    freq_hz: float = 0.0       # granted; set in __post_init__
+    requested_hz: float | None = None    # None = turbo/hardware-managed
+    cstate: CState = CState.C6
+    counters: CoreCounters = field(default_factory=CoreCounters)
+    workload: Workload | None = None
+    phase_index: int = 0
+    avx_license: AvxLicense = AvxLicense.NORMAL
+    avx_relax_deadline_ns: int | None = None
+    pending_freq_hz: float | None = None
+    # cached current phase — hot path; refreshed on bind/advance
+    _phase: "WorkloadPhase | None" = None
+
+    def __post_init__(self) -> None:
+        if self.freq_hz == 0.0:
+            self.freq_hz = self.spec.nominal_hz
+        self.fivr.set_frequency(self.freq_hz)
+        if self.cstate is CState.C6:
+            self.fivr.gate_off()       # cores boot parked, power-gated
+
+    # ---- workload ------------------------------------------------------------
+
+    def bind_workload(self, workload: Workload | None) -> None:
+        self.workload = workload
+        self.phase_index = 0
+        self._phase = None if workload is None else workload.phase(0)
+        self._sync_cstate()
+
+    def advance_phase(self) -> WorkloadPhase | None:
+        """Move to the next phase; returns it (None if no workload)."""
+        if self.workload is None:
+            return None
+        self.phase_index = self.workload.next_index(self.phase_index)
+        self._phase = self.workload.phase(self.phase_index)
+        self._sync_cstate()
+        return self._phase
+
+    @property
+    def current_phase(self) -> WorkloadPhase | None:
+        return self._phase
+
+    @property
+    def n_threads(self) -> int:
+        if self.workload is None:
+            return 0
+        return min(self.workload.threads_per_core, self.spec.smt)
+
+    def _sync_cstate(self) -> None:
+        phase = self.current_phase
+        if phase is None or not phase.active:
+            target = phase.idle_cstate if phase is not None else "C6"
+            self.enter_cstate(CState.from_name(target))
+        else:
+            self.cstate = CState.C0
+            self.fivr.gate_on()
+
+    # ---- c-states ----------------------------------------------------------------
+
+    @property
+    def is_active(self) -> bool:
+        return self.cstate is CState.C0
+
+    def enter_cstate(self, state: CState) -> None:
+        if state is CState.C0:
+            raise ConfigurationError("use wake() to return to C0")
+        phase = self.current_phase
+        if phase is not None and phase.active:
+            raise SimulationError(
+                f"core {self.core_id} has active work; cannot idle")
+        self.cstate = state
+        if state is CState.C6:
+            self.fivr.gate_off()
+
+    def wake(self) -> None:
+        self.cstate = CState.C0
+        self.fivr.gate_on()
+
+    # ---- frequency ------------------------------------------------------------------
+
+    def request_pstate(self, f_hz: float | None) -> None:
+        """The cpufreq-like request interface (None = turbo)."""
+        if f_hz is not None:
+            f_hz = self.spec.validate_pstate(f_hz)
+        self.requested_hz = f_hz
+
+    def apply_frequency(self, f_hz: float) -> None:
+        """PCU applies a granted frequency (after the switching time)."""
+        if f_hz <= 0:
+            raise SimulationError("granted frequency must be positive")
+        self.freq_hz = f_hz
+        self.pending_freq_hz = None
+        self.fivr.set_frequency(f_hz)
+
+    # ---- integration helper -------------------------------------------------------------
+
+    def execution_throttle(self) -> float:
+        """IPC multiplier from the AVX license state."""
+        if self.avx_license is AvxLicense.REQUESTING:
+            return AVX_REQUEST_THROTTLE
+        return 1.0

@@ -1,0 +1,52 @@
+"""Hardware counter state, as sampled by the perfctr instrument.
+
+Mirrors the counters the paper reads via LIKWID: TSC, APERF/MPERF,
+retired instructions (per thread and per core), stall cycles, uncore
+clocks (``UNCORE_CLOCK:UBOXFIX``), and cache/DRAM traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cstates.states import CState
+
+
+@dataclass
+class CoreCounters:
+    """Monotonic counters of one core."""
+
+    tsc: float = 0.0                   # invariant TSC (nominal-rate) cycles
+    aperf: float = 0.0                 # actual cycles while in C0
+    mperf: float = 0.0                 # nominal-rate cycles while in C0
+    instructions_core: float = 0.0     # retired, all threads
+    instructions_thread0: float = 0.0  # retired, first hardware thread
+    stall_cycles: float = 0.0
+    l3_bytes: float = 0.0
+    dram_bytes: float = 0.0
+    cstate_residency_ns: dict[CState, int] = field(
+        default_factory=lambda: {s: 0 for s in CState})
+
+    def snapshot(self) -> "CoreCounters":
+        copy = CoreCounters(
+            tsc=self.tsc, aperf=self.aperf, mperf=self.mperf,
+            instructions_core=self.instructions_core,
+            instructions_thread0=self.instructions_thread0,
+            stall_cycles=self.stall_cycles,
+            l3_bytes=self.l3_bytes, dram_bytes=self.dram_bytes,
+        )
+        copy.cstate_residency_ns = dict(self.cstate_residency_ns)
+        return copy
+
+
+@dataclass
+class UncoreCounters:
+    """Monotonic counters of one socket's uncore."""
+
+    uclk: float = 0.0                  # uncore clock ticks (UBOXFIX)
+    l3_bytes: float = 0.0
+    dram_bytes: float = 0.0
+
+    def snapshot(self) -> "UncoreCounters":
+        return UncoreCounters(uclk=self.uclk, l3_bytes=self.l3_bytes,
+                              dram_bytes=self.dram_bytes)

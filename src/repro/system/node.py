@@ -1,0 +1,250 @@
+"""The full compute node: sockets, PCUs, MBVR, PSU, workload control.
+
+This is the top-level object experiments drive. It is the simulator's
+integrator (delegating to the sockets), owns the workload-phase event
+machinery, and implements the software-visible control interfaces
+(cpufreq-like p-state requests, EPB, workload placement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.pcu.epb import Epb
+from repro.pcu.pcu import Pcu
+from repro.power.mbvr import Mbvr, SvidCommand
+from repro.power.psu import PsuModel
+from repro.specs.node import NodeSpec, HASWELL_TEST_NODE
+from repro.system.core import Core
+from repro.system.socket import Socket
+from repro.units import NS_PER_S
+from repro.workloads.base import Workload
+
+
+@dataclass
+class Node:
+    sim: Simulator
+    spec: NodeSpec
+    sockets: list[Socket]
+    pcus: list[Pcu]
+    mbvr: Mbvr
+    psu: PsuModel
+    ac_energy_j: float = 0.0
+    _phase_events: dict[int, object] = field(default_factory=dict)
+
+    # ---- topology accessors -----------------------------------------------------
+
+    @property
+    def all_cores(self) -> list[Core]:
+        return [c for s in self.sockets for c in s.cores]
+
+    def core(self, core_id: int) -> Core:
+        for s in self.sockets:
+            for c in s.cores:
+                if c.core_id == core_id:
+                    return c
+        raise ConfigurationError(f"no core {core_id}")
+
+    def socket_of(self, core_id: int) -> Socket:
+        return self.sockets[self.core(core_id).socket_id]
+
+    def pcu_of(self, core_id: int) -> Pcu:
+        return self.pcus[self.core(core_id).socket_id]
+
+    # ---- system-wide views used by the PCUs -----------------------------------------
+
+    def any_core_active(self) -> bool:
+        return any(c.is_active for s in self.sockets for c in s.cores)
+
+    def system_fastest_setting(self) -> float | None | str:
+        """P-state setting of the fastest active core anywhere.
+
+        ``None`` = at least one active core requests turbo; a float = the
+        highest explicit setting; ``"no-active-core"`` if all idle.
+        """
+        requests: list[float | None] = []
+        for s in self.sockets:
+            for c in s.active_cores():
+                requests.append(c.requested_hz)
+        if not requests:
+            return "no-active-core"
+        if any(r is None for r in requests):
+            return None
+        return max(requests)
+
+    # ---- workload control -----------------------------------------------------------------
+
+    def run_workload(self, core_ids: list[int], workload: Workload) -> None:
+        """Place (a per-core instance of) ``workload`` on each core."""
+        for core_id in core_ids:
+            core = self.core(core_id)
+            self._cancel_phase_event(core_id)
+            core.bind_workload(workload)
+            self.pcu_of(core_id).avx_unit.on_phase_change(core)
+            self._schedule_phase_advance(core)
+
+    def stop_workload(self, core_ids: list[int]) -> None:
+        for core_id in core_ids:
+            core = self.core(core_id)
+            self._cancel_phase_event(core_id)
+            core.bind_workload(None)
+            self.pcu_of(core_id).avx_unit.on_phase_change(core)
+
+    def _schedule_phase_advance(self, core: Core) -> None:
+        phase = core.current_phase
+        if phase is None or phase.duration_ns is None:
+            return
+        self._phase_events[core.core_id] = self.sim.schedule_after(
+            phase.duration_ns,
+            lambda _t, c=core: self._advance_phase(c),
+            label=f"phase-core{core.core_id}")
+
+    def _advance_phase(self, core: Core) -> None:
+        self._phase_events.pop(core.core_id, None)
+        core.advance_phase()
+        self.pcu_of(core.core_id).avx_unit.on_phase_change(core)
+        self._schedule_phase_advance(core)
+
+    def _cancel_phase_event(self, core_id: int) -> None:
+        event = self._phase_events.pop(core_id, None)
+        if event is not None:
+            event.cancel()
+
+    # ---- software control interfaces ---------------------------------------------------------
+
+    def set_pstate(self, core_ids: list[int] | None,
+                   f_hz: float | None) -> None:
+        """cpufreq-like request: ``None`` = turbo/hardware-managed max.
+
+        On pre-Haswell parts the request is carried out immediately
+        (Section VI-A); on Haswell it waits for the next PCU grant
+        opportunity.
+        """
+        targets = core_ids if core_ids is not None \
+            else [c.core_id for c in self.all_cores]
+        for core_id in targets:
+            core = self.core(core_id)
+            core.request_pstate(f_hz)
+            if core.spec.pstate_granted_immediately:
+                applied = f_hz if f_hz is not None else core.spec.nominal_hz
+                self.sim.schedule_after(
+                    core.spec.pstate_switch_time_ns,
+                    lambda _t, c=core, f=applied: c.apply_frequency(f),
+                    label=f"legacy-pstate-core{core_id}")
+
+    def set_epb(self, epb: Epb, socket_ids: list[int] | None = None) -> None:
+        for pcu in self.pcus:
+            if socket_ids is None or pcu.socket.socket_id in socket_ids:
+                pcu.epb = epb
+
+    def set_turbo(self, enabled: bool) -> None:
+        for pcu in self.pcus:
+            pcu.turbo_enabled = enabled
+
+    def set_eet(self, enabled: bool) -> None:
+        for pcu in self.pcus:
+            pcu.eet.enabled = enabled
+
+    # ---- power views ----------------------------------------------------------------------------
+
+    def dc_rapl_visible_w(self) -> float:
+        total = 0.0
+        for s in self.sockets:
+            breakdown = s.evaluate_power()
+            total += breakdown.package_w + breakdown.dram_w
+        return total
+
+    def ac_power_w(self) -> float:
+        """Instantaneous wall power (what the LMG450 samples)."""
+        return self.psu.ac_power_w(self.dc_rapl_visible_w())
+
+    # ---- integration -----------------------------------------------------------------------------
+
+    def integrate(self, t0_ns: int, t1_ns: int) -> None:
+        any_active = self.any_core_active()
+        dc_w = 0.0
+        for s in self.sockets:
+            s.integrate(t0_ns, t1_ns, any_active)
+            breakdown = s.last_breakdown
+            if breakdown is not None:
+                dc_w += breakdown.package_w + breakdown.dram_w
+        ac_w = self.psu.ac_power_w(dc_w)
+        self.ac_energy_j += ac_w * (t1_ns - t0_ns) / NS_PER_S
+
+    def _rapl_refresh(self, _now_ns: int) -> None:
+        for s in self.sockets:
+            s.rapl.refresh()
+
+    # ---- human-readable state dump ---------------------------------------------
+
+    def summary(self) -> str:
+        """One-screen state report: per-socket frequencies, power, states."""
+        lines = [f"{self.spec.name} @ t={self.sim.now_ns / 1e9:.3f} s"]
+        for socket in self.sockets:
+            active = socket.active_cores()
+            breakdown = socket.last_breakdown
+            power = (f"{breakdown.package_w:.1f} W pkg + "
+                     f"{breakdown.dram_w:.1f} W DRAM"
+                     if breakdown is not None else "unmeasured")
+            uncore = ("halted" if socket.uncore.halted
+                      else f"{socket.uncore.freq_hz / 1e9:.2f} GHz")
+            lines.append(
+                f"  socket {socket.socket_id}: {len(active)}/"
+                f"{len(socket.cores)} cores active, uncore {uncore}, "
+                f"package {socket.package_cstate.name}, {power}")
+            for core in active[:6]:
+                phase = core.current_phase
+                lines.append(
+                    f"    core {core.core_id:2d}: "
+                    f"{core.freq_hz / 1e9:.2f} GHz, "
+                    f"{phase.name}, license {core.avx_license.value}")
+            if len(active) > 6:
+                lines.append(f"    ... {len(active) - 6} more active cores")
+        lines.append(f"  wall power: {self.ac_power_w():.1f} W")
+        return "\n".join(lines)
+
+
+def build_node(
+    sim: Simulator,
+    spec: NodeSpec = HASWELL_TEST_NODE,
+    epb: Epb = Epb.BALANCED,
+    turbo_enabled: bool = True,
+    eet_enabled: bool = True,
+) -> Node:
+    """Assemble a node, wire the PCUs, and start the periodic machinery."""
+    measured_rapl = spec.cpu.microarch.codename == "haswell-ep"
+    sockets = []
+    for sid in range(spec.n_sockets):
+        sockets.append(Socket.build(
+            spec=spec.cpu,
+            socket_id=sid,
+            first_core_id=sid * spec.cpu.n_cores,
+            voltage_offset_v=spec.socket_voltage_offsets_v[sid],
+            measured_rapl=measured_rapl,
+        ))
+    node = Node(sim=sim, spec=spec, sockets=sockets, pcus=[],
+                mbvr=Mbvr(), psu=PsuModel(spec))
+    for socket in sockets:
+        pcu = Pcu(sim=sim, socket=socket, node=node, epb=epb,
+                  turbo_enabled=turbo_enabled, eet_enabled=eet_enabled)
+        node.pcus.append(pcu)
+        pcu.start()
+    sim.add_integrator(node)
+    if spec.cpu.rapl_update_period_ns > 0:
+        sim.schedule_every(spec.cpu.rapl_update_period_ns,
+                           node._rapl_refresh, label="rapl-refresh")
+    # Initial SVID programming of the three MBVR lanes (Section II-B).
+    node.mbvr.apply(SvidCommand("VCCin", 1.8))
+    node.mbvr.apply(SvidCommand("VCCD_01", 1.2))
+    node.mbvr.apply(SvidCommand("VCCD_23", 1.2))
+    return node
+
+
+def build_haswell_node(seed: int | None = None,
+                       **kwargs) -> tuple[Simulator, Node]:
+    """Convenience: a fresh simulator plus the paper's test node."""
+    sim = Simulator(seed=seed)
+    node = build_node(sim, HASWELL_TEST_NODE, **kwargs)
+    return sim, node

@@ -1,0 +1,47 @@
+"""The uncore domain of one socket: ring, L3 slices, IMC logic.
+
+Its clock is an independent frequency domain on Haswell (UFS), tied to
+the core clock on Sandy Bridge, and fixed on Westmere; the PCU decides.
+The clock halts in package C3/C6 (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.power.fivr import Fivr
+from repro.specs.cpu import CpuSpec
+from repro.system.counters import UncoreCounters
+
+
+@dataclass
+class Uncore:
+    spec: CpuSpec
+    fivr: Fivr
+    freq_hz: float = 0.0
+    halted: bool = False
+    counters: UncoreCounters = field(default_factory=UncoreCounters)
+
+    def __post_init__(self) -> None:
+        if self.freq_hz == 0.0:
+            self.freq_hz = self.spec.uncore_min_hz
+        self.fivr.set_frequency(self.freq_hz)
+
+    def set_frequency(self, f_hz: float) -> None:
+        if not (self.spec.uncore_min_hz <= f_hz <= self.spec.uncore_max_hz):
+            raise SimulationError(
+                f"uncore frequency {f_hz / 1e9:.2f} GHz outside "
+                f"[{self.spec.uncore_min_hz / 1e9:.2f}, "
+                f"{self.spec.uncore_max_hz / 1e9:.2f}] GHz")
+        self.freq_hz = f_hz
+        self.fivr.set_frequency(f_hz)
+
+    def halt(self) -> None:
+        """Package C3/C6: the uncore clock stops."""
+        self.halted = True
+        self.fivr.gate_off()
+
+    def resume(self) -> None:
+        self.halted = False
+        self.fivr.gate_on()

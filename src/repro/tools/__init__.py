@@ -1,0 +1,13 @@
+"""Command-line tools over the simulated node.
+
+Mirrors the tooling ecosystem the paper works with: a
+``likwid-powermeter``-style RAPL reporter, a ``likwid-setFrequencies``-
+style p-state utility, and a FIRESTARTER-style stress CLI. Installed as
+``repro-powermeter``, ``repro-setfreq`` and ``repro-firestarter``.
+"""
+
+from repro.tools.powermeter import main as powermeter_main
+from repro.tools.setfrequencies import main as setfreq_main
+from repro.tools.firestarter_cli import main as firestarter_main
+
+__all__ = ["powermeter_main", "setfreq_main", "firestarter_main"]

@@ -1,0 +1,95 @@
+"""``repro-powermeter`` — likwid-powermeter over the simulated node.
+
+Runs a named workload for a configurable duration and reports per-socket
+RAPL package/DRAM power (via the MSR energy counters, exactly as the
+real tool computes it), plus the wall power the LMG450 sees.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.instruments.lmg450 import Lmg450
+from repro.power.rapl import RaplDomain, wraparound_delta
+from repro.system.node import build_haswell_node
+from repro.units import seconds
+from repro.workloads.firestarter import firestarter
+from repro.workloads.linpack import linpack
+from repro.workloads.micro import busy_wait, compute, dgemm, memory_read
+from repro.workloads.mprime import mprime
+from repro.workloads.zoo import kernel, kernel_names
+
+
+def _workload_by_name(name: str, spec):
+    builders = {
+        "idle": None,
+        "busy_wait": busy_wait,
+        "compute": compute,
+        "dgemm": dgemm,
+        "memory": lambda: memory_read(spec),
+        "firestarter": firestarter,
+        "linpack": linpack,
+        "mprime": mprime,
+    }
+    if name in builders:
+        return builders[name]() if builders[name] is not None else None
+    if name in kernel_names():
+        return kernel(name)
+    raise SystemExit(
+        f"unknown workload {name!r}; choose from "
+        f"{sorted(builders) + kernel_names()}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-powermeter",
+        description="RAPL power report on the simulated Haswell-EP node")
+    parser.add_argument("-w", "--workload", default="idle",
+                        help="workload name (default: idle)")
+    parser.add_argument("-t", "--time", type=float, default=2.0,
+                        help="measurement duration in seconds")
+    parser.add_argument("-n", "--threads", type=int, default=24,
+                        help="number of cores to load")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    sim, node = build_haswell_node(seed=args.seed)
+    workload = _workload_by_name(args.workload, node.spec.cpu)
+    if workload is not None:
+        core_ids = [c.core_id for c in node.all_cores][: args.threads]
+        node.run_workload(core_ids, workload)
+    meter = Lmg450(sim, node)
+    sim.run_for(seconds(0.5))
+    meter.start()
+
+    before = [{d: s.rapl.read_counter(d)
+               for d in (RaplDomain.PACKAGE, RaplDomain.DRAM)}
+              for s in node.sockets]
+    t0 = sim.now_ns
+    sim.run_for(seconds(args.time))
+    dt = (sim.now_ns - t0) / 1e9
+
+    print(f"Runtime: {dt:.1f} s   workload: {args.workload} "
+          f"x{args.threads if workload else 0}")
+    print("-" * 52)
+    total = 0.0
+    for socket, snap in zip(node.sockets, before):
+        print(f"Socket {socket.socket_id}:")
+        for domain in (RaplDomain.PACKAGE, RaplDomain.DRAM):
+            delta = wraparound_delta(snap[domain],
+                                     socket.rapl.read_counter(domain))
+            energy = delta * socket.rapl.energy_unit_j(domain)
+            power = energy / dt
+            total += power
+            print(f"  Domain {domain.value.upper():8s} "
+                  f"energy {energy:10.2f} J   power {power:7.2f} W")
+    print("-" * 52)
+    print(f"RAPL total (pkg+DRAM, both sockets): {total:7.2f} W")
+    print(f"Wall power (LMG450 mean):            "
+          f"{meter.average(t0, sim.now_ns):7.2f} W")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

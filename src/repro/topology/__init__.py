@@ -1,0 +1,38 @@
+"""On-die ring-interconnect topology (paper Fig. 1)."""
+
+from repro.topology.die import (
+    ComponentKind,
+    DieComponent,
+    RingPartition,
+    Die,
+)
+from repro.topology.builder import build_haswell_die, DIE_VARIANTS
+from repro.topology.routing import (
+    hop_count,
+    average_core_l3_hops,
+    average_core_imc_hops,
+    ring_path,
+)
+from repro.topology.ring_sim import (
+    RingSimulator,
+    RingSimResult,
+    saturation_bandwidth_gbs,
+    FLIT_BYTES,
+)
+
+__all__ = [
+    "ComponentKind",
+    "DieComponent",
+    "RingPartition",
+    "Die",
+    "build_haswell_die",
+    "DIE_VARIANTS",
+    "hop_count",
+    "average_core_l3_hops",
+    "average_core_imc_hops",
+    "ring_path",
+    "RingSimulator",
+    "RingSimResult",
+    "saturation_bandwidth_gbs",
+    "FLIT_BYTES",
+]

@@ -1,0 +1,65 @@
+"""Constructors for the three Haswell-EP die layouts (Section II-A, Fig. 1).
+
+* 8-core die — a single bidirectional ring (4/6/8-core SKUs)
+* 12-core die — an 8-core and a 4-core partition (10/12-core SKUs)
+* 18-core die — an 8-core and a 10-core partition (14/16/18-core SKUs)
+
+Each partition carries one IMC (two DRAM channels); partition 0
+additionally hosts the QPI and PCIe agents. Partitioned dies are joined
+by two buffered queue pairs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.topology.die import ComponentKind, Die, DieComponent, RingPartition
+
+# SKU core count -> (die name, cores per partition)
+DIE_VARIANTS: dict[int, tuple[str, tuple[int, ...]]] = {
+    4: ("8-core die", (8,)),
+    6: ("8-core die", (8,)),
+    8: ("8-core die", (8,)),
+    10: ("12-core die", (8, 4)),
+    12: ("12-core die", (8, 4)),
+    14: ("18-core die", (8, 10)),
+    16: ("18-core die", (8, 10)),
+    18: ("18-core die", (8, 10)),
+}
+
+
+def build_haswell_die(n_cores: int) -> Die:
+    """Build the die used by an ``n_cores``-core Haswell-EP SKU."""
+    if n_cores not in DIE_VARIANTS:
+        raise ConfigurationError(
+            f"no Haswell-EP die variant for {n_cores} cores "
+            f"(valid: {sorted(DIE_VARIANTS)})")
+    die_name, layout = DIE_VARIANTS[n_cores]
+
+    partitions: list[RingPartition] = []
+    core_index = 0
+    for part_idx, cores_here in enumerate(layout):
+        part = RingPartition(index=part_idx)
+        # Uncore agents sit at the "top" of the ring.
+        part.components.append(
+            DieComponent(ComponentKind.IMC, part_idx, part_idx))
+        if part_idx == 0:
+            part.components.append(DieComponent(ComponentKind.QPI, 0, 0))
+            part.components.append(DieComponent(ComponentKind.PCIE, 0, 0))
+        for _ in range(cores_here):
+            part.components.append(
+                DieComponent(ComponentKind.CORE, core_index, part_idx))
+            core_index += 1
+        partitions.append(part)
+
+    queue_pairs: list[tuple[DieComponent, DieComponent]] = []
+    if len(partitions) == 2:
+        # Two queue pairs bridge the rings (Fig. 1 shows four queue stops).
+        for q_idx in range(2):
+            q_a = DieComponent(ComponentKind.QUEUE, 2 * q_idx, 0)
+            q_b = DieComponent(ComponentKind.QUEUE, 2 * q_idx + 1, 1)
+            partitions[0].components.append(q_a)
+            partitions[1].components.append(q_b)
+            queue_pairs.append((q_a, q_b))
+
+    return Die(name=die_name, n_cores=n_cores, partitions=partitions,
+               queue_pairs=queue_pairs)

@@ -1,0 +1,54 @@
+"""Ring routing helpers: hop counts and shortest paths on a die graph.
+
+Used by the topology benchmarks and the L3 transport model (average
+core-to-L3-slice distance grows with die size, one reason large dies need
+the queue-bridged layout the paper describes). In the default hardware
+configuration this complexity is invisible to software — the paper notes
+this — so these helpers are analysis tools, not simulation state.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.topology.die import Die
+
+
+def ring_path(die: Die, src_name: str, dst_name: str) -> list[str]:
+    """Shortest stop-to-stop path on the die."""
+    return nx.shortest_path(die.to_graph(), src_name, dst_name)
+
+
+def hop_count(die: Die, src_name: str, dst_name: str) -> int:
+    """Number of ring/queue hops between two stops."""
+    return len(ring_path(die, src_name, dst_name)) - 1
+
+
+def average_core_l3_hops(die: Die) -> float:
+    """Mean hop distance from an enabled core to every other core's L3 slice.
+
+    L3 slices are co-located with core ring stops, so the core-to-core
+    distance distribution is the L3 access distance distribution under
+    the default address-hashed slice interleaving.
+    """
+    graph = die.to_graph()
+    cores = [c.name for c in die.enabled_cores]
+    lengths = dict(nx.all_pairs_shortest_path_length(graph))
+    total = 0
+    pairs = 0
+    for a in cores:
+        for b in cores:
+            if a != b:
+                total += lengths[a][b]
+                pairs += 1
+    return total / pairs if pairs else 0.0
+
+
+def average_core_imc_hops(die: Die) -> float:
+    """Mean hop distance from an enabled core to its nearest IMC."""
+    graph = die.to_graph()
+    imcs = [c.name for p in die.partitions for c in p.imcs]
+    lengths = dict(nx.all_pairs_shortest_path_length(graph))
+    dists = [min(lengths[c.name][imc] for imc in imcs)
+             for c in die.enabled_cores]
+    return sum(dists) / len(dists) if dists else 0.0

@@ -1,0 +1,24 @@
+"""Energy-efficiency tuning strategies on top of the simulated node.
+
+The paper's closing argument (Section IX): Haswell-EP's slow, quantized
+p-state grants weaken DVFS in dynamic scenarios, while its microsecond
+c-state wakes make dynamic concurrency throttling (DCT) viable; and the
+frequency-independence of saturated DRAM bandwidth re-enables frequency
+scaling for memory-bound codes. This package turns those observations
+into runnable controllers and an operating-point optimizer — the API a
+downstream energy-aware runtime would adopt.
+"""
+
+from repro.tuning.dvfs import DvfsController
+from repro.tuning.dct import DctController
+from repro.tuning.optimizer import OperatingPoint, OperatingPointOptimizer
+from repro.tuning.edp import EdpAnalysis, EdpPoint
+
+__all__ = [
+    "DvfsController",
+    "DctController",
+    "OperatingPoint",
+    "OperatingPointOptimizer",
+    "EdpAnalysis",
+    "EdpPoint",
+]

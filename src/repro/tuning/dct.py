@@ -1,0 +1,88 @@
+"""A dynamic-concurrency-throttling controller.
+
+For bandwidth-saturated workloads, running more cores than the
+saturation point buys no bandwidth but burns core power (Fig. 8: DRAM
+saturates at 8 cores). The controller measures the marginal bandwidth of
+the last-added core and parks cores whose contribution falls below a
+threshold; parked cores return in microseconds when the workload changes
+(the paper's DVFS-vs-DCT argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.system.node import Node
+from repro.units import ms
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class DctStep:
+    n_cores: int
+    total_gbs: float
+    marginal_gbs: float
+
+
+class DctController:
+    """Finds the minimal concurrency that preserves bandwidth."""
+
+    def __init__(self, sim: Simulator, node: Node, socket_id: int = 1,
+                 marginal_threshold_gbs: float = 1.0,
+                 probe_ns: int = ms(10)) -> None:
+        if marginal_threshold_gbs <= 0:
+            raise ConfigurationError("threshold must be positive")
+        self.sim = sim
+        self.node = node
+        self.socket_id = socket_id
+        self.marginal_threshold_gbs = marginal_threshold_gbs
+        self.probe_ns = probe_ns
+        self.steps: list[DctStep] = []
+
+    def _measure_gbs(self, core_ids: list[int], workload: Workload) -> float:
+        socket = self.node.sockets[self.socket_id]
+        self.node.run_workload(core_ids, workload)
+        self.sim.run_for(ms(2))              # settle PCU/UFS
+        b0 = socket.uncore.counters.dram_bytes + socket.uncore.counters.l3_bytes
+        t0 = self.sim.now_ns
+        self.sim.run_for(self.probe_ns)
+        b1 = socket.uncore.counters.dram_bytes + socket.uncore.counters.l3_bytes
+        dt = (self.sim.now_ns - t0) / 1e9
+        self.node.stop_workload(core_ids)
+        return (b1 - b0) / dt / 1e9
+
+    def find_concurrency(self, workload: Workload,
+                         max_cores: int | None = None) -> int:
+        """Smallest core count whose marginal bandwidth gain has collapsed.
+
+        Ramps concurrency up and stops one past the point where adding a
+        core contributes less than the threshold.
+        """
+        socket = self.node.sockets[self.socket_id]
+        limit = max_cores if max_cores is not None else len(socket.cores)
+        if not (1 <= limit <= len(socket.cores)):
+            raise ConfigurationError("max_cores outside the socket")
+        self.steps = []
+        prev_gbs = 0.0
+        best_n = 1
+        for n in range(1, limit + 1):
+            core_ids = [c.core_id for c in socket.cores[:n]]
+            total = self._measure_gbs(core_ids, workload)
+            marginal = total - prev_gbs
+            self.steps.append(DctStep(n, total, marginal))
+            if n > 1 and marginal < self.marginal_threshold_gbs:
+                break
+            best_n = n
+            prev_gbs = total
+        return best_n
+
+    def apply(self, workload: Workload, n_cores: int) -> list[int]:
+        """Run the workload on ``n_cores`` of the socket; park the rest."""
+        socket = self.node.sockets[self.socket_id]
+        active = [c.core_id for c in socket.cores[:n_cores]]
+        parked = [c.core_id for c in socket.cores[n_cores:]]
+        self.node.stop_workload(parked)
+        self.node.run_workload(active, workload)
+        return active

@@ -1,0 +1,91 @@
+"""A stall-driven DVFS controller.
+
+Lowers the clock of cores whose workloads are dominated by memory stalls
+(their performance barely depends on the core clock once the uncore
+carries the traffic — Section VII), and restores it when the workload
+turns compute-bound. Reaction time is bounded below by the PCU's ~500 us
+grant quantum, which the controller accounts for in its cooldown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.system.node import Node
+from repro.units import ms
+
+
+@dataclass
+class DvfsDecision:
+    time_ns: int
+    core_id: int
+    target_hz: float
+    reason: str
+
+
+class DvfsController:
+    """Per-core stall-fraction thresholding with hysteresis."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        period_ns: int = ms(10),
+        stall_high: float = 0.5,
+        stall_low: float = 0.2,
+        low_hz: float | None = None,
+        high_hz: float | None = None,
+    ) -> None:
+        if not (0.0 <= stall_low < stall_high <= 1.0):
+            raise ConfigurationError("need 0 <= stall_low < stall_high <= 1")
+        self.sim = sim
+        self.node = node
+        self.period_ns = period_ns
+        self.stall_high = stall_high
+        self.stall_low = stall_low
+        spec = node.spec.cpu
+        self.low_hz = low_hz if low_hz is not None else spec.min_hz
+        self.high_hz = high_hz if high_hz is not None else spec.nominal_hz
+        self.decisions: list[DvfsDecision] = []
+        self._last_stall: dict[int, float] = {}
+        self._task = None
+
+    def start(self) -> None:
+        if self._task is not None:
+            raise ConfigurationError("controller already running")
+        self._snapshot()
+        self._task = self.sim.schedule_every(self.period_ns, self._tick,
+                                             label="dvfs-controller")
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _snapshot(self) -> None:
+        for core in self.node.all_cores:
+            self._last_stall[core.core_id] = core.counters.stall_cycles
+
+    def _tick(self, now_ns: int) -> None:
+        for core in self.node.all_cores:
+            if not core.is_active:
+                continue
+            d_stall = core.counters.stall_cycles \
+                - self._last_stall[core.core_id]
+            cycles = self.period_ns / 1e9 * max(core.freq_hz, 1.0)
+            stall_frac = min(d_stall / cycles, 1.0)
+            if stall_frac >= self.stall_high \
+                    and (core.requested_hz or 0) != self.low_hz:
+                self.node.set_pstate([core.core_id], self.low_hz)
+                self.decisions.append(DvfsDecision(
+                    now_ns, core.core_id, self.low_hz,
+                    f"stall fraction {stall_frac:.2f} >= {self.stall_high}"))
+            elif stall_frac <= self.stall_low \
+                    and (core.requested_hz or 0) != self.high_hz:
+                self.node.set_pstate([core.core_id], self.high_hz)
+                self.decisions.append(DvfsDecision(
+                    now_ns, core.core_id, self.high_hz,
+                    f"stall fraction {stall_frac:.2f} <= {self.stall_low}"))
+        self._snapshot()

@@ -1,0 +1,106 @@
+"""Energy-delay-product frequency analysis.
+
+Sweeps the p-state range for a fixed workload/concurrency and evaluates
+energy, delay (1/throughput), EDP and ED²P. The classic result the
+paper's Section VII enables on Haswell: for memory-bound codes the
+EDP-optimal frequency collapses toward the bottom of the range (delay
+barely moves, energy does), while compute-bound codes optimize at high
+frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.specs.node import HASWELL_TEST_NODE, NodeSpec
+from repro.system.node import build_node
+from repro.units import ms
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class EdpPoint:
+    f_hz: float
+    throughput: float          # work units per second (GIPS or GB/s)
+    pkg_power_w: float
+
+    @property
+    def delay(self) -> float:
+        """Time per unit of work (the inverse of throughput)."""
+        return 1.0 / self.throughput if self.throughput > 0 else float("inf")
+
+    @property
+    def energy_per_work(self) -> float:
+        return self.pkg_power_w * self.delay
+
+    @property
+    def edp(self) -> float:
+        return self.energy_per_work * self.delay
+
+    @property
+    def ed2p(self) -> float:
+        return self.edp * self.delay
+
+
+class EdpAnalysis:
+    """Frequency sweep + metric minimization on one socket."""
+
+    def __init__(self, node_spec: NodeSpec = HASWELL_TEST_NODE,
+                 socket_id: int = 1, probe_ns: int = ms(10),
+                 seed: int = 141) -> None:
+        self.node_spec = node_spec
+        self.socket_id = socket_id
+        self.probe_ns = probe_ns
+        self.seed = seed
+
+    def sweep(self, workload: Workload, n_cores: int,
+              freqs_hz: list[float] | None = None) -> list[EdpPoint]:
+        spec = self.node_spec.cpu
+        if not (1 <= n_cores <= spec.n_cores):
+            raise ConfigurationError("core count outside the socket")
+        freqs = freqs_hz if freqs_hz is not None else list(spec.pstates_hz)
+        sim = Simulator(seed=self.seed)
+        node = build_node(sim, self.node_spec)
+        socket = node.sockets[self.socket_id]
+        core_ids = [c.core_id for c in socket.cores[:n_cores]]
+        node.run_workload(core_ids, workload)
+        bw_bound = workload.phases[0].bw_bound
+
+        points = []
+        for f in freqs:
+            node.set_pstate(core_ids, f)
+            sim.run_for(ms(3))
+            e0 = socket.energy_pkg_j
+            i0 = sum(c.counters.instructions_core for c in socket.cores)
+            b0 = (socket.uncore.counters.dram_bytes
+                  + socket.uncore.counters.l3_bytes)
+            t0 = sim.now_ns
+            sim.run_for(self.probe_ns)
+            dt = (sim.now_ns - t0) / 1e9
+            if bw_bound:
+                throughput = (socket.uncore.counters.dram_bytes
+                              + socket.uncore.counters.l3_bytes - b0) \
+                    / dt / 1e9
+            else:
+                throughput = (sum(c.counters.instructions_core
+                                  for c in socket.cores) - i0) / dt / 1e9
+            points.append(EdpPoint(
+                f_hz=f,
+                throughput=throughput,
+                pkg_power_w=(socket.energy_pkg_j - e0) / dt,
+            ))
+        return points
+
+    @staticmethod
+    def optimal(points: list[EdpPoint], metric: str = "edp") -> EdpPoint:
+        if metric not in ("energy", "edp", "ed2p", "delay"):
+            raise ConfigurationError(f"unknown metric {metric!r}")
+        key = {
+            "energy": lambda p: p.energy_per_work,
+            "edp": lambda p: p.edp,
+            "ed2p": lambda p: p.ed2p,
+            "delay": lambda p: p.delay,
+        }[metric]
+        return min(points, key=key)

@@ -1,0 +1,106 @@
+"""Operating-point optimizer: concurrency x frequency under a
+performance constraint.
+
+Sweeps (n_cores, p-state) for a given workload on one socket, measures
+throughput (bandwidth for bandwidth-bound workloads, IPS otherwise) and
+package power, and returns the Pareto-efficient points plus the
+minimum-power point that still meets a throughput target. This is the
+combined DCT+DVFS optimization the paper says Haswell re-enables for
+memory-bound codes (Section VII: "This allows DCT and DVFS optimizations
+for memory bound codes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.system.node import Node
+from repro.units import ms
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    n_cores: int
+    f_hz: float
+    throughput: float          # GB/s or GIPS, depending on the workload
+    pkg_power_w: float
+
+    @property
+    def efficiency(self) -> float:
+        """Throughput per package watt."""
+        return self.throughput / self.pkg_power_w if self.pkg_power_w else 0.0
+
+
+class OperatingPointOptimizer:
+    def __init__(self, sim: Simulator, node: Node, socket_id: int = 1,
+                 probe_ns: int = ms(10)) -> None:
+        self.sim = sim
+        self.node = node
+        self.socket_id = socket_id
+        self.probe_ns = probe_ns
+
+    def _measure(self, workload: Workload, n_cores: int,
+                 f_hz: float) -> OperatingPoint:
+        socket = self.node.sockets[self.socket_id]
+        core_ids = [c.core_id for c in socket.cores[:n_cores]]
+        self.node.run_workload(core_ids, workload)
+        self.node.set_pstate(core_ids, f_hz)
+        self.sim.run_for(ms(3))
+        bw_bound = workload.phases[0].bw_bound
+        b0 = socket.uncore.counters.dram_bytes + socket.uncore.counters.l3_bytes
+        i0 = sum(c.counters.instructions_core for c in socket.cores)
+        e0 = socket.energy_pkg_j
+        t0 = self.sim.now_ns
+        self.sim.run_for(self.probe_ns)
+        dt = (self.sim.now_ns - t0) / 1e9
+        if bw_bound:
+            throughput = (socket.uncore.counters.dram_bytes
+                          + socket.uncore.counters.l3_bytes - b0) / dt / 1e9
+        else:
+            throughput = (sum(c.counters.instructions_core
+                              for c in socket.cores) - i0) / dt / 1e9
+        power = (socket.energy_pkg_j - e0) / dt
+        self.node.stop_workload(core_ids)
+        return OperatingPoint(n_cores=n_cores, f_hz=f_hz,
+                              throughput=throughput, pkg_power_w=power)
+
+    def sweep(self, workload: Workload,
+              core_counts: list[int] | None = None,
+              freqs_hz: list[float] | None = None) -> list[OperatingPoint]:
+        spec = self.node.spec.cpu
+        socket = self.node.sockets[self.socket_id]
+        if core_counts is None:
+            core_counts = [1, 2, 4, 8, len(socket.cores)]
+        if freqs_hz is None:
+            freqs_hz = [spec.min_hz, spec.pstates_hz[len(spec.pstates_hz) // 2],
+                        spec.nominal_hz]
+        if any(n < 1 or n > len(socket.cores) for n in core_counts):
+            raise ConfigurationError("core count outside the socket")
+        return [self._measure(workload, n, f)
+                for n in core_counts for f in freqs_hz]
+
+    @staticmethod
+    def pareto_front(points: list[OperatingPoint]) -> list[OperatingPoint]:
+        """Points not dominated in (throughput up, power down)."""
+        front = []
+        for p in points:
+            dominated = any(
+                q.throughput >= p.throughput and q.pkg_power_w < p.pkg_power_w
+                or q.throughput > p.throughput
+                and q.pkg_power_w <= p.pkg_power_w
+                for q in points)
+            if not dominated:
+                front.append(p)
+        return sorted(front, key=lambda p: p.pkg_power_w)
+
+    @staticmethod
+    def cheapest_meeting(points: list[OperatingPoint],
+                         throughput_target: float) -> OperatingPoint:
+        feasible = [p for p in points if p.throughput >= throughput_target]
+        if not feasible:
+            raise ConfigurationError(
+                f"no operating point reaches {throughput_target}")
+        return min(feasible, key=lambda p: p.pkg_power_w)

@@ -1,0 +1,94 @@
+"""Unit conventions and conversion helpers.
+
+The simulation engine uses **integer nanoseconds** for time, **hertz**
+(floats) for frequencies, and **joules/watts** for energy/power. These
+helpers exist so call sites read unambiguously (``us(500)`` instead of a
+bare ``500_000``) and so unit mistakes fail loudly in review.
+"""
+
+from __future__ import annotations
+
+# --- time (integer nanoseconds) --------------------------------------------
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+def ns(value: float) -> int:
+    """Nanoseconds (identity, rounds to the integer grid)."""
+    return int(round(value))
+
+
+def us(value: float) -> int:
+    """Microseconds to integer nanoseconds."""
+    return int(round(value * NS_PER_US))
+
+
+def ms(value: float) -> int:
+    """Milliseconds to integer nanoseconds."""
+    return int(round(value * NS_PER_MS))
+
+
+def seconds(value: float) -> int:
+    """Seconds to integer nanoseconds."""
+    return int(round(value * NS_PER_S))
+
+
+def to_seconds(t_ns: int) -> float:
+    """Integer nanoseconds to float seconds."""
+    return t_ns / NS_PER_S
+
+
+def to_us(t_ns: int) -> float:
+    """Integer nanoseconds to float microseconds."""
+    return t_ns / NS_PER_US
+
+
+# --- frequency ---------------------------------------------------------------
+
+HZ_PER_MHZ = 1_000_000.0
+HZ_PER_GHZ = 1_000_000_000.0
+
+
+def mhz(value: float) -> float:
+    """MHz to Hz."""
+    return value * HZ_PER_MHZ
+
+
+def ghz(value: float) -> float:
+    """GHz to Hz."""
+    return value * HZ_PER_GHZ
+
+
+def to_ghz(f_hz: float) -> float:
+    """Hz to GHz."""
+    return f_hz / HZ_PER_GHZ
+
+
+# --- data volume / bandwidth -------------------------------------------------
+
+BYTES_PER_KIB = 1024
+BYTES_PER_MIB = 1024 ** 2
+BYTES_PER_GIB = 1024 ** 3
+BYTES_PER_GB = 10 ** 9
+
+
+def mib(value: float) -> int:
+    """MiB to bytes."""
+    return int(round(value * BYTES_PER_MIB))
+
+
+def gb_per_s(value: float) -> float:
+    """GB/s (decimal) to bytes/s."""
+    return value * BYTES_PER_GB
+
+
+def to_gb_per_s(bw_bytes_per_s: float) -> float:
+    """Bytes/s to GB/s (decimal)."""
+    return bw_bytes_per_s / BYTES_PER_GB
+
+
+# --- energy ------------------------------------------------------------------
+
+MICROJOULE = 1e-6

@@ -1,0 +1,16 @@
+"""Paper-expectation registry and checker.
+
+Encodes every quantitative claim we reproduce as a
+:class:`PaperExpectation` (experiment id, quantity, paper value,
+tolerance), checks measured values against it, and renders the
+paper-vs-measured table that EXPERIMENTS.md records.
+"""
+
+from repro.validation.expectations import (
+    PaperExpectation,
+    CheckResult,
+    check,
+    render_report,
+)
+
+__all__ = ["PaperExpectation", "CheckResult", "check", "render_report"]

@@ -1,0 +1,74 @@
+"""Expectation records and the checking/rendering machinery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import render_table
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PaperExpectation:
+    """One quantitative claim from the paper."""
+
+    experiment: str          # "Table IV", "Fig. 2b", ...
+    quantity: str            # human-readable description
+    paper_value: float
+    unit: str
+    rel_tol: float | None = None
+    abs_tol: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rel_tol is None and self.abs_tol is None:
+            raise ConfigurationError(
+                f"{self.experiment}/{self.quantity}: need a tolerance")
+
+    def matches(self, measured: float) -> bool:
+        delta = abs(measured - self.paper_value)
+        if self.abs_tol is not None and delta <= self.abs_tol:
+            return True
+        if self.rel_tol is not None and self.paper_value != 0.0 \
+                and delta / abs(self.paper_value) <= self.rel_tol:
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    expectation: PaperExpectation
+    measured: float
+
+    @property
+    def ok(self) -> bool:
+        return self.expectation.matches(self.measured)
+
+    @property
+    def deviation_pct(self) -> float:
+        paper = self.expectation.paper_value
+        if paper == 0.0:
+            return 0.0 if self.measured == 0.0 else float("inf")
+        return (self.measured - paper) / abs(paper) * 100.0
+
+
+def check(expectation: PaperExpectation, measured: float) -> CheckResult:
+    return CheckResult(expectation=expectation, measured=measured)
+
+
+def render_report(results: list[CheckResult],
+                  title: str = "paper vs measured") -> str:
+    rows = []
+    for r in results:
+        e = r.expectation
+        rows.append([
+            e.experiment,
+            e.quantity,
+            f"{e.paper_value:g} {e.unit}",
+            f"{r.measured:.4g} {e.unit}",
+            f"{r.deviation_pct:+.1f} %",
+            "ok" if r.ok else "DEVIATES",
+        ])
+    return render_table(
+        headers=["experiment", "quantity", "paper", "measured",
+                 "deviation", "verdict"],
+        rows=rows, title=title)

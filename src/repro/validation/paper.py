@@ -1,0 +1,226 @@
+"""The registry of the paper's quantitative claims, and the full
+paper-vs-measured report generator behind EXPERIMENTS.md.
+
+``run_full_report`` executes every experiment (scaled by ``quick``),
+checks each claim, and returns (results, rendered artifacts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cstates.states import CState
+from repro.experiments import (
+    run_fig2,
+    run_fig3,
+    run_cstate_figure,
+    run_fig7,
+    run_fig8,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.experiments.fig4_mechanism import estimate_mechanism
+from repro.experiments.table1_microarch import run_table1
+from repro.pcu.epb import Epb
+from repro.units import ghz
+from repro.validation.expectations import CheckResult, PaperExpectation, check
+
+
+def _e(experiment: str, quantity: str, value: float, unit: str,
+       rel: float | None = None, abs_: float | None = None) -> PaperExpectation:
+    return PaperExpectation(experiment=experiment, quantity=quantity,
+                            paper_value=value, unit=unit,
+                            rel_tol=rel, abs_tol=abs_)
+
+
+def run_full_report(quick: bool = True, seed: int = 101) -> list[CheckResult]:
+    """Run every experiment and check every registered claim."""
+    results: list[CheckResult] = []
+
+    # --- Table I ---------------------------------------------------------------
+    t1 = run_table1()
+    snb, hsw = t1.specs
+    results += [
+        check(_e("Table I", "HSW FLOPS/cycle (double)", 16, "", abs_=0),
+              hsw.flops_per_cycle_double),
+        check(_e("Table I", "SNB FLOPS/cycle (double)", 8, "", abs_=0),
+              snb.flops_per_cycle_double),
+        check(_e("Table I", "HSW peak DRAM bandwidth", 68.2, "GB/s", rel=0.01),
+              hsw.dram_bandwidth_peak_bytes / 1e9),
+        check(_e("Table I", "HSW QPI bandwidth", 38.4, "GB/s", rel=0.01),
+              hsw.qpi_bandwidth_bytes / 1e9),
+    ]
+
+    # --- Table II ---------------------------------------------------------------
+    t2 = run_table2(measure_s=1.0 if quick else 4.0)
+    results.append(check(
+        _e("Table II", "idle node power (fans max)", 261.5, "W", abs_=3.0),
+        t2.idle_power_w))
+
+    # --- Fig. 2 ------------------------------------------------------------------
+    f2 = run_fig2("haswell", measure_s=1.0 if quick else 4.0,
+                  thread_counts=(1, 6, 12, 24), seed=seed)
+    results += [
+        check(_e("Fig. 2b", "quadratic fit R^2", 0.9998, "", abs_=0.001),
+              f2.fit.r_squared),
+        check(_e("Fig. 2b", "max residual from fit", 3.0, "W", abs_=3.0),
+              f2.fit.residual_max),
+        check(_e("Fig. 2b", "fit linear coefficient", 1.097, "", abs_=0.12),
+              f2.fit.coeffs[1]),
+        check(_e("Fig. 2b", "fit constant", 225.7, "W", abs_=15.0),
+              f2.fit.coeffs[0]),
+    ]
+    f2a = run_fig2("sandybridge", measure_s=1.0 if quick else 4.0,
+                   thread_counts=(8, 16), seed=seed + 1)
+    results.append(check(
+        _e("Fig. 2a", "SNB worst workload bias (>> HSW 3 W bound)",
+           25.0, "W", abs_=20.0),
+        max(f2a.residuals_by_workload().values())))
+
+    # --- Table III -----------------------------------------------------------------
+    t3 = run_table3(measure_s=1.0 if quick else 10.0, seed=seed)
+    vals = {row.setting_label: row for row in t3.rows}
+    results += [
+        check(_e("Table III", "active uncore at turbo setting", 3.0, "GHz",
+                 abs_=0.03), vals["Turbo"].active_uncore_hz / 1e9),
+        check(_e("Table III", "active uncore at 2.5 GHz", 2.2, "GHz",
+                 abs_=0.03), vals["2.5"].active_uncore_hz / 1e9),
+        check(_e("Table III", "active uncore at 2.0 GHz", 1.75, "GHz",
+                 abs_=0.03), vals["2.0"].active_uncore_hz / 1e9),
+        check(_e("Table III", "active uncore at 1.2 GHz", 1.2, "GHz",
+                 abs_=0.03), vals["1.2"].active_uncore_hz / 1e9),
+        check(_e("Table III", "passive uncore at 2.5 GHz", 2.1, "GHz",
+                 abs_=0.03), vals["2.5"].passive_uncore_hz / 1e9),
+    ]
+
+    # --- Table IV -------------------------------------------------------------------
+    t4 = run_table4(n_samples=6 if quick else 50, seed=seed)
+    turbo = t4.column(None)
+    at_23 = t4.column(ghz(2.3))
+    at_22 = t4.column(ghz(2.2))
+    at_21 = t4.column(ghz(2.1))
+    results += [
+        check(_e("Table IV", "P1 core frequency at turbo", 2.32, "GHz",
+                 abs_=0.05), turbo.core_freq_hz[1] / 1e9),
+        check(_e("Table IV", "P1 uncore frequency at turbo", 2.35, "GHz",
+                 abs_=0.07), turbo.uncore_freq_hz[1] / 1e9),
+        check(_e("Table IV", "P1 GIPS at turbo", 3.58, "GIPS", abs_=0.08),
+              turbo.gips[1]),
+        check(_e("Table IV", "P1 GIPS at 2.3 GHz setting", 3.62, "GIPS",
+                 abs_=0.08), at_23.gips[1]),
+        check(_e("Table IV", "IPS gain 2.3 GHz vs turbo", 1.011, "x",
+                 abs_=0.012), at_23.gips[1] / turbo.gips[1]),
+        check(_e("Table IV", "P1 uncore at 2.2 GHz setting", 2.86, "GHz",
+                 abs_=0.15), at_22.uncore_freq_hz[1] / 1e9),
+        check(_e("Table IV", "P1 core at 2.1 GHz setting", 2.09, "GHz",
+                 abs_=0.03), at_21.core_freq_hz[1] / 1e9),
+        check(_e("Table IV", "P1 uncore at 2.1 GHz setting", 3.0, "GHz",
+                 abs_=0.03), at_21.uncore_freq_hz[1] / 1e9),
+    ]
+
+    # --- Fig. 3 / Fig. 4 ----------------------------------------------------------------
+    f3 = run_fig3(n_samples=200 if quick else 1000, seed=seed)
+    results += [
+        check(_e("Fig. 3", "random-mode minimum latency", 21, "us",
+                 abs_=25.0), f3.random.min_us),
+        check(_e("Fig. 3", "random-mode maximum latency", 524, "us",
+                 abs_=30.0), f3.random.max_us),
+        check(_e("Fig. 3", "instant-mode typical latency", 500, "us",
+                 abs_=30.0), f3.instant.median_us),
+        check(_e("Fig. 3", "400 us delay typical latency", 100, "us",
+                 abs_=30.0), f3.after_400us.median_us),
+        check(_e("Fig. 3", "~quantum delay slow-class latency", 500, "us",
+                 abs_=40.0),
+              float(np.median(f3.near_500us.latencies_us[
+                  f3.near_500us.latencies_us > 400]))),
+    ]
+    f4 = estimate_mechanism(seed=seed, n_samples=200 if quick else 400)
+    results += [
+        check(_e("Fig. 4", "inferred grant period", 500, "us", abs_=60.0),
+              f4.quantum_estimate_us),
+        check(_e("Fig. 4", "same-socket synchronous transitions", 1, "",
+                 abs_=0), float(f4.same_socket_synchronous)),
+        check(_e("Fig. 4", "cross-socket independent transitions", 1, "",
+                 abs_=0), float(f4.cross_socket_independent)),
+    ]
+
+    # --- Figs. 5/6 ----------------------------------------------------------------------
+    n_wake = 10 if quick else 30
+    c3 = run_cstate_figure(CState.C3, n_samples=n_wake, seed=seed)
+    c6 = run_cstate_figure(CState.C6, n_samples=n_wake, seed=seed)
+    c3_local = c3.bundles["local"].get("Haswell-EP")
+    c6_local = c6.bundles["local"].get("Haswell-EP")
+    c3_pkg = c3.bundles["remote_idle"].get("Haswell-EP")
+    c6_pkg = c6.bundles["remote_idle"].get("Haswell-EP")
+    c3_remote = c3.bundles["remote_active"].get("Haswell-EP")
+    results += [
+        check(_e("Fig. 5", "C3 high-frequency penalty", 1.5, "us", abs_=0.6),
+              c3_local.value_at(2.5) - c3_local.value_at(1.2)),
+        check(_e("Fig. 5", "package C3 adder (mid frequency)", 3.0, "us",
+                 abs_=1.5),
+              c3_pkg.value_at(2.0) - c3_remote.value_at(2.0)),
+        check(_e("Fig. 6", "C6-over-C3 adder at 1.2 GHz", 8.0, "us",
+                 abs_=1.5), c6_local.value_at(1.2) - c3_local.value_at(1.2)),
+        check(_e("Fig. 6", "C6-over-C3 adder at 2.5 GHz", 2.0, "us",
+                 abs_=1.0), c6_local.value_at(2.5) - c3_local.value_at(2.5)),
+        check(_e("Fig. 6", "package C6 adder over package C3", 8.0, "us",
+                 abs_=2.5),
+              (c6_pkg.value_at(2.0) - c3_pkg.value_at(2.0))
+              - (c6_local.value_at(2.0) - c3_local.value_at(2.0))),
+        check(_e("Fig. 6", "worst C6 wake vs ACPI claim (133 us)", 133.0,
+                 "us", rel=1.0),          # must stay *below*; see note
+              float(max(c6_pkg.y))),
+    ]
+
+    # --- Figs. 7/8 --------------------------------------------------------------------------
+    f7 = run_fig7(seed=seed)
+    hsw_dram = f7.dram_relative.get("Haswell-EP")
+    snb_dram = f7.dram_relative.get("Sandy Bridge-EP")
+    hsw_l3 = f7.l3_relative.get("Haswell-EP")
+    results += [
+        check(_e("Fig. 7b", "HSW DRAM bandwidth ratio at min frequency",
+                 1.0, "", abs_=0.03), float(hsw_dram.y.min())),
+        check(_e("Fig. 7b", "SNB DRAM bandwidth ratio at min frequency",
+                 0.55, "", abs_=0.15), float(snb_dram.y.min())),
+        check(_e("Fig. 7a", "HSW L3 bandwidth ratio at min frequency",
+                 0.55, "", abs_=0.08), float(hsw_l3.y.min())),
+    ]
+    f8 = run_fig8(seed=seed)
+    dram_fast = f8.dram.get("2.5 GHz")
+    dram_slow = f8.dram.get("1.2 GHz")
+    results += [
+        check(_e("Fig. 8", "DRAM saturation bandwidth", 60.0, "GB/s",
+                 rel=0.05), dram_fast.value_at(8)),
+        check(_e("Fig. 8", "DRAM 12-core bandwidth 1.2 vs 2.5 GHz", 1.0,
+                 "ratio", abs_=0.03),
+              dram_slow.value_at(12) / dram_fast.value_at(12)),
+        check(_e("Fig. 8", "cores to saturate DRAM", 8, "cores", abs_=1),
+              next(n for n, bw in zip(dram_fast.x, dram_fast.y)
+                   if bw > 0.98 * dram_fast.y.max())),
+    ]
+
+    # --- Table V -------------------------------------------------------------------------------
+    t5 = run_table5(measure_s=15.0 if quick else 75.0,
+                    window_s=10.0 if quick else 60.0,
+                    epbs=(Epb.BALANCED,), settings=(None,), seed=seed)
+    fs = t5.cell("FIRESTARTER", None, Epb.BALANCED)
+    lp = t5.cell("LINPACK", None, Epb.BALANCED)
+    mp = t5.cell("mprime", None, Epb.BALANCED)
+    results += [
+        check(_e("Table V", "FIRESTARTER max-window power", 560.0, "W",
+                 abs_=12.0), fs.max_window_power_w),
+        check(_e("Table V", "LINPACK max-window power", 547.4, "W",
+                 abs_=12.0), lp.max_window_power_w),
+        check(_e("Table V", "mprime max-window power", 560.2, "W",
+                 abs_=12.0), mp.max_window_power_w),
+        check(_e("Table V", "LINPACK measured frequency", 2.27, "GHz",
+                 abs_=0.06), lp.mean_core_freq_hz / 1e9),
+        check(_e("Table V", "FIRESTARTER measured frequency", 2.44, "GHz",
+                 abs_=0.06), fs.mean_core_freq_hz / 1e9),
+        check(_e("Table V", "mprime measured frequency", 2.61, "GHz",
+                 abs_=0.07), mp.mean_core_freq_hz / 1e9),
+    ]
+
+    return results

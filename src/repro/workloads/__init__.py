@@ -1,0 +1,68 @@
+"""Workload descriptors and generators.
+
+Workloads are behavioral: each phase declares its activity class (power
+activity factor, AVX fraction, per-thread IPC law, stall fraction,
+cache/DRAM traffic demands). The engine integrates these against the
+frequency, power and bandwidth models. FIRESTARTER additionally ships the
+paper's Section VIII *code generator* (instruction groups, mix ratios,
+loop sizing), from which its behavioral profile is derived.
+"""
+
+from repro.workloads.base import Workload, WorkloadPhase, steady
+from repro.workloads.micro import (
+    idle,
+    busy_wait,
+    sinus,
+    memory_read,
+    compute,
+    dgemm,
+    sqrt_bench,
+    while1_spin,
+    MICRO_WORKLOADS,
+)
+from repro.workloads.firestarter import (
+    FirestarterKernel,
+    InstructionGroup,
+    firestarter,
+    MIX_RATIOS,
+)
+from repro.workloads.linpack import linpack
+from repro.workloads.mprime import mprime
+from repro.workloads.composite import square_wave, phase_switcher
+from repro.workloads.trace import (
+    TraceRow,
+    workload_from_trace,
+    workload_from_csv,
+    synthetic_hpc_trace,
+)
+from repro.workloads.zoo import kernel, kernel_names, is_memory_bound
+
+__all__ = [
+    "Workload",
+    "WorkloadPhase",
+    "steady",
+    "idle",
+    "busy_wait",
+    "sinus",
+    "memory_read",
+    "compute",
+    "dgemm",
+    "sqrt_bench",
+    "while1_spin",
+    "MICRO_WORKLOADS",
+    "FirestarterKernel",
+    "InstructionGroup",
+    "firestarter",
+    "MIX_RATIOS",
+    "linpack",
+    "mprime",
+    "square_wave",
+    "phase_switcher",
+    "TraceRow",
+    "workload_from_trace",
+    "workload_from_csv",
+    "synthetic_hpc_trace",
+    "kernel",
+    "kernel_names",
+    "is_memory_bound",
+]

@@ -1,0 +1,134 @@
+"""Workload/phase descriptors and the per-thread IPC law.
+
+The IPC law is affine in the core/uncore clock ratio:
+
+    IPC_thread(fc, fu) = ipc_parity + ipc_uncore_slope * (1 - fc/fu)
+
+calibrated for FIRESTARTER from Table IV (a slower uncore relative to the
+core means more stall cycles per instruction; see DESIGN.md). Bandwidth-
+bound phases additionally scale with the achieved/demanded bandwidth
+ratio computed by :mod:`repro.memory.bandwidth`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+# FIRESTARTER is the activity=1.0 reference; LINPACK's core power density
+# is slightly higher, so the scale tops out above 1.
+MAX_ACTIVITY = 1.2
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One steady segment of a workload's execution."""
+
+    name: str
+    duration_ns: int | None = None        # None = runs forever
+    active: bool = True                   # False = core idles (c-state)
+    avx_fraction: float = 0.0             # 256-bit AVX/FMA slot fraction
+    power_activity: float = 0.0           # dynamic activity (FIRESTARTER HT = 1.0)
+    ipc_parity: float = 0.0               # per-thread IPC at fc == fu
+    ipc_uncore_slope: float = 0.0         # IPC gained per unit of (1 - fc/fu)
+    stall_fraction: float = 0.0           # fraction of cycles stalled
+    l3_bytes_per_cycle: float = 0.0       # per-core demand
+    dram_bytes_per_cycle: float = 0.0
+    bw_bound: bool = False                # IPC follows achieved bandwidth
+    rapl_model_bias: float = 1.0          # Sandy Bridge modeled-RAPL bias
+    idle_cstate: str = "C6"               # target c-state when inactive
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.avx_fraction <= 1.0):
+            raise ConfigurationError("avx_fraction outside [0, 1]")
+        if not (0.0 <= self.power_activity <= MAX_ACTIVITY):
+            raise ConfigurationError(
+                f"power_activity {self.power_activity} outside [0, {MAX_ACTIVITY}]")
+        if not (0.0 <= self.stall_fraction <= 1.0):
+            raise ConfigurationError("stall_fraction outside [0, 1]")
+        if self.active and self.ipc_parity <= 0.0:
+            raise ConfigurationError("active phase needs a positive IPC")
+        if self.duration_ns is not None and self.duration_ns <= 0:
+            raise ConfigurationError("phase duration must be positive")
+
+    @property
+    def uses_avx(self) -> bool:
+        """Enough 256-bit work to trip the AVX frequency license."""
+        return self.avx_fraction >= 0.05
+
+    def ipc_thread(self, f_core_hz: float, f_uncore_hz: float,
+                   bw_throttle: float = 1.0) -> float:
+        """Per-thread IPC at this operating point."""
+        if not self.active:
+            return 0.0
+        ratio = f_core_hz / max(f_uncore_hz, 1.0)
+        ipc = self.ipc_parity + self.ipc_uncore_slope * (1.0 - ratio)
+        ipc = max(ipc, 0.05 * self.ipc_parity)
+        if self.bw_bound:
+            ipc *= max(min(bw_throttle, 1.0), 0.0)
+        return ipc
+
+    def scaled(self, activity: float | None = None,
+               name: str | None = None) -> "WorkloadPhase":
+        """Copy with a different activity (used by modulated workloads)."""
+        kwargs = {}
+        if activity is not None:
+            kwargs["power_activity"] = activity
+        if name is not None:
+            kwargs["name"] = name
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named sequence of phases, optionally cyclic."""
+
+    name: str
+    phases: tuple[WorkloadPhase, ...]
+    cyclic: bool = True
+    threads_per_core: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError("workload needs at least one phase")
+        if self.threads_per_core < 1:
+            raise ConfigurationError("threads_per_core must be >= 1")
+        if not self.cyclic and self.phases[-1].duration_ns is not None:
+            raise ConfigurationError(
+                "non-cyclic workloads must end in an unbounded phase")
+        for phase in self.phases[:-1] if not self.cyclic else self.phases:
+            if self.is_multiphase and phase.duration_ns is None:
+                raise ConfigurationError(
+                    "cyclic multi-phase workloads need bounded phases")
+
+    @property
+    def is_multiphase(self) -> bool:
+        return len(self.phases) > 1
+
+    def phase(self, index: int) -> WorkloadPhase:
+        return self.phases[index % len(self.phases)]
+
+    def next_index(self, index: int) -> int:
+        nxt = index + 1
+        if self.cyclic:
+            return nxt % len(self.phases)
+        return min(nxt, len(self.phases) - 1)
+
+    @property
+    def mean_activity(self) -> float:
+        """Duration-weighted mean power activity (unbounded phases weigh 1 s)."""
+        total_t = 0.0
+        total = 0.0
+        for phase in self.phases:
+            t = phase.duration_ns if phase.duration_ns is not None else 1e9
+            total_t += t
+            total += t * phase.power_activity
+        return total / total_t
+
+
+def steady(name: str, threads_per_core: int = 1, **phase_kwargs) -> Workload:
+    """A single-phase, endless workload."""
+    phase = WorkloadPhase(name=name, duration_ns=None, **phase_kwargs)
+    return Workload(name=name, phases=(phase,), cyclic=False,
+                    threads_per_core=threads_per_core)

@@ -1,0 +1,60 @@
+"""Phase-switching composite workloads.
+
+Section II-E warns that energy-efficient turbo polls stall data only
+sporadically (~1 ms), so workloads that change their characteristics at
+an unfavorable rate can lose performance and efficiency. These builders
+construct exactly such workloads for the EET ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import Workload, WorkloadPhase
+
+
+def square_wave(high: WorkloadPhase, low: WorkloadPhase,
+                period_ns: int, duty: float = 0.5,
+                name: str = "square_wave") -> Workload:
+    """Alternate two phases with the given period and duty cycle."""
+    if not (0.0 < duty < 1.0):
+        raise ConfigurationError("duty cycle must be in (0, 1)")
+    high_ns = int(period_ns * duty)
+    low_ns = period_ns - high_ns
+    if high_ns <= 0 or low_ns <= 0:
+        raise ConfigurationError("period too short for the duty cycle")
+    phases = (
+        WorkloadPhase(**{**_phase_kwargs(high), "duration_ns": high_ns}),
+        WorkloadPhase(**{**_phase_kwargs(low), "duration_ns": low_ns}),
+    )
+    return Workload(name=name, phases=phases, cyclic=True)
+
+
+def phase_switcher(phases: list[WorkloadPhase], period_ns: int,
+                   name: str = "phase_switcher") -> Workload:
+    """Cycle through ``phases``, each lasting ``period / len(phases)``."""
+    if not phases:
+        raise ConfigurationError("need at least one phase")
+    slot = period_ns // len(phases)
+    if slot <= 0:
+        raise ConfigurationError("period too short")
+    resized = tuple(
+        WorkloadPhase(**{**_phase_kwargs(p), "duration_ns": slot})
+        for p in phases)
+    return Workload(name=name, phases=resized, cyclic=True)
+
+
+def _phase_kwargs(phase: WorkloadPhase) -> dict:
+    return {
+        "name": phase.name,
+        "active": phase.active,
+        "avx_fraction": phase.avx_fraction,
+        "power_activity": phase.power_activity,
+        "ipc_parity": phase.ipc_parity,
+        "ipc_uncore_slope": phase.ipc_uncore_slope,
+        "stall_fraction": phase.stall_fraction,
+        "l3_bytes_per_cycle": phase.l3_bytes_per_cycle,
+        "dram_bytes_per_cycle": phase.dram_bytes_per_cycle,
+        "bw_bound": phase.bw_bound,
+        "rapl_model_bias": phase.rapl_model_bias,
+        "idle_cstate": phase.idle_cstate,
+    }

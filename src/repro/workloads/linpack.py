@@ -1,0 +1,54 @@
+"""Behavioral Intel LINPACK model (Table V comparator).
+
+LINPACK alternates panel factorizations (lower intensity, more
+synchronization) with long DGEMM update sweeps (the highest core power
+density of the three stress tests — dense sustained FMA). The dense
+phases pin the package at the TDP, which with LINPACK's power density
+yields the lowest equilibrium frequency of Table V (~2.27 GHz), while the
+factorization dips make its power consumption "not as constant over
+time" as FIRESTARTER's.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.units import seconds
+from repro.workloads.base import Workload, WorkloadPhase
+
+# Calibration (DESIGN.md): the Table V equilibrium P(2.275 GHz) = TDP
+# solves to a core activity of ~1.035 on the FIRESTARTER=1.0 scale.
+_ACTIVITY_UPDATE = 1.035
+_ACTIVITY_FACTOR = 0.70
+
+
+def linpack(problem_size: int = 80_000,
+            update_phase_s: float = 20.0,
+            factor_phase_s: float = 3.0) -> Workload:
+    """The Intel-distributed LINPACK run of Table V (N = 80,000)."""
+    if problem_size < 1_000:
+        raise ConfigurationError("LINPACK problem size implausibly small")
+    update = WorkloadPhase(
+        name="linpack_update",
+        duration_ns=seconds(update_phase_s),
+        avx_fraction=0.95,
+        power_activity=_ACTIVITY_UPDATE,
+        ipc_parity=1.9,
+        ipc_uncore_slope=0.3,
+        stall_fraction=0.10,
+        l3_bytes_per_cycle=1.5,
+        dram_bytes_per_cycle=1.20,
+        rapl_model_bias=1.06,
+    )
+    factor = WorkloadPhase(
+        name="linpack_factor",
+        duration_ns=seconds(factor_phase_s),
+        avx_fraction=0.60,
+        power_activity=_ACTIVITY_FACTOR,
+        ipc_parity=1.3,
+        ipc_uncore_slope=0.2,
+        stall_fraction=0.25,
+        l3_bytes_per_cycle=1.0,
+        dram_bytes_per_cycle=1.5,
+        rapl_model_bias=1.06,
+    )
+    return Workload(name="linpack", phases=(update, factor), cyclic=True)

@@ -1,0 +1,163 @@
+"""The micro-benchmark workloads of Sections IV, V and VII.
+
+The Fig. 2 set (idle, sinus, busy wait, memory, compute, dgemm, sqrt)
+spans the power range from idle to near-TDP with distinct power/traffic
+signatures; each carries the Sandy Bridge modeled-RAPL bias factor that
+recreates the per-workload branches of Fig. 2a. ``while1_spin`` is the
+Section V-A no-memory-stalls probe, and ``memory_read`` doubles as the
+Section VII bandwidth benchmark kernel.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.memory.hierarchy import CacheLevel, classify_working_set
+from repro.specs.cpu import CpuSpec
+from repro.units import mib, ms
+from repro.workloads.base import Workload, WorkloadPhase, steady
+
+
+def idle() -> Workload:
+    """Nothing runs; cores sink into deep c-states."""
+    phase = WorkloadPhase(name="idle", active=False, idle_cstate="C6")
+    return Workload(name="idle", phases=(phase,), cyclic=False)
+
+
+def busy_wait(threads_per_core: int = 1) -> Workload:
+    """A spin loop polling a timestamp — moderate power, zero traffic."""
+    return steady(
+        "busy_wait",
+        threads_per_core=threads_per_core,
+        power_activity=0.35,
+        ipc_parity=1.8,
+        stall_fraction=0.0,
+        rapl_model_bias=1.12,
+    )
+
+
+def while1_spin() -> Workload:
+    """``while(1);`` — the Table III uncore-frequency probe.
+
+    Touches no memory at all, so the UFS controller sees zero stall
+    cycles and falls back to its core-frequency-linked table.
+    """
+    return steady(
+        "while1",
+        power_activity=0.12,
+        ipc_parity=1.0,
+        stall_fraction=0.0,
+        rapl_model_bias=1.10,
+    )
+
+
+def compute(threads_per_core: int = 1) -> Workload:
+    """Scalar floating-point arithmetic from registers."""
+    return steady(
+        "compute",
+        threads_per_core=threads_per_core,
+        power_activity=0.55,
+        ipc_parity=2.2,
+        ipc_uncore_slope=0.05,
+        stall_fraction=0.02,
+        rapl_model_bias=0.95,
+    )
+
+
+def dgemm(threads_per_core: int = 1) -> Workload:
+    """Blocked AVX/FMA matrix multiply — high power, cache-resident."""
+    return steady(
+        "dgemm",
+        threads_per_core=threads_per_core,
+        avx_fraction=0.90,
+        power_activity=0.85,
+        ipc_parity=1.4,
+        ipc_uncore_slope=0.2,
+        stall_fraction=0.08,
+        l3_bytes_per_cycle=2.0,
+        dram_bytes_per_cycle=0.3,
+        rapl_model_bias=1.08,
+    )
+
+
+def sqrt_bench(threads_per_core: int = 1) -> Workload:
+    """Dependent square-root chains — low IPC, divider-bound."""
+    return steady(
+        "sqrt",
+        threads_per_core=threads_per_core,
+        power_activity=0.40,
+        ipc_parity=0.5,
+        stall_fraction=0.05,
+        rapl_model_bias=0.88,
+    )
+
+
+def memory_read(spec: CpuSpec, working_set_bytes: int = mib(350),
+                threads_per_core: int = 1, sharers: int = 1) -> Workload:
+    """Consecutive read sweep over ``working_set_bytes`` (Section VII).
+
+    The working set decides the target level: 17 MB streams from L3,
+    350 MB from DRAM (with hardware prefetchers enabled).
+    """
+    level = classify_working_set(spec, working_set_bytes, sharers=sharers)
+    if level in (CacheLevel.L1, CacheLevel.L2):
+        # Private-cache-resident streams are core-local: high IPC, no
+        # shared traffic; still useful for tests.
+        return steady(
+            f"memory_read[{level.value}]",
+            threads_per_core=threads_per_core,
+            power_activity=0.45,
+            ipc_parity=2.0,
+            stall_fraction=0.02,
+            rapl_model_bias=1.18,
+        )
+    if level is CacheLevel.L3:
+        return steady(
+            "memory_read[L3]",
+            threads_per_core=threads_per_core,
+            power_activity=0.42,
+            ipc_parity=1.2,
+            stall_fraction=0.45,
+            l3_bytes_per_cycle=12.0,
+            bw_bound=True,
+            rapl_model_bias=1.18,
+        )
+    return steady(
+        "memory_read[mem]",
+        threads_per_core=threads_per_core,
+        power_activity=0.30,
+        ipc_parity=0.4,
+        stall_fraction=0.70,
+        dram_bytes_per_cycle=8.0,
+        bw_bound=True,
+        rapl_model_bias=1.18,
+    )
+
+
+def sinus(period_ns: int = ms(1000), steps: int = 32,
+          peak_activity: float = 0.6) -> Workload:
+    """Sinusoidally modulated load (the paper's "sinus" benchmark).
+
+    Discretized into ``steps`` piecewise-constant phases per period so the
+    engine's closed-form integration stays exact.
+    """
+    if steps < 4:
+        raise ConfigurationError("sinus needs at least 4 steps per period")
+    phases = []
+    for i in range(steps):
+        level = 0.5 * (1.0 + math.sin(2.0 * math.pi * i / steps))
+        phases.append(WorkloadPhase(
+            name=f"sinus[{i}]",
+            duration_ns=period_ns // steps,
+            power_activity=peak_activity * level,
+            ipc_parity=1.6,
+            stall_fraction=0.05,
+            rapl_model_bias=1.0,
+        ))
+    return Workload(name="sinus", phases=tuple(phases), cyclic=True)
+
+
+MICRO_WORKLOADS = (
+    "idle", "sinus", "busy_wait", "memory", "compute", "dgemm", "sqrt",
+)

@@ -1,0 +1,40 @@
+"""Behavioral mprime (Prime95 torture test) model (Table V comparator).
+
+mprime runs large FFT squarings; the power density per GHz is lower than
+FIRESTARTER's (more memory-stalled cycles), so its TDP equilibrium
+frequency is the highest of the three stress tests (~2.6 GHz with turbo).
+The FFT-size rotation makes its power consumption visibly less constant
+than FIRESTARTER's — the paper's 1-minute-maximum extraction favors it.
+"""
+
+from __future__ import annotations
+
+from repro.units import seconds
+from repro.workloads.base import Workload, WorkloadPhase
+
+_ACTIVITY_BASE = 0.772          # from the Table V turbo equilibrium (~2.6 GHz)
+_FFT_VARIANTS = (               # (name suffix, activity delta, dram delta)
+    ("fft_small", +0.05, -0.4),
+    ("fft_mid", 0.0, 0.0),
+    ("fft_large", -0.06, +0.4),
+    ("fft_mid2", +0.02, 0.1),
+)
+
+
+def mprime(phase_s: float = 2.0) -> Workload:
+    """The mprime 28.5 torture-test workload of Table V."""
+    phases = []
+    for suffix, d_act, d_dram in _FFT_VARIANTS:
+        phases.append(WorkloadPhase(
+            name=f"mprime_{suffix}",
+            duration_ns=seconds(phase_s),
+            avx_fraction=0.55,
+            power_activity=_ACTIVITY_BASE + d_act,
+            ipc_parity=1.25,
+            ipc_uncore_slope=0.35,
+            stall_fraction=0.25,
+            l3_bytes_per_cycle=1.2,
+            dram_bytes_per_cycle=1.7 + d_dram,
+            rapl_model_bias=1.10,
+        ))
+    return Workload(name="mprime", phases=tuple(phases), cyclic=True)

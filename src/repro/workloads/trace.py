@@ -1,0 +1,115 @@
+"""Trace-driven workloads.
+
+Converts a phase trace — rows of (duration, activity class parameters) —
+into a :class:`Workload`, and synthesizes representative HPC phase
+traces (compute/communicate/memory-sweep iterations). Used by the EET
+and DVFS-controller studies to model applications that change their
+characteristics at configurable rates (the Section II-E concern).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import ms
+from repro.workloads.base import Workload, WorkloadPhase
+
+
+@dataclass(frozen=True)
+class TraceRow:
+    duration_ns: int
+    power_activity: float
+    ipc_parity: float
+    stall_fraction: float = 0.0
+    avx_fraction: float = 0.0
+    l3_bytes_per_cycle: float = 0.0
+    dram_bytes_per_cycle: float = 0.0
+
+    def to_phase(self, name: str) -> WorkloadPhase:
+        return WorkloadPhase(
+            name=name,
+            duration_ns=self.duration_ns,
+            power_activity=self.power_activity,
+            ipc_parity=self.ipc_parity,
+            stall_fraction=self.stall_fraction,
+            avx_fraction=self.avx_fraction,
+            l3_bytes_per_cycle=self.l3_bytes_per_cycle,
+            dram_bytes_per_cycle=self.dram_bytes_per_cycle,
+            bw_bound=self.dram_bytes_per_cycle > 0,
+        )
+
+
+def workload_from_trace(rows: list[TraceRow], name: str = "trace",
+                        cyclic: bool = True,
+                        threads_per_core: int = 1) -> Workload:
+    if not rows:
+        raise ConfigurationError("empty trace")
+    phases = tuple(row.to_phase(f"{name}[{i}]")
+                   for i, row in enumerate(rows))
+    return Workload(name=name, phases=phases, cyclic=cyclic,
+                    threads_per_core=threads_per_core)
+
+
+_CSV_FIELDS = ("duration_ms", "power_activity", "ipc_parity",
+               "stall_fraction", "avx_fraction", "l3_bytes_per_cycle",
+               "dram_bytes_per_cycle")
+
+
+def workload_from_csv(text: str, name: str = "trace") -> Workload:
+    """Parse a CSV trace (header: duration_ms,power_activity,ipc_parity,
+    [stall_fraction,avx_fraction,l3_bytes_per_cycle,dram_bytes_per_cycle])."""
+    reader = csv.DictReader(io.StringIO(text))
+    if reader.fieldnames is None or \
+            not set(_CSV_FIELDS[:3]).issubset(reader.fieldnames):
+        raise ConfigurationError(
+            f"trace CSV needs at least columns {_CSV_FIELDS[:3]}")
+    rows = []
+    for line in reader:
+        rows.append(TraceRow(
+            duration_ns=ms(float(line["duration_ms"])),
+            power_activity=float(line["power_activity"]),
+            ipc_parity=float(line["ipc_parity"]),
+            stall_fraction=float(line.get("stall_fraction") or 0.0),
+            avx_fraction=float(line.get("avx_fraction") or 0.0),
+            l3_bytes_per_cycle=float(line.get("l3_bytes_per_cycle") or 0.0),
+            dram_bytes_per_cycle=float(line.get("dram_bytes_per_cycle")
+                                       or 0.0),
+        ))
+    return workload_from_trace(rows, name=name)
+
+
+def synthetic_hpc_trace(
+    iteration_ns: int = ms(20),
+    compute_share: float = 0.6,
+    memory_share: float = 0.3,
+    n_iterations: int = 4,
+    jitter: float = 0.15,
+    seed: int = 7,
+) -> Workload:
+    """A bulk-synchronous HPC application: compute, memory sweep,
+    communication wait — repeated with per-iteration jitter."""
+    if not (0.0 < compute_share + memory_share < 1.0):
+        raise ConfigurationError("compute+memory shares must leave room "
+                                 "for the communication phase")
+    rng = np.random.default_rng(seed)
+    rows: list[TraceRow] = []
+    for _ in range(n_iterations):
+        scale = float(1.0 + rng.uniform(-jitter, jitter))
+        compute_ns = int(iteration_ns * compute_share * scale)
+        memory_ns = int(iteration_ns * memory_share * scale)
+        comm_ns = max(int(iteration_ns * scale) - compute_ns - memory_ns,
+                      ms(0.5))
+        rows.append(TraceRow(duration_ns=compute_ns, power_activity=0.8,
+                             ipc_parity=1.5, avx_fraction=0.7,
+                             stall_fraction=0.05))
+        rows.append(TraceRow(duration_ns=memory_ns, power_activity=0.3,
+                             ipc_parity=0.4, stall_fraction=0.7,
+                             dram_bytes_per_cycle=8.0))
+        rows.append(TraceRow(duration_ns=comm_ns, power_activity=0.15,
+                             ipc_parity=1.0, stall_fraction=0.1))
+    return workload_from_trace(rows, name="hpc_trace")

@@ -1,0 +1,68 @@
+"""A zoo of representative HPC kernels as behavioral workloads.
+
+Maps well-known kernel classes onto the activity/IPC/traffic parameter
+space so studies and examples can exercise realistic application mixes
+beyond the paper's micro-benchmarks. Parameters follow the standard
+roofline intuition: arithmetic intensity decides the stall/traffic
+split, vector width the power activity.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import Workload, steady
+
+_ZOO: dict[str, dict] = {
+    # STREAM triad: pure bandwidth, negligible compute
+    "stream": dict(power_activity=0.32, ipc_parity=0.5,
+                   ipc_uncore_slope=0.1, stall_fraction=0.72,
+                   dram_bytes_per_cycle=10.0, bw_bound=True,
+                   avx_fraction=0.4),
+    # blocked DGEMM: compute-dense, cache-resident
+    "gemm": dict(power_activity=0.88, ipc_parity=1.5,
+                 ipc_uncore_slope=0.2, stall_fraction=0.06,
+                 l3_bytes_per_cycle=2.0, dram_bytes_per_cycle=0.25,
+                 avx_fraction=0.92),
+    # 7-point stencil: mixed — streaming with reuse
+    "stencil": dict(power_activity=0.55, ipc_parity=1.1,
+                    ipc_uncore_slope=0.35, stall_fraction=0.35,
+                    l3_bytes_per_cycle=4.0, dram_bytes_per_cycle=3.0,
+                    bw_bound=True, avx_fraction=0.6),
+    # SpMV: latency/bandwidth bound, irregular
+    "spmv": dict(power_activity=0.30, ipc_parity=0.6,
+                 ipc_uncore_slope=0.3, stall_fraction=0.6,
+                 dram_bytes_per_cycle=5.0, bw_bound=True,
+                 avx_fraction=0.1),
+    # multidimensional FFT: compute + strided traffic
+    "fft": dict(power_activity=0.72, ipc_parity=1.2,
+                ipc_uncore_slope=0.35, stall_fraction=0.25,
+                l3_bytes_per_cycle=3.0, dram_bytes_per_cycle=1.6,
+                avx_fraction=0.55),
+    # graph traversal (BFS): pointer chasing, no vectors
+    "bfs": dict(power_activity=0.25, ipc_parity=0.45,
+                ipc_uncore_slope=0.25, stall_fraction=0.65,
+                dram_bytes_per_cycle=2.5, bw_bound=True,
+                avx_fraction=0.0),
+    # Monte Carlo: embarrassingly parallel scalar compute
+    "montecarlo": dict(power_activity=0.5, ipc_parity=2.0,
+                       ipc_uncore_slope=0.05, stall_fraction=0.03,
+                       avx_fraction=0.15),
+}
+
+
+def kernel_names() -> list[str]:
+    return sorted(_ZOO)
+
+
+def kernel(name: str, threads_per_core: int = 1) -> Workload:
+    """One zoo kernel as an endless workload."""
+    try:
+        params = _ZOO[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown kernel {name!r}; available: {kernel_names()}") from None
+    return steady(name, threads_per_core=threads_per_core, **params)
+
+
+def is_memory_bound(name: str) -> bool:
+    return bool(_ZOO[name].get("bw_bound"))

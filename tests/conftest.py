@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite.
+
+Simulation fixtures use short durations (tens to hundreds of simulated
+milliseconds) — enough for the PCU/EET/RAPL machinery to reach steady
+state without making the suite slow. The benchmark harness runs the
+paper-length versions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.specs.node import (
+    HASWELL_TEST_NODE,
+    SANDY_BRIDGE_TEST_NODE,
+    WESTMERE_TEST_NODE,
+)
+from repro.system.node import Node, build_node
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def haswell(sim: Simulator) -> Node:
+    return build_node(sim, HASWELL_TEST_NODE)
+
+
+@pytest.fixture
+def sandybridge() -> tuple[Simulator, Node]:
+    s = Simulator(seed=1235)
+    return s, build_node(s, SANDY_BRIDGE_TEST_NODE)
+
+
+@pytest.fixture
+def westmere() -> tuple[Simulator, Node]:
+    s = Simulator(seed=1236)
+    return s, build_node(s, WESTMERE_TEST_NODE)
+
+
+def all_core_ids(node: Node) -> list[int]:
+    return [c.core_id for c in node.all_cores]

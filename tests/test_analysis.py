@@ -1,0 +1,107 @@
+"""Fitting, stats, series and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import linear_fit, polynomial_fit, quadratic_fit
+from repro.analysis.series import Series, SeriesBundle
+from repro.analysis.stats import fraction_within, histogram, iqr, median
+from repro.analysis.tables import render_csv, render_table
+from repro.errors import ConfigurationError
+
+
+class TestFitting:
+    def test_recovers_quadratic(self):
+        x = np.linspace(0, 300, 50)
+        y = 0.0003 * x ** 2 + 1.097 * x + 225.7
+        fit = quadratic_fit(x, y)
+        assert fit.coeffs[2] == pytest.approx(0.0003, rel=1e-6)
+        assert fit.coeffs[1] == pytest.approx(1.097, rel=1e-6)
+        assert fit.coeffs[0] == pytest.approx(225.7, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_r_squared_degrades_with_noise(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 100, 200)
+        clean = linear_fit(x, 2 * x + 1)
+        noisy = linear_fit(x, 2 * x + 1 + rng.normal(0, 20, x.size))
+        assert clean.r_squared > noisy.r_squared
+
+    def test_predict_scalar_and_array(self):
+        fit = linear_fit(np.array([0.0, 1.0, 2.0]), np.array([1.0, 3.0, 5.0]))
+        assert float(fit.predict(10.0)) == pytest.approx(21.0)
+        np.testing.assert_allclose(fit.predict(np.array([0.0, 1.0])),
+                                   [1.0, 3.0])
+
+    def test_residual_max(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        fit = linear_fit(x, np.array([0.0, 1.0, 2.0, 4.0]))
+        assert fit.residual_max > 0
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ConfigurationError):
+            quadratic_fit(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            polynomial_fit(np.arange(5.0), np.arange(4.0), 1)
+
+
+class TestStats:
+    def test_median_and_iqr(self):
+        data = [1, 2, 3, 4, 100]
+        assert median(data) == 3.0
+        assert iqr(data) == pytest.approx(2.0)
+
+    def test_histogram_counts(self):
+        counts, edges = histogram([1, 1, 2, 5], bin_width=1.0, lo=0, hi=6)
+        assert counts.sum() == 4
+
+    def test_fraction_within(self):
+        assert fraction_within([1, 2, 3, 4], 2, 3) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            median([])
+        with pytest.raises(ConfigurationError):
+            histogram([], 1.0)
+
+
+class TestSeries:
+    def test_normalization(self):
+        s = Series("x", x=[1.0, 2.0, 3.0], y=[10.0, 20.0, 30.0])
+        n = s.normalized_to(2.0)
+        np.testing.assert_allclose(n.y, [0.5, 1.0, 1.5])
+
+    def test_value_at_nearest(self):
+        s = Series("x", x=[1.0, 2.0, 3.0], y=[10.0, 20.0, 30.0])
+        assert s.value_at(2.1) == 20.0
+
+    def test_bundle_rejects_duplicates(self):
+        b = SeriesBundle(title="t", x_label="x", y_label="y")
+        b.add(Series("a", [1.0], [1.0]))
+        with pytest.raises(ConfigurationError):
+            b.add(Series("a", [1.0], [2.0]))
+        assert b.labels == ["a"]
+        assert b.get("a").y[0] == 1.0
+        with pytest.raises(ConfigurationError):
+            b.get("missing")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Series("bad", x=[1.0, 2.0], y=[1.0])
+
+
+class TestTables:
+    def test_render_aligns_columns(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1   # equal widths
+
+    def test_render_rejects_ragged(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a"], [["1", "2"]])
+
+    def test_csv(self):
+        out = render_csv(["a", "b"], [["1", "2"]])
+        assert out == "a,b\n1,2"

@@ -1,0 +1,203 @@
+"""C-state resolution, wake-latency model, ACPI tables, governor."""
+
+import pytest
+
+from repro.cstates.acpi import AcpiCStateEntry, AcpiCStateTable, acpi_table_for
+from repro.cstates.governor import MenuGovernor
+from repro.cstates.latency import WakeLatencyModel, WakeScenario
+from repro.cstates.states import CState, PackageCState, resolve_package_cstate
+from repro.errors import ConfigurationError
+from repro.specs.cpu import E5_2670_SNB, E5_2680_V3
+from repro.units import ghz
+
+
+class TestStateOrdering:
+    def test_core_states_ordered(self):
+        assert CState.C0 < CState.C1 < CState.C3 < CState.C6
+
+    def test_package_states_ordered(self):
+        assert PackageCState.PC0 < PackageCState.PC3 < PackageCState.PC6
+
+    def test_uncore_halted_in_deep_package_states(self):
+        # Section V-A: the uncore clock is halted in PC-3/PC-6
+        assert not PackageCState.PC0.uncore_halted
+        assert PackageCState.PC3.uncore_halted
+        assert PackageCState.PC6.uncore_halted
+
+    def test_from_name(self):
+        assert CState.from_name("C6") is CState.C6
+        with pytest.raises(ConfigurationError):
+            CState.from_name("C9")
+
+
+class TestPackageResolution:
+    def test_all_c6_gives_pc6(self):
+        state = resolve_package_cstate([CState.C6] * 12,
+                                       any_core_active_in_system=False)
+        assert state is PackageCState.PC6
+
+    def test_shallowest_core_bounds_package(self):
+        state = resolve_package_cstate([CState.C6] * 11 + [CState.C3],
+                                       any_core_active_in_system=False)
+        assert state is PackageCState.PC3
+        state = resolve_package_cstate([CState.C6] * 11 + [CState.C1],
+                                       any_core_active_in_system=False)
+        assert state is PackageCState.PC0
+
+    def test_cross_socket_interlock(self):
+        # Section V-A: package states are not used while ANY core in the
+        # system is active — even on the other processor
+        state = resolve_package_cstate([CState.C6] * 12,
+                                       any_core_active_in_system=True)
+        assert state is PackageCState.PC0
+
+    def test_rejects_empty_socket(self):
+        with pytest.raises(ConfigurationError):
+            resolve_package_cstate([], any_core_active_in_system=False)
+
+
+class TestWakeLatencyModel:
+    @pytest.fixture
+    def model(self) -> WakeLatencyModel:
+        return WakeLatencyModel(E5_2680_V3)
+
+    def test_c0_is_free(self, model):
+        assert model.wake_latency_us(CState.C0, ghz(2.5),
+                                     WakeScenario.LOCAL) == 0.0
+
+    def test_c1_bounds(self, model):
+        # local below 1.6 us, remote up to ~2.1 us at 1.2 GHz (VI-B)
+        local = model.wake_latency_us(CState.C1, ghz(1.2), WakeScenario.LOCAL)
+        remote = model.wake_latency_us(CState.C1, ghz(1.2),
+                                       WakeScenario.REMOTE_ACTIVE)
+        assert local < 1.6
+        assert 1.6 < remote <= 2.2
+
+    def test_c3_mostly_frequency_independent_with_step(self, model):
+        # C3 flat vs frequency except +1.5 us above 1.5 GHz
+        lo = model.wake_latency_us(CState.C3, ghz(1.2), WakeScenario.LOCAL)
+        mid = model.wake_latency_us(CState.C3, ghz(1.5), WakeScenario.LOCAL)
+        hi = model.wake_latency_us(CState.C3, ghz(2.5), WakeScenario.LOCAL)
+        assert lo == pytest.approx(mid)
+        assert hi - lo == pytest.approx(1.5)
+
+    def test_package_c3_adds_2_to_4us(self, model):
+        base = model.wake_latency_us(CState.C3, ghz(2.5),
+                                     WakeScenario.REMOTE_ACTIVE)
+        pkg = model.wake_latency_us(CState.C3, ghz(2.5),
+                                    WakeScenario.REMOTE_IDLE,
+                                    PackageCState.PC3)
+        extra_hi = model.wake_latency_us(CState.C3, ghz(1.2),
+                                         WakeScenario.REMOTE_IDLE,
+                                         PackageCState.PC3) \
+            - model.wake_latency_us(CState.C3, ghz(1.2),
+                                    WakeScenario.REMOTE_ACTIVE)
+        assert 2.0 <= pkg - base <= 4.0
+        assert 2.0 <= extra_hi <= 4.0
+
+    def test_c6_strongly_frequency_dependent(self, model):
+        # Fig. 6: C6 latency rises toward low frequency, +2 to +8 us vs C3
+        lo = model.wake_latency_us(CState.C6, ghz(1.2), WakeScenario.LOCAL)
+        hi = model.wake_latency_us(CState.C6, ghz(2.5), WakeScenario.LOCAL)
+        c3_lo = model.wake_latency_us(CState.C3, ghz(1.2), WakeScenario.LOCAL)
+        c3_hi = model.wake_latency_us(CState.C3, ghz(2.5), WakeScenario.LOCAL)
+        assert lo - c3_lo == pytest.approx(8.0, abs=0.5)
+        assert hi - c3_hi == pytest.approx(2.0, abs=0.5)
+
+    def test_package_c6_adds_8us_over_package_c3(self, model):
+        pc3 = model.wake_latency_us(CState.C3, ghz(2.0),
+                                    WakeScenario.REMOTE_IDLE,
+                                    PackageCState.PC3)
+        pc6 = model.wake_latency_us(CState.C6, ghz(2.0),
+                                    WakeScenario.REMOTE_IDLE,
+                                    PackageCState.PC6)
+        c6_extra = (model.wake_latency_us(CState.C6, ghz(2.0),
+                                          WakeScenario.LOCAL)
+                    - model.wake_latency_us(CState.C3, ghz(2.0),
+                                            WakeScenario.LOCAL))
+        assert pc6 - pc3 - c6_extra == pytest.approx(8.0, abs=0.5)
+
+    def test_measured_undercut_acpi_claims(self, model):
+        # Section VI-B: measured C3/C6 latencies are below the ACPI 33/133 us
+        for state in (CState.C3, CState.C6):
+            worst = model.wake_latency_us(state, ghz(1.2),
+                                          WakeScenario.REMOTE_IDLE,
+                                          PackageCState.PC6
+                                          if state is CState.C6
+                                          else PackageCState.PC3)
+            assert worst < model.acpi_claimed_us(state)
+
+    def test_cstates_faster_than_pstates(self, model):
+        # Section VI-B: c-state transitions beat the ~500 us p-state grants
+        worst = model.wake_latency_us(CState.C6, ghz(1.2),
+                                      WakeScenario.REMOTE_IDLE,
+                                      PackageCState.PC6)
+        assert worst * 1000 < E5_2680_V3.pcu_quantum_ns
+
+    def test_sandybridge_slower(self):
+        hsw = WakeLatencyModel(E5_2680_V3)
+        snb = WakeLatencyModel(E5_2670_SNB)
+        for state in (CState.C3, CState.C6):
+            assert snb.wake_latency_us(state, ghz(2.0), WakeScenario.LOCAL) \
+                > hsw.wake_latency_us(state, ghz(2.0), WakeScenario.LOCAL)
+
+    def test_deep_package_requires_remote_idle(self, model):
+        with pytest.raises(ConfigurationError):
+            model.wake_latency_us(CState.C6, ghz(2.0), WakeScenario.LOCAL,
+                                  PackageCState.PC6)
+
+
+class TestAcpiTable:
+    def test_shipped_table_claims(self):
+        table = acpi_table_for(E5_2680_V3)
+        assert table.entry(CState.C3).latency_us == 33.0
+        assert table.entry(CState.C6).latency_us == 133.0
+
+    def test_deepest_for_idle_estimate(self):
+        table = acpi_table_for(E5_2680_V3)
+        assert table.deepest_for(1.0) is CState.C1
+        assert table.deepest_for(150.0) is CState.C3
+        assert table.deepest_for(1000.0) is CState.C6
+
+    def test_runtime_update_interface(self):
+        # the interface the paper says is needed
+        table = acpi_table_for(E5_2680_V3)
+        updated = table.updated_from_measurement(
+            {CState.C3: 5.5, CState.C6: 12.0})
+        assert updated.entry(CState.C6).latency_us == 12.0
+        assert updated.entry(CState.C6).target_residency_us == 36.0
+        # original untouched (frozen)
+        assert table.entry(CState.C6).latency_us == 133.0
+
+    def test_update_makes_governor_more_aggressive(self):
+        table = acpi_table_for(E5_2680_V3)
+        updated = table.updated_from_measurement(
+            {CState.C3: 5.5, CState.C6: 12.0})
+        idle_us = 150.0
+        assert MenuGovernor(table).select(idle_us) is CState.C3
+        assert MenuGovernor(updated).select(idle_us) is CState.C6
+
+    def test_requires_ordered_entries(self):
+        with pytest.raises(ConfigurationError):
+            AcpiCStateTable(entries=(
+                AcpiCStateEntry(CState.C6, 133.0, 400.0),
+                AcpiCStateEntry(CState.C1, 2.0, 2.0),
+            ))
+
+
+class TestGovernor:
+    def test_ewma_prediction(self):
+        gov = MenuGovernor(acpi_table_for(E5_2680_V3), ewma_alpha=0.5)
+        gov.observe(200.0)
+        assert gov.predicted_idle_us == pytest.approx(150.0)
+        gov.observe(200.0)
+        assert gov.predicted_idle_us == pytest.approx(175.0)
+
+    def test_lost_residency_zero_when_deepest(self):
+        gov = MenuGovernor(acpi_table_for(E5_2680_V3))
+        assert gov.lost_residency_us(500.0, CState.C6, 12.0) == 0.0
+        assert gov.lost_residency_us(500.0, CState.C3, 12.0) > 0.0
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            MenuGovernor(acpi_table_for(E5_2680_V3), ewma_alpha=0.0)

@@ -1,0 +1,93 @@
+"""EDP analysis and the workload zoo."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tuning.edp import EdpAnalysis, EdpPoint
+from repro.units import ghz
+from repro.workloads.zoo import is_memory_bound, kernel, kernel_names
+
+
+class TestZoo:
+    def test_all_kernels_construct(self):
+        for name in kernel_names():
+            w = kernel(name)
+            assert w.name == name
+            assert w.phases[0].active
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kernel("quantum_supremacy")
+
+    def test_memory_bound_classification(self):
+        assert is_memory_bound("stream")
+        assert is_memory_bound("spmv")
+        assert not is_memory_bound("gemm")
+        assert not is_memory_bound("montecarlo")
+
+    def test_roofline_consistency(self):
+        # bandwidth-bound kernels stall more and compute less
+        stream = kernel("stream").phases[0]
+        gemm = kernel("gemm").phases[0]
+        assert stream.stall_fraction > gemm.stall_fraction
+        assert stream.power_activity < gemm.power_activity
+        assert gemm.avx_fraction > 0.8
+
+    def test_zoo_kernels_run_on_node(self, sim, haswell):
+        from repro.units import ms
+        haswell.run_workload([12], kernel("stencil"))
+        sim.run_for(ms(20))
+        assert haswell.core(12).counters.instructions_thread0 > 0
+
+
+class TestEdpPointMath:
+    def test_derived_metrics(self):
+        p = EdpPoint(f_hz=ghz(2.0), throughput=4.0, pkg_power_w=40.0)
+        assert p.delay == pytest.approx(0.25)
+        assert p.energy_per_work == pytest.approx(10.0)
+        assert p.edp == pytest.approx(2.5)
+        assert p.ed2p == pytest.approx(0.625)
+
+    def test_optimal_selector(self):
+        points = [
+            EdpPoint(f_hz=ghz(1.2), throughput=2.0, pkg_power_w=10.0),
+            EdpPoint(f_hz=ghz(2.5), throughput=4.0, pkg_power_w=40.0),
+        ]
+        assert EdpAnalysis.optimal(points, "delay").f_hz == ghz(2.5)
+        assert EdpAnalysis.optimal(points, "energy").f_hz == ghz(1.2)
+        with pytest.raises(ConfigurationError):
+            EdpAnalysis.optimal(points, "vibes")
+
+
+class TestEdpSweep:
+    @pytest.fixture(scope="class")
+    def analysis(self) -> EdpAnalysis:
+        return EdpAnalysis()
+
+    def test_memory_bound_edp_optimum_is_low_frequency(self, analysis):
+        """The paper's Section VII payoff: for saturated memory-bound
+        work, delay is frequency-flat, so EDP minimizes at the bottom."""
+        points = analysis.sweep(kernel("stream"), n_cores=12,
+                                freqs_hz=[ghz(1.2), ghz(1.8), ghz(2.5)])
+        best = analysis.optimal(points, "edp")
+        assert best.f_hz == pytest.approx(ghz(1.2))
+        # and delay really is flat
+        delays = [p.delay for p in points]
+        assert max(delays) / min(delays) < 1.05
+
+    def test_compute_bound_edp_optimum_is_high_frequency(self, analysis):
+        points = analysis.sweep(kernel("montecarlo"), n_cores=12,
+                                freqs_hz=[ghz(1.2), ghz(1.8), ghz(2.5)])
+        best = analysis.optimal(points, "edp")
+        assert best.f_hz == pytest.approx(ghz(2.5))
+
+    def test_energy_metric_often_lower_than_edp_choice(self, analysis):
+        points = analysis.sweep(kernel("fft"), n_cores=8,
+                                freqs_hz=[ghz(1.2), ghz(1.8), ghz(2.5)])
+        e_best = analysis.optimal(points, "energy")
+        d_best = analysis.optimal(points, "delay")
+        assert e_best.f_hz <= d_best.f_hz
+
+    def test_rejects_bad_core_count(self, analysis):
+        with pytest.raises(ConfigurationError):
+            analysis.sweep(kernel("stream"), n_cores=0)

@@ -1,0 +1,201 @@
+"""Event queue and simulator core."""
+
+import pytest
+
+from repro.engine.events import EventQueue
+from repro.engine.rng import make_rng, spawn_rng, DEFAULT_SEED
+from repro.engine.simulator import Simulator
+from repro.engine.trace import TraceRecorder
+from repro.errors import SimulationError
+from repro.units import us, ms
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(30, lambda t: fired.append(("c", t)))
+        q.push(10, lambda t: fired.append(("a", t)))
+        q.push(20, lambda t: fired.append(("b", t)))
+        while (ev := q.pop()) is not None:
+            ev.action(ev.time_ns)
+        assert fired == [("a", 10), ("b", 20), ("c", 30)]
+
+    def test_same_time_fifo(self):
+        q = EventQueue()
+        fired = []
+        for name in "abc":
+            q.push(5, lambda t, n=name: fired.append(n))
+        while (ev := q.pop()) is not None:
+            ev.action(ev.time_ns)
+        assert fired == ["a", "b", "c"]
+
+    def test_cancellation_is_lazy_but_effective(self):
+        q = EventQueue()
+        ev = q.push(10, lambda t: None)
+        q.push(20, lambda t: None)
+        ev.cancel()
+        assert len(q) == 1
+        assert q.peek_time() == 20
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1, lambda t: None)
+
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        assert q.pop() is None
+
+
+class TestSimulator:
+    def test_run_until_processes_in_order(self):
+        sim = Simulator(seed=1)
+        fired = []
+        sim.schedule_at(us(5), lambda t: fired.append(t))
+        sim.schedule_at(us(2), lambda t: fired.append(t))
+        sim.run_until(us(10))
+        assert fired == [us(2), us(5)]
+        assert sim.now_ns == us(10)
+
+    def test_events_beyond_horizon_stay_queued(self):
+        sim = Simulator(seed=1)
+        fired = []
+        sim.schedule_at(us(50), lambda t: fired.append(t))
+        sim.run_until(us(10))
+        assert fired == []
+        sim.run_until(us(100))
+        assert fired == [us(50)]
+
+    def test_action_may_schedule_same_time(self):
+        sim = Simulator(seed=1)
+        fired = []
+
+        def chain(t):
+            fired.append("first")
+            sim.schedule_at(t, lambda t2: fired.append("second"))
+
+        sim.schedule_at(us(1), chain)
+        sim.run_until(us(2))
+        assert fired == ["first", "second"]
+
+    def test_time_cannot_go_backwards(self):
+        sim = Simulator(seed=1)
+        sim.run_until(us(10))
+        with pytest.raises(SimulationError):
+            sim.run_until(us(5))
+        with pytest.raises(SimulationError):
+            sim.schedule_at(us(1), lambda t: None)
+
+    def test_integrators_cover_every_segment(self):
+        sim = Simulator(seed=1)
+        segments = []
+
+        class Recorder:
+            def integrate(self, t0, t1):
+                segments.append((t0, t1))
+
+        sim.add_integrator(Recorder())
+        sim.schedule_at(us(3), lambda t: None)
+        sim.schedule_at(us(7), lambda t: None)
+        sim.run_until(us(10))
+        # contiguous, gap-free coverage of [0, 10us]
+        assert segments[0][0] == 0
+        assert segments[-1][1] == us(10)
+        for (a0, a1), (b0, b1) in zip(segments, segments[1:]):
+            assert a1 == b0
+            assert a0 < a1
+
+    def test_repeating_event_fires_periodically(self):
+        sim = Simulator(seed=1)
+        fired = []
+        sim.schedule_every(us(100), lambda t: fired.append(t))
+        sim.run_until(ms(1))
+        assert fired == [us(100 * k) for k in range(1, 11)]
+
+    def test_repeating_event_stop(self):
+        sim = Simulator(seed=1)
+        fired = []
+        task = sim.schedule_every(us(100), lambda t: fired.append(t))
+        sim.run_until(us(250))
+        task.stop()
+        sim.run_until(ms(1))
+        assert fired == [us(100), us(200)]
+
+    def test_repeating_rejects_zero_period(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(SimulationError):
+            sim.schedule_every(0, lambda t: None)
+
+    def test_schedule_after_negative_delay(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-5, lambda t: None)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = make_rng(42), make_rng(42)
+        assert list(a.integers(0, 1000, 10)) == list(b.integers(0, 1000, 10))
+
+    def test_default_seed_is_stable(self):
+        assert make_rng().integers(0, 10**9) \
+            == make_rng(DEFAULT_SEED).integers(0, 10**9)
+
+    def test_spawned_streams_independent(self):
+        root = make_rng(7)
+        child1 = spawn_rng(root)
+        child2 = spawn_rng(root)
+        s1 = list(child1.integers(0, 1000, 20))
+        s2 = list(child2.integers(0, 1000, 20))
+        assert s1 != s2
+
+
+class TestTrace:
+    def test_records_and_filters(self):
+        rec = TraceRecorder(kinds={"grant"})
+        rec.emit(1, "pcu0", "grant", f=2.5e9)
+        rec.emit(2, "pcu0", "noise", x=1)
+        assert len(rec.records) == 1
+        assert rec.of_kind("grant")[0].payload["f"] == 2.5e9
+
+    def test_unfiltered_records_all(self):
+        rec = TraceRecorder()
+        rec.emit(1, "a", "x")
+        rec.emit(2, "b", "y")
+        assert len(rec.records) == 2
+        rec.clear()
+        assert rec.records == []
+
+
+class TestTraceIntegration:
+    def test_pcu_emits_grant_traces(self):
+        """The simulator's trace hook observes PCU frequency applies."""
+        from repro.engine.trace import TraceRecorder
+        from repro.specs.node import HASWELL_TEST_NODE
+        from repro.system.node import build_node
+        from repro.units import ghz as _ghz
+        from repro.workloads.micro import busy_wait
+
+        sim = Simulator(seed=7, trace=TraceRecorder(
+            kinds={"freq-apply", "uncore-apply"}))
+        node = build_node(sim, HASWELL_TEST_NODE)
+        node.run_workload([0], busy_wait())
+        node.set_pstate([0], _ghz(1.5))
+        sim.run_until(ms(3))
+        applies = sim.trace.of_kind("freq-apply")
+        assert any(r.payload["core_id"] == 0
+                   and abs(r.payload["to_hz"] - _ghz(1.5)) < 20e6
+                   for r in applies)
+        assert sim.trace.of_kind("uncore-apply")  # UFS retarget observed
+
+    def test_default_trace_records_nothing(self):
+        from repro.specs.node import HASWELL_TEST_NODE
+        from repro.system.node import build_node
+        from repro.workloads.micro import busy_wait
+
+        sim = Simulator(seed=7)
+        node = build_node(sim, HASWELL_TEST_NODE)
+        node.run_workload([0], busy_wait())
+        sim.run_until(ms(3))
+        assert sim.trace.records == []

@@ -1,0 +1,63 @@
+"""Renderer smoke tests: every experiment's text artifact has the rows
+the paper's table/figure has (fast parameterizations, no assertions on
+physics — those live in the benchmarks)."""
+
+import pytest
+
+from repro.experiments import (
+    render_eet_rate_sweep,
+    render_epb_mapping,
+    render_powercap,
+    render_table3,
+    render_turbo_bins,
+    render_ufs_ablation,
+    run_eet_rate_sweep,
+    run_epb_mapping,
+    run_powercap_sweep,
+    run_table3,
+    run_turbo_bins,
+    run_ufs_ablation,
+)
+from repro.units import ghz, ms, us
+
+
+class TestRenderers:
+    def test_table3_has_both_sockets(self):
+        result = run_table3(measure_s=0.5, settings=[None, ghz(1.2)])
+        text = render_table3(result)
+        assert "Active processor uncore frequency" in text
+        assert "Passive processor uncore frequency" in text
+        assert "Turbo" in text
+
+    def test_powercap_has_imbalance_column(self):
+        points = run_powercap_sweep(caps_w=(120.0, 80.0), measure_s=1.0)
+        text = render_powercap(points)
+        assert "imbalance" in text
+        assert "120" in text and "80" in text
+
+    def test_ufs_ablation_names_all_policies(self):
+        results = run_ufs_ablation(freqs_ghz=(1.2, 2.5), measure_ns=ms(5))
+        text = render_ufs_ablation(results)
+        for label in ("Haswell UFS", "SNB policy", "WSM policy"):
+            assert label in text
+
+    def test_eet_sweep_lists_periods(self):
+        points = run_eet_rate_sweep(periods_ns=(us(500), ms(5)),
+                                    measure_s=0.5)
+        text = render_eet_rate_sweep(points)
+        assert "500" in text and "5000" in text
+        assert "slowdown" in text
+
+    def test_epb_mapping_all_16_rows(self):
+        rows = run_epb_mapping(settle_ns=ms(3))
+        text = render_epb_mapping(rows)
+        assert text.count("balanced") == 7
+        assert text.count("energy saving") == 8
+        assert text.count("performance") >= 1
+
+    def test_turbo_bins_both_rows(self):
+        rows = run_turbo_bins(settle_ns=ms(3))
+        text = render_turbo_bins(rows)
+        assert "non-AVX turbo" in text
+        assert "AVX turbo" in text
+        assert "3.3" in text and "2.8" in text

@@ -1,0 +1,162 @@
+"""The measurement instruments against the live simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.instruments.bwbench import BandwidthBenchmark
+from repro.instruments.ftalat import FtalatProbe, TransitionMode
+from repro.instruments.lmg450 import Lmg450, SAMPLE_RATE_HZ
+from repro.instruments.perfctr import LikwidSampler
+from repro.units import ghz, ms, seconds
+from repro.workloads.micro import busy_wait
+
+from tests.conftest import all_core_ids
+
+
+class TestLmg450:
+    def test_sample_rate(self, sim, haswell):
+        meter = Lmg450(sim, haswell)
+        meter.start()
+        sim.run_for(seconds(2))
+        assert len(meter.watts) == 2 * SAMPLE_RATE_HZ
+
+    def test_noise_within_spec(self, sim, haswell):
+        meter = Lmg450(sim, haswell)
+        meter.start()
+        sim.run_for(seconds(2))
+        true = haswell.ac_power_w()
+        samples = np.asarray(meter.watts)
+        spec_bound = 0.0007 * true + 0.23
+        assert np.abs(samples - true).max() < 2 * spec_bound
+        assert np.abs(samples.mean() - true) < spec_bound
+
+    def test_average_window(self, sim, haswell):
+        meter = Lmg450(sim, haswell)
+        meter.start()
+        sim.run_for(seconds(1))
+        t0 = sim.now_ns
+        sim.run_for(seconds(1))
+        avg = meter.average(t0, sim.now_ns)
+        assert avg == pytest.approx(haswell.ac_power_w(), rel=0.01)
+
+    def test_average_empty_window_rejected(self, sim, haswell):
+        meter = Lmg450(sim, haswell)
+        meter.start()
+        sim.run_for(seconds(1))
+        with pytest.raises(MeasurementError):
+            meter.average(sim.now_ns + 1, sim.now_ns + 2)
+
+    def test_max_window_needs_enough_samples(self, sim, haswell):
+        meter = Lmg450(sim, haswell)
+        meter.start()
+        sim.run_for(seconds(2))
+        with pytest.raises(MeasurementError):
+            meter.max_window_average(window_s=60.0)
+        assert meter.max_window_average(window_s=1.0) > 0
+
+    def test_double_start_rejected(self, sim, haswell):
+        meter = Lmg450(sim, haswell)
+        meter.start()
+        with pytest.raises(MeasurementError):
+            meter.start()
+
+    def test_stop_stops_sampling(self, sim, haswell):
+        meter = Lmg450(sim, haswell)
+        meter.start()
+        sim.run_for(seconds(1))
+        meter.stop()
+        n = len(meter.watts)
+        sim.run_for(seconds(1))
+        assert len(meter.watts) == n
+
+
+class TestLikwidSampler:
+    def test_measured_frequency_matches_granted(self, sim, haswell):
+        haswell.run_workload([0], busy_wait())
+        haswell.set_pstate([0], ghz(1.8))
+        sim.run_for(ms(5))
+        sampler = LikwidSampler(sim, haswell, core_ids=[0], period_ns=ms(100))
+        sampler.start()
+        sim.run_for(seconds(1))
+        med = sampler.median_metrics(0)
+        assert med["core_freq_hz"] == pytest.approx(ghz(1.8), rel=0.01)
+
+    def test_needs_two_samples(self, sim, haswell):
+        sampler = LikwidSampler(sim, haswell, core_ids=[0])
+        sampler.start()
+        with pytest.raises(MeasurementError):
+            sampler.metrics(0)
+
+    def test_power_metrics_positive_under_load(self, sim, haswell):
+        haswell.run_workload(all_core_ids(haswell), busy_wait())
+        sampler = LikwidSampler(sim, haswell, core_ids=[0], period_ns=ms(200))
+        sampler.start()
+        sim.run_for(seconds(1))
+        med = sampler.median_metrics(0)
+        assert med["pkg_power_w"] > 10.0
+        assert med["dram_power_w"] > 0.0
+
+
+class TestFtalat:
+    def test_verifies_by_cycle_counting(self, sim, haswell):
+        probe = FtalatProbe(sim, haswell)
+        haswell.run_workload([0], busy_wait())
+        haswell.set_pstate([0], ghz(1.2))
+        t = probe.wait_until_freq(haswell.core(0), ghz(1.2))
+        assert t >= 0
+        assert haswell.core(0).freq_hz == pytest.approx(ghz(1.2))
+
+    def test_timeout_when_frequency_unreachable(self, sim, haswell):
+        probe = FtalatProbe(sim, haswell)
+        haswell.run_workload([0], busy_wait())
+        with pytest.raises(MeasurementError):
+            # never requested, never granted
+            probe.wait_until_freq(haswell.core(0), ghz(1.2), timeout_ns=ms(2))
+
+    def test_random_mode_latency_range(self, sim, haswell):
+        probe = FtalatProbe(sim, haswell)
+        res = probe.measure(0, ghz(1.2), ghz(1.3), TransitionMode.RANDOM,
+                            n_samples=40)
+        # Fig. 3: evenly distributed between ~21 us and ~524 us
+        assert res.min_us >= 15.0
+        assert res.max_us <= 560.0
+        assert 150.0 < res.median_us < 400.0
+
+    def test_fixed_delay_requires_positive_delay(self, sim, haswell):
+        probe = FtalatProbe(sim, haswell)
+        with pytest.raises(MeasurementError):
+            probe.measure(0, ghz(1.2), ghz(1.3), TransitionMode.FIXED_DELAY,
+                          n_samples=1, fixed_delay_ns=0)
+
+    def test_histogram_shape(self, sim, haswell):
+        probe = FtalatProbe(sim, haswell)
+        res = probe.measure(0, ghz(1.2), ghz(1.3), TransitionMode.RANDOM,
+                            n_samples=30)
+        counts, edges = res.histogram(bin_us=100.0)
+        assert counts.sum() == 30
+        assert len(edges) == len(counts) + 1
+
+
+class TestBandwidthBenchmark:
+    def test_levels_and_thread_limits(self, sim, haswell):
+        bench = BandwidthBenchmark(sim, haswell)
+        with pytest.raises(MeasurementError):
+            bench.run("L4", 1, ghz(2.5))
+        with pytest.raises(MeasurementError):
+            bench.run("mem", 13, ghz(2.5))      # 13 cores on a 12-core socket
+        res = bench.run("mem", 24, ghz(2.5), use_ht=True, measure_ns=ms(5))
+        assert res.n_cores == 12
+
+    def test_measures_on_socket_1(self, sim, haswell):
+        # the paper measures on processor 1 while processor 0 idles
+        bench = BandwidthBenchmark(sim, haswell)
+        res = bench.run("mem", 4, ghz(2.5), measure_ns=ms(5))
+        assert res.dram_gbs > 0
+        assert haswell.sockets[0].uncore.counters.dram_bytes == 0
+
+    def test_l3_run_reports_l3_traffic(self, sim, haswell):
+        bench = BandwidthBenchmark(sim, haswell)
+        res = bench.run("L3", 4, ghz(2.5), measure_ns=ms(5))
+        assert res.l3_gbs > res.dram_gbs
+        assert res.read_gbs == res.l3_gbs

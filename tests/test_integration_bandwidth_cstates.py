@@ -1,0 +1,92 @@
+"""End-to-end Section VI-B and VII behaviours on the live node."""
+
+import pytest
+
+from repro.cstates.latency import WakeScenario
+from repro.cstates.states import CState, PackageCState
+from repro.instruments.bwbench import BandwidthBenchmark
+from repro.instruments.cstate_probe import CStateProbe
+from repro.units import ghz, ms
+
+
+class TestBandwidthEndToEnd:
+    def test_dram_saturation_at_8_cores(self, sim, haswell):
+        bench = BandwidthBenchmark(sim, haswell)
+        bw8 = bench.run("mem", 8, ghz(2.5), measure_ns=ms(5)).read_gbs
+        bw12 = bench.run("mem", 12, ghz(2.5), measure_ns=ms(5)).read_gbs
+        bw4 = bench.run("mem", 4, ghz(2.5), measure_ns=ms(5)).read_gbs
+        assert bw8 == pytest.approx(bw12, rel=0.02)
+        assert bw4 < 0.6 * bw8
+
+    def test_dram_frequency_independent_at_full_concurrency(self, sim, haswell):
+        bench = BandwidthBenchmark(sim, haswell)
+        slow = bench.run("mem", 12, ghz(1.2), measure_ns=ms(5)).read_gbs
+        fast = bench.run("mem", 12, ghz(2.5), measure_ns=ms(5)).read_gbs
+        assert slow == pytest.approx(fast, rel=0.03)
+
+    def test_l3_tracks_core_frequency(self, sim, haswell):
+        bench = BandwidthBenchmark(sim, haswell)
+        slow = bench.run("L3", 12, ghz(1.2), measure_ns=ms(5)).read_gbs
+        fast = bench.run("L3", 12, ghz(2.5), measure_ns=ms(5)).read_gbs
+        assert fast / slow > 1.6
+
+    def test_ht_beneficial_only_at_low_concurrency(self, sim, haswell):
+        bench = BandwidthBenchmark(sim, haswell)
+        # 2 threads: HT on one core vs one thread on one core
+        ht_low = bench.run("mem", 2, ghz(2.5), use_ht=True,
+                           measure_ns=ms(5)).read_gbs
+        no_ht_low = bench.run("mem", 1, ghz(2.5), measure_ns=ms(5)).read_gbs
+        assert ht_low > no_ht_low
+        # saturated: HT adds nothing
+        ht_full = bench.run("mem", 24, ghz(2.5), use_ht=True,
+                            measure_ns=ms(5)).read_gbs
+        no_ht_full = bench.run("mem", 12, ghz(2.5), measure_ns=ms(5)).read_gbs
+        assert ht_full == pytest.approx(no_ht_full, rel=0.02)
+
+    def test_memory_stalls_pull_uncore_to_max(self, sim, haswell):
+        bench = BandwidthBenchmark(sim, haswell)
+        bench.run("mem", 12, ghz(1.2), measure_ns=ms(5))
+        # during the run the uncore sat at its maximum despite 1.2 GHz
+        # cores; check via the accumulated uncore clocks vs wall time
+        uclk = haswell.sockets[1].uncore.counters.uclk
+        assert uclk > 0
+
+
+class TestCStateProbeEndToEnd:
+    def test_remote_idle_reaches_package_state(self, sim, haswell):
+        probe = CStateProbe(sim, haswell)
+        m = probe.measure(CState.C6, WakeScenario.REMOTE_IDLE, ghz(2.0),
+                          n_samples=3)
+        assert m.package_state is PackageCState.PC6
+
+    def test_remote_active_keeps_pc0(self, sim, haswell):
+        probe = CStateProbe(sim, haswell)
+        m = probe.measure(CState.C6, WakeScenario.REMOTE_ACTIVE, ghz(2.0),
+                          n_samples=3)
+        assert m.package_state is PackageCState.PC0
+
+    def test_c6_latency_rises_at_low_frequency(self, sim, haswell):
+        probe = CStateProbe(sim, haswell)
+        slow = probe.measure(CState.C6, WakeScenario.LOCAL, ghz(1.2),
+                             n_samples=8).median_us
+        fast = probe.measure(CState.C6, WakeScenario.LOCAL, ghz(2.5),
+                             n_samples=8).median_us
+        assert slow > fast + 2.0
+
+    def test_package_c6_costs_more_than_package_c3(self, sim, haswell):
+        probe = CStateProbe(sim, haswell)
+        pc3 = probe.measure(CState.C3, WakeScenario.REMOTE_IDLE, ghz(2.0),
+                            n_samples=8).median_us
+        pc6 = probe.measure(CState.C6, WakeScenario.REMOTE_IDLE, ghz(2.0),
+                            n_samples=8).median_us
+        assert pc6 > pc3 + 5.0
+
+    def test_measured_below_acpi_claims(self, sim, haswell):
+        probe = CStateProbe(sim, haswell)
+        spec = haswell.spec.cpu.cstate_latency
+        c3 = probe.measure(CState.C3, WakeScenario.LOCAL, ghz(2.0),
+                           n_samples=8).median_us
+        c6 = probe.measure(CState.C6, WakeScenario.LOCAL, ghz(2.0),
+                           n_samples=8).median_us
+        assert c3 < spec.acpi_c3_us
+        assert c6 < spec.acpi_c6_us

@@ -1,0 +1,114 @@
+"""End-to-end RAPL accuracy and node power (Sections III, IV)."""
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.instruments.lmg450 import Lmg450
+from repro.power.rapl import RaplDomain
+from repro.specs.node import HASWELL_TEST_NODE, SANDY_BRIDGE_TEST_NODE
+from repro.system.node import build_node
+from repro.units import ms, seconds
+from repro.workloads.firestarter import firestarter
+from repro.workloads.micro import busy_wait, compute, memory_read, sqrt_bench
+
+from tests.conftest import all_core_ids
+
+
+class TestIdlePower:
+    def test_idle_matches_table2(self, sim, haswell):
+        meter = Lmg450(sim, haswell)
+        sim.run_for(seconds(1))
+        meter.start()
+        t0 = sim.now_ns
+        sim.run_for(seconds(2))
+        # Table II: 261.5 W at maximum fan speed
+        assert meter.average(t0, sim.now_ns) == pytest.approx(261.5, abs=3.0)
+
+
+class TestFullLoadPower:
+    def test_firestarter_node_power(self, sim, haswell):
+        haswell.run_workload(all_core_ids(haswell), firestarter())
+        sim.run_for(seconds(2))
+        # Table V ballpark: ~560 W at the wall
+        assert haswell.ac_power_w() == pytest.approx(560.0, abs=10.0)
+
+    def test_rapl_pkg_plus_dram_at_full_load(self, sim, haswell):
+        haswell.run_workload(all_core_ids(haswell), firestarter())
+        sim.run_for(seconds(2))
+        total = sum(b.package_w + b.dram_w
+                    for b in (s.last_breakdown for s in haswell.sockets))
+        assert total == pytest.approx(284.0, abs=10.0)
+
+
+class TestHaswellRaplIsMeasurement:
+    def test_rapl_equals_ground_truth(self, sim, haswell):
+        haswell.run_workload(all_core_ids(haswell)[:6], compute())
+        sim.run_for(ms(500))
+        for socket in haswell.sockets:
+            rapl = socket.rapl.true_energy_j(RaplDomain.PACKAGE)
+            truth = socket.energy_pkg_j
+            assert rapl == pytest.approx(truth, rel=1e-9)
+
+    def test_single_transfer_function_across_workloads(self):
+        """The Fig. 2b claim: one quadratic fits every workload."""
+        points = []
+        for wl_factory in (busy_wait, compute, sqrt_bench):
+            sim = Simulator(seed=23)
+            node = build_node(sim, HASWELL_TEST_NODE)
+            node.run_workload(all_core_ids(node), wl_factory())
+            sim.run_for(ms(600))
+            rapl = sum(s.rapl.true_energy_j(RaplDomain.PACKAGE)
+                       + s.rapl.true_energy_j(RaplDomain.DRAM)
+                       for s in node.sockets) / 0.6
+            # predicted AC from the node transfer at this RAPL power
+            predicted = node.spec.ac_power_w(rapl)
+            actual = node.ac_power_w()
+            points.append(abs(actual - predicted))
+        # deviations well below the paper's 3 W bound
+        assert max(points) < 3.0
+
+
+class TestSandyBridgeRaplIsModel:
+    def test_bias_fans_out_by_workload(self):
+        """The Fig. 2a effect: RAPL/truth ratio depends on the workload."""
+        ratios = {}
+        for name, wl_factory in [("busy", busy_wait), ("compute", compute),
+                                 ("sqrt", sqrt_bench)]:
+            sim = Simulator(seed=29)
+            node = build_node(sim, SANDY_BRIDGE_TEST_NODE)
+            node.run_workload(all_core_ids(node), wl_factory())
+            sim.run_for(ms(400))
+            socket = node.sockets[0]
+            rapl = socket.rapl.true_energy_j(RaplDomain.PACKAGE)
+            truth = socket.energy_pkg_j
+            ratios[name] = rapl / truth
+        assert ratios["busy"] > 1.05        # overestimates spin loops
+        assert ratios["sqrt"] < 0.95        # underestimates divider chains
+        assert len({round(r, 2) for r in ratios.values()}) == 3
+
+    def test_memory_workload_bias_largest(self):
+        sim = Simulator(seed=31)
+        node = build_node(sim, SANDY_BRIDGE_TEST_NODE)
+        spec = node.spec.cpu
+        node.run_workload(all_core_ids(node), memory_read(spec))
+        sim.run_for(ms(400))
+        socket = node.sockets[0]
+        ratio = (socket.rapl.true_energy_j(RaplDomain.PACKAGE)
+                 / socket.energy_pkg_j)
+        assert ratio == pytest.approx(1.18, abs=0.03)
+
+
+class TestEnergyConservation:
+    def test_ac_energy_exceeds_dc_energy(self, sim, haswell):
+        haswell.run_workload(all_core_ids(haswell), busy_wait())
+        sim.run_for(ms(500))
+        dc = sum(s.energy_pkg_j + s.energy_dram_j for s in haswell.sockets)
+        assert haswell.ac_energy_j > dc     # PSU losses + fans + board
+
+    def test_energy_monotone_nondecreasing(self, sim, haswell):
+        haswell.run_workload([0], busy_wait())
+        values = []
+        for _ in range(10):
+            sim.run_for(ms(10))
+            values.append(haswell.sockets[0].energy_pkg_j)
+        assert all(b > a for a, b in zip(values, values[1:]))

@@ -1,0 +1,169 @@
+"""Cache hierarchy classification and the bandwidth laws."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.bandwidth import (
+    BandwidthDemand,
+    SocketBandwidthModel,
+    bandwidth_config_for,
+)
+from repro.memory.hierarchy import CacheLevel, MemoryHierarchy, classify_working_set
+from repro.memory.latency import dram_latency_ns
+from repro.specs.cpu import E5_2670_SNB, E5_2680_V3, X5670_WSM
+from repro.units import ghz, mib
+
+
+class TestHierarchy:
+    def test_levels_from_spec(self):
+        h = MemoryHierarchy.from_spec(E5_2680_V3)
+        assert h.l1_bytes == 32 * 1024
+        assert h.l2_bytes == 256 * 1024
+        assert h.l3_bytes == 30 * 1024 * 1024
+
+    def test_paper_working_sets(self):
+        # Section VII: 17 MB streams from L3, 350 MB from DRAM
+        assert classify_working_set(E5_2680_V3, mib(17)) is CacheLevel.L3
+        assert classify_working_set(E5_2680_V3, mib(350)) is CacheLevel.DRAM
+
+    def test_small_sets_stay_private(self):
+        assert classify_working_set(E5_2680_V3, 16 * 1024) is CacheLevel.L1
+        assert classify_working_set(E5_2680_V3, 128 * 1024) is CacheLevel.L2
+
+    def test_sharers_split_private_levels(self):
+        h = MemoryHierarchy.from_spec(E5_2680_V3)
+        assert h.level_for(256 * 1024, sharers=1) is CacheLevel.L2
+        assert h.level_for(256 * 1024 * 8, sharers=8) is CacheLevel.L2
+
+    def test_rejects_bad_inputs(self):
+        h = MemoryHierarchy.from_spec(E5_2680_V3)
+        with pytest.raises(ConfigurationError):
+            h.level_for(0)
+        with pytest.raises(ConfigurationError):
+            h.level_for(1024, sharers=0)
+
+
+class TestLatency:
+    def test_slower_uncore_raises_latency(self):
+        lat_fast = dram_latency_ns(ghz(2.5), ghz(3.0), ghz(3.0))
+        lat_slow = dram_latency_ns(ghz(2.5), ghz(1.2), ghz(3.0))
+        assert lat_slow > lat_fast
+
+    def test_slower_core_raises_latency(self):
+        lat_fast = dram_latency_ns(ghz(2.5), ghz(3.0), ghz(3.0))
+        lat_slow = dram_latency_ns(ghz(1.2), ghz(3.0), ghz(3.0))
+        assert lat_slow > lat_fast
+
+    def test_core_component_is_secondary(self):
+        # core frequency moves latency far less than uncore does
+        d_core = (dram_latency_ns(ghz(1.2), ghz(3.0), ghz(3.0))
+                  - dram_latency_ns(ghz(2.5), ghz(3.0), ghz(3.0)))
+        base = dram_latency_ns(ghz(2.5), ghz(3.0), ghz(3.0))
+        assert d_core / base < 0.3
+
+
+def _demand(core_id: int, f_ghz: float, dram_bpc: float = 8.0,
+            l3_bpc: float = 0.0, threads: int = 1) -> BandwidthDemand:
+    return BandwidthDemand(core_id=core_id, f_core_hz=ghz(f_ghz),
+                           n_threads=threads,
+                           l3_bytes_per_cycle=l3_bpc,
+                           dram_bytes_per_cycle=dram_bpc)
+
+
+class TestDramBandwidthLaw:
+    @pytest.fixture
+    def model(self) -> SocketBandwidthModel:
+        return SocketBandwidthModel(E5_2680_V3)
+
+    def test_single_core_is_mlp_limited(self, model):
+        res = model.solve([_demand(0, 2.5)], ghz(3.0))
+        assert 5.0 < res.total_dram_gbs < 10.0
+
+    def test_saturates_around_8_cores(self, model):
+        bw8 = model.solve([_demand(i, 2.5) for i in range(8)], ghz(3.0))
+        bw12 = model.solve([_demand(i, 2.5) for i in range(12)], ghz(3.0))
+        assert bw8.total_dram_gbs == pytest.approx(60.0, rel=0.05)
+        assert bw12.total_dram_gbs == pytest.approx(bw8.total_dram_gbs,
+                                                    rel=0.02)
+
+    def test_saturated_bw_frequency_independent(self, model):
+        # Fig. 7b: Haswell DRAM bandwidth at max concurrency does not
+        # depend on the core frequency (uncore pinned at 3.0 GHz)
+        slow = model.solve([_demand(i, 1.2) for i in range(12)], ghz(3.0))
+        fast = model.solve([_demand(i, 2.5) for i in range(12)], ghz(3.0))
+        assert slow.total_dram_gbs == pytest.approx(fast.total_dram_gbs,
+                                                    rel=0.02)
+
+    def test_capacity_scales_with_uncore(self, model):
+        lo = model.solve([_demand(i, 2.5) for i in range(12)], ghz(1.5))
+        hi = model.solve([_demand(i, 2.5) for i in range(12)], ghz(3.0))
+        assert hi.total_dram_gbs > lo.total_dram_gbs
+
+    def test_smt_raises_single_core_mlp(self, model):
+        one = model.solve([_demand(0, 2.5, threads=1)], ghz(3.0))
+        two = model.solve([_demand(0, 2.5, threads=2)], ghz(3.0))
+        assert two.total_dram_gbs > one.total_dram_gbs
+
+    def test_fair_sharing_when_saturated(self, model):
+        res = model.solve([_demand(i, 2.5) for i in range(12)], ghz(3.0))
+        rates = list(res.dram_bytes_per_s.values())
+        assert max(rates) == pytest.approx(min(rates), rel=0.01)
+        assert res.dram_throttle < 1.0
+
+
+class TestL3BandwidthLaw:
+    @pytest.fixture
+    def model(self) -> SocketBandwidthModel:
+        return SocketBandwidthModel(E5_2680_V3)
+
+    def test_tracks_core_frequency(self, model):
+        # Fig. 7a: L3 bandwidth strongly correlates with core frequency
+        lo = model.solve([_demand(i, 1.2, dram_bpc=0, l3_bpc=12)
+                          for i in range(12)], ghz(3.0))
+        hi = model.solve([_demand(i, 2.5, dram_bpc=0, l3_bpc=12)
+                          for i in range(12)], ghz(3.0))
+        assert hi.total_l3_gbs / lo.total_l3_gbs > 1.6
+
+    def test_sublinear_at_high_frequency(self, model):
+        # linear at low frequencies, flattening toward the top (Fig. 7a)
+        def bw(f):
+            return model.solve([_demand(i, f, dram_bpc=0, l3_bpc=12)
+                                for i in range(12)], ghz(3.0)).total_l3_gbs
+        gain_low = bw(1.6) / bw(1.2)
+        gain_high = bw(2.4) / bw(2.0)
+        assert gain_low > gain_high
+        assert bw(2.5) / bw(1.2) < 2.5 / 1.2
+
+    def test_slightly_superlinear_in_cores_at_low_n(self, model):
+        def bw(n):
+            return model.solve([_demand(i, 2.5, dram_bpc=0, l3_bpc=12)
+                                for i in range(n)], ghz(3.0)).total_l3_gbs
+        assert bw(2) > 2.0 * bw(1)
+        # approximately linear later
+        assert bw(12) / bw(6) == pytest.approx(2.0, rel=0.05)
+
+
+class TestArchVariants:
+    def test_config_exists_per_arch(self):
+        for spec in (E5_2680_V3, E5_2670_SNB, X5670_WSM):
+            assert bandwidth_config_for(spec).dram_peak_gbs > 0
+
+    def test_sandybridge_dram_tracks_uncore_equals_core(self):
+        model = SocketBandwidthModel(E5_2670_SNB)
+        # uncore tied to core clock: saturated bandwidth scales with it
+        lo = model.solve([_demand(i, 1.2) for i in range(8)], ghz(1.2))
+        hi = model.solve([_demand(i, 2.6) for i in range(8)], ghz(2.6))
+        assert hi.total_dram_gbs / lo.total_dram_gbs > 1.5
+
+    def test_westmere_dram_flat(self):
+        model = SocketBandwidthModel(X5670_WSM)
+        fixed_uncore = ghz(2.66)
+        lo = model.solve([_demand(i, 1.6) for i in range(6)], fixed_uncore)
+        hi = model.solve([_demand(i, 2.93) for i in range(6)], fixed_uncore)
+        assert hi.total_dram_gbs == pytest.approx(lo.total_dram_gbs, rel=0.1)
+
+    def test_haswell_peaks_higher_than_predecessors(self):
+        peak = {spec.microarch.codename:
+                bandwidth_config_for(spec).dram_peak_gbs
+                for spec in (E5_2680_V3, E5_2670_SNB, X5670_WSM)}
+        assert peak["haswell-ep"] > peak["sandybridge-ep"] > peak["westmere-ep"]

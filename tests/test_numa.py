@@ -1,0 +1,68 @@
+"""The NUMA/QPI placement model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.numa import NumaBandwidthModel, Placement
+from repro.specs.cpu import E5_2670_SNB, E5_2680_V3
+from repro.units import ghz
+
+
+@pytest.fixture
+def model() -> NumaBandwidthModel:
+    return NumaBandwidthModel(E5_2680_V3)
+
+
+class TestQpiLink:
+    def test_effective_data_bandwidth_below_raw(self, model):
+        raw = E5_2680_V3.microarch.qpi_bandwidth_bytes / 1e9
+        assert 0.5 * raw < model.qpi_data_gbs < raw
+
+    def test_haswell_link_faster_than_sandybridge(self):
+        hsw = NumaBandwidthModel(E5_2680_V3).qpi_data_gbs
+        snb = NumaBandwidthModel(E5_2670_SNB).qpi_data_gbs
+        # Table I: 9.6 GT/s vs 8 GT/s
+        assert hsw / snb == pytest.approx(9.6 / 8.0, rel=0.01)
+
+
+class TestPlacements:
+    def test_remote_slower_than_local(self, model):
+        local = model.evaluate(Placement.LOCAL, 12, ghz(2.5), ghz(3.0))
+        remote = model.evaluate(Placement.REMOTE, 12, ghz(2.5), ghz(3.0))
+        assert remote.bandwidth_gbs < local.bandwidth_gbs
+        assert remote.latency_ns > local.latency_ns + 40.0
+
+    def test_remote_capped_by_qpi(self, model):
+        remote = model.evaluate(Placement.REMOTE, 12, ghz(2.5), ghz(3.0))
+        assert remote.bandwidth_gbs == pytest.approx(model.qpi_data_gbs,
+                                                     rel=0.01)
+
+    def test_interleave_between_local_and_remote(self, model):
+        local = model.evaluate(Placement.LOCAL, 12, ghz(2.5), ghz(3.0))
+        remote = model.evaluate(Placement.REMOTE, 12, ghz(2.5), ghz(3.0))
+        inter = model.evaluate(Placement.INTERLEAVED, 12, ghz(2.5), ghz(3.0))
+        assert remote.bandwidth_gbs < inter.bandwidth_gbs \
+            <= local.bandwidth_gbs + 1e-9
+
+    def test_single_core_penalty_is_latency_driven(self, model):
+        local = model.evaluate(Placement.LOCAL, 1, ghz(2.5), ghz(3.0))
+        remote = model.evaluate(Placement.REMOTE, 1, ghz(2.5), ghz(3.0))
+        # one core cannot saturate QPI; the loss is the MLP/latency ratio
+        expected = local.latency_ns / remote.latency_ns
+        assert remote.bandwidth_gbs / local.bandwidth_gbs \
+            == pytest.approx(expected, rel=0.02)
+
+    def test_local_matches_section7_saturation(self, model):
+        local = model.evaluate(Placement.LOCAL, 12, ghz(2.5), ghz(3.0))
+        assert local.bandwidth_gbs == pytest.approx(60.0, rel=0.02)
+
+    def test_sweep_covers_grid(self, model):
+        results = model.placement_sweep(ghz(2.5), ghz(3.0),
+                                        core_counts=[1, 8])
+        assert len(results) == 6
+
+    def test_rejects_bad_core_count(self, model):
+        with pytest.raises(ConfigurationError):
+            model.evaluate(Placement.LOCAL, 0, ghz(2.5), ghz(3.0))
+        with pytest.raises(ConfigurationError):
+            model.evaluate(Placement.LOCAL, 13, ghz(2.5), ghz(3.0))

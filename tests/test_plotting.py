@@ -1,0 +1,73 @@
+"""ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plotting import ascii_bars, ascii_chart, ascii_histogram
+from repro.analysis.series import Series, SeriesBundle
+from repro.errors import ConfigurationError
+
+
+def _bundle() -> SeriesBundle:
+    b = SeriesBundle(title="demo", x_label="x", y_label="y")
+    b.add(Series("a", x=np.linspace(0, 10, 11), y=np.linspace(0, 5, 11)))
+    b.add(Series("b", x=np.linspace(0, 10, 11), y=np.full(11, 2.0)))
+    return b
+
+
+class TestChart:
+    def test_renders_all_series(self):
+        text = ascii_chart(_bundle())
+        assert "demo" in text
+        assert "o a" in text and "x b" in text
+        assert "o" in text and "x" in text
+
+    def test_axis_labels(self):
+        text = ascii_chart(_bundle())
+        assert "[x]" in text
+        assert "0" in text and "10" in text
+
+    def test_marker_positions_monotone(self):
+        # the rising series' markers climb left to right
+        text = ascii_chart(_bundle(), width=32, height=8)
+        rows = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        first_col = min(r.find("o") for r in rows if "o" in r)
+        # the topmost row containing 'o' must be near the right edge
+        top_row = next(r for r in rows if "o" in r)
+        assert top_row.rfind("o") > first_col
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart(_bundle(), width=4, height=2)
+
+    def test_rejects_empty_bundle(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart(SeriesBundle(title="e", x_label="x", y_label="y"))
+
+
+class TestHistogram:
+    def test_bars_proportional(self):
+        text = ascii_histogram([1, 1, 1, 1, 5], bin_width=1.0)
+        lines = [l for l in text.splitlines() if "#" in l]
+        assert len(lines) == 2
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_label(self):
+        text = ascii_histogram([1.0], 1.0, label="lat")
+        assert text.startswith("lat")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ascii_histogram([], 1.0)
+
+
+class TestBars:
+    def test_scaled_to_peak(self):
+        text = ascii_bars(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bars(["a"], [1.0, 2.0])

@@ -1,0 +1,96 @@
+"""FIVR, MBVR/SVID, and the PSU transfer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.fivr import Fivr
+from repro.power.mbvr import Mbvr, MbvrPowerState, SvidCommand
+from repro.power.psu import PsuModel
+from repro.specs.node import HASWELL_TEST_NODE
+from repro.specs.vf import VfCurve
+from repro.units import ghz
+
+
+@pytest.fixture
+def curve() -> VfCurve:
+    return VfCurve(v0=0.65, v1=0.15, f_min_hz=ghz(1.2), f_max_hz=ghz(3.3))
+
+
+class TestFivr:
+    def test_regulates_voltage_for_frequency(self, curve):
+        fivr = Fivr(domain="core0", vf_curve=curve)
+        v = fivr.set_frequency(ghz(2.0))
+        assert v == pytest.approx(0.95)
+        assert fivr.output_voltage == pytest.approx(0.95)
+
+    def test_gate_off_zeroes_output(self, curve):
+        fivr = Fivr(domain="core0", vf_curve=curve)
+        fivr.set_frequency(ghz(2.0))
+        fivr.gate_off()
+        assert fivr.output_voltage == 0.0
+        fivr.gate_on()
+        assert fivr.output_voltage == pytest.approx(0.95)
+
+    def test_conversion_loss(self, curve):
+        fivr = Fivr(domain="core0", vf_curve=curve, efficiency=0.9)
+        assert fivr.input_power_w(9.0) == pytest.approx(10.0)
+        fivr.gate_off()
+        assert fivr.input_power_w(9.0) == 0.0
+
+    def test_rejects_implausible_efficiency(self, curve):
+        with pytest.raises(ConfigurationError):
+            Fivr(domain="x", vf_curve=curve, efficiency=0.3)
+
+
+class TestMbvrSvid:
+    """Section II-B: three lanes, three power states."""
+
+    def test_only_three_lanes_exist(self):
+        assert SvidCommand.VALID_LANES == ("VCCin", "VCCD_01", "VCCD_23")
+        with pytest.raises(ConfigurationError):
+            SvidCommand(lane="VCCSA", voltage=1.0)
+
+    def test_svid_programs_lane(self):
+        mbvr = Mbvr()
+        mbvr.apply(SvidCommand("VCCin", 1.8))
+        assert mbvr.lanes["VCCin"] == 1.8
+        assert len(mbvr.command_log) == 1
+
+    def test_power_state_selection(self):
+        mbvr = Mbvr()
+        assert mbvr.select_power_state(5.0) is MbvrPowerState.PS2
+        assert mbvr.select_power_state(50.0) is MbvrPowerState.PS1
+        assert mbvr.select_power_state(120.0) is MbvrPowerState.PS0
+
+    def test_efficiency_improves_with_load_state(self):
+        mbvr = Mbvr()
+        mbvr.select_power_state(120.0)
+        eff_heavy = mbvr.efficiency()
+        mbvr.select_power_state(5.0)
+        eff_light = mbvr.efficiency()
+        assert eff_heavy > eff_light
+
+    def test_rejects_implausible_voltage(self):
+        with pytest.raises(ConfigurationError):
+            SvidCommand("VCCin", 5.0)
+
+
+class TestPsu:
+    def test_matches_node_spec_transfer(self):
+        psu = PsuModel(HASWELL_TEST_NODE)
+        assert psu.ac_power_w(100.0) \
+            == pytest.approx(HASWELL_TEST_NODE.ac_power_w(100.0))
+
+    def test_efficiency_below_unity(self):
+        psu = PsuModel(HASWELL_TEST_NODE)
+        assert 0.0 < psu.efficiency(200.0) < 1.0
+
+    def test_marginal_losses_grow_with_load(self):
+        psu = PsuModel(HASWELL_TEST_NODE)
+        # The quadratic loss term: each extra DC watt costs more AC at
+        # heavy load. (Apparent end-to-end efficiency still *improves*
+        # with load because fans/standby dominate at idle.)
+        marginal_low = psu.ac_power_w(151.0) - psu.ac_power_w(150.0)
+        marginal_high = psu.ac_power_w(281.0) - psu.ac_power_w(280.0)
+        assert marginal_high > marginal_low > 1.0
+        assert psu.efficiency(280.0) > psu.efficiency(150.0)

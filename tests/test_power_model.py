@@ -1,0 +1,121 @@
+"""The calibrated power model and its TDP solvers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.model import PowerModel
+from repro.specs.cpu import E5_2680_V3
+from repro.units import ghz
+
+
+@pytest.fixture
+def model() -> PowerModel:
+    return PowerModel(E5_2680_V3)
+
+
+# FIRESTARTER-HT activity over 12 cores (the calibration reference).
+FS_ACTIVITY_SUM = 12.0
+
+
+class TestCalibrationPoints:
+    """The Table IV equilibria the coefficients were solved from."""
+
+    def test_firestarter_turbo_equilibrium(self, model):
+        # P(2.31 GHz core, 2.33 GHz uncore) ~ 120 W
+        p = model.package_power_at(ghz(2.31), ghz(2.33), FS_ACTIVITY_SUM)
+        assert p == pytest.approx(120.0, abs=1.5)
+
+    def test_firestarter_2_2_equilibrium(self, model):
+        p = model.package_power_at(ghz(2.19), ghz(2.80), FS_ACTIVITY_SUM)
+        assert p == pytest.approx(120.0, abs=1.5)
+
+    def test_firestarter_2_1_under_tdp(self, model):
+        # Section V-B: at 2.1 GHz both processors stay below 120 W
+        p = model.package_power_at(ghz(2.09), ghz(3.0), FS_ACTIVITY_SUM)
+        assert p < 120.0
+
+    def test_idle_package_near_static(self, model):
+        p = model.socket_power([], ghz(1.2), uncore_halted=True, dram_gbs=0.0)
+        assert p.package_w == pytest.approx(E5_2680_V3.power.static_w)
+
+
+class TestMonotonicity:
+    def test_power_increases_with_frequency(self, model):
+        powers = [model.core_power_w(ghz(f), 1.0)
+                  for f in (1.2, 1.8, 2.5, 3.0)]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_power_superlinear_in_frequency(self, model):
+        # P ~ f V(f)^2: doubling f more than doubles power
+        p1 = model.core_power_w(ghz(1.2), 1.0)
+        p2 = model.core_power_w(ghz(2.4), 1.0)
+        assert p2 > 2.0 * p1
+
+    def test_power_linear_in_activity(self, model):
+        p_half = model.core_power_w(ghz(2.5), 0.5)
+        p_full = model.core_power_w(ghz(2.5), 1.0)
+        assert p_full == pytest.approx(2.0 * p_half)
+
+    def test_uncore_halted_draws_nothing(self, model):
+        assert model.uncore_power_w(ghz(3.0), halted=True) == 0.0
+
+    def test_dram_power_tracks_traffic(self, model):
+        assert model.dram_power_w(50.0) > model.dram_power_w(0.0)
+        assert model.dram_power_w(0.0) == E5_2680_V3.power.dram_idle_w
+
+
+class TestVoltageSkew:
+    """Section III: socket 0 is less efficient."""
+
+    def test_offset_raises_power(self):
+        skewed = PowerModel(E5_2680_V3, voltage_offset_v=0.012)
+        flat = PowerModel(E5_2680_V3)
+        assert skewed.core_power_w(ghz(2.3), 1.0) \
+            > flat.core_power_w(ghz(2.3), 1.0)
+
+    def test_offset_lowers_tdp_equilibrium(self):
+        skewed = PowerModel(E5_2680_V3, voltage_offset_v=0.012)
+        flat = PowerModel(E5_2680_V3)
+        f_skewed = skewed.solve_core_for_budget(FS_ACTIVITY_SUM, 120.0)
+        f_flat = flat.solve_core_for_budget(FS_ACTIVITY_SUM, 120.0)
+        assert f_skewed < f_flat
+
+
+class TestSolvers:
+    def test_solve_uncore_hits_budget(self, model):
+        fu = model.solve_uncore_for_budget(ghz(2.2), FS_ACTIVITY_SUM, 120.0)
+        p = model.package_power_at(ghz(2.2), fu, FS_ACTIVITY_SUM)
+        assert p == pytest.approx(120.0, abs=0.5)
+        # Table IV: 2.2 GHz setting leaves headroom for ~2.8 GHz uncore
+        assert fu == pytest.approx(ghz(2.8), rel=0.03)
+
+    def test_solve_uncore_clamps_to_max(self, model):
+        fu = model.solve_uncore_for_budget(ghz(1.2), 1.0, 120.0)
+        assert fu == E5_2680_V3.uncore_max_hz
+
+    def test_solve_uncore_clamps_to_min(self, model):
+        fu = model.solve_uncore_for_budget(ghz(3.3), 20.0, 50.0)
+        assert fu == E5_2680_V3.uncore_min_hz
+
+    def test_solve_core_matches_table4(self, model):
+        f = model.solve_core_for_budget(FS_ACTIVITY_SUM, 120.0)
+        assert f == pytest.approx(ghz(2.31), rel=0.02)
+
+    def test_solve_core_unconstrained_returns_turbo_max(self, model):
+        f = model.solve_core_for_budget(0.5, 120.0)
+        assert f == E5_2680_V3.turbo.max_hz
+
+    def test_rejects_out_of_range_activity(self, model):
+        with pytest.raises(ConfigurationError):
+            model.core_power_w(ghz(2.5), 1.5)
+        with pytest.raises(ConfigurationError):
+            model.core_power_w(ghz(2.5), -0.1)
+
+
+class TestBreakdown:
+    def test_components_sum(self, model):
+        b = model.socket_power([(ghz(2.3), 1.0)] * 12, ghz(2.33),
+                               uncore_halted=False, dram_gbs=50.0)
+        assert b.package_w == pytest.approx(
+            b.static_w + b.core_dyn_w + b.uncore_w)
+        assert b.total_w == pytest.approx(b.package_w + b.dram_w)

@@ -1,0 +1,110 @@
+"""Property-based tests on the simulation engine and workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.simulator import Simulator
+from repro.units import us
+from repro.workloads.base import WorkloadPhase
+from repro.workloads.composite import square_wave
+from repro.workloads.firestarter import FirestarterKernel, MIX_RATIOS
+
+
+class TestEventOrderingProperty:
+    @given(times=st.lists(st.integers(min_value=0, max_value=10 ** 7),
+                          min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_events_fire_in_time_order(self, times):
+        sim = Simulator(seed=1)
+        fired = []
+        for t in times:
+            sim.schedule_at(t, lambda now: fired.append(now))
+        sim.run_until(10 ** 7 + 1)
+        assert fired == sorted(times)
+        assert len(fired) == len(times)
+
+    @given(times=st.lists(st.integers(min_value=1, max_value=10 ** 6),
+                          min_size=1, max_size=20),
+           horizon=st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=50)
+    def test_horizon_respected(self, times, horizon):
+        sim = Simulator(seed=1)
+        fired = []
+        for t in times:
+            sim.schedule_at(t, lambda now: fired.append(now))
+        sim.run_until(horizon)
+        assert all(t <= horizon for t in fired)
+        assert len(fired) == sum(1 for t in times if t <= horizon)
+        assert sim.now_ns == horizon
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=20)
+    def test_rng_streams_reproducible(self, seed):
+        a = Simulator(seed=seed).rng.integers(0, 10 ** 9, 5)
+        b = Simulator(seed=seed).rng.integers(0, 10 ** 9, 5)
+        assert list(a) == list(b)
+
+
+class TestIntegrationCoverageProperty:
+    @given(times=st.lists(st.integers(min_value=1, max_value=10 ** 6),
+                          min_size=1, max_size=30, unique=True))
+    @settings(max_examples=50)
+    def test_segments_partition_time(self, times):
+        sim = Simulator(seed=1)
+        segments = []
+
+        class Rec:
+            def integrate(self, t0, t1):
+                segments.append((t0, t1))
+
+        sim.add_integrator(Rec())
+        for t in times:
+            sim.schedule_at(t, lambda now: None)
+        horizon = max(times) + 10
+        sim.run_until(horizon)
+        assert segments[0][0] == 0
+        assert segments[-1][1] == horizon
+        total = sum(t1 - t0 for t0, t1 in segments)
+        assert total == horizon
+        for (a0, a1), (b0, b1) in zip(segments, segments[1:]):
+            assert a1 == b0
+
+
+class TestFirestarterKernelProperty:
+    @given(n_groups=st.integers(min_value=385, max_value=2048),
+           seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25)
+    def test_any_valid_kernel_matches_mix_and_size(self, n_groups, seed):
+        kernel = FirestarterKernel(n_groups=n_groups, seed=seed)
+        assert kernel.fits_constraints()
+        mix = kernel.mix_fractions()
+        for flavor, target in MIX_RATIOS.items():
+            assert abs(mix[flavor] - target) < 1.0 / n_groups + 0.005
+        assert len(kernel.groups) == n_groups
+
+
+class TestWorkloadIpcProperty:
+    @given(fc=st.floats(min_value=1.2e9, max_value=3.3e9),
+           fu=st.floats(min_value=1.2e9, max_value=3.0e9),
+           parity=st.floats(min_value=0.2, max_value=3.0),
+           slope=st.floats(min_value=0.0, max_value=1.0),
+           throttle=st.floats(min_value=0.0, max_value=1.0))
+    def test_ipc_bounded_and_nonnegative(self, fc, fu, parity, slope,
+                                         throttle):
+        phase = WorkloadPhase(name="p", ipc_parity=parity,
+                              ipc_uncore_slope=slope, bw_bound=True)
+        ipc = phase.ipc_thread(fc, fu, throttle)
+        assert ipc >= 0.0
+        assert ipc <= parity + slope      # slope bounds the uncore bonus
+
+    @given(duty=st.floats(min_value=0.05, max_value=0.95),
+           period_us=st.integers(min_value=10, max_value=10 ** 5))
+    def test_square_wave_mean_activity(self, duty, period_us):
+        hi = WorkloadPhase(name="hi", ipc_parity=1.0, power_activity=1.0,
+                           duration_ns=us(1))
+        lo = WorkloadPhase(name="lo", ipc_parity=1.0, power_activity=0.0,
+                           duration_ns=us(1))
+        w = square_wave(hi, lo, period_ns=us(period_us), duty=duty)
+        expected = w.phases[0].duration_ns / (w.phases[0].duration_ns
+                                              + w.phases[1].duration_ns)
+        assert abs(w.mean_activity - expected) < 1e-9

@@ -1,0 +1,132 @@
+"""Property-based tests on the core models (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cstates.latency import WakeLatencyModel, WakeScenario
+from repro.cstates.states import CState, PackageCState, resolve_package_cstate
+from repro.memory.bandwidth import BandwidthDemand, SocketBandwidthModel
+from repro.power.model import PowerModel
+from repro.power.rapl import wraparound_delta
+from repro.specs.cpu import E5_2680_V3
+from repro.units import ghz
+
+freq = st.floats(min_value=1.2e9, max_value=3.3e9)
+uncore_freq = st.floats(min_value=1.2e9, max_value=3.0e9)
+activity = st.floats(min_value=0.0, max_value=1.2)
+
+
+class TestPowerModelProperties:
+    @given(f=freq, a=activity)
+    def test_core_power_non_negative(self, f, a):
+        model = PowerModel(E5_2680_V3)
+        assert model.core_power_w(f, a) >= 0.0
+
+    @given(f1=freq, f2=freq, a=st.floats(min_value=0.05, max_value=1.2))
+    def test_core_power_monotone_in_frequency(self, f1, f2, a):
+        model = PowerModel(E5_2680_V3)
+        lo, hi = sorted((f1, f2))
+        assert model.core_power_w(lo, a) <= model.core_power_w(hi, a) + 1e-9
+
+    @given(f=freq, a=activity, budget=st.floats(min_value=20.0, max_value=160.0))
+    def test_uncore_solver_respects_budget_interior(self, f, a, budget):
+        model = PowerModel(E5_2680_V3)
+        fu = model.solve_uncore_for_budget(f, a * 12, budget)
+        assert E5_2680_V3.uncore_min_hz <= fu <= E5_2680_V3.uncore_max_hz
+        # if the solver picked an interior point, the budget is met tightly
+        if E5_2680_V3.uncore_min_hz < fu < E5_2680_V3.uncore_max_hz:
+            p = model.package_power_at(f, fu, a * 12)
+            assert abs(p - budget) < 1.0
+
+    @given(act_sum=st.floats(min_value=0.1, max_value=14.0),
+           budget=st.floats(min_value=30.0, max_value=160.0))
+    def test_core_solver_within_pstate_range(self, act_sum, budget):
+        model = PowerModel(E5_2680_V3)
+        f = model.solve_core_for_budget(act_sum, budget)
+        assert E5_2680_V3.min_hz <= f <= E5_2680_V3.turbo.max_hz
+
+
+class TestBandwidthProperties:
+    @given(n=st.integers(min_value=1, max_value=12), fc=freq, fu=uncore_freq)
+    @settings(max_examples=60)
+    def test_achieved_never_exceeds_demand(self, n, fc, fu):
+        model = SocketBandwidthModel(E5_2680_V3)
+        demands = [BandwidthDemand(core_id=i, f_core_hz=fc, n_threads=1,
+                                   l3_bytes_per_cycle=4.0,
+                                   dram_bytes_per_cycle=8.0)
+                   for i in range(n)]
+        res = model.solve(demands, fu)
+        for d in demands:
+            assert res.dram_bytes_per_s[d.core_id] \
+                <= d.dram_bytes_per_cycle * fc + 1e-6
+        assert 0.0 < res.dram_throttle <= 1.0
+        assert 0.0 < res.l3_throttle <= 1.0
+
+    @given(n=st.integers(min_value=1, max_value=12), fu=uncore_freq)
+    @settings(max_examples=60)
+    def test_total_dram_capped_by_capacity(self, n, fu):
+        model = SocketBandwidthModel(E5_2680_V3)
+        demands = [BandwidthDemand(core_id=i, f_core_hz=ghz(2.5), n_threads=2,
+                                   l3_bytes_per_cycle=0.0,
+                                   dram_bytes_per_cycle=32.0)
+                   for i in range(n)]
+        res = model.solve(demands, fu)
+        cap = min(model.config.dram_peak_gbs,
+                  model.config.dram_gbs_per_uncore_ghz * fu / 1e9)
+        assert res.total_dram_gbs <= cap + 1e-6
+
+    @given(n1=st.integers(min_value=1, max_value=11), fc=freq)
+    @settings(max_examples=40)
+    def test_total_bw_monotone_in_cores(self, n1, fc):
+        model = SocketBandwidthModel(E5_2680_V3)
+
+        def total(n):
+            demands = [BandwidthDemand(core_id=i, f_core_hz=fc, n_threads=1,
+                                       l3_bytes_per_cycle=12.0,
+                                       dram_bytes_per_cycle=8.0)
+                       for i in range(n)]
+            res = model.solve(demands, ghz(3.0))
+            return res.total_dram_gbs + res.total_l3_gbs
+
+        assert total(n1 + 1) >= total(n1) - 1e-9
+
+
+class TestCStateProperties:
+    @given(f=freq,
+           state=st.sampled_from([CState.C1, CState.C3, CState.C6]),
+           scenario=st.sampled_from(list(WakeScenario)))
+    def test_wake_latency_positive_and_bounded(self, f, state, scenario):
+        model = WakeLatencyModel(E5_2680_V3)
+        pkg = PackageCState.PC0
+        if scenario is WakeScenario.REMOTE_IDLE and state is not CState.C1:
+            pkg = PackageCState.PC6 if state is CState.C6 else PackageCState.PC3
+        lat = model.wake_latency_us(state, f, scenario, pkg)
+        assert 0.0 < lat < 50.0
+
+    @given(f=freq, scenario=st.sampled_from(
+        [WakeScenario.LOCAL, WakeScenario.REMOTE_ACTIVE]))
+    def test_deeper_states_cost_more(self, f, scenario):
+        model = WakeLatencyModel(E5_2680_V3)
+        c1 = model.wake_latency_us(CState.C1, f, scenario)
+        c3 = model.wake_latency_us(CState.C3, f, scenario)
+        c6 = model.wake_latency_us(CState.C6, f, scenario)
+        assert c1 < c3 < c6
+
+    @given(states=st.lists(
+        st.sampled_from([CState.C0, CState.C1, CState.C3, CState.C6]),
+        min_size=1, max_size=12),
+        any_active=st.booleans())
+    def test_package_never_deeper_than_shallowest_core(self, states,
+                                                       any_active):
+        pkg = resolve_package_cstate(states, any_active)
+        assert pkg.value <= min(s.value for s in states)
+        if any_active:
+            assert pkg is PackageCState.PC0
+
+
+class TestRaplProperties:
+    @given(before=st.integers(min_value=0, max_value=2 ** 32 - 1),
+           delta=st.integers(min_value=0, max_value=2 ** 31))
+    def test_wraparound_delta_recovers_increment(self, before, delta):
+        after = (before + delta) % (2 ** 32)
+        assert wraparound_delta(before, after) == delta

@@ -1,0 +1,99 @@
+"""Property-based tests on the PCU decision machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pcu.epb import Epb
+from repro.pcu.turbo import PARITY, TdpLimiter
+from repro.power.model import PowerModel
+from repro.specs.cpu import E5_2680_V3
+from repro.units import ghz
+
+pstate = st.sampled_from([float(p) for p in E5_2680_V3.pstates_hz])
+activity = st.floats(min_value=0.05, max_value=1.2)
+budget = st.floats(min_value=40.0, max_value=150.0)
+ufs_target = st.floats(min_value=1.2e9, max_value=3.0e9)
+
+
+def _limiter(budget_w: float | None = None) -> TdpLimiter:
+    return TdpLimiter(E5_2680_V3, PowerModel(E5_2680_V3), budget_w)
+
+
+class TestDecisionInvariants:
+    @given(req=pstate, act=activity, n=st.integers(1, 12),
+           b=budget, ufs=ufs_target)
+    @settings(max_examples=80)
+    def test_grants_never_exceed_targets(self, req, act, n, b, ufs):
+        limiter = _limiter(b)
+        targets = {i: req for i in range(n)}
+        decision = limiter.decide(targets, activity_sum=act * n,
+                                  ufs_target_hz=ufs)
+        for cid, granted in decision.core_targets_hz.items():
+            assert granted <= targets[cid] + 1e-6
+            assert granted >= E5_2680_V3.min_hz - 1e-6
+
+    @given(req=pstate, act=activity, n=st.integers(1, 12),
+           b=budget, ufs=ufs_target)
+    @settings(max_examples=80)
+    def test_uncore_within_range_and_cap(self, req, act, n, b, ufs):
+        limiter = _limiter(b)
+        decision = limiter.decide({i: req for i in range(n)},
+                                  activity_sum=act * n, ufs_target_hz=ufs)
+        assert decision.uncore_hz is not None
+        assert E5_2680_V3.uncore_min_hz - 1e-6 <= decision.uncore_hz
+        assert decision.uncore_hz <= min(ufs, E5_2680_V3.uncore_max_hz) + 1e-6
+
+    @given(req=pstate, act=activity, n=st.integers(1, 12), b=budget)
+    @settings(max_examples=80)
+    def test_decided_point_respects_budget(self, req, act, n, b):
+        """Whatever the limiter grants, the resulting package power must
+        not exceed the budget (unless even the floor exceeds it)."""
+        limiter = _limiter(b)
+        model = PowerModel(E5_2680_V3)
+        act_sum = act * n
+        decision = limiter.decide({i: req for i in range(n)},
+                                  activity_sum=act_sum,
+                                  ufs_target_hz=ghz(3.0))
+        granted = max(decision.core_targets_hz.values())
+        power = model.package_power_at(granted, decision.uncore_hz, act_sum)
+        floor = model.package_power_at(
+            E5_2680_V3.min_hz,
+            max(E5_2680_V3.min_hz * PARITY, E5_2680_V3.uncore_min_hz),
+            act_sum)
+        assert power <= max(b, floor) + 1.0
+
+    @given(act=activity, n=st.integers(1, 12), b=budget)
+    @settings(max_examples=60)
+    def test_turbo_grant_monotone_in_budget(self, act, n, b):
+        lo = _limiter(b)
+        hi = _limiter(b + 20.0)
+        targets = {i: ghz(2.9) for i in range(n)}
+        g_lo = lo.decide(targets, act * n, ghz(3.0)).core_targets_hz[0]
+        g_hi = hi.decide(targets, act * n, ghz(3.0)).core_targets_hz[0]
+        assert g_hi >= g_lo - 1e-6
+
+
+class TestTargetInvariants:
+    @given(req=st.one_of(st.none(), pstate),
+           n=st.integers(1, 12),
+           avx=st.booleans(),
+           epb=st.sampled_from(list(Epb)),
+           turbo=st.booleans(),
+           trim=st.floats(min_value=0.0, max_value=0.3e9))
+    @settings(max_examples=100)
+    def test_target_within_machine_limits(self, req, n, avx, epb, turbo,
+                                          trim):
+        limiter = _limiter()
+        target = limiter.core_target_hz(req, n, avx, epb, turbo, trim)
+        assert E5_2680_V3.min_hz <= target <= E5_2680_V3.turbo.max_hz
+        # AVX caps bind: the target never exceeds the AVX bin when capped
+        if avx:
+            assert target <= E5_2680_V3.turbo.limit(n, avx=True) + 1e-6
+
+    @given(n=st.integers(1, 12), epb=st.sampled_from(list(Epb)))
+    @settings(max_examples=40)
+    def test_turbo_disabled_caps_nominal(self, n, epb):
+        limiter = _limiter()
+        target = limiter.core_target_hz(None, n, False, epb,
+                                        turbo_enabled=False, eet_trim_hz=0.0)
+        assert target <= E5_2680_V3.nominal_hz + 1e-6

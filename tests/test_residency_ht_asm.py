@@ -1,0 +1,98 @@
+"""Residency reporting, the HT study, and the FIRESTARTER asm renderer."""
+
+import pytest
+
+from repro.cstates.states import CState, PackageCState
+from repro.errors import MeasurementError
+from repro.experiments.ht_study import render_ht_study, run_ht_study
+from repro.instruments.residency import ResidencyReport
+from repro.units import ms
+from repro.workloads.firestarter import FirestarterKernel
+from repro.workloads.micro import busy_wait
+
+
+class TestResidency:
+    def test_idle_system_sits_in_pc6(self, sim, haswell):
+        report = ResidencyReport(haswell)
+        sim.run_for(ms(20))
+        pkg = report.package(0)
+        assert pkg.fractions[PackageCState.PC6] > 0.95
+        core = report.core(3)
+        assert core.fractions[CState.C6] > 0.99
+        assert core.deepest_visited() is CState.C6
+
+    def test_busy_core_is_c0(self, sim, haswell):
+        haswell.run_workload([0], busy_wait())
+        report = ResidencyReport(haswell)
+        sim.run_for(ms(20))
+        assert report.core(0).c0_fraction > 0.99
+        # the busy core blocks both packages (Section V-A)
+        assert report.package(1).fractions[PackageCState.PC0] > 0.99
+
+    def test_reset_clears_history(self, sim, haswell):
+        report = ResidencyReport(haswell)
+        sim.run_for(ms(10))
+        haswell.run_workload([0], busy_wait())
+        report.reset()
+        sim.run_for(ms(10))
+        assert report.core(0).c0_fraction > 0.99
+
+    def test_no_time_observed_rejected(self, sim, haswell):
+        report = ResidencyReport(haswell)
+        with pytest.raises(MeasurementError):
+            report.core(0)
+
+    def test_render(self, sim, haswell):
+        report = ResidencyReport(haswell)
+        sim.run_for(ms(5))
+        text = report.render()
+        assert "socket 0" in text and "PC6" in text
+
+
+class TestHtStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_ht_study(measure_s=3.0)
+
+    def test_power_flat_frequency_compensates(self, results):
+        ht_on, ht_off = results
+        # power pins at the TDP either way; the frequency moves to fill
+        # it — exactly the gap between Table IV (HT, 2.31 GHz) and
+        # Table V (no HT, 2.44 GHz)
+        assert ht_on.pkg_power_w == pytest.approx(ht_off.pkg_power_w,
+                                                  abs=2.0)
+        assert ht_on.node_ac_w == pytest.approx(ht_off.node_ac_w, abs=8.0)
+        assert ht_off.core_freq_hz - ht_on.core_freq_hz \
+            == pytest.approx(0.13e9, abs=60e6)
+
+    def test_ipc_drops_without_ht(self, results):
+        ht_on, ht_off = results
+        assert ht_on.ipc_per_core == pytest.approx(3.1, abs=0.1)
+        assert ht_off.ipc_per_core == pytest.approx(2.8, abs=0.1)
+
+    def test_render(self, results):
+        text = render_ht_study(*results)
+        assert "HT on" in text and "HT off" in text
+
+
+class TestAsmRenderer:
+    def test_listing_structure(self):
+        kernel = FirestarterKernel(n_groups=512, seed=3)
+        asm = kernel.render_asm(max_groups=4)
+        assert asm.startswith("stress_loop:")
+        assert asm.rstrip().endswith("jnz stress_loop")
+        assert asm.count("; group") == 4
+        assert "more groups" in asm
+
+    def test_full_listing_covers_loop(self):
+        kernel = FirestarterKernel(n_groups=512, seed=3)
+        asm = kernel.render_asm(max_groups=None)
+        assert asm.count("; group") == 512
+        # every fourth instruction slot is a shift or pointer op
+        assert asm.count("shr r13") == 512
+
+    def test_fma_instructions_present(self):
+        kernel = FirestarterKernel(n_groups=512, seed=3)
+        asm = kernel.render_asm(max_groups=None)
+        assert "vfmadd231pd" in asm
+        assert "vmovapd [r9]" in asm       # L1 store

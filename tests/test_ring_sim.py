@@ -1,0 +1,88 @@
+"""The slotted-ring transaction simulation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.builder import build_haswell_die
+from repro.topology.ring_sim import (
+    FLIT_BYTES,
+    RingSimulator,
+    saturation_bandwidth_gbs,
+)
+from repro.units import ghz
+
+
+class TestRingSimBasics:
+    def test_low_load_everything_delivered(self):
+        sim = RingSimulator(build_haswell_die(8), seed=1)
+        res = sim.run(offered_rate=0.05, cycles=2000)
+        assert res.delivered_flits > 0
+        # under light load nearly all injected flits arrive
+        assert res.delivered_flits >= 0.95 * res.injected_flits
+
+    def test_rejects_bad_rate(self):
+        sim = RingSimulator(build_haswell_die(8), seed=1)
+        with pytest.raises(ConfigurationError):
+            sim.run(offered_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            sim.run(offered_rate=3.0)
+
+    def test_deterministic(self):
+        a = RingSimulator(build_haswell_die(12), seed=5).run(0.5, cycles=800)
+        b = RingSimulator(build_haswell_die(12), seed=5).run(0.5, cycles=800)
+        assert a.delivered_flits == b.delivered_flits
+        assert a.mean_latency_cycles == b.mean_latency_cycles
+
+    def test_bandwidth_units(self):
+        sim = RingSimulator(build_haswell_die(8), seed=1)
+        res = sim.run(offered_rate=0.2, cycles=1000)
+        expected = res.delivered_flits_per_cycle * FLIT_BYTES * 3.0
+        assert res.bandwidth_gbs(ghz(3.0)) == pytest.approx(expected)
+
+
+class TestRingSimPhysics:
+    def test_saturation_bounded_by_slots(self):
+        # a bidirectional ring cannot sustain more than ~4 flits/cycle
+        # at uniform traffic (2 directions x ~2 mean-hops gain)
+        sim = RingSimulator(build_haswell_die(8), seed=1)
+        res = sim.run(offered_rate=2.0, cycles=2000)
+        assert 2.0 < res.delivered_flits_per_cycle < 4.5
+
+    def test_latency_grows_with_die_size(self):
+        lats = []
+        for sku in (8, 12, 18):
+            sim = RingSimulator(build_haswell_die(sku), seed=2)
+            lats.append(sim.run(0.05, cycles=2000).mean_latency_cycles)
+        assert lats[0] < lats[1] < lats[2]
+
+    def test_latency_grows_under_load(self):
+        die = build_haswell_die(12)
+        light = RingSimulator(die, seed=3).run(0.05, cycles=2000)
+        heavy = RingSimulator(die, seed=3).run(1.5, cycles=2000)
+        assert heavy.mean_latency_cycles > light.mean_latency_cycles
+
+    def test_partitioned_dies_scale_aggregate_bandwidth(self):
+        bw8 = saturation_bandwidth_gbs(build_haswell_die(8), ghz(3.0),
+                                       cycles=2000)
+        bw18 = saturation_bandwidth_gbs(build_haswell_die(18), ghz(3.0),
+                                        cycles=2000)
+        assert bw18 > 1.3 * bw8        # two rings carry more than one
+
+    def test_matches_analytic_transport_constant(self):
+        """The analytic model's L3 transport limit (110 GB/s per uncore
+        GHz -> 330 GB/s at 3 GHz) should agree with the derived ring
+        saturation of the paper's 12-core part to ~20 %."""
+        from repro.memory.bandwidth import bandwidth_config_for
+        from repro.specs.cpu import E5_2680_V3
+
+        analytic = (bandwidth_config_for(E5_2680_V3)
+                    .l3_transport_gbs_per_uncore_ghz * 3.0)
+        derived = saturation_bandwidth_gbs(build_haswell_die(12), ghz(3.0),
+                                           cycles=3000)
+        assert derived == pytest.approx(analytic, rel=0.35)
+
+    def test_bandwidth_scales_with_uncore_clock(self):
+        die = build_haswell_die(12)
+        bw_low = saturation_bandwidth_gbs(die, ghz(1.2), cycles=1500)
+        bw_high = saturation_bandwidth_gbs(die, ghz(3.0), cycles=1500)
+        assert bw_high / bw_low == pytest.approx(3.0 / 1.2, rel=0.05)

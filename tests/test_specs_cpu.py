@@ -1,0 +1,133 @@
+"""CPU SKU specs: p-states, turbo tables, Table II facts."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.specs.cpu import (
+    E5_2670_SNB,
+    E5_2680_V3,
+    X5670_WSM,
+    TurboTable,
+)
+from repro.units import ghz
+
+
+class TestE52680v3:
+    """Table II: the paper's test processor."""
+
+    def test_core_count_and_smt(self):
+        assert E5_2680_V3.n_cores == 12
+        assert E5_2680_V3.smt == 2
+
+    def test_pstate_range(self):
+        # 1.2 - 2.5 GHz selectable (Table II)
+        assert E5_2680_V3.min_hz == pytest.approx(ghz(1.2))
+        assert E5_2680_V3.nominal_hz == pytest.approx(ghz(2.5))
+        assert len(E5_2680_V3.pstates_hz) == 14
+
+    def test_turbo_up_to_3_3(self):
+        assert E5_2680_V3.turbo.max_hz == pytest.approx(ghz(3.3))
+
+    def test_avx_base_2_1(self):
+        assert E5_2680_V3.avx_base_hz == pytest.approx(ghz(2.1))
+
+    def test_avx_turbo_range_2_8_to_3_1(self):
+        # Section II-F: AVX turbo between 2.8 and 3.1 GHz by core count
+        avx_bins = E5_2680_V3.turbo.avx_hz
+        assert max(avx_bins) == pytest.approx(ghz(3.1))
+        assert min(avx_bins) == pytest.approx(ghz(2.8))
+
+    def test_tdp(self):
+        assert E5_2680_V3.tdp_w == 120.0
+
+    def test_pp0_absent(self):
+        # Section IV: the PP0 domain is not supported on Haswell-EP
+        assert not E5_2680_V3.has_pp0_rapl
+
+    def test_dram_energy_unit_15_3uj(self):
+        assert E5_2680_V3.rapl_dram_energy_unit_j == pytest.approx(15.3e-6)
+
+    def test_l3_capacity(self):
+        assert E5_2680_V3.l3_mib == pytest.approx(30.0)
+
+    def test_grant_quantum_500us(self):
+        assert E5_2680_V3.pcu_quantum_ns == 500_000
+        assert not E5_2680_V3.pstate_granted_immediately
+
+    def test_acpi_pstate_claim_10us(self):
+        assert E5_2680_V3.acpi_pstate_latency_ns == 10_000
+
+    def test_ufs_tables_cover_all_settings(self):
+        for setting in E5_2680_V3.pstates_hz:
+            key = min(E5_2680_V3.ufs_no_stall_active_hz,
+                      key=lambda k: abs((k or 0) - setting)
+                      if k is not None else float("inf"))
+            assert key is not None
+        assert None in E5_2680_V3.ufs_no_stall_active_hz
+        assert None in E5_2680_V3.ufs_no_stall_passive_hz
+
+    def test_ufs_passive_below_active(self):
+        active = E5_2680_V3.ufs_no_stall_active_hz
+        passive = E5_2680_V3.ufs_no_stall_passive_hz
+        for key, a in active.items():
+            assert passive[key] <= a
+
+    def test_nearest_pstate_snaps(self):
+        assert E5_2680_V3.nearest_pstate(ghz(2.47)) == pytest.approx(ghz(2.5))
+
+    def test_validate_rejects_off_grid(self):
+        with pytest.raises(ConfigurationError):
+            E5_2680_V3.validate_pstate(ghz(2.55))
+
+
+class TestLegacyParts:
+    def test_sandybridge_immediate_pstates(self):
+        # Section VI-A: pre-Haswell requests are carried out immediately
+        assert E5_2670_SNB.pstate_granted_immediately
+
+    def test_sandybridge_has_pp0(self):
+        assert E5_2670_SNB.has_pp0_rapl
+
+    def test_sandybridge_no_avx_frequency(self):
+        assert E5_2670_SNB.avx_base_hz is None
+
+    def test_westmere_fixed_uncore_span(self):
+        span = X5670_WSM.uncore_max_hz - X5670_WSM.uncore_min_hz
+        assert span < 50e6     # effectively fixed
+
+
+class TestTurboTable:
+    def test_limit_by_active_cores(self):
+        t = E5_2680_V3.turbo
+        assert t.limit(1, avx=False) == pytest.approx(ghz(3.3))
+        assert t.limit(12, avx=False) == pytest.approx(ghz(2.9))
+        assert t.limit(12, avx=True) == pytest.approx(ghz(2.8))
+
+    def test_limit_clamps_beyond_table(self):
+        t = E5_2680_V3.turbo
+        assert t.limit(99, avx=False) == t.limit(12, avx=False)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            E5_2680_V3.turbo.limit(0, avx=False)
+
+    def test_rejects_increasing_bins(self):
+        with pytest.raises(ConfigurationError):
+            TurboTable(non_avx_hz=(ghz(3.0), ghz(3.3)),
+                       avx_hz=(ghz(2.8), ghz(2.8)))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            TurboTable(non_avx_hz=(ghz(3.3),), avx_hz=(ghz(3.1), ghz(3.0)))
+
+
+class TestSpecValidation:
+    def test_nominal_must_be_top_pstate(self):
+        import dataclasses
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(E5_2680_V3, nominal_hz=ghz(2.4))
+
+    def test_avx_base_below_nominal(self):
+        import dataclasses
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(E5_2680_V3, avx_base_hz=ghz(2.6))

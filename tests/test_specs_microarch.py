@@ -1,0 +1,114 @@
+"""Table I microarchitecture specs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.specs.microarch import (
+    HASWELL_EP,
+    MICROARCHES,
+    SANDY_BRIDGE_EP,
+    WESTMERE_EP,
+    MicroarchSpec,
+)
+
+
+class TestTable1Values:
+    """The exact rows of Table I."""
+
+    def test_decode_width_unchanged(self):
+        assert SANDY_BRIDGE_EP.decode_width == HASWELL_EP.decode_width == 4
+
+    def test_allocation_queue(self):
+        assert SANDY_BRIDGE_EP.allocation_queue == 28
+        assert HASWELL_EP.allocation_queue == 56
+
+    def test_execute_ports(self):
+        assert SANDY_BRIDGE_EP.execute_ports == 6
+        assert HASWELL_EP.execute_ports == 8
+
+    def test_retire_width(self):
+        assert SANDY_BRIDGE_EP.retire_width == HASWELL_EP.retire_width == 4
+
+    def test_scheduler_and_rob(self):
+        assert (SANDY_BRIDGE_EP.scheduler_entries,
+                HASWELL_EP.scheduler_entries) == (54, 60)
+        assert (SANDY_BRIDGE_EP.rob_entries, HASWELL_EP.rob_entries) == (168, 192)
+
+    def test_register_files(self):
+        assert (SANDY_BRIDGE_EP.int_register_file,
+                SANDY_BRIDGE_EP.fp_register_file) == (160, 144)
+        assert (HASWELL_EP.int_register_file,
+                HASWELL_EP.fp_register_file) == (168, 168)
+
+    def test_simd_isa(self):
+        assert SANDY_BRIDGE_EP.simd_isa == "AVX"
+        assert HASWELL_EP.simd_isa == "AVX2"
+
+    def test_flops_per_cycle_doubles_with_fma(self):
+        assert SANDY_BRIDGE_EP.flops_per_cycle_double == 8
+        assert HASWELL_EP.flops_per_cycle_double == 16
+
+    def test_load_store_buffers(self):
+        assert (SANDY_BRIDGE_EP.load_buffers, SANDY_BRIDGE_EP.store_buffers) \
+            == (64, 36)
+        assert (HASWELL_EP.load_buffers, HASWELL_EP.store_buffers) == (72, 42)
+
+    def test_l1d_bandwidth_doubled(self):
+        assert HASWELL_EP.load_bytes_per_cycle \
+            == 2 * SANDY_BRIDGE_EP.load_bytes_per_cycle
+        assert HASWELL_EP.store_bytes_per_cycle \
+            == 2 * SANDY_BRIDGE_EP.store_bytes_per_cycle
+
+    def test_l2_bandwidth_doubled(self):
+        assert SANDY_BRIDGE_EP.l2_bytes_per_cycle == 32
+        assert HASWELL_EP.l2_bytes_per_cycle == 64
+
+    def test_dram_peak_bandwidth(self):
+        assert SANDY_BRIDGE_EP.dram_bandwidth_peak_bytes / 1e9 \
+            == pytest.approx(51.2)
+        assert HASWELL_EP.dram_bandwidth_peak_bytes / 1e9 \
+            == pytest.approx(68.2, abs=0.1)
+
+    def test_qpi_bandwidth(self):
+        assert SANDY_BRIDGE_EP.qpi_bandwidth_bytes / 1e9 == pytest.approx(32.0)
+        assert HASWELL_EP.qpi_bandwidth_bytes / 1e9 == pytest.approx(38.4)
+
+
+class TestUncoreCoupling:
+    """Section VII's architectural distinction."""
+
+    def test_haswell_independent(self):
+        assert HASWELL_EP.uncore_coupling == "independent"
+
+    def test_sandybridge_tied(self):
+        assert SANDY_BRIDGE_EP.uncore_coupling == "tied"
+
+    def test_westmere_fixed(self):
+        assert WESTMERE_EP.uncore_coupling == "fixed"
+
+    def test_registry_complete(self):
+        assert set(MICROARCHES) == {"haswell-ep", "sandybridge-ep",
+                                    "westmere-ep"}
+
+
+class TestValidation:
+    def test_rejects_bad_coupling(self):
+        with pytest.raises(ConfigurationError):
+            MicroarchSpec(**{**_valid_kwargs(), "uncore_coupling": "psychic"})
+
+    def test_rejects_bad_fpu(self):
+        with pytest.raises(ConfigurationError):
+            MicroarchSpec(**{**_valid_kwargs(), "fpu_width_bits": 100})
+
+    def test_table_row_renders_all_fields(self):
+        row = HASWELL_EP.table_row()
+        assert row["SIMD ISA"] == "AVX2"
+        # 4 x 2133 MT/s x 8 B = 68.256 GB/s (the paper prints 68.2)
+        assert "68.3" in row["DRAM bandwidth"]
+        assert row["FLOPS/cycle (double)"] == "16"
+
+
+def _valid_kwargs() -> dict:
+    import dataclasses
+    return {f.name: getattr(HASWELL_EP, f.name)
+            for f in dataclasses.fields(MicroarchSpec)}

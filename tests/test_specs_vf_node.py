@@ -1,0 +1,86 @@
+"""V/f curves and node specs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.specs.node import (
+    HASWELL_TEST_NODE,
+    SANDY_BRIDGE_TEST_NODE,
+    NodeSpec,
+)
+from repro.specs.vf import VfCurve
+from repro.units import ghz
+
+
+class TestVfCurve:
+    def test_affine_in_frequency(self):
+        curve = VfCurve(v0=0.65, v1=0.15, f_min_hz=ghz(1.2), f_max_hz=ghz(3.3))
+        assert curve.voltage(ghz(2.0)) == pytest.approx(0.95)
+        assert curve.voltage(ghz(3.0)) == pytest.approx(1.10)
+
+    def test_clamps_outside_range(self):
+        curve = VfCurve(v0=0.65, v1=0.15, f_min_hz=ghz(1.2), f_max_hz=ghz(3.3))
+        assert curve.voltage(ghz(0.1)) == curve.voltage(ghz(1.2))
+        assert curve.voltage(ghz(9.9)) == curve.voltage(ghz(3.3))
+
+    def test_offset_models_binning_skew(self):
+        base = VfCurve(v0=0.65, v1=0.15, f_min_hz=ghz(1.2), f_max_hz=ghz(3.3))
+        skewed = base.with_offset(0.012)
+        assert skewed.voltage(ghz(2.0)) == pytest.approx(
+            base.voltage(ghz(2.0)) + 0.012)
+
+    def test_offsets_accumulate(self):
+        base = VfCurve(v0=0.65, v1=0.15, f_min_hz=ghz(1.2), f_max_hz=ghz(3.3))
+        assert base.with_offset(0.01).with_offset(0.01).offset_v \
+            == pytest.approx(0.02)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            VfCurve(v0=0.65, v1=0.15, f_min_hz=ghz(3.0), f_max_hz=ghz(1.2))
+
+    def test_rejects_nonpositive_voltage(self):
+        with pytest.raises(ConfigurationError):
+            VfCurve(v0=-2.0, v1=0.1, f_min_hz=ghz(1.0), f_max_hz=ghz(2.0))
+
+
+class TestNodeSpec:
+    def test_haswell_node_is_the_paper_system(self):
+        node = HASWELL_TEST_NODE
+        assert node.n_sockets == 2
+        assert node.cpu.model == "Intel Xeon E5-2680 v3"
+        assert node.total_cores == 24
+        assert node.total_threads == 48
+        assert node.fan_setting == "maximum"
+
+    def test_socket0_voltage_skew(self):
+        # Section III: processor 0 runs at higher voltage than processor 1
+        offs = HASWELL_TEST_NODE.socket_voltage_offsets_v
+        assert offs[0] > offs[1]
+
+    def test_ac_transfer_matches_paper_fit(self):
+        # Footnote 2: AC = 0.0003 R^2 + 1.097 R + 225.7 (R = RAPL watts)
+        node = HASWELL_TEST_NODE
+        for rapl_w in (30.0, 100.0, 200.0, 284.0):
+            expected = 0.0003 * rapl_w ** 2 + 1.097 * rapl_w + 225.7
+            assert node.ac_power_w(rapl_w) == pytest.approx(expected, rel=0.002)
+
+    def test_ac_transfer_monotonic(self):
+        node = HASWELL_TEST_NODE
+        values = [node.ac_power_w(w) for w in range(0, 300, 10)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_sandybridge_nearly_linear(self):
+        node = SANDY_BRIDGE_TEST_NODE
+        lo = node.ac_power_w(50.0)
+        hi = node.ac_power_w(250.0)
+        mid = node.ac_power_w(150.0)
+        # quadratic term contributes < 2 % at mid-range
+        assert mid == pytest.approx((lo + hi) / 2, rel=0.02)
+
+    def test_requires_offset_per_socket(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec(
+                name="bad", cpu=HASWELL_TEST_NODE.cpu, n_sockets=2,
+                dram_gib_per_socket=32, socket_voltage_offsets_v=(0.0,),
+                board_dc_w=25.0, psu_c0_w=198.0, psu_c1=1.08,
+                psu_c2_per_w=0.0003)

@@ -1,0 +1,73 @@
+"""The command-line tools."""
+
+import pytest
+
+from repro.tools.firestarter_cli import main as firestarter_main
+from repro.tools.powermeter import main as powermeter_main
+from repro.tools.setfrequencies import main as setfreq_main
+
+
+class TestPowermeter:
+    def test_idle_report(self, capsys):
+        assert powermeter_main(["-t", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "Domain PACKAGE" in out
+        assert "Domain DRAM" in out
+        assert "Wall power" in out
+
+    def test_firestarter_report_hits_tdp(self, capsys):
+        assert powermeter_main(["-w", "firestarter", "-t", "1"]) == 0
+        out = capsys.readouterr().out
+        # both packages at the 120 W TDP
+        assert out.count("119.9") + out.count("120.0") >= 2
+
+    def test_zoo_workload_accepted(self, capsys):
+        assert powermeter_main(["-w", "stream", "-t", "0.5",
+                                "-n", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "DRAM" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            powermeter_main(["-w", "bitcoin_miner", "-t", "0.1"])
+
+
+class TestSetFrequencies:
+    def test_list(self, capsys):
+        assert setfreq_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "1.2" in out and "2.5" in out
+        assert "3.3" in out              # turbo
+        assert "2.1" in out              # AVX base
+
+    def test_set_shows_grant_delay(self, capsys):
+        assert setfreq_main(["-f", "1.8"]) == 0
+        out = capsys.readouterr().out
+        assert "requested: 1.80 GHz" in out
+        # the first verification happens before the grant; the last after
+        lines = [l for l in out.splitlines() if "verified" in l]
+        assert "1.80 GHz" in lines[-1]
+        assert "1.80 GHz" not in lines[0]
+
+    def test_turbo_request(self, capsys):
+        assert setfreq_main(["--turbo"]) == 0
+        assert "turbo" in capsys.readouterr().out
+
+
+class TestFirestarterCli:
+    def test_run_reports_paper_numbers(self, capsys):
+        assert firestarter_main(["-t", "2", "--report-loop"]) == 0
+        out = capsys.readouterr().out
+        assert "reg=27.8%" in out
+        assert "IPC 3." in out           # ~3.1 with HT
+        assert "pkg 120 W" in out
+
+    def test_no_ht_lowers_ipc(self, capsys):
+        assert firestarter_main(["-t", "2", "--no-ht"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC 2.8" in out or "IPC 2.7" in out or "IPC 2.9" in out
+
+    def test_partial_threads(self, capsys):
+        assert firestarter_main(["-t", "1", "-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "on 4 cores" in out

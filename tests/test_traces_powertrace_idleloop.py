@@ -1,0 +1,151 @@
+"""Trace workloads, the power-trace recorder, and the idle-loop study."""
+
+import numpy as np
+import pytest
+
+from repro.cstates.acpi import acpi_table_for
+from repro.cstates.idleloop import (
+    IdleLoopSimulator,
+    interrupt_interval_mix,
+)
+from repro.cstates.states import CState
+from repro.errors import ConfigurationError, MeasurementError
+from repro.instruments.powertrace import PowerTrace
+from repro.specs.cpu import E5_2680_V3
+from repro.units import ghz, ms, seconds
+from repro.workloads.firestarter import firestarter
+from repro.workloads.mprime import mprime
+from repro.workloads.trace import (
+    TraceRow,
+    synthetic_hpc_trace,
+    workload_from_csv,
+    workload_from_trace,
+)
+
+from tests.conftest import all_core_ids
+
+
+class TestTraceWorkloads:
+    def test_rows_become_phases(self):
+        rows = [
+            TraceRow(duration_ns=ms(5), power_activity=0.8, ipc_parity=1.5),
+            TraceRow(duration_ns=ms(2), power_activity=0.2, ipc_parity=0.5,
+                     dram_bytes_per_cycle=8.0),
+        ]
+        w = workload_from_trace(rows, name="t")
+        assert len(w.phases) == 2
+        assert w.phases[1].bw_bound
+        assert w.phases[0].duration_ns == ms(5)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            workload_from_trace([])
+
+    def test_csv_roundtrip(self):
+        csv_text = (
+            "duration_ms,power_activity,ipc_parity,stall_fraction\n"
+            "5,0.8,1.5,0.1\n"
+            "2,0.2,0.5,0.7\n"
+        )
+        w = workload_from_csv(csv_text, name="fromcsv")
+        assert len(w.phases) == 2
+        assert w.phases[0].duration_ns == ms(5)
+        assert w.phases[1].stall_fraction == pytest.approx(0.7)
+
+    def test_csv_requires_columns(self):
+        with pytest.raises(ConfigurationError):
+            workload_from_csv("a,b\n1,2\n")
+
+    def test_synthetic_hpc_trace_structure(self):
+        w = synthetic_hpc_trace(n_iterations=3)
+        assert len(w.phases) == 9          # compute/memory/comm per iter
+        stalls = [p.stall_fraction for p in w.phases]
+        assert max(stalls) >= 0.7          # the memory sweeps
+
+    def test_synthetic_trace_runs_on_node(self, sim, haswell):
+        w = synthetic_hpc_trace(n_iterations=2)
+        haswell.run_workload([0], w)
+        sim.run_for(ms(100))
+        assert haswell.core(0).counters.instructions_thread0 > 0
+
+    def test_share_validation(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_hpc_trace(compute_share=0.8, memory_share=0.3)
+
+
+class TestPowerTrace:
+    def test_records_per_socket(self, sim, haswell):
+        haswell.run_workload(all_core_ids(haswell), firestarter())
+        sim.run_for(seconds(1))
+        trace = PowerTrace(sim, haswell)
+        trace.start()
+        sim.run_for(ms(500))
+        stats = trace.stats(0, "pkg")
+        assert stats.mean_w == pytest.approx(120.0, abs=3.0)
+        assert trace.stats(0, "dram").mean_w > 5.0
+
+    def test_firestarter_steadier_than_mprime(self):
+        """Section VIII: FIRESTARTER causes much more static power."""
+        from repro.engine.simulator import Simulator
+        from repro.specs.node import HASWELL_TEST_NODE
+        from repro.system.node import build_node
+
+        stds = {}
+        for name, wl in (("fs", firestarter(ht=False)), ("mp", mprime())):
+            sim = Simulator(seed=55)
+            node = build_node(sim, HASWELL_TEST_NODE)
+            node.run_workload(all_core_ids(node), wl)
+            sim.run_for(seconds(1))
+            trace = PowerTrace(sim, node, period_ns=ms(5))
+            trace.start()
+            sim.run_for(seconds(8))
+            stds[name] = trace.node_stats().std_w
+        assert stds["fs"] < 0.3 * stds["mp"]
+
+    def test_no_samples_rejected(self, sim, haswell):
+        trace = PowerTrace(sim, haswell)
+        with pytest.raises(MeasurementError):
+            trace.stats(0)
+
+    def test_double_start_rejected(self, sim, haswell):
+        trace = PowerTrace(sim, haswell)
+        trace.start()
+        with pytest.raises(MeasurementError):
+            trace.start()
+
+
+class TestIdleLoop:
+    def test_updated_table_saves_idle_energy(self):
+        """Section VI-B operationalized: truthful latency tables let the
+        governor use C6 on mid-length intervals and cut idle energy."""
+        intervals = interrupt_interval_mix(2000, mean_us=180.0)
+        shipped = acpi_table_for(E5_2680_V3)
+        updated = shipped.updated_from_measurement(
+            {CState.C3: 5.5, CState.C6: 12.0})
+
+        res_shipped = IdleLoopSimulator(
+            E5_2680_V3, shipped, ghz(2.5)).run(intervals)
+        res_updated = IdleLoopSimulator(
+            E5_2680_V3, updated, ghz(2.5)).run(intervals)
+
+        assert res_updated.idle_energy_j < 0.8 * res_shipped.idle_energy_j
+        assert res_updated.choices.get(CState.C6, 0) \
+            > res_shipped.choices.get(CState.C6, 0)
+        assert res_updated.missed_deep_us < res_shipped.missed_deep_us
+
+    def test_latency_cost_stays_bounded(self):
+        intervals = interrupt_interval_mix(500, mean_us=180.0)
+        updated = acpi_table_for(E5_2680_V3).updated_from_measurement(
+            {CState.C3: 5.5, CState.C6: 12.0})
+        res = IdleLoopSimulator(E5_2680_V3, updated, ghz(2.5)).run(intervals)
+        assert res.mean_wake_latency_us < 15.0
+
+    def test_interval_mix_properties(self):
+        mix = interrupt_interval_mix(5000, mean_us=200.0, seed=3)
+        assert np.all(mix > 0)
+        assert np.mean(mix) == pytest.approx(200.0, rel=0.15)
+
+    def test_rejects_bad_power(self):
+        with pytest.raises(ConfigurationError):
+            IdleLoopSimulator(E5_2680_V3, acpi_table_for(E5_2680_V3),
+                              ghz(2.5), c0_idle_power_w=0.0)

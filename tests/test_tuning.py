@@ -1,0 +1,129 @@
+"""DVFS/DCT controllers and the operating-point optimizer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tuning.dct import DctController
+from repro.tuning.dvfs import DvfsController
+from repro.tuning.optimizer import OperatingPoint, OperatingPointOptimizer
+from repro.units import ghz, mib, ms
+from repro.workloads.micro import compute, memory_read
+
+
+class TestDvfsController:
+    def test_downclocks_memory_bound_core(self, sim, haswell):
+        spec = haswell.spec.cpu
+        haswell.run_workload([0], memory_read(spec, mib(350)))
+        haswell.set_pstate([0], spec.nominal_hz)
+        ctrl = DvfsController(sim, haswell, period_ns=ms(10))
+        ctrl.start()
+        sim.run_for(ms(50))
+        assert haswell.core(0).freq_hz == pytest.approx(spec.min_hz,
+                                                        abs=20e6)
+        assert any(d.target_hz == spec.min_hz for d in ctrl.decisions)
+
+    def test_keeps_compute_core_fast(self, sim, haswell):
+        spec = haswell.spec.cpu
+        haswell.run_workload([0], compute())
+        haswell.set_pstate([0], spec.nominal_hz)
+        ctrl = DvfsController(sim, haswell, period_ns=ms(10))
+        ctrl.start()
+        sim.run_for(ms(50))
+        assert haswell.core(0).freq_hz == pytest.approx(spec.nominal_hz,
+                                                        abs=20e6)
+
+    def test_reacts_to_phase_change(self, sim, haswell):
+        spec = haswell.spec.cpu
+        haswell.run_workload([0], memory_read(spec, mib(350)))
+        ctrl = DvfsController(sim, haswell, period_ns=ms(10))
+        ctrl.start()
+        sim.run_for(ms(50))
+        assert haswell.core(0).freq_hz == pytest.approx(spec.min_hz,
+                                                        abs=20e6)
+        haswell.run_workload([0], compute())
+        sim.run_for(ms(50))
+        assert haswell.core(0).freq_hz == pytest.approx(spec.nominal_hz,
+                                                        abs=20e6)
+
+    def test_rejects_bad_thresholds(self, sim, haswell):
+        with pytest.raises(ConfigurationError):
+            DvfsController(sim, haswell, stall_high=0.2, stall_low=0.5)
+
+
+class TestDctController:
+    def test_finds_dram_saturation_point(self, sim, haswell):
+        spec = haswell.spec.cpu
+        ctrl = DctController(sim, haswell, marginal_threshold_gbs=1.5)
+        n = ctrl.find_concurrency(memory_read(spec, mib(350)))
+        # Fig. 8: DRAM saturates at ~8 cores
+        assert 7 <= n <= 9
+        assert ctrl.steps[-1].marginal_gbs < 1.5
+
+    def test_apply_parks_surplus_cores(self, sim, haswell):
+        spec = haswell.spec.cpu
+        ctrl = DctController(sim, haswell)
+        active = ctrl.apply(memory_read(spec, mib(350)), n_cores=8)
+        assert len(active) == 8
+        socket = haswell.sockets[1]
+        assert len(socket.active_cores()) == 8
+        parked = [c for c in socket.cores if not c.is_active]
+        assert len(parked) == 4
+
+    def test_rejects_bad_threshold(self, sim, haswell):
+        with pytest.raises(ConfigurationError):
+            DctController(sim, haswell, marginal_threshold_gbs=0.0)
+
+    def test_rejects_bad_max_cores(self, sim, haswell):
+        spec = haswell.spec.cpu
+        ctrl = DctController(sim, haswell)
+        with pytest.raises(ConfigurationError):
+            ctrl.find_concurrency(memory_read(spec, mib(350)), max_cores=99)
+
+
+class TestOptimizer:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.engine.simulator import Simulator
+        from repro.specs.node import HASWELL_TEST_NODE
+        from repro.system.node import build_node
+
+        sim = Simulator(seed=77)
+        node = build_node(sim, HASWELL_TEST_NODE)
+        spec = node.spec.cpu
+        opt = OperatingPointOptimizer(sim, node)
+        points = opt.sweep(memory_read(spec, mib(350)),
+                           core_counts=[2, 8, 12],
+                           freqs_hz=[ghz(1.2), ghz(2.5)])
+        return opt, points
+
+    def test_sweep_covers_grid(self, sweep):
+        _, points = sweep
+        assert len(points) == 6
+        assert all(p.pkg_power_w > 0 and p.throughput > 0 for p in points)
+
+    def test_memory_bound_optimum_is_slow_and_wide(self, sweep):
+        """The paper's DCT+DVFS prescription: meet the saturated
+        bandwidth with many slow cores, not few fast ones."""
+        opt, points = sweep
+        saturated = max(p.throughput for p in points)
+        best = opt.cheapest_meeting(points, 0.97 * saturated)
+        assert best.n_cores >= 8
+        assert best.f_hz == pytest.approx(ghz(1.2))
+
+    def test_pareto_front_is_nondominated(self, sweep):
+        opt, points = sweep
+        front = opt.pareto_front(points)
+        assert front
+        for p in front:
+            assert not any(q.throughput >= p.throughput
+                           and q.pkg_power_w < p.pkg_power_w for q in points)
+
+    def test_infeasible_target_rejected(self, sweep):
+        opt, points = sweep
+        with pytest.raises(ConfigurationError):
+            opt.cheapest_meeting(points, 1e9)
+
+    def test_efficiency_property(self):
+        p = OperatingPoint(n_cores=1, f_hz=ghz(1.0), throughput=10.0,
+                           pkg_power_w=5.0)
+        assert p.efficiency == pytest.approx(2.0)

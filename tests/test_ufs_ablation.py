@@ -1,0 +1,42 @@
+"""The UFS-coupling ablation experiment."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.ufs_ablation import (
+    render_ufs_ablation,
+    run_ufs_ablation,
+    _node_with_coupling,
+)
+from repro.units import ghz, ms
+
+
+class TestUfsAblation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_ufs_ablation(freqs_ghz=(1.2, 2.5), measure_ns=ms(5))
+
+    def test_only_tied_coupling_is_frequency_sensitive(self, results):
+        by = {r.coupling: r for r in results}
+        assert by["independent"].frequency_sensitivity > 0.97
+        assert by["fixed"].frequency_sensitivity > 0.97
+        assert by["tied"].frequency_sensitivity < 0.6
+
+    def test_render(self, results):
+        text = render_ufs_ablation(results)
+        assert "Haswell UFS" in text
+        assert "SNB policy" in text
+
+    def test_coupling_validation(self):
+        with pytest.raises(ConfigurationError):
+            _node_with_coupling("telepathic", seed=1)
+
+    def test_tied_engine_moves_uncore_with_core(self):
+        from repro.workloads.micro import busy_wait
+
+        sim, node = _node_with_coupling("tied", seed=5)
+        node.run_workload([12], busy_wait())
+        node.set_pstate([12], ghz(1.5))
+        sim.run_for(ms(3))
+        assert node.sockets[1].uncore.freq_hz == pytest.approx(ghz(1.5),
+                                                               abs=30e6)

@@ -1,0 +1,37 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_conversions_are_integer_ns():
+    assert units.us(1) == 1_000
+    assert units.ms(1) == 1_000_000
+    assert units.seconds(1) == 1_000_000_000
+    assert isinstance(units.us(1.5), int)
+    assert units.us(1.5) == 1_500
+
+
+def test_time_roundtrip():
+    assert units.to_seconds(units.seconds(2.5)) == pytest.approx(2.5)
+    assert units.to_us(units.us(17)) == pytest.approx(17.0)
+
+
+def test_frequency_conversions():
+    assert units.ghz(2.5) == 2.5e9
+    assert units.mhz(100) == 1e8
+    assert units.to_ghz(units.ghz(1.2)) == pytest.approx(1.2)
+
+
+def test_data_volume():
+    assert units.mib(1) == 1024 ** 2
+    assert units.mib(17) == 17 * 1024 ** 2
+    assert units.gb_per_s(68.2) == pytest.approx(68.2e9)
+    assert units.to_gb_per_s(1e9) == pytest.approx(1.0)
+
+
+def test_rounding_to_grid():
+    # sub-nanosecond values round rather than truncate
+    assert units.ns(1.6) == 2
+    assert units.us(0.0006) == 1

@@ -1,0 +1,68 @@
+"""The expectation checker and the Fig. 4 mechanism reconstruction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.fig4_mechanism import estimate_mechanism, render_fig4
+from repro.validation.expectations import (
+    PaperExpectation,
+    check,
+    render_report,
+)
+
+
+class TestExpectations:
+    def test_abs_tolerance(self):
+        e = PaperExpectation("T", "x", 100.0, "W", abs_tol=5.0)
+        assert check(e, 103.0).ok
+        assert not check(e, 106.0).ok
+
+    def test_rel_tolerance(self):
+        e = PaperExpectation("T", "x", 100.0, "W", rel_tol=0.05)
+        assert check(e, 104.9).ok
+        assert not check(e, 106.0).ok
+
+    def test_either_tolerance_suffices(self):
+        e = PaperExpectation("T", "x", 10.0, "W", rel_tol=0.01, abs_tol=5.0)
+        assert check(e, 14.0).ok       # fails rel, passes abs
+
+    def test_requires_some_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            PaperExpectation(experiment="T", quantity="x",
+                             paper_value=1.0, unit="")
+
+    def test_deviation_percentage(self):
+        e = PaperExpectation("T", "x", 200.0, "W", abs_tol=50.0)
+        assert check(e, 210.0).deviation_pct == pytest.approx(5.0)
+        assert check(e, 190.0).deviation_pct == pytest.approx(-5.0)
+
+    def test_report_renders_verdicts(self):
+        good = check(PaperExpectation("T1", "a", 1.0, "", abs_tol=0.5), 1.2)
+        bad = check(PaperExpectation("T2", "b", 1.0, "", abs_tol=0.01), 2.0)
+        text = render_report([good, bad])
+        assert "ok" in text
+        assert "DEVIATES" in text
+        assert "T1" in text and "T2" in text
+
+
+class TestFig4Mechanism:
+    @pytest.fixture(scope="class")
+    def estimate(self):
+        return estimate_mechanism(n_samples=150, n_parallel=12)
+
+    def test_quantum_inferred_from_latency_span(self, estimate):
+        assert estimate.quantum_error < 0.12
+        assert estimate.quantum_estimate_us == pytest.approx(500.0, abs=60.0)
+
+    def test_floor_is_verification_bound(self, estimate):
+        # the floor is the 20 us window, not the (tiny) switch time
+        assert 15.0 <= estimate.switch_floor_us <= 45.0
+
+    def test_socket_relationships(self, estimate):
+        assert estimate.same_socket_synchronous
+        assert estimate.cross_socket_independent
+
+    def test_render(self, estimate):
+        text = render_fig4(estimate)
+        assert "grant period" in text
+        assert "PCU" in text

@@ -1,0 +1,190 @@
+"""Workload descriptors: phases, IPC law, the micro set."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.specs.cpu import E5_2680_V3
+from repro.units import ghz, mib, ms
+from repro.workloads.base import Workload, WorkloadPhase, steady
+from repro.workloads.composite import phase_switcher, square_wave
+from repro.workloads.linpack import linpack
+from repro.workloads.micro import (
+    busy_wait,
+    compute,
+    dgemm,
+    idle,
+    memory_read,
+    sinus,
+    sqrt_bench,
+    while1_spin,
+)
+from repro.workloads.mprime import mprime
+
+
+class TestPhaseValidation:
+    def test_rejects_active_without_ipc(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadPhase(name="x", active=True, ipc_parity=0.0)
+
+    def test_rejects_out_of_range_fields(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadPhase(name="x", ipc_parity=1.0, avx_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadPhase(name="x", ipc_parity=1.0, power_activity=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadPhase(name="x", ipc_parity=1.0, stall_fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            WorkloadPhase(name="x", ipc_parity=1.0, duration_ns=0)
+
+    def test_avx_threshold(self):
+        low = WorkloadPhase(name="x", ipc_parity=1.0, avx_fraction=0.01)
+        high = WorkloadPhase(name="x", ipc_parity=1.0, avx_fraction=0.5)
+        assert not low.uses_avx
+        assert high.uses_avx
+
+
+class TestIpcLaw:
+    def test_faster_uncore_raises_ipc(self):
+        phase = WorkloadPhase(name="x", ipc_parity=1.5, ipc_uncore_slope=0.5)
+        at_parity = phase.ipc_thread(ghz(2.5), ghz(2.5))
+        fast_uncore = phase.ipc_thread(ghz(2.5), ghz(3.0))
+        assert at_parity == pytest.approx(1.5)
+        assert fast_uncore > at_parity
+
+    def test_ipc_floor(self):
+        phase = WorkloadPhase(name="x", ipc_parity=1.0, ipc_uncore_slope=5.0)
+        assert phase.ipc_thread(ghz(3.0), ghz(1.0)) \
+            == pytest.approx(0.05 * 1.0)
+
+    def test_bw_bound_scales_with_throttle(self):
+        phase = WorkloadPhase(name="x", ipc_parity=1.0, bw_bound=True)
+        full = phase.ipc_thread(ghz(2.0), ghz(2.0), bw_throttle=1.0)
+        half = phase.ipc_thread(ghz(2.0), ghz(2.0), bw_throttle=0.5)
+        assert half == pytest.approx(0.5 * full)
+
+    def test_inactive_phase_zero_ipc(self):
+        phase = WorkloadPhase(name="x", active=False)
+        assert phase.ipc_thread(ghz(2.0), ghz(2.0)) == 0.0
+
+
+class TestWorkloadStructure:
+    def test_steady_single_phase(self):
+        w = steady("w", power_activity=0.5, ipc_parity=1.0)
+        assert not w.is_multiphase
+        assert w.phase(0).duration_ns is None
+
+    def test_cyclic_phases_wrap(self):
+        w = sinus(steps=8)
+        assert w.next_index(7) == 0
+
+    def test_cyclic_multiphase_requires_durations(self):
+        unbounded = WorkloadPhase(name="a", ipc_parity=1.0)
+        with pytest.raises(ConfigurationError):
+            Workload(name="bad", phases=(unbounded, unbounded), cyclic=True)
+
+    def test_mean_activity_weighted(self):
+        w = square_wave(
+            WorkloadPhase(name="hi", ipc_parity=1.0, power_activity=1.0,
+                          duration_ns=ms(1)),
+            WorkloadPhase(name="lo", ipc_parity=1.0, power_activity=0.0,
+                          duration_ns=ms(1)),
+            period_ns=ms(2), duty=0.75)
+        assert w.mean_activity == pytest.approx(0.75)
+
+
+class TestMicroSet:
+    def test_idle_is_inactive(self):
+        phase = idle().phase(0)
+        assert not phase.active
+        assert phase.idle_cstate == "C6"
+
+    def test_while1_has_no_stalls_or_traffic(self):
+        # the Table III probe must not trip the UFS stall path
+        phase = while1_spin().phase(0)
+        assert phase.stall_fraction == 0.0
+        assert phase.l3_bytes_per_cycle == 0.0
+        assert phase.dram_bytes_per_cycle == 0.0
+
+    def test_memory_read_level_selection(self):
+        l3 = memory_read(E5_2680_V3, mib(17)).phase(0)
+        dram = memory_read(E5_2680_V3, mib(350)).phase(0)
+        assert "L3" in l3.name and l3.l3_bytes_per_cycle > 0
+        assert "mem" in dram.name and dram.dram_bytes_per_cycle > 0
+        assert l3.bw_bound and dram.bw_bound
+
+    def test_dgemm_is_avx(self):
+        assert dgemm().phase(0).uses_avx
+        assert not compute().phase(0).uses_avx
+
+    def test_power_ordering_of_fig2_set(self):
+        # dgemm > compute > sqrt ~ busy wait > idle, by activity
+        acts = {name: w().phase(0).power_activity
+                for name, w in [("dgemm", dgemm), ("compute", compute),
+                                ("sqrt", sqrt_bench), ("busy", busy_wait)]}
+        assert acts["dgemm"] > acts["compute"] > acts["sqrt"]
+        assert acts["busy"] > 0.0
+
+    def test_snb_bias_differs_across_workloads(self):
+        # the Fig. 2a fan-out requires distinct modeled-RAPL biases
+        biases = {w().phase(0).rapl_model_bias
+                  for w in (busy_wait, compute, dgemm, sqrt_bench)}
+        assert len(biases) == 4
+
+    def test_sinus_modulates_activity(self):
+        w = sinus(period_ns=ms(32), steps=16)
+        acts = [p.power_activity for p in w.phases]
+        assert max(acts) > 0.5 * 0.6
+        assert min(acts) == pytest.approx(0.0, abs=0.02)
+        assert len(w.phases) == 16
+
+    def test_sinus_rejects_too_few_steps(self):
+        with pytest.raises(ConfigurationError):
+            sinus(steps=2)
+
+
+class TestStressWorkloads:
+    def test_linpack_alternates_phases(self):
+        w = linpack()
+        assert w.is_multiphase
+        names = [p.name for p in w.phases]
+        assert any("update" in n for n in names)
+        assert any("factor" in n for n in names)
+
+    def test_linpack_update_denser_than_firestarter(self):
+        from repro.workloads.firestarter import firestarter
+        lp_update = max(p.power_activity for p in linpack().phases)
+        fs = firestarter(ht=False).phase(0).power_activity
+        assert lp_update > fs
+
+    def test_linpack_rejects_tiny_problem(self):
+        with pytest.raises(ConfigurationError):
+            linpack(problem_size=10)
+
+    def test_mprime_varies_power(self):
+        acts = [p.power_activity for p in mprime().phases]
+        assert max(acts) - min(acts) > 0.05
+
+    def test_mprime_lighter_than_firestarter(self):
+        from repro.workloads.firestarter import firestarter
+        assert max(p.power_activity for p in mprime().phases) \
+            < firestarter(ht=False).phase(0).power_activity
+
+
+class TestComposite:
+    def test_square_wave_durations(self):
+        hi = WorkloadPhase(name="hi", ipc_parity=1.0, duration_ns=ms(1))
+        lo = WorkloadPhase(name="lo", ipc_parity=1.0, duration_ns=ms(1))
+        w = square_wave(hi, lo, period_ns=ms(10), duty=0.3)
+        assert w.phases[0].duration_ns == ms(3)
+        assert w.phases[1].duration_ns == ms(7)
+
+    def test_square_wave_rejects_bad_duty(self):
+        hi = WorkloadPhase(name="hi", ipc_parity=1.0, duration_ns=ms(1))
+        with pytest.raises(ConfigurationError):
+            square_wave(hi, hi, period_ns=ms(1), duty=1.0)
+
+    def test_phase_switcher_equal_slots(self):
+        phases = [WorkloadPhase(name=f"p{i}", ipc_parity=1.0,
+                                duration_ns=ms(1)) for i in range(4)]
+        w = phase_switcher(phases, period_ns=ms(8))
+        assert all(p.duration_ns == ms(2) for p in w.phases)

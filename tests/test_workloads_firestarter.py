@@ -1,0 +1,115 @@
+"""The FIRESTARTER code generator (Section VIII)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import ghz
+from repro.workloads.firestarter import (
+    MIX_RATIOS,
+    FirestarterKernel,
+    InstructionGroup,
+    firestarter,
+)
+
+
+class TestMixRatios:
+    def test_paper_ratios(self):
+        assert MIX_RATIOS["reg"] == pytest.approx(0.278)
+        assert MIX_RATIOS["L1"] == pytest.approx(0.627)
+        assert MIX_RATIOS["L2"] == pytest.approx(0.071)
+        assert MIX_RATIOS["L3"] == pytest.approx(0.008)
+        assert MIX_RATIOS["mem"] == pytest.approx(0.016)
+
+    def test_ratios_sum_to_one(self):
+        assert sum(MIX_RATIOS.values()) == pytest.approx(1.0)
+
+
+class TestKernelGeneration:
+    def test_default_kernel_satisfies_size_constraints(self):
+        # loop larger than the micro-op cache, smaller than L1I
+        kernel = FirestarterKernel()
+        assert kernel.fits_constraints()
+        assert 6 * 1024 < kernel.code_bytes <= 32 * 1024
+
+    def test_rejects_loop_outside_constraints(self):
+        with pytest.raises(ConfigurationError):
+            FirestarterKernel(n_groups=100)        # fits the uop cache
+        with pytest.raises(ConfigurationError):
+            FirestarterKernel(n_groups=4096)       # exceeds L1I
+
+    def test_mix_matches_targets(self):
+        kernel = FirestarterKernel(n_groups=1024)
+        mix = kernel.mix_fractions()
+        for flavor, target in MIX_RATIOS.items():
+            assert mix[flavor] == pytest.approx(target, abs=0.002)
+
+    def test_groups_are_16_byte_fetch_windows(self):
+        kernel = FirestarterKernel(n_groups=512)
+        assert all(g.bytes == 16 for g in kernel.groups)
+        assert all(len(g.instructions) == 4 for g in kernel.groups)
+
+    def test_interleaving_avoids_long_runs(self):
+        kernel = FirestarterKernel(n_groups=1024)
+        # L1 groups are 62.7 %, so short runs are unavoidable, but the
+        # shuffle must not produce pathological monoculture stretches
+        assert kernel.longest_same_flavor_run() < 30
+
+    def test_deterministic_for_seed(self):
+        a = FirestarterKernel(n_groups=512, seed=1)
+        b = FirestarterKernel(n_groups=512, seed=1)
+        c = FirestarterKernel(n_groups=512, seed=2)
+        assert [g.flavor for g in a.groups] == [g.flavor for g in b.groups]
+        assert [g.flavor for g in a.groups] != [g.flavor for g in c.groups]
+
+    def test_fma_density_high(self):
+        # the sequence combines a high ratio of FP operations with
+        # frequent loads and stores (Section VIII)
+        kernel = FirestarterKernel()
+        assert kernel.fma_fraction > 0.3
+        assert any(g.has_load for g in kernel.groups)
+        assert any(g.has_store for g in kernel.groups)
+
+    def test_group_templates_match_paper_structure(self):
+        # L1/L2/L3 groups: I1 store, I2 FMA+load, I3 shift, I4 ptr add
+        g = InstructionGroup("L2", ("store L2", "vfmadd231pd load L2",
+                                    "shr", "add ptr"))
+        assert g.has_store and g.has_load and g.fma_count == 1
+        # reg group: two register FMAs, shift, xor
+        g = InstructionGroup("reg", ("vfmadd231pd reg", "vfmadd231pd reg",
+                                     "shr", "xor"))
+        assert g.fma_count == 2 and not g.has_load
+
+    def test_rejects_unknown_flavor(self):
+        with pytest.raises(ConfigurationError):
+            InstructionGroup("L4", ("a", "b", "c", "d"))
+
+
+class TestBehavioralProfile:
+    def test_ipc_targets(self):
+        # Section VIII: 3.1 IPC with Hyper-Threading, 2.8 without
+        ht = firestarter(ht=True).phase(0)
+        no_ht = firestarter(ht=False).phase(0)
+        per_core_ht = 2 * ht.ipc_thread(ghz(2.3), ghz(2.3))
+        per_core_no = no_ht.ipc_thread(ghz(2.3), ghz(2.3))
+        assert per_core_ht == pytest.approx(3.1, abs=0.05)
+        assert per_core_no == pytest.approx(2.8, abs=0.05)
+
+    def test_ht_is_activity_reference(self):
+        assert firestarter(ht=True).phase(0).power_activity == 1.0
+        assert firestarter(ht=False).phase(0).power_activity < 1.0
+
+    def test_thread_counts(self):
+        assert firestarter(ht=True).threads_per_core == 2
+        assert firestarter(ht=False).threads_per_core == 1
+
+    def test_uses_avx(self):
+        assert firestarter().phase(0).uses_avx
+
+    def test_table4_gips_law(self):
+        # At the 2.1 GHz setting the uncore reaches 3.0 GHz and IPS stays
+        # nearly as high as at turbo (Table IV)
+        phase = firestarter(ht=True).phase(0)
+        gips_21 = 2.09 * phase.ipc_thread(ghz(2.09), ghz(3.0))
+        gips_turbo = 2.31 * phase.ipc_thread(ghz(2.31), ghz(2.33))
+        assert gips_21 == pytest.approx(3.51, abs=0.1)
+        assert gips_turbo == pytest.approx(3.56, abs=0.1)
