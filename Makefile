@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full experiments examples clean
+.PHONY: install test bench bench-full chaos chaos-smoke experiments examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,17 @@ bench:
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Full table/figure suite under a fixed injected-fault seed; --strict
+# asserts zero hard failures (degraded/retried outcomes are acceptable).
+chaos:
+	$(PYTHON) scripts/run_paper.py --chaos 42 --strict
+
+# Fast chaos subset for CI: the experiments that exercise the meters,
+# the RAPL counters and the perf sampler, under the same fixed seed.
+chaos-smoke:
+	$(PYTHON) scripts/run_paper.py --chaos 42 --strict \
+		--only table2 fig2 table3 fig5 fig6
 
 experiments:
 	$(PYTHON) scripts/generate_experiments_md.py

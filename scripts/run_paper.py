@@ -5,15 +5,25 @@ A pytest-free driver for users who just want the artifacts:
 
     python scripts/run_paper.py [--full] [--only table4 fig3 ...]
 
+Every experiment runs under the resilient harness
+(``repro.experiments.runner``): a per-experiment wall-clock timeout,
+exponential-backoff retries on transient faults, partial-artifact
+checkpoints, and a structured outcome report — a failing experiment
+degrades to a report entry instead of killing the suite.
+
+``--chaos <seed>`` replays the full suite under a deterministic
+injected fault plan (RAPL counter wraps, transient MSR read failures,
+meter dropouts/glitches, PCU-tick jitter, PROCHOT throttle episodes);
+see docs/fault_injection.md.
+
 Artifacts land in benchmarks/output/ (same files the benchmark harness
-writes).
+writes), plus run_paper_report.json with the per-experiment outcomes.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parents[1] / "benchmarks"))
@@ -22,6 +32,8 @@ from conftest import write_artifact  # noqa: E402  (benchmarks/conftest.py)
 
 from repro.cstates.states import CState  # noqa: E402
 from repro.experiments import (  # noqa: E402
+    ExperimentRunner,
+    ExperimentSpec,
     render_cstate_figure,
     render_fig1,
     render_fig2,
@@ -86,7 +98,23 @@ def main() -> int:
                         help="paper-length parameterizations")
     parser.add_argument("--only", nargs="*", default=None,
                         help="subset of experiment ids")
+    parser.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                        help="replay the suite under a deterministic "
+                             "injected fault plan with this seed")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-experiment wall-clock timeout in seconds")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="attempts per experiment on transient faults")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero if any experiment hard-failed")
     args = parser.parse_args()
+
+    if args.chaos is not None and args.chaos < 0:
+        parser.error("--chaos seed must be a non-negative integer")
+    if args.timeout <= 0:
+        parser.error("--timeout must be a positive number of seconds")
+    if args.max_attempts < 1:
+        parser.error("--max-attempts must be at least 1")
 
     experiments = _experiments(args.full)
     selected = args.only if args.only else list(experiments)
@@ -95,13 +123,39 @@ def main() -> int:
         parser.error(f"unknown experiment ids {unknown}; "
                      f"valid: {sorted(experiments)}")
 
-    for name in selected:
-        t0 = time.time()
-        print(f"### {name} " + "#" * 50)
-        text = experiments[name]()
-        print(text)
-        path = write_artifact(f"run_paper_{name}", text)
-        print(f"[{time.time() - t0:.1f} s] -> {path}\n")
+    def show(outcome) -> None:
+        print(f"### {outcome.name} " + "#" * 50)
+        if outcome.text is not None:
+            print(outcome.text)
+        tag = f"[{outcome.duration_s:.1f} s, {outcome.status}"
+        if outcome.attempts > 1:
+            tag += f", {outcome.attempts} attempts"
+        if outcome.error:
+            tag += f", {outcome.error}"
+        print(tag + (f"] -> {outcome.artifact}\n" if outcome.artifact
+                     else "]\n"))
+
+    runner = ExperimentRunner(
+        [ExperimentSpec(name=name, build=build, timeout_s=args.timeout)
+         for name, build in experiments.items()],
+        artifact_writer=lambda name, text: write_artifact(
+            f"run_paper_{name}", text),
+        max_attempts=args.max_attempts,
+        chaos_seed=args.chaos,
+        progress=show,
+    )
+    report = runner.run(selected)
+
+    print(report.render())
+    report_path = Path(write_artifact("run_paper_report", "")).with_suffix("")
+    report_path = report_path.parent / "run_paper_report.json"
+    report_path.write_text(report.to_json() + "\n")
+    print(f"report -> {report_path}")
+
+    if args.strict and report.hard_failures:
+        print(f"STRICT: {len(report.hard_failures)} hard failure(s)",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -9,7 +9,7 @@ Python loop, per the optimization guidance for HPC Python.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Any, Callable, Protocol
 
 import numpy as np
 
@@ -67,11 +67,52 @@ class Simulator:
         self.rng: np.random.Generator = make_rng(seed)
         self.trace = trace if trace is not None else TraceRecorder(kinds=set())
         self._integrators: list[Integrator] = []
+        self._fault_hooks: dict[str, list[Callable[..., Any]]] = {}
 
     # ---- component registration ------------------------------------------
 
     def add_integrator(self, component: Integrator) -> None:
         self._integrators.append(component)
+
+    # ---- fault hooks ------------------------------------------------------
+
+    def add_fault_hook(self, point: str,
+                       hook: Callable[..., Any]) -> Callable[..., Any]:
+        """Register ``hook`` at a named interception point.
+
+        Components with stochastic or failure-prone hardware analogues
+        (MSR reads, meter samples, counter snapshots) consult their point
+        before/while producing a value. A hook may raise — e.g. a
+        :class:`~repro.errors.TransientFaultError` to model a read that
+        fails — or return a directive dict the component interprets
+        (``{"action": "drop"}`` for a lost meter sample). Returning
+        ``None`` means "no opinion". Hooks run in registration order.
+        """
+        self._fault_hooks.setdefault(point, []).append(hook)
+        return hook
+
+    def remove_fault_hook(self, point: str, hook: Callable[..., Any]) -> None:
+        hooks = self._fault_hooks.get(point)
+        if hooks is None:
+            return
+        try:
+            hooks.remove(hook)
+        except ValueError:
+            pass
+        if not hooks:
+            del self._fault_hooks[point]
+
+    def fire_fault_hooks(self, point: str, **context: Any) -> list[Any]:
+        """Run the hooks of ``point``; returns the non-None directives."""
+        hooks = self._fault_hooks.get(point)
+        if not hooks:
+            return []
+        directives = []
+        for hook in list(hooks):
+            directive = hook(**context)
+            if directive is not None:
+                directives.append(directive)
+        return directives
 
     # ---- scheduling ---------------------------------------------------------
 

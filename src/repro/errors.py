@@ -29,3 +29,25 @@ class UnsupportedFeatureError(ReproError):
 
 class MeasurementError(ReproError):
     """An instrument was used outside its operating envelope."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan or injector was configured or driven incorrectly."""
+
+
+class TransientFaultError(ReproError):
+    """A recoverable fault: the operation may succeed if retried.
+
+    Raised by the fault-injection subsystem (and by any component that
+    models transient hardware misbehaviour). The retry policy in
+    :mod:`repro.util.retry` treats this class as retryable by default.
+    """
+
+
+class TransientMsrError(TransientFaultError, MsrError):
+    """A transient MSR read failure (injected or modeled).
+
+    Inherits from both :class:`TransientFaultError` (so retry policies
+    recover it) and :class:`MsrError` (so existing MSR error handling
+    still applies).
+    """

@@ -42,8 +42,15 @@ from repro.experiments.avx_transient import (
     render_avx_transient,
 )
 from repro.experiments.ht_study import run_ht_study, render_ht_study
+from repro.experiments.runner import (
+    ExperimentOutcome,
+    ExperimentRunner,
+    ExperimentSpec,
+    SuiteReport,
+)
 
 __all__ = [
+    "ExperimentOutcome", "ExperimentRunner", "ExperimentSpec", "SuiteReport",
     "run_table1", "render_table1",
     "run_fig1", "render_fig1",
     "run_table2", "render_table2",

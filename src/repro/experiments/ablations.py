@@ -30,7 +30,7 @@ from repro.cstates.states import CState
 from repro.engine.simulator import Simulator
 from repro.instruments.ftalat import FtalatProbe, TransitionMode
 from repro.pcu.epb import Epb
-from repro.power.rapl import RaplDomain
+from repro.power.rapl import RaplDomain, wraparound_delta
 from repro.specs.cpu import E5_2680_V3
 from repro.specs.node import HASWELL_TEST_NODE
 from repro.system.node import build_node
@@ -134,7 +134,7 @@ def run_dram_mode_ablation(seed: int = 85,
     c0 = socket.rapl.read_counter(RaplDomain.DRAM)
     t0 = sim.now_ns
     sim.run_for(seconds(measure_s))
-    delta = socket.rapl.read_counter(RaplDomain.DRAM) - c0
+    delta = wraparound_delta(c0, socket.rapl.read_counter(RaplDomain.DRAM))
     dt_s = (sim.now_ns - t0) / 1e9
     correct = delta * socket.rapl.energy_unit_j(RaplDomain.DRAM) / dt_s
     wrong = delta * spec.rapl_energy_unit_j / dt_s

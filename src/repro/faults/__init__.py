@@ -1,0 +1,27 @@
+"""Deterministic fault injection for the simulated measurement campaign.
+
+``plan`` draws a seeded, immutable fault schedule; ``injector`` replays
+it against one (simulator, node) pair; ``chaos`` arms an injector on
+every node the process builds — the machinery behind
+``scripts/run_paper.py --chaos <seed>``. See ``docs/fault_injection.md``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    DEFAULT_HORIZON_NS,
+    DEFAULT_PROFILE,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultProfile,
+)
+
+__all__ = [
+    "DEFAULT_HORIZON_NS",
+    "DEFAULT_PROFILE",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultProfile",
+]

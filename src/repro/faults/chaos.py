@@ -1,0 +1,114 @@
+"""Process-wide chaos mode: arm a fault injector on every node built.
+
+Experiments construct their own ``Simulator``/``Node`` internally, so
+fault injection cannot be threaded through their signatures without
+touching every experiment. Instead, ``build_node`` asks this module
+whether chaos is active; if so, each freshly built node gets its own
+:class:`~repro.faults.injector.FaultInjector` armed with a plan derived
+deterministically from ``(chaos seed, retry epoch, build counter)``.
+
+Determinism: activation resets the counters, and the experiment suite
+runs sequentially, so run N's k-th node build always receives the same
+sub-seed — two runs with the same chaos seed produce byte-identical
+fault schedules and identical outcome records. The retry epoch is
+bumped by the experiment runner between attempts, which is the
+"reseeded RNG on transient faults": a retried experiment replays under
+a fresh fault plan instead of deterministically hitting the same wall.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import FaultInjectionError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    DEFAULT_HORIZON_NS,
+    DEFAULT_PROFILE,
+    FaultPlan,
+    FaultProfile,
+)
+
+if TYPE_CHECKING:
+    from repro.engine.simulator import Simulator
+    from repro.system.node import Node
+
+
+@dataclass
+class _ChaosState:
+    seed: int
+    profile: FaultProfile
+    horizon_ns: int
+    epoch: int = 0
+    builds: int = 0
+    injectors: list[FaultInjector] = field(default_factory=list)
+
+
+_state: _ChaosState | None = None
+
+
+def activate(seed: int, profile: FaultProfile = DEFAULT_PROFILE,
+             horizon_ns: int = DEFAULT_HORIZON_NS) -> None:
+    """Enter chaos mode; every node built from now on gets a fault plan."""
+    global _state
+    if _state is not None:
+        raise FaultInjectionError("chaos mode is already active")
+    if seed < 0:
+        raise FaultInjectionError("chaos seed must be non-negative")
+    _state = _ChaosState(seed=seed, profile=profile, horizon_ns=horizon_ns)
+
+
+def deactivate() -> None:
+    global _state
+    _state = None
+
+
+def is_active() -> bool:
+    return _state is not None
+
+
+def bump_epoch() -> None:
+    """Shift all subsequent sub-seeds (called between retry attempts)."""
+    if _state is not None:
+        _state.epoch += 1
+
+
+def subseed(seed: int, epoch: int, build: int) -> int:
+    """Mix the chaos seed with the retry epoch and build counter."""
+    return (seed * 1_000_003 + epoch * 8_191 + build) & 0xFFFF_FFFF
+
+
+def injector_logs() -> list[list[dict]]:
+    """The applied-fault logs of every injector armed so far."""
+    if _state is None:
+        return []
+    return [inj.log for inj in _state.injectors]
+
+
+def maybe_arm(sim: "Simulator", node: "Node") -> FaultInjector | None:
+    """Called by ``build_node``: arm an injector if chaos is active."""
+    if _state is None:
+        return None
+    _state.builds += 1
+    plan = FaultPlan.generate(
+        subseed(_state.seed, _state.epoch, _state.builds),
+        horizon_ns=_state.horizon_ns,
+        profile=_state.profile,
+        n_sockets=len(node.sockets),
+    )
+    injector = FaultInjector(sim, node, plan).arm()
+    _state.injectors.append(injector)
+    return injector
+
+
+@contextmanager
+def chaos(seed: int, profile: FaultProfile = DEFAULT_PROFILE,
+          horizon_ns: int = DEFAULT_HORIZON_NS) -> Iterator[None]:
+    """``with chaos(42): ...`` — chaos mode scoped to a block."""
+    activate(seed, profile=profile, horizon_ns=horizon_ns)
+    try:
+        yield
+    finally:
+        deactivate()

@@ -1,0 +1,154 @@
+"""Turn a :class:`~repro.faults.plan.FaultPlan` into simulator events.
+
+The injector is armed against a concrete (simulator, node) pair: each
+planned fault becomes a scheduled event; window faults schedule their
+own end. Everything it did is recorded in :attr:`FaultInjector.log` as
+plain dicts (deterministic — no wall clock), which the determinism tests
+compare across runs.
+
+Fault mechanics:
+
+* RAPL wraps skew the counter phase via ``RaplBank.force_wrap`` — true
+  energy is untouched, so wrap-safe readers stay exact while naive
+  subtraction breaks;
+* transient MSR faults install hooks on the ``msr-read`` and
+  ``perfctr-sample`` points that raise ``TransientMsrError`` for the
+  window;
+* LMG450 dropouts/glitches install hooks on ``lmg450-sample`` returning
+  ``drop``/``replace`` directives;
+* PCU jitter and PROCHOT throttles set the corresponding PCU attributes
+  for the window (the throttle clamp is applied at the next grant
+  opportunity, like the hardware signal).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import FaultInjectionError, TransientMsrError
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.power.rapl import RaplDomain
+
+if TYPE_CHECKING:
+    from repro.engine.simulator import Simulator
+    from repro.system.node import Node
+
+
+class FaultInjector:
+    """Schedules and applies one plan against one simulated node."""
+
+    def __init__(self, sim: "Simulator", node: "Node",
+                 plan: FaultPlan) -> None:
+        self.sim = sim
+        self.node = node
+        self.plan = plan
+        self.log: list[dict] = []
+        self._armed = False
+
+    # ---- lifecycle -------------------------------------------------------
+
+    def arm(self) -> "FaultInjector":
+        """Schedule every plan event that is still in the future."""
+        if self._armed:
+            raise FaultInjectionError("injector already armed")
+        self._armed = True
+        apply = {
+            FaultKind.RAPL_WRAP: self._rapl_wrap,
+            FaultKind.MSR_TRANSIENT: self._msr_transient,
+            FaultKind.LMG_DROPOUT: self._lmg_dropout,
+            FaultKind.LMG_GLITCH: self._lmg_glitch,
+            FaultKind.PCU_JITTER: self._pcu_jitter,
+            FaultKind.THERMAL_THROTTLE: self._thermal_throttle,
+        }
+        for ev in self.plan.events:
+            if ev.time_ns < self.sim.now_ns:
+                continue
+            self.sim.schedule_at(
+                ev.time_ns,
+                lambda _t, e=ev, fn=apply[ev.kind]: fn(e),
+                label=f"fault-{ev.kind.value}")
+        return self
+
+    def _record(self, event: FaultEvent, **detail) -> None:
+        entry = {"time_ns": self.sim.now_ns, "kind": event.kind.value}
+        entry.update(dict(event.params))
+        entry.update(detail)
+        self.log.append(entry)
+
+    def _socket_index(self, event: FaultEvent) -> int:
+        return int(event.param("socket", 0)) % len(self.node.sockets)
+
+    # ---- fault implementations ------------------------------------------
+
+    def _rapl_wrap(self, event: FaultEvent) -> None:
+        socket = self.node.sockets[self._socket_index(event)]
+        domain = RaplDomain(event.param("domain", "package"))
+        counter = socket.rapl.force_wrap(
+            domain, int(event.param("margin_counts", 0)))
+        self._record(event, counter_after=counter)
+
+    def _msr_transient(self, event: FaultEvent) -> None:
+        duration = int(event.param("duration_ns", 0))
+
+        def fail(**_ctx) -> None:
+            raise TransientMsrError(
+                f"injected transient MSR fault "
+                f"(window {duration / 1e6:.1f} ms at "
+                f"t={event.time_ns / 1e9:.3f} s)")
+
+        for point in ("msr-read", "perfctr-sample"):
+            self.sim.add_fault_hook(point, fail)
+        self.sim.schedule_after(
+            duration, lambda _t: self._end_msr_transient(fail),
+            label="fault-msr-transient-end")
+        self._record(event)
+
+    def _end_msr_transient(self, hook) -> None:
+        for point in ("msr-read", "perfctr-sample"):
+            self.sim.remove_fault_hook(point, hook)
+
+    def _lmg_dropout(self, event: FaultEvent) -> None:
+        duration = int(event.param("duration_ns", 0))
+
+        def drop(**_ctx) -> dict:
+            return {"action": "drop"}
+
+        self.sim.add_fault_hook("lmg450-sample", drop)
+        self.sim.schedule_after(
+            duration,
+            lambda _t: self.sim.remove_fault_hook("lmg450-sample", drop),
+            label="fault-lmg-dropout-end")
+        self._record(event)
+
+    def _lmg_glitch(self, event: FaultEvent) -> None:
+        factor = float(event.param("factor", 3.0))
+        sign = int(event.param("sign", 1))
+
+        def glitch(watts: float = 0.0, **_ctx) -> dict:
+            # One-shot: the next sample is replaced, then the hook leaves.
+            self.sim.remove_fault_hook("lmg450-sample", glitch)
+            value = watts * factor if sign > 0 else watts / factor
+            return {"action": "replace", "watts": value}
+
+        self.sim.add_fault_hook("lmg450-sample", glitch)
+        self._record(event)
+
+    def _pcu_jitter(self, event: FaultEvent) -> None:
+        pcu = self.node.pcus[self._socket_index(event)]
+        extra = int(event.param("extra_jitter_ns", 0))
+        duration = int(event.param("duration_ns", 0))
+        pcu.extra_tick_jitter_ns = extra
+        self.sim.schedule_after(
+            duration, lambda _t: setattr(pcu, "extra_tick_jitter_ns", 0),
+            label="fault-pcu-jitter-end")
+        self._record(event)
+
+    def _thermal_throttle(self, event: FaultEvent) -> None:
+        pcu = self.node.pcus[self._socket_index(event)]
+        duration = int(event.param("duration_ns", 0))
+        cap_hz = pcu.spec.min_hz
+        pcu.prochot_cap_hz = cap_hz
+        self.sim.schedule_after(
+            duration, lambda _t: setattr(pcu, "prochot_cap_hz", None),
+            label="fault-prochot-end")
+        self._record(event, cap_hz=cap_hz)

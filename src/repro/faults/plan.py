@@ -1,0 +1,178 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is a fixed schedule of :class:`FaultEvent`\\ s drawn
+once from a seeded generator (:func:`repro.engine.rng.make_rng`), so the
+same seed always yields a byte-identical schedule. The plan is pure
+data — :class:`~repro.faults.injector.FaultInjector` turns it into
+simulator events against a concrete node.
+
+The taxonomy mirrors what real measurement campaigns on this hardware
+run into (Schuchart et al. on run-to-run variation; every RAPL user on
+32-bit counter wraps):
+
+* ``RAPL_WRAP`` — the 32-bit energy counter is caught near its wrap
+  point mid-measurement;
+* ``MSR_TRANSIENT`` — a window during which MSR/counter reads fail
+  transiently (``TransientMsrError``);
+* ``LMG_DROPOUT`` — the AC meter loses samples for a while;
+* ``LMG_GLITCH`` — one out-of-envelope meter reading;
+* ``PCU_JITTER`` — the PCU's external tick source is disturbed, widening
+  the grant-opportunity spread;
+* ``THERMAL_THROTTLE`` — a PROCHOT#-style episode clamps all p-states.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+from repro.engine.rng import make_rng
+from repro.errors import FaultInjectionError
+from repro.units import ms, seconds, us
+
+
+class FaultKind(enum.Enum):
+    RAPL_WRAP = "rapl-wrap"
+    MSR_TRANSIENT = "msr-transient"
+    LMG_DROPOUT = "lmg-dropout"
+    LMG_GLITCH = "lmg-glitch"
+    PCU_JITTER = "pcu-jitter"
+    THERMAL_THROTTLE = "thermal-throttle"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: an instant, a kind, and its parameters.
+
+    ``params`` is a sorted tuple of ``(key, value)`` pairs so events are
+    hashable and serialize deterministically.
+    """
+
+    time_ns: int
+    kind: FaultKind
+    params: tuple[tuple[str, int | float | str], ...] = ()
+
+    def param(self, key: str, default=None):
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def to_dict(self) -> dict:
+        return {"time_ns": self.time_ns, "kind": self.kind.value,
+                "params": dict(self.params)}
+
+
+def _pairs(**kwargs) -> tuple[tuple[str, int | float | str], ...]:
+    return tuple(sorted(kwargs.items()))
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-kind event rates (events per simulated second) and parameter
+    ranges for plan generation. The defaults are gentle enough that a
+    retried experiment normally recovers, while still exercising every
+    fault path over a full paper run."""
+
+    rapl_wrap_rate: float = 0.08
+    msr_transient_rate: float = 0.02
+    msr_window_ns_range: tuple[int, int] = (ms(80), ms(400))
+    lmg_dropout_rate: float = 0.02
+    lmg_dropout_ns_range: tuple[int, int] = (ms(400), ms(2500))
+    lmg_glitch_rate: float = 0.05
+    lmg_glitch_factor_range: tuple[float, float] = (1.5, 6.0)
+    pcu_jitter_rate: float = 0.015
+    pcu_jitter_ns_range: tuple[int, int] = (ms(20), ms(300))
+    pcu_jitter_extra_ns: int = us(150)
+    throttle_rate: float = 0.01
+    throttle_ns_range: tuple[int, int] = (ms(30), ms(250))
+
+
+DEFAULT_PROFILE = FaultProfile()
+
+#: Default plan horizon: comfortably longer than any single experiment's
+#: simulated time, so fault pressure persists for the whole run.
+DEFAULT_HORIZON_NS = seconds(150)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, ordered fault schedule."""
+
+    seed: int
+    horizon_ns: int
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.horizon_ns <= 0:
+            raise FaultInjectionError("fault-plan horizon must be positive")
+        for ev in self.events:
+            if not 0 <= ev.time_ns <= self.horizon_ns:
+                raise FaultInjectionError(
+                    f"fault event at t={ev.time_ns} ns outside the "
+                    f"[0, {self.horizon_ns}] ns horizon")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_kind(self, kind: FaultKind) -> list[FaultEvent]:
+        return [ev for ev in self.events if ev.kind is kind]
+
+    def to_json(self) -> str:
+        """Canonical serialization — byte-identical for identical plans."""
+        return json.dumps(
+            {"seed": self.seed, "horizon_ns": self.horizon_ns,
+             "events": [ev.to_dict() for ev in self.events]},
+            sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def generate(cls, seed: int, horizon_ns: int = DEFAULT_HORIZON_NS,
+                 profile: FaultProfile = DEFAULT_PROFILE,
+                 n_sockets: int = 2) -> "FaultPlan":
+        """Draw a schedule from ``seed``. Same arguments ⇒ same plan."""
+        if horizon_ns <= 0:
+            raise FaultInjectionError("fault-plan horizon must be positive")
+        rng = make_rng(seed)
+        horizon_s = horizon_ns / seconds(1)
+        events: list[FaultEvent] = []
+
+        def times(rate: float) -> list[int]:
+            n = int(rng.poisson(rate * horizon_s))
+            return [int(t) for t in
+                    sorted(rng.uniform(1, horizon_ns, size=n))]
+
+        def span(lo_hi: tuple[int, int]) -> int:
+            return int(rng.integers(lo_hi[0], lo_hi[1] + 1))
+
+        def socket() -> int:
+            return int(rng.integers(0, n_sockets))
+
+        for t in times(profile.rapl_wrap_rate):
+            events.append(FaultEvent(t, FaultKind.RAPL_WRAP, _pairs(
+                socket=socket(),
+                domain=str(rng.choice(["package", "dram"])),
+                margin_counts=int(rng.integers(1_000, 200_000)))))
+        for t in times(profile.msr_transient_rate):
+            events.append(FaultEvent(t, FaultKind.MSR_TRANSIENT, _pairs(
+                duration_ns=span(profile.msr_window_ns_range))))
+        for t in times(profile.lmg_dropout_rate):
+            events.append(FaultEvent(t, FaultKind.LMG_DROPOUT, _pairs(
+                duration_ns=span(profile.lmg_dropout_ns_range))))
+        for t in times(profile.lmg_glitch_rate):
+            lo, hi = profile.lmg_glitch_factor_range
+            events.append(FaultEvent(t, FaultKind.LMG_GLITCH, _pairs(
+                factor=round(float(rng.uniform(lo, hi)), 6),
+                sign=int(rng.choice([-1, 1])))))
+        for t in times(profile.pcu_jitter_rate):
+            events.append(FaultEvent(t, FaultKind.PCU_JITTER, _pairs(
+                socket=socket(),
+                duration_ns=span(profile.pcu_jitter_ns_range),
+                extra_jitter_ns=int(profile.pcu_jitter_extra_ns))))
+        for t in times(profile.throttle_rate):
+            events.append(FaultEvent(t, FaultKind.THERMAL_THROTTLE, _pairs(
+                socket=socket(),
+                duration_ns=span(profile.throttle_ns_range))))
+
+        events.sort(key=lambda ev: (ev.time_ns, ev.kind.value, ev.params))
+        return cls(seed=seed, horizon_ns=horizon_ns, events=tuple(events))

@@ -62,8 +62,18 @@ class Lmg450:
         self._last_energy_j = self.node.ac_energy_j
         self._last_time_ns = now_ns
         sigma = (ACCURACY_RELATIVE * true + ACCURACY_ABSOLUTE_W) / 3.0
+        value = true + float(self.rng.normal(0.0, sigma))
+        # Fault hooks model real meter misbehaviour: sample dropouts
+        # (value never reaches the logger) and out-of-envelope glitches.
+        for directive in self.sim.fire_fault_hooks(
+                "lmg450-sample", time_ns=now_ns, watts=value):
+            action = directive.get("action")
+            if action == "drop":
+                return
+            if action == "replace":
+                value = float(directive["watts"])
         self.times_ns.append(now_ns)
-        self.watts.append(true + float(self.rng.normal(0.0, sigma)))
+        self.watts.append(value)
 
     # ---- analysis views -------------------------------------------------------
 

@@ -72,6 +72,10 @@ class LikwidSampler:
             self._task = None
 
     def _sample(self, now_ns: int) -> None:
+        # Counter snapshots go through the same software path the real
+        # tool uses; an armed fault hook may raise a TransientMsrError
+        # here, modeling a transient MSR read failure mid-run.
+        self.sim.fire_fault_hooks("perfctr-sample", time_ns=now_ns)
         for core_id in self.core_ids:
             core = self.node.core(core_id)
             socket = self.node.socket_of(core_id)

@@ -51,6 +51,12 @@ class Pcu:
         self.rng = spawn_rng(sim.rng)
         self.last_decision: FrequencyDecision | None = None
         self.tick_count = 0
+        # PROCHOT#-style thermal throttle: while set, every grant is
+        # clamped to this frequency (fault injection / thermal episodes).
+        self.prochot_cap_hz: float | None = None
+        # Additional tick-timing jitter (fault injection: a disturbed
+        # external tick source widens the grant-opportunity spread).
+        self.extra_tick_jitter_ns: int = 0
         self._pending_apply: dict[int, object] = {}
         self._tick_times: list[int] = []      # for tests/analysis
         self._eet_last_stall = 0.0
@@ -106,7 +112,8 @@ class Pcu:
         self._tick_times.append(now_ns)
         self._control(now_ns)
         quantum = self.spec.pcu_quantum_ns or us(500)
-        jitter = int(self.rng.integers(-TICK_JITTER_NS, TICK_JITTER_NS + 1))
+        spread = TICK_JITTER_NS + self.extra_tick_jitter_ns
+        jitter = int(self.rng.integers(-spread, spread + 1))
         self.sim.schedule_after(max(quantum + jitter, 1), self._tick,
                                 label=f"pcu-tick-s{self.socket.socket_id}")
 
@@ -160,6 +167,12 @@ class Pcu:
                 turbo_enabled=self.turbo_enabled,
                 eet_trim_hz=self.eet.trim_hz,
             )
+
+        if self.prochot_cap_hz is not None:
+            # Thermal throttle episode: PROCHOT# clamps every core grant
+            # regardless of requests, turbo, or budget headroom.
+            cap = max(self.prochot_cap_hz, self.spec.min_hz)
+            targets = {cid: min(t, cap) for cid, t in targets.items()}
 
         active_ids = {c.core_id for c in active}
         decision = self.limiter.decide(

@@ -70,6 +70,10 @@ class RaplBank:
     _energy_j: dict[RaplDomain, float] = field(default_factory=dict)
     # snapshot visible through the MSR, refreshed every ~1 ms
     _visible_j: dict[RaplDomain, float] = field(default_factory=dict)
+    # raw-counter skew (counts) per domain — fault injection shifts the
+    # 32-bit counter's phase so a wrap lands at a chosen instant without
+    # perturbing the true accumulated energy
+    _counter_skew: dict[RaplDomain, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         domains = [RaplDomain.PACKAGE, RaplDomain.DRAM]
@@ -128,7 +132,29 @@ class RaplBank:
             raise UnsupportedFeatureError(
                 f"RAPL domain {domain.value} not supported on {self.spec.model}")
         unit = self.energy_unit_j(domain)
-        return int(self._visible_j[domain] / unit) % _COUNTER_WRAP
+        skew = self._counter_skew.get(domain, 0)
+        return (int(self._visible_j[domain] / unit) + skew) % _COUNTER_WRAP
+
+    # ---- fault injection ----------------------------------------------------
+
+    def force_wrap(self, domain: RaplDomain, margin_counts: int = 0) -> int:
+        """Skew the counter so it wraps after ``margin_counts`` more counts.
+
+        Models the 32-bit counter being caught near its wrap point
+        mid-measurement. Only the raw counter phase changes — the true
+        accumulated energy is untouched, so wrap-aware readers
+        (:func:`wraparound_delta`) still recover exact deltas while naive
+        ``after - before`` subtraction goes hugely negative. Returns the
+        skewed counter value.
+        """
+        if not 0 <= margin_counts < _COUNTER_WRAP:
+            raise ConfigurationError(
+                f"wrap margin must be in [0, 2^32), got {margin_counts}")
+        current = self.read_counter(domain)
+        target = (_COUNTER_WRAP - margin_counts) % _COUNTER_WRAP
+        self._counter_skew[domain] = (
+            self._counter_skew.get(domain, 0) + target - current)
+        return self.read_counter(domain)
 
     def read_energy_j(self, domain: RaplDomain,
                       assumed_unit_j: float | None = None) -> float:

@@ -51,6 +51,9 @@ class MsrSpace:
     node: Node
 
     def read(self, cpu: int, address: int) -> int:
+        # A fault hook may raise TransientMsrError, modeling the
+        # transient /dev/cpu/*/msr read failures real harnesses see.
+        self.node.sim.fire_fault_hooks("msr-read", cpu=cpu, address=address)
         core = self.node.core(cpu)
         socket = self.node.socket_of(cpu)
         if address == MSR.IA32_TIME_STAMP_COUNTER:

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
+from repro.faults import chaos
 from repro.pcu.epb import Epb
 from repro.pcu.pcu import Pcu
 from repro.power.mbvr import Mbvr, SvidCommand
@@ -239,6 +240,9 @@ def build_node(
     node.mbvr.apply(SvidCommand("VCCin", 1.8))
     node.mbvr.apply(SvidCommand("VCCD_01", 1.2))
     node.mbvr.apply(SvidCommand("VCCD_23", 1.2))
+    # Under chaos mode (run_paper --chaos) every node gets a seeded
+    # fault injector; a no-op otherwise.
+    chaos.maybe_arm(sim, node)
     return node
 
 

@@ -31,6 +31,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
+    if not args.timeout > 0:
+        parser.error("--timeout must be a positive number of seconds")
+    if args.threads is not None and args.threads < 1:
+        parser.error("--threads must be at least 1")
+    if args.seed < 0:
+        parser.error("--seed must be non-negative")
+
     if args.report_loop:
         kernel = FirestarterKernel()
         mix = kernel.mix_fractions()

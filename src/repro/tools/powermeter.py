@@ -54,6 +54,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
+    if not args.time > 0:
+        parser.error("--time must be a positive number of seconds")
+    if args.threads < 1:
+        parser.error("--threads must be at least 1")
+    if args.seed < 0:
+        parser.error("--seed must be non-negative")
+
     sim, node = build_haswell_node(seed=args.seed)
     workload = _workload_by_name(args.workload, node.spec.cpu)
     if workload is not None:

@@ -1,0 +1,5 @@
+"""Cross-cutting utilities (retry policies, backoff)."""
+
+from repro.util.retry import Backoff, RetryResult, call_with_retry, retry
+
+__all__ = ["Backoff", "RetryResult", "call_with_retry", "retry"]

@@ -1,0 +1,379 @@
+"""Fault-injection subsystem: determinism, fault mechanics, retry, runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.errors import (
+    FaultInjectionError,
+    MeasurementError,
+    MsrError,
+    TransientFaultError,
+    TransientMsrError,
+)
+from repro.experiments import ExperimentRunner, ExperimentSpec
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    chaos,
+)
+from repro.instruments.lmg450 import Lmg450
+from repro.instruments.perfctr import LikwidSampler
+from repro.power.rapl import RaplDomain, wraparound_delta
+from repro.specs.node import HASWELL_TEST_NODE
+from repro.system.msr import MSR, MsrSpace
+from repro.system.node import build_node
+from repro.units import ms, seconds
+from repro.util.retry import Backoff, call_with_retry, retry
+from repro.workloads.micro import compute
+
+
+def _pairs(**kwargs):
+    return tuple(sorted(kwargs.items()))
+
+
+def _plan(*events: FaultEvent, horizon_ns: int = seconds(60)) -> FaultPlan:
+    return FaultPlan(seed=0, horizon_ns=horizon_ns, events=tuple(events))
+
+
+def _armed_node(plan: FaultPlan, seed: int = 5):
+    sim = Simulator(seed=seed)
+    node = build_node(sim, HASWELL_TEST_NODE)
+    injector = FaultInjector(sim, node, plan).arm()
+    return sim, node, injector
+
+
+# ---- plan determinism ---------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_same_seed_byte_identical(self):
+        a = FaultPlan.generate(42)
+        b = FaultPlan.generate(42)
+        assert a.to_json() == b.to_json()
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        assert FaultPlan.generate(1).to_json() != FaultPlan.generate(2).to_json()
+
+    def test_events_sorted_and_in_horizon(self):
+        plan = FaultPlan.generate(7)
+        times = [ev.time_ns for ev in plan.events]
+        assert times == sorted(times)
+        assert all(0 <= t <= plan.horizon_ns for t in times)
+
+    def test_every_kind_represented(self):
+        kinds = {ev.kind for ev in FaultPlan.generate(42).events}
+        assert kinds == set(FaultKind)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan.generate(1, horizon_ns=0)
+
+    def test_event_outside_horizon_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            _plan(FaultEvent(seconds(99), FaultKind.LMG_GLITCH),
+                  horizon_ns=seconds(1))
+
+
+# ---- injector determinism ------------------------------------------------
+
+
+class TestInjectorDeterminism:
+    def _run(self) -> list[dict]:
+        plan = FaultPlan.generate(42, horizon_ns=seconds(6))
+        sim, node, injector = _armed_node(plan)
+        node.run_workload([0, 1], compute())
+        meter = Lmg450(sim, node)
+        meter.start()
+        sim.run_for(seconds(5))
+        return injector.log
+
+    def test_same_seed_same_applied_faults(self):
+        assert self._run() == self._run()
+
+    def test_double_arm_rejected(self):
+        sim, node, injector = _armed_node(_plan())
+        with pytest.raises(FaultInjectionError):
+            injector.arm()
+
+
+# ---- RAPL wrap -----------------------------------------------------------
+
+
+class TestRaplWrap:
+    def test_forced_wrap_mid_measurement_delta_correct(self):
+        """Regression: an energy delta straddling a forced 32-bit wrap is
+        exact through wraparound_delta and badly negative without it."""
+        sim = Simulator(seed=3)
+        node = build_node(sim, HASWELL_TEST_NODE)
+        node.run_workload([0, 1, 2, 3], compute())
+        sim.run_for(seconds(1))
+        socket = node.sockets[0]
+        before = socket.rapl.read_counter(RaplDomain.PACKAGE)
+        true_before = socket.rapl.true_energy_j(RaplDomain.PACKAGE)
+        # Wrap imminent: only ~100 counts of headroom left.
+        before = socket.rapl.force_wrap(RaplDomain.PACKAGE,
+                                        margin_counts=100)
+        sim.run_for(seconds(1))
+        after = socket.rapl.read_counter(RaplDomain.PACKAGE)
+        true_delta = socket.rapl.true_energy_j(RaplDomain.PACKAGE) \
+            - true_before
+        unit = socket.rapl.energy_unit_j(RaplDomain.PACKAGE)
+
+        assert after - before < 0                      # naive delta breaks
+        safe = wraparound_delta(before, after) * unit
+        assert safe == pytest.approx(true_delta, rel=1e-3)
+
+    def test_force_wrap_preserves_true_energy(self):
+        sim = Simulator(seed=3)
+        node = build_node(sim, HASWELL_TEST_NODE)
+        node.run_workload([0], compute())
+        sim.run_for(seconds(1))
+        socket = node.sockets[0]
+        true = socket.rapl.true_energy_j(RaplDomain.PACKAGE)
+        socket.rapl.force_wrap(RaplDomain.PACKAGE, margin_counts=5)
+        assert socket.rapl.true_energy_j(RaplDomain.PACKAGE) == true
+
+    def test_injected_wrap_event(self):
+        plan = _plan(FaultEvent(seconds(1), FaultKind.RAPL_WRAP, _pairs(
+            socket=0, domain="package", margin_counts=50)))
+        sim, node, injector = _armed_node(plan)
+        node.run_workload([0, 1], compute())
+        sim.run_for(seconds(3))
+        assert injector.log[0]["kind"] == "rapl-wrap"
+        # The counter wrapped within the run (50 counts is microjoules).
+        assert injector.log[0]["counter_after"] > (1 << 31)
+        assert node.sockets[0].rapl.read_counter(RaplDomain.PACKAGE) \
+            < (1 << 31)
+
+
+# ---- transient MSR faults -----------------------------------------------
+
+
+class TestMsrTransient:
+    def _plan_window(self, at_s: float = 1.0, dur_ms: float = 500.0):
+        return _plan(FaultEvent(seconds(at_s), FaultKind.MSR_TRANSIENT,
+                                _pairs(duration_ns=ms(dur_ms))))
+
+    def test_msr_read_fails_inside_window_recovers_after(self):
+        sim, node, _ = _armed_node(self._plan_window())
+        msr = MsrSpace(node)
+        sim.run_for(seconds(1))          # window opens exactly at t=1
+        with pytest.raises(TransientMsrError):
+            msr.read(0, MSR.IA32_APERF)
+        sim.run_for(seconds(2))          # window closed
+        assert isinstance(msr.read(0, MSR.IA32_APERF), int)
+
+    def test_transient_error_is_both_retryable_and_msr(self):
+        assert issubclass(TransientMsrError, TransientFaultError)
+        assert issubclass(TransientMsrError, MsrError)
+
+    def test_sampler_surfaces_transient_fault(self):
+        sim, node, _ = _armed_node(self._plan_window())
+        node.run_workload([0], compute())
+        sampler = LikwidSampler(sim, node, core_ids=[0], period_ns=ms(200))
+        sampler.start()
+        with pytest.raises(TransientMsrError):
+            sim.run_for(seconds(2))
+
+
+# ---- LMG450 faults -------------------------------------------------------
+
+
+class TestLmgFaults:
+    def test_dropout_starves_average_window(self):
+        plan = _plan(FaultEvent(seconds(1), FaultKind.LMG_DROPOUT,
+                                _pairs(duration_ns=seconds(2))))
+        sim, node, _ = _armed_node(plan)
+        meter = Lmg450(sim, node)
+        meter.start()
+        sim.run_for(seconds(4))
+        with pytest.raises(MeasurementError):
+            meter.average(seconds(1), seconds(3))      # inside the dropout
+        assert meter.average(seconds(3), seconds(4)) > 0
+
+    def test_glitch_spikes_one_sample(self):
+        plan = _plan(FaultEvent(ms(500), FaultKind.LMG_GLITCH,
+                                _pairs(factor=5.0, sign=1)))
+        sim, node, _ = _armed_node(plan)
+        meter = Lmg450(sim, node)
+        meter.start()
+        sim.run_for(seconds(2))
+        _, watts = meter.series()
+        median = sorted(watts)[len(watts) // 2]
+        outliers = [w for w in watts if w > 3 * median]
+        assert len(outliers) == 1
+
+
+# ---- PCU faults ----------------------------------------------------------
+
+
+class TestPcuFaults:
+    def test_prochot_clamps_then_releases(self):
+        plan = _plan(FaultEvent(seconds(1), FaultKind.THERMAL_THROTTLE,
+                                _pairs(socket=0, duration_ns=ms(300))))
+        sim, node, _ = _armed_node(plan)
+        node.run_workload([0], compute())
+        sim.run_for(seconds(1) + ms(150))     # mid-episode, past a tick
+        spec = node.spec.cpu
+        assert node.core(0).freq_hz == pytest.approx(spec.min_hz)
+        sim.run_for(seconds(1))               # episode over, re-granted
+        assert node.core(0).freq_hz > spec.min_hz
+
+    def test_jitter_window_resets(self):
+        plan = _plan(FaultEvent(ms(100), FaultKind.PCU_JITTER, _pairs(
+            socket=0, duration_ns=ms(200), extra_jitter_ns=150_000)))
+        sim, node, _ = _armed_node(plan)
+        sim.run_for(ms(150))
+        assert node.pcus[0].extra_tick_jitter_ns == 150_000
+        sim.run_for(ms(300))
+        assert node.pcus[0].extra_tick_jitter_ns == 0
+
+
+# ---- retry policy --------------------------------------------------------
+
+
+class TestRetry:
+    def test_backoff_sequence_caps(self):
+        b = Backoff(initial_s=0.1, factor=2.0, max_delay_s=0.5)
+        assert list(b.delays(4)) == [0.1, 0.2, 0.4, 0.5]
+
+    def test_recovers_transient(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientFaultError("transient")
+            return "ok"
+
+        result = call_with_retry(flaky, max_attempts=4, sleep=lambda _s: None)
+        assert result.value == "ok"
+        assert result.attempts == 3
+        assert result.retried
+
+    def test_exhaustion_raises_last_error(self):
+        def always():
+            raise TransientFaultError("never recovers")
+
+        with pytest.raises(TransientFaultError):
+            call_with_retry(always, max_attempts=2, sleep=lambda _s: None)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("structural")
+
+        with pytest.raises(ValueError):
+            call_with_retry(broken, max_attempts=5, sleep=lambda _s: None)
+        assert len(calls) == 1
+
+    def test_decorator(self):
+        state = {"n": 0}
+
+        @retry(max_attempts=3, sleep=lambda _s: None)
+        def sometimes():
+            state["n"] += 1
+            if state["n"] < 2:
+                raise MeasurementError("no samples")
+            return state["n"]
+
+        assert sometimes() == 2
+
+
+# ---- experiment runner ---------------------------------------------------
+
+
+def _tiny_experiment() -> str:
+    """A fast real experiment: chaos-armed node, meter + sampler, 2 s."""
+    sim = Simulator(seed=11)
+    node = build_node(sim, HASWELL_TEST_NODE)
+    node.run_workload([0, 1], compute())
+    meter = Lmg450(sim, node)
+    meter.start()
+    sampler = LikwidSampler(sim, node, core_ids=[0], period_ns=ms(500))
+    sampler.start()
+    sim.run_for(seconds(2))
+    mean = meter.average(0, sim.now_ns)
+    m = sampler.median_metrics(0)
+    return f"ac={mean:.1f} pkg={m['pkg_power_w']:.1f}"
+
+
+class TestExperimentRunner:
+    def _suite(self, chaos_seed=None):
+        return ExperimentRunner(
+            [ExperimentSpec("tiny", _tiny_experiment, timeout_s=60),
+             ExperimentSpec("tiny2", _tiny_experiment, timeout_s=60)],
+            chaos_seed=chaos_seed, sleep=lambda _s: None, max_attempts=4)
+
+    def test_statuses_and_report(self):
+        report = self._suite().run()
+        assert [o.status for o in report.outcomes] == ["ok", "ok"]
+        assert report.counts == {"ok": 2}
+        assert not report.hard_failures
+        assert "tiny" in report.render()
+
+    def test_chaos_outcomes_deterministic(self):
+        """Same fault-plan seed ⇒ identical outcome records twice."""
+        first = self._suite(chaos_seed=42).run()
+        second = self._suite(chaos_seed=42).run()
+        assert first.records() == second.records()
+        for outcome in first.outcomes:
+            assert outcome.status in ("ok", "retried", "degraded")
+
+    def test_chaos_deactivated_after_run(self):
+        self._suite(chaos_seed=42).run()
+        assert not chaos.is_active()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            self._suite().run(["nonsense"])
+
+    def test_degraded_not_fatal(self):
+        def hopeless():
+            raise TransientFaultError("persistent transient")
+
+        report = ExperimentRunner(
+            [ExperimentSpec("doomed", hopeless, timeout_s=5),
+             ExperimentSpec("fine", lambda: "good", timeout_s=5)],
+            sleep=lambda _s: None, max_attempts=2).run()
+        assert [o.status for o in report.outcomes] == ["degraded", "ok"]
+
+    def test_timeout_reported_as_failed(self):
+        import time as _time
+
+        report = ExperimentRunner(
+            [ExperimentSpec("slow", lambda: _time.sleep(5) or "x",
+                            timeout_s=0.2)],
+            sleep=lambda _s: None).run()
+        assert report.outcomes[0].status == "failed"
+        assert "timeout" in report.outcomes[0].error
+
+
+# ---- chaos sub-seeding ---------------------------------------------------
+
+
+class TestChaos:
+    def test_nested_activation_rejected(self):
+        with chaos.chaos(1):
+            with pytest.raises(FaultInjectionError):
+                chaos.activate(2)
+        assert not chaos.is_active()
+
+    def test_epoch_changes_subseed(self):
+        assert chaos.subseed(42, 0, 1) != chaos.subseed(42, 1, 1)
+
+    def test_builds_get_distinct_plans(self):
+        with chaos.chaos(9, horizon_ns=seconds(10)):
+            s1, n1 = Simulator(seed=1), None
+            n1 = build_node(s1, HASWELL_TEST_NODE)
+            s2 = Simulator(seed=1)
+            n2 = build_node(s2, HASWELL_TEST_NODE)
+            logs = chaos.injector_logs()
+            assert len(logs) == 2

@@ -54,6 +54,58 @@ class TestSetFrequencies:
         assert "turbo" in capsys.readouterr().out
 
 
+class TestArgumentHardening:
+    """Bad CLI arguments exit nonzero with a one-line error, no traceback."""
+
+    @pytest.mark.parametrize("argv", [
+        ["-t", "0"], ["-t", "-3"], ["-n", "0"], ["--seed", "-1"],
+    ])
+    def test_firestarter_rejects(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            firestarter_main(argv)
+        assert excinfo.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["-t", "0"], ["-t", "-1"], ["-n", "0"], ["--seed", "-2"],
+    ])
+    def test_powermeter_rejects(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            powermeter_main(argv)
+        assert excinfo.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRunPaperCli:
+    """scripts/run_paper.py validates its arguments the same way."""
+
+    @pytest.fixture(scope="class")
+    def run_paper_main(self):
+        import sys
+        from pathlib import Path
+        scripts = Path(__file__).parents[1] / "scripts"
+        sys.path.insert(0, str(scripts))
+        try:
+            import run_paper
+            yield run_paper.main
+        finally:
+            sys.path.remove(str(scripts))
+
+    @pytest.mark.parametrize("argv", [
+        ["--only", "bogus_experiment"],
+        ["--chaos", "-1"],
+        ["--timeout", "0"],
+        ["--max-attempts", "0"],
+    ])
+    def test_rejects_bad_arguments(self, run_paper_main, argv,
+                                   capsys, monkeypatch):
+        monkeypatch.setattr("sys.argv", ["run_paper.py"] + argv)
+        with pytest.raises(SystemExit) as excinfo:
+            run_paper_main()
+        assert excinfo.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestFirestarterCli:
     def test_run_reports_paper_numbers(self, capsys):
         assert firestarter_main(["-t", "2", "--report-loop"]) == 0
