@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full chaos chaos-smoke experiments examples clean
+.PHONY: install test bench bench-simcore bench-full chaos chaos-smoke experiments examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -10,8 +10,13 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-bench:
+bench: bench-simcore
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Simulator-core micro-benchmark (simulated ns per wall second); writes
+# BENCH_simcore.json at the repo root. See docs/performance.md.
+bench-simcore:
+	$(PYTHON) benchmarks/perf/bench_simcore.py
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

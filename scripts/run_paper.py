@@ -11,10 +11,21 @@ exponential-backoff retries on transient faults, partial-artifact
 checkpoints, and a structured outcome report — a failing experiment
 degrades to a report entry instead of killing the suite.
 
+``--jobs N`` fans independent experiments out over N worker processes.
+Each experiment builds its own seeded simulator, so the report is
+bit-identical to a serial run (outcomes are printed in suite order once
+each worker finishes). The exception is ``--chaos``: fault plans depend
+on suite-global build order, so a parallel chaos run is deterministic
+but not identical to a serial chaos run.
+
 ``--chaos <seed>`` replays the full suite under a deterministic
 injected fault plan (RAPL counter wraps, transient MSR read failures,
 meter dropouts/glitches, PCU-tick jitter, PROCHOT throttle episodes);
 see docs/fault_injection.md.
+
+``--profile`` wraps every experiment in cProfile, writes
+``benchmarks/output/<name>.pstats``, and prints the top-20
+cumulative-time functions per experiment (see docs/performance.md).
 
 Artifacts land in benchmarks/output/ (same files the benchmark harness
 writes), plus run_paper_report.json with the per-experiment outcomes.
@@ -23,12 +34,16 @@ writes), plus run_paper_report.json with the per-experiment outcomes.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import functools
+import io
+import pstats
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parents[1] / "benchmarks"))
 
-from conftest import write_artifact  # noqa: E402  (benchmarks/conftest.py)
+from conftest import OUTPUT_DIR, write_artifact  # noqa: E402
 
 from repro.cstates.states import CState  # noqa: E402
 from repro.experiments import (  # noqa: E402
@@ -63,33 +78,125 @@ from repro.experiments.fig4_mechanism import (  # noqa: E402
 )
 
 
+# ---- experiment builders ----------------------------------------------------
+# Module-level functions (not lambdas) so specs pickle into --jobs worker
+# processes; each takes the --full flag and returns the rendered artifact.
+
+def _build_table1(full: bool) -> str:
+    return render_table1(run_table1())
+
+
+def _build_fig1(full: bool) -> str:
+    return render_fig1(run_fig1())
+
+
+def _build_table2(full: bool) -> str:
+    return render_table2(run_table2(measure_s=4.0 if full else 1.5))
+
+
+def _build_fig2(full: bool) -> str:
+    return "\n\n".join(
+        render_fig2(run_fig2(arch, measure_s=4.0 if full else 1.0))
+        for arch in ("haswell", "sandybridge"))
+
+
+def _build_table3(full: bool) -> str:
+    return render_table3(run_table3(measure_s=10.0 if full else 1.0))
+
+
+def _build_table4(full: bool) -> str:
+    return render_table4(run_table4(n_samples=50 if full else 8))
+
+
+def _build_fig3(full: bool) -> str:
+    return render_fig3(run_fig3(n_samples=1000 if full else 250))
+
+
+def _build_fig4(full: bool) -> str:
+    return render_fig4(estimate_mechanism(n_samples=400 if full else 200))
+
+
+def _build_fig5(full: bool) -> str:
+    return render_cstate_figure(
+        run_cstate_figure(CState.C3, n_samples=30 if full else 8))
+
+
+def _build_fig6(full: bool) -> str:
+    return render_cstate_figure(
+        run_cstate_figure(CState.C6, n_samples=30 if full else 8))
+
+
+def _build_fig7(full: bool) -> str:
+    return render_fig7(run_fig7())
+
+
+def _build_fig8(full: bool) -> str:
+    return render_fig8(run_fig8())
+
+
+def _build_table5(full: bool) -> str:
+    return render_table5(run_table5(measure_s=75.0 if full else 20.0,
+                                    window_s=60.0 if full else 15.0))
+
+
+_BUILDERS = {
+    "table1": _build_table1,
+    "fig1": _build_fig1,
+    "table2": _build_table2,
+    "fig2": _build_fig2,
+    "table3": _build_table3,
+    "table4": _build_table4,
+    "fig3": _build_fig3,
+    "fig4": _build_fig4,
+    "fig5": _build_fig5,
+    "fig6": _build_fig6,
+    "fig7": _build_fig7,
+    "fig8": _build_fig8,
+    "table5": _build_table5,
+}
+
+
+class _ProfiledBuilder:
+    """Picklable wrapper: run the builder under cProfile and dump stats.
+
+    The .pstats file is written from whichever process runs the builder
+    (the parent, or a --jobs worker), so profiles work in both modes.
+    """
+
+    def __init__(self, name: str, build, out_dir: str) -> None:
+        self.name = name
+        self.build = build
+        self.out_dir = out_dir
+
+    def __call__(self) -> str:
+        profiler = cProfile.Profile()
+        try:
+            return profiler.runcall(self.build)
+        finally:
+            out = Path(self.out_dir)
+            out.mkdir(exist_ok=True)
+            profiler.dump_stats(out / f"{self.name}.pstats")
+
+
+def _print_profile_summary(name: str, pstats_path: Path, top: int = 20) -> None:
+    stream = io.StringIO()
+    stats = pstats.Stats(str(pstats_path), stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    print(f"--- profile {name} (top {top} cumulative) -> {pstats_path}")
+    # Drop the pstats banner lines; keep the table.
+    lines = stream.getvalue().splitlines()
+    start = next((i for i, ln in enumerate(lines) if "ncalls" in ln), 0)
+    print("\n".join(lines[start:]).rstrip())
+    print()
+
+
 def _experiments(full: bool) -> dict:
-    return {
-        "table1": lambda: render_table1(run_table1()),
-        "fig1": lambda: render_fig1(run_fig1()),
-        "table2": lambda: render_table2(
-            run_table2(measure_s=4.0 if full else 1.5)),
-        "fig2": lambda: "\n\n".join(
-            render_fig2(run_fig2(arch, measure_s=4.0 if full else 1.0))
-            for arch in ("haswell", "sandybridge")),
-        "table3": lambda: render_table3(
-            run_table3(measure_s=10.0 if full else 1.0)),
-        "table4": lambda: render_table4(
-            run_table4(n_samples=50 if full else 8)),
-        "fig3": lambda: render_fig3(
-            run_fig3(n_samples=1000 if full else 250)),
-        "fig4": lambda: render_fig4(
-            estimate_mechanism(n_samples=400 if full else 200)),
-        "fig5": lambda: render_cstate_figure(
-            run_cstate_figure(CState.C3, n_samples=30 if full else 8)),
-        "fig6": lambda: render_cstate_figure(
-            run_cstate_figure(CState.C6, n_samples=30 if full else 8)),
-        "fig7": lambda: render_fig7(run_fig7()),
-        "fig8": lambda: render_fig8(run_fig8()),
-        "table5": lambda: render_table5(run_table5(
-            measure_s=75.0 if full else 20.0,
-            window_s=60.0 if full else 15.0)),
-    }
+    return {name: functools.partial(build, full)
+            for name, build in _BUILDERS.items()}
+
+
+def _artifact_writer(name: str, text: str) -> Path:
+    return write_artifact(f"run_paper_{name}", text)
 
 
 def main() -> int:
@@ -98,9 +205,16 @@ def main() -> int:
                         help="paper-length parameterizations")
     parser.add_argument("--only", nargs="*", default=None,
                         help="subset of experiment ids")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run experiments over N worker processes "
+                             "(results are bit-identical to serial)")
     parser.add_argument("--chaos", type=int, default=None, metavar="SEED",
                         help="replay the suite under a deterministic "
                              "injected fault plan with this seed")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile each experiment; write "
+                             "benchmarks/output/<name>.pstats and print "
+                             "the top-20 cumulative functions")
     parser.add_argument("--timeout", type=float, default=600.0,
                         help="per-experiment wall-clock timeout in seconds")
     parser.add_argument("--max-attempts", type=int, default=3,
@@ -115,6 +229,12 @@ def main() -> int:
         parser.error("--timeout must be a positive number of seconds")
     if args.max_attempts < 1:
         parser.error("--max-attempts must be at least 1")
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    if args.chaos is not None and args.jobs > 1:
+        print("note: --chaos with --jobs is deterministic but its fault "
+              "plans differ from a serial chaos run (plans depend on "
+              "suite-global build order)", file=sys.stderr)
 
     experiments = _experiments(args.full)
     selected = args.only if args.only else list(experiments)
@@ -122,6 +242,11 @@ def main() -> int:
     if unknown:
         parser.error(f"unknown experiment ids {unknown}; "
                      f"valid: {sorted(experiments)}")
+
+    if args.profile:
+        experiments = {
+            name: _ProfiledBuilder(name, build, str(OUTPUT_DIR))
+            for name, build in experiments.items()}
 
     def show(outcome) -> None:
         print(f"### {outcome.name} " + "#" * 50)
@@ -138,17 +263,23 @@ def main() -> int:
     runner = ExperimentRunner(
         [ExperimentSpec(name=name, build=build, timeout_s=args.timeout)
          for name, build in experiments.items()],
-        artifact_writer=lambda name, text: write_artifact(
-            f"run_paper_{name}", text),
+        artifact_writer=_artifact_writer,
         max_attempts=args.max_attempts,
         chaos_seed=args.chaos,
         progress=show,
+        jobs=args.jobs,
     )
     report = runner.run(selected)
 
+    if args.profile:
+        for name in selected:
+            path = OUTPUT_DIR / f"{name}.pstats"
+            if path.exists():
+                _print_profile_summary(name, path)
+
     print(report.render())
-    report_path = Path(write_artifact("run_paper_report", "")).with_suffix("")
-    report_path = report_path.parent / "run_paper_report.json"
+    report_path = OUTPUT_DIR / "run_paper_report.json"
+    OUTPUT_DIR.mkdir(exist_ok=True)
     report_path.write_text(report.to_json() + "\n")
     print(f"report -> {report_path}")
 

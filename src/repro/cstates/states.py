@@ -56,6 +56,12 @@ class PackageCState(enum.Enum):
         return self is not PackageCState.PC0
 
 
+# Integer order keys, precomputed so the hot resolution path below is a
+# plain int ``min`` with no ``functools.total_ordering`` dispatch.
+_C3_KEY = CState.C3.value
+_C6_KEY = CState.C6.value
+
+
 def resolve_package_cstate(core_states: list[CState],
                            any_core_active_in_system: bool) -> PackageCState:
     """The package state permitted by the socket's core states.
@@ -68,9 +74,9 @@ def resolve_package_cstate(core_states: list[CState],
         raise ConfigurationError("socket has no cores")
     if any_core_active_in_system:
         return PackageCState.PC0
-    shallowest = min(core_states)
-    if shallowest >= CState.C6:
+    shallowest = min(s._value_ for s in core_states)
+    if shallowest >= _C6_KEY:
         return PackageCState.PC6
-    if shallowest >= CState.C3:
+    if shallowest >= _C3_KEY:
         return PackageCState.PC3
     return PackageCState.PC0

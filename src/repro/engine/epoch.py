@@ -1,0 +1,33 @@
+"""Epoch cells: O(1) dirty-flag invalidation for cached derived state.
+
+A cell is a monotonically increasing integer. Every mutation that can
+change a socket's segment rates (core frequency grant, workload phase
+swap, c-state transition, AVX-license change, uncore frequency/halt)
+bumps the owning socket's cell; caches key their derived values on the
+cell value and recompute only when it moved. Cells chain upward — a
+socket cell bumps its parent node cell — so node-wide views (``any
+core active?``, PCU decision inputs) invalidate on any socket's change
+without scanning cores.
+"""
+
+from __future__ import annotations
+
+
+class EpochCell:
+    """A bump counter with an optional parent chain."""
+
+    __slots__ = ("value", "parent")
+
+    def __init__(self, parent: "EpochCell | None" = None) -> None:
+        self.value = 0
+        self.parent = parent
+
+    def bump(self) -> None:
+        self.value += 1
+        cell = self.parent
+        while cell is not None:
+            cell.value += 1
+            cell = cell.parent
+
+    def __repr__(self) -> str:
+        return f"EpochCell(value={self.value})"

@@ -1,0 +1,35 @@
+"""Process-wide default for the steady-state fast path.
+
+The epoch-keyed caches in :mod:`repro.system.socket` and
+:mod:`repro.pcu.pcu` are exact — they are invalidated by every mutation
+that can change segment rates or PCU decisions — but for A/B parity
+testing (and debugging a suspected missed invalidation) the fast path
+can be forced off, making every segment recompute from scratch:
+
+* environment: ``REPRO_FASTPATH=0`` disables it process-wide;
+* code: :func:`set_enabled` overrides the environment;
+* per-instance: ``Socket.fastpath_enabled`` / ``Pcu.fastpath_enabled``
+  or ``Node.set_fastpath(flag)`` for a whole node.
+
+Both paths are required to produce bit-identical counters, residencies
+and energies (``tests/test_perf_fastpath.py`` enforces this).
+"""
+
+from __future__ import annotations
+
+import os
+
+_override: bool | None = None
+
+
+def set_enabled(flag: bool | None) -> None:
+    """Force the process-wide default (``None`` = defer to environment)."""
+    global _override
+    _override = flag
+
+
+def enabled() -> bool:
+    """Default fast-path setting for newly built sockets and PCUs."""
+    if _override is not None:
+        return _override
+    return os.environ.get("REPRO_FASTPATH", "1") != "0"

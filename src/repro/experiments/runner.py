@@ -13,6 +13,16 @@ Outcome semantics:
 * ``degraded`` — every attempt failed, but only with transient
   (retryable) errors; partial checkpoints exist;
 * ``failed``   — a non-retryable error or the wall-clock timeout.
+
+Parallelism: ``jobs > 1`` fans independent experiments out over a
+``ProcessPoolExecutor``. Every experiment builds its own seeded
+simulator/node, so per-experiment results are bit-identical to a serial
+run; outcomes are reported in submission order. Builders must be
+picklable (module-level functions / ``functools.partial``, not
+lambdas). Under chaos mode each worker process arms the same chaos seed
+with fresh counters, so a parallel chaos run is deterministic but its
+per-experiment fault plans differ from a serial suite's (where the
+plan depends on how many nodes earlier experiments built).
 """
 
 from __future__ import annotations
@@ -20,7 +30,11 @@ from __future__ import annotations
 import json
 import time
 import traceback
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -123,9 +137,12 @@ class ExperimentRunner:
         chaos_seed: int | None = None,
         chaos_profile: FaultProfile = DEFAULT_PROFILE,
         progress: Callable[[ExperimentOutcome], None] | None = None,
+        jobs: int = 1,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("need at least one attempt")
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
         self.specs = {s.name: s for s in specs}
         self.artifact_writer = artifact_writer
         self.max_attempts = max_attempts
@@ -135,6 +152,13 @@ class ExperimentRunner:
         self.chaos_seed = chaos_seed
         self.chaos_profile = chaos_profile
         self.progress = progress
+        self.jobs = jobs
+        # One timeout-guard executor reused across attempts and
+        # experiments; replaced only when a timed-out builder wedges its
+        # worker thread (see _call_with_timeout) and torn down in
+        # close(). Spawning one per attempt and shutting it down with
+        # wait=False leaked a thread per retry across a long suite.
+        self._executor: ThreadPoolExecutor | None = None
 
     # ---- public API -------------------------------------------------------
 
@@ -144,6 +168,8 @@ class ExperimentRunner:
         if unknown:
             raise KeyError(f"unknown experiment ids {unknown}; "
                            f"valid: {sorted(self.specs)}")
+        if self.jobs > 1:
+            return self._run_parallel(selected)
         report = SuiteReport()
         chaos_armed = self.chaos_seed is not None
         if chaos_armed:
@@ -157,6 +183,40 @@ class ExperimentRunner:
         finally:
             if chaos_armed:
                 chaos.deactivate()
+            self.close()
+        return report
+
+    def close(self) -> None:
+        """Release the timeout-guard executor (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # ---- parallel mode ----------------------------------------------------
+
+    def _run_parallel(self, selected: list[str]) -> SuiteReport:
+        report = SuiteReport()
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = [
+                pool.submit(
+                    _run_spec_in_worker, self.specs[name], self.max_attempts,
+                    self.backoff, self.retry_on, self.chaos_seed,
+                    self.chaos_profile)
+                for name in selected
+            ]
+            for name, future in zip(selected, futures):
+                try:
+                    outcome = future.result()
+                except BrokenExecutor as exc:
+                    outcome = ExperimentOutcome(
+                        name=name, status="failed", attempts=1, duration_s=0.0,
+                        error=f"worker process died: {exc}")
+                if outcome.text is not None and self.artifact_writer is not None:
+                    outcome.artifact = str(
+                        self.artifact_writer(outcome.name, outcome.text))
+                report.outcomes.append(outcome)
+                if self.progress is not None:
+                    self.progress(outcome)
         return report
 
     # ---- internals --------------------------------------------------------
@@ -194,14 +254,24 @@ class ExperimentRunner:
         A timed-out builder thread cannot be killed, but the simulation
         it drives is pure computation that ends with its event horizon;
         the runner stops waiting and reports the experiment as failed.
+        The single-worker executor is reused across attempts and
+        experiments; only a timeout (which wedges the worker thread)
+        forces a replacement, so a retried suite no longer accumulates
+        one leaked thread per attempt.
         """
-        executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix=f"exp-{spec.name}")
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="experiment-runner")
+        future = self._executor.submit(spec.build)
         try:
-            future = executor.submit(spec.build)
             return future.result(timeout=spec.timeout_s)
-        finally:
-            executor.shutdown(wait=False)
+        except FutureTimeout:
+            # The worker thread is stuck inside spec.build; abandon the
+            # executor (cancelling anything queued) so the next
+            # experiment gets a fresh worker instead of queueing behind
+            # the wedged one.
+            self.close()
+            raise
 
     def _finish(self, spec: ExperimentSpec, t0: float, status: str,
                 attempts: int, error: str | None,
@@ -222,3 +292,24 @@ class ExperimentRunner:
                 f"'{spec.name}' failed: {type(exc).__name__}: {exc}\n\n"
                 + "".join(traceback.format_exception(exc)))
         self.artifact_writer(f"{spec.name}.attempt{attempt}", text)
+
+
+def _run_spec_in_worker(
+    spec: ExperimentSpec,
+    max_attempts: int,
+    backoff: Backoff,
+    retry_on: tuple[type[BaseException], ...],
+    chaos_seed: int | None,
+    chaos_profile: FaultProfile,
+) -> ExperimentOutcome:
+    """Run one experiment in a pool worker process.
+
+    A fresh single-spec runner reproduces the serial retry/timeout/chaos
+    semantics; artifacts are written by the parent (the outcome carries
+    the rendered text home).
+    """
+    runner = ExperimentRunner(
+        [spec], max_attempts=max_attempts, backoff=backoff,
+        retry_on=retry_on, chaos_seed=chaos_seed,
+        chaos_profile=chaos_profile)
+    return runner.run([spec.name]).outcomes[0]

@@ -22,6 +22,14 @@ TRIM_SCALE_HZ: dict[Epb, float] = {
     Epb.POWERSAVE: ghz(0.2),
 }
 
+# Trim deadband: the stall window is a difference of accumulated float
+# counters, so a perfectly steady workload still produces last-ULP noise
+# (~1e-8 Hz) in the recomputed trim. Changes below this are held at the
+# previous value — far below both the PCU's 15 MHz apply threshold and
+# the limiter's integer-Hz cache rounding, so grants are unaffected, but
+# the steady-state control key stays stable across polls.
+TRIM_EPSILON_HZ = 1.0
+
 
 @dataclass
 class EetController:
@@ -46,5 +54,7 @@ class EetController:
         if not self.enabled:
             self._trim_hz = 0.0
         else:
-            self._trim_hz = stall_fraction * TRIM_SCALE_HZ[epb]
+            trim = stall_fraction * TRIM_SCALE_HZ[epb]
+            if abs(trim - self._trim_hz) >= TRIM_EPSILON_HZ:
+                self._trim_hz = trim
         return self._trim_hz

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.engine import fastpath
 from repro.engine.rng import spawn_rng
 from repro.engine.simulator import Simulator
 from repro.pcu.avx import AvxUnit
@@ -37,7 +38,8 @@ class Pcu:
     def __init__(self, sim: Simulator, socket: "Socket", node: "Node",
                  epb: Epb = Epb.BALANCED, turbo_enabled: bool = True,
                  eet_enabled: bool = True,
-                 budget_w: float | None = None) -> None:
+                 budget_w: float | None = None,
+                 fastpath_enabled: bool | None = None) -> None:
         self.sim = sim
         self.socket = socket
         self.node = node
@@ -61,6 +63,19 @@ class Pcu:
         self._tick_times: list[int] = []      # for tests/analysis
         self._eet_last_stall = 0.0
         self._eet_last_cycles = 0.0
+        # Steady-state fast path: when the node epoch and every control
+        # knob are unchanged since the last tick, the per-core target
+        # derivation is skipped and the limiter re-decides on the cached
+        # inputs (consuming the same rng draws, so the event stream is
+        # bit-identical either way).
+        self.fastpath_enabled = (fastpath.enabled() if fastpath_enabled is None
+                                 else fastpath_enabled)
+        self._epoch = getattr(node, "epoch", None) or socket.epoch
+        self._ctrl_key: tuple | None = None
+        self._ctrl_targets: dict[int, float] = {}
+        self._ctrl_decide_targets: dict[int, float] = {}
+        self._ctrl_activity = 0.0
+        self._ctrl_ufs: float | None = None
 
     # ---- lifecycle -------------------------------------------------------------
 
@@ -90,8 +105,8 @@ class Pcu:
         before the poll still dominates the sample — the staleness that
         makes EET mis-clock fast phase-switchers (Section II-E).
         """
-        stall = sum(c.counters.stall_cycles for c in self.socket.cores)
-        cycles = sum(c.counters.aperf for c in self.socket.cores)
+        stall = self.socket.counter_total("stall_cycles")
+        cycles = self.socket.counter_total("aperf")
         d_stall = stall - self._eet_last_stall
         d_cycles = cycles - self._eet_last_cycles
         self._eet_last_stall = stall
@@ -145,9 +160,31 @@ class Pcu:
             system_fastest_setting_hz=fastest,
         )
 
+    def _control_key(self) -> tuple:
+        """Everything the grant derivation depends on besides core/uncore
+        state (which the node epoch already covers)."""
+        return (self._epoch.value, self.epb, self.turbo_enabled,
+                self.eet.trim_hz, self.prochot_cap_hz, self.limiter.budget_w)
+
     def _control(self, now_ns: int) -> None:
         socket = self.socket
         socket.sync_package_state(self.node.any_core_active())
+
+        key = self._control_key()
+        if self.fastpath_enabled and key == self._ctrl_key:
+            # Steady state: inputs unchanged since the last tick, so the
+            # target derivation is skipped. The limiter still re-decides
+            # (re-dithering TDP-bound grants exactly as the slow path
+            # would — same rng draws) and the grants are re-applied.
+            decision = self.limiter.decide(
+                targets_hz=self._ctrl_decide_targets,
+                activity_sum=self._ctrl_activity,
+                ufs_target_hz=self._ctrl_ufs,
+                rng=self.rng,
+            )
+            self._apply_decision(decision, self._ctrl_targets)
+            return
+
         active = socket.active_cores()
         n_active = max(len(active), 1)
 
@@ -175,15 +212,30 @@ class Pcu:
             targets = {cid: min(t, cap) for cid, t in targets.items()}
 
         active_ids = {c.core_id for c in active}
+        decide_targets = {cid: t for cid, t in targets.items()
+                          if cid in active_ids} or targets
+        activity_sum = sum(c.current_phase.power_activity for c in active)
+        ufs_target = self._uncore_target(active)
         decision = self.limiter.decide(
-            targets_hz={cid: t for cid, t in targets.items()
-                        if cid in active_ids} or targets,
-            activity_sum=sum(c.current_phase.power_activity for c in active),
-            ufs_target_hz=self._uncore_target(active),
+            targets_hz=decide_targets,
+            activity_sum=activity_sum,
+            ufs_target_hz=ufs_target,
             rng=self.rng,
         )
-        self.last_decision = decision
+        # Cache the derivation under the key observed *before* this tick
+        # mutated anything (applying grants bumps the epoch, forcing one
+        # more full derivation — conservative and correct).
+        self._ctrl_key = key
+        self._ctrl_targets = targets
+        self._ctrl_decide_targets = decide_targets
+        self._ctrl_activity = activity_sum
+        self._ctrl_ufs = ufs_target
+        self._apply_decision(decision, targets)
 
+    def _apply_decision(self, decision: FrequencyDecision,
+                        targets: dict[int, float]) -> None:
+        socket = self.socket
+        self.last_decision = decision
         for core in socket.cores:
             granted = decision.core_targets_hz.get(core.core_id)
             if granted is None:

@@ -38,6 +38,14 @@ class AvxLicense(enum.Enum):
 # ("slows the execution of AVX instructions" until the PCU acknowledges).
 AVX_REQUEST_THROTTLE = 0.75
 
+# Fields whose mutation can change the socket's segment rates or the
+# PCU's grant decision; writing a *different* value to one of them bumps
+# the socket epoch (see repro.engine.epoch).
+_EPOCH_FIELDS = frozenset({
+    "freq_hz", "requested_hz", "cstate", "avx_license", "workload", "_phase",
+})
+_UNSET = object()
+
 
 @dataclass
 class Core:
@@ -58,6 +66,18 @@ class Core:
     pending_freq_hz: float | None = None
     # cached current phase — hot path; refreshed on bind/advance
     _phase: "WorkloadPhase | None" = None
+
+    # Set by the owning Socket after adoption; None while free-standing.
+    _epoch_cell = None
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in _EPOCH_FIELDS:
+            cell = self._epoch_cell
+            if cell is not None and getattr(self, name, _UNSET) != value:
+                object.__setattr__(self, name, value)
+                cell.bump()
+                return
+        object.__setattr__(self, name, value)
 
     def __post_init__(self) -> None:
         if self.freq_hz == 0.0:

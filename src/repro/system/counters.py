@@ -3,40 +3,158 @@
 Mirrors the counters the paper reads via LIKWID: TSC, APERF/MPERF,
 retired instructions (per thread and per core), stall cycles, uncore
 clocks (``UNCORE_CLOCK:UBOXFIX``), and cache/DRAM traffic.
+
+Storage is structure-of-arrays: a :class:`CoreCounters` is a *view* of
+one column of its socket's ``(n_fields, n_cores)`` accumulator matrix,
+so :meth:`repro.system.socket.Socket.integrate` advances every counter
+of every core with a single vectorized multiply-add per segment. A
+standalone ``CoreCounters`` (a core not yet adopted by a socket, or a
+:meth:`snapshot`) owns its own one-column storage; the Python attribute
+values are materialized lazily, on read.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.cstates.states import CState
 
+#: Accumulator row layout, in declaration order of the public attributes.
+CORE_COUNTER_FIELDS = (
+    "tsc",                   # invariant TSC (nominal-rate) cycles
+    "aperf",                 # actual cycles while in C0
+    "mperf",                 # nominal-rate cycles while in C0
+    "instructions_core",     # retired, all threads
+    "instructions_thread0",  # retired, first hardware thread
+    "stall_cycles",
+    "l3_bytes",
+    "dram_bytes",
+)
+FIELD_ROW = {name: i for i, name in enumerate(CORE_COUNTER_FIELDS)}
 
-@dataclass
+#: Residency row layout (shallow to deep).
+RESIDENCY_STATES = tuple(CState)
+CSTATE_ROW = {state: i for i, state in enumerate(RESIDENCY_STATES)}
+
+
+class _ResidencyView:
+    """Dict-like view of one core's c-state residency column (ns)."""
+
+    __slots__ = ("_col",)
+
+    def __init__(self, col: np.ndarray) -> None:
+        self._col = col
+
+    def __getitem__(self, state: CState) -> int:
+        return int(self._col[CSTATE_ROW[state]])
+
+    def __setitem__(self, state: CState, value: int) -> None:
+        self._col[CSTATE_ROW[state]] = value
+
+    def __iter__(self):
+        return iter(RESIDENCY_STATES)
+
+    def __len__(self) -> int:
+        return len(RESIDENCY_STATES)
+
+    def __contains__(self, state: object) -> bool:
+        return state in CSTATE_ROW
+
+    def keys(self):
+        return RESIDENCY_STATES
+
+    def values(self):
+        return [int(v) for v in self._col]
+
+    def items(self):
+        return [(s, int(self._col[i]))
+                for i, s in enumerate(RESIDENCY_STATES)]
+
+    def get(self, state: CState, default: int | None = None):
+        if state in CSTATE_ROW:
+            return int(self._col[CSTATE_ROW[state]])
+        return default
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _ResidencyView):
+            return bool(np.array_equal(self._col, other._col))
+        if isinstance(other, dict):
+            return dict(self.items()) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return repr(dict(self.items()))
+
+
+def _field_property(row: int):
+    def _get(self) -> float:
+        return float(self._data[row])
+
+    def _set(self, value: float) -> None:
+        self._data[row] = value
+
+    return property(_get, _set)
+
+
 class CoreCounters:
-    """Monotonic counters of one core."""
+    """Monotonic counters of one core (column view into socket SoA)."""
 
-    tsc: float = 0.0                   # invariant TSC (nominal-rate) cycles
-    aperf: float = 0.0                 # actual cycles while in C0
-    mperf: float = 0.0                 # nominal-rate cycles while in C0
-    instructions_core: float = 0.0     # retired, all threads
-    instructions_thread0: float = 0.0  # retired, first hardware thread
-    stall_cycles: float = 0.0
-    l3_bytes: float = 0.0
-    dram_bytes: float = 0.0
-    cstate_residency_ns: dict[CState, int] = field(
-        default_factory=lambda: {s: 0 for s in CState})
+    __slots__ = ("_data", "_res")
+
+    def __init__(self, tsc: float = 0.0, aperf: float = 0.0,
+                 mperf: float = 0.0, instructions_core: float = 0.0,
+                 instructions_thread0: float = 0.0,
+                 stall_cycles: float = 0.0, l3_bytes: float = 0.0,
+                 dram_bytes: float = 0.0) -> None:
+        self._data = np.array([tsc, aperf, mperf, instructions_core,
+                               instructions_thread0, stall_cycles,
+                               l3_bytes, dram_bytes], dtype=np.float64)
+        self._res = np.zeros(len(RESIDENCY_STATES), dtype=np.int64)
+
+    tsc = _field_property(FIELD_ROW["tsc"])
+    aperf = _field_property(FIELD_ROW["aperf"])
+    mperf = _field_property(FIELD_ROW["mperf"])
+    instructions_core = _field_property(FIELD_ROW["instructions_core"])
+    instructions_thread0 = _field_property(FIELD_ROW["instructions_thread0"])
+    stall_cycles = _field_property(FIELD_ROW["stall_cycles"])
+    l3_bytes = _field_property(FIELD_ROW["l3_bytes"])
+    dram_bytes = _field_property(FIELD_ROW["dram_bytes"])
+
+    @property
+    def cstate_residency_ns(self) -> _ResidencyView:
+        return _ResidencyView(self._res)
+
+    @cstate_residency_ns.setter
+    def cstate_residency_ns(self, mapping) -> None:
+        for state, value in dict(mapping).items():
+            self._res[CSTATE_ROW[state]] = value
+
+    def adopt(self, data_col: np.ndarray, res_col: np.ndarray) -> None:
+        """Rebind to socket-owned SoA columns (carrying current values)."""
+        data_col[:] = self._data
+        res_col[:] = self._res
+        self._data = data_col
+        self._res = res_col
 
     def snapshot(self) -> "CoreCounters":
-        copy = CoreCounters(
-            tsc=self.tsc, aperf=self.aperf, mperf=self.mperf,
-            instructions_core=self.instructions_core,
-            instructions_thread0=self.instructions_thread0,
-            stall_cycles=self.stall_cycles,
-            l3_bytes=self.l3_bytes, dram_bytes=self.dram_bytes,
-        )
-        copy.cstate_residency_ns = dict(self.cstate_residency_ns)
+        """A detached copy with its own storage."""
+        copy = CoreCounters()
+        copy._data = self._data.copy()
+        copy._res = self._res.copy()
         return copy
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CoreCounters):
+            return NotImplemented
+        return (bool(np.array_equal(self._data, other._data))
+                and bool(np.array_equal(self._res, other._res)))
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{name}={float(self._data[i])!r}"
+                           for i, name in enumerate(CORE_COUNTER_FIELDS))
+        return f"CoreCounters({fields})"
 
 
 @dataclass

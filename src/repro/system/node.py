@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.engine import fastpath
+from repro.engine.epoch import EpochCell
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
 from repro.faults import chaos
@@ -35,6 +37,28 @@ class Node:
     ac_energy_j: float = 0.0
     _phase_events: dict[int, object] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Node-wide epoch: any socket's mutation bumps it, so system
+        # views (any_core_active, fastest setting) and the PCU decision
+        # caches invalidate without scanning every core.
+        self.epoch = EpochCell()
+        for socket in self.sockets:
+            socket.epoch.parent = self.epoch
+        self.fastpath_enabled = fastpath.enabled()
+        self._any_active_epoch = -1
+        self._any_active = False
+        self._fastest_epoch = -1
+        self._fastest: float | None | str = "no-active-core"
+
+    def set_fastpath(self, enabled: bool) -> None:
+        """Toggle the steady-state fast path on every socket and PCU
+        (A/B parity testing; both settings are bit-identical)."""
+        self.fastpath_enabled = enabled
+        for socket in self.sockets:
+            socket.fastpath_enabled = enabled
+        for pcu in self.pcus:
+            pcu.fastpath_enabled = enabled
+
     # ---- topology accessors -----------------------------------------------------
 
     @property
@@ -57,7 +81,12 @@ class Node:
     # ---- system-wide views used by the PCUs -----------------------------------------
 
     def any_core_active(self) -> bool:
-        return any(c.is_active for s in self.sockets for c in s.cores)
+        if self.fastpath_enabled and self._any_active_epoch == self.epoch.value:
+            return self._any_active
+        value = any(c.is_active for s in self.sockets for c in s.cores)
+        self._any_active = value
+        self._any_active_epoch = self.epoch.value
+        return value
 
     def system_fastest_setting(self) -> float | None | str:
         """P-state setting of the fastest active core anywhere.
@@ -65,15 +94,21 @@ class Node:
         ``None`` = at least one active core requests turbo; a float = the
         highest explicit setting; ``"no-active-core"`` if all idle.
         """
+        if self.fastpath_enabled and self._fastest_epoch == self.epoch.value:
+            return self._fastest
         requests: list[float | None] = []
         for s in self.sockets:
             for c in s.active_cores():
                 requests.append(c.requested_hz)
         if not requests:
-            return "no-active-core"
-        if any(r is None for r in requests):
-            return None
-        return max(requests)
+            value: float | None | str = "no-active-core"
+        elif any(r is None for r in requests):
+            value = None
+        else:
+            value = max(requests)
+        self._fastest = value
+        self._fastest_epoch = self.epoch.value
+        return value
 
     # ---- workload control -----------------------------------------------------------------
 

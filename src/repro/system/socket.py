@@ -4,13 +4,29 @@
 in closed form over a segment during which every frequency, c-state and
 workload phase is constant (the engine guarantees this). This is where
 the frequency, bandwidth, IPC and power models meet.
+
+Steady-state fast path: most consecutive segments share the exact same
+operating point, so the per-second rates are computed once per *epoch*
+(a socket-local dirty counter bumped by every mutation that can change
+rates — frequency grants, phase swaps, c-state transitions, AVX-license
+changes, uncore frequency/halt; see :mod:`repro.engine.epoch`) and the
+per-core accumulation is a single vectorized multiply-add into the
+structure-of-arrays counter matrix. This is the difference between
+O(events x cores x models) and O(events) for the common case. Setting
+``fastpath_enabled = False`` (or ``REPRO_FASTPATH=0``) recomputes every
+segment from scratch; both paths are bit-identical by construction and
+by test (``tests/test_perf_fastpath.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cstates.states import CState, PackageCState, resolve_package_cstate
+from repro.engine.epoch import EpochCell
+from repro.engine import fastpath
 from repro.memory.bandwidth import BandwidthDemand, SocketBandwidthModel
 from repro.power.fivr import Fivr
 from repro.power.model import PowerModel, SocketPowerBreakdown
@@ -22,6 +38,7 @@ from repro.power.rapl import (
 )
 from repro.specs.cpu import CpuSpec
 from repro.system.core import Core
+from repro.system.counters import CSTATE_ROW, FIELD_ROW
 from repro.system.uncore import Uncore
 from repro.units import NS_PER_S
 from repro.workloads.base import WorkloadPhase
@@ -30,15 +47,27 @@ from repro.workloads.base import WorkloadPhase
 # the Fig. 2a idle point off the common trend like the original data.
 _MODELED_IDLE_BIAS = 0.85
 
+# Accumulator rows, resolved once (see counters.CORE_COUNTER_FIELDS).
+_ROW_TSC = FIELD_ROW["tsc"]
+_ROW_APERF = FIELD_ROW["aperf"]
+_ROW_MPERF = FIELD_ROW["mperf"]
+_ROW_INSTR_CORE = FIELD_ROW["instructions_core"]
+_ROW_INSTR_T0 = FIELD_ROW["instructions_thread0"]
+_ROW_STALL = FIELD_ROW["stall_cycles"]
+_ROW_L3 = FIELD_ROW["l3_bytes"]
+_ROW_DRAM = FIELD_ROW["dram_bytes"]
+_N_FIELD_ROWS = len(FIELD_ROW)
+
 
 @dataclass(frozen=True)
 class _SegmentRates:
     """Precomputed per-second rates for one socket operating point."""
 
-    nominal_hz: float
-    # (counters, aperf, instr_thread, instr_core, stall, l3, dram) per
-    # active core, all rates per second
-    per_core: list[tuple]
+    # (n_fields, n_cores) counter rates per second; one fused
+    # multiply-add per segment advances every core counter at once.
+    rate_matrix: np.ndarray
+    # per-core residency row (current c-state) in the residency matrix
+    res_rows: np.ndarray
     uncore_l3_rate: float
     uncore_dram_rate: float
     uclk_rate: float
@@ -63,8 +92,35 @@ class Socket:
     # last evaluated instantaneous breakdown (for meters/PCU)
     last_breakdown: SocketPowerBreakdown | None = None
     package_cstate: PackageCState = PackageCState.PC0
+    # steady-state fast path; None = process default (repro.engine.fastpath)
+    fastpath_enabled: bool | None = None
     _residency_pkg_ns: dict[PackageCState, int] = field(
         default_factory=lambda: {s: 0 for s in PackageCState})
+
+    def __post_init__(self) -> None:
+        if self.fastpath_enabled is None:
+            self.fastpath_enabled = fastpath.enabled()
+        # Socket-local epoch; chained to the node epoch once the node
+        # assembles its sockets.
+        self.epoch = EpochCell()
+        n = len(self.cores)
+        # Structure-of-arrays counter storage: adopt every core's
+        # counters as column views of one accumulator matrix.
+        self._cnt_data = np.zeros((_N_FIELD_ROWS, n), dtype=np.float64)
+        self._cnt_res = np.zeros((len(CSTATE_ROW), n), dtype=np.int64)
+        self._cnt_scratch = np.empty_like(self._cnt_data)
+        self._res_cols = np.arange(n, dtype=np.intp)
+        for j, core in enumerate(self.cores):
+            core.counters.adopt(self._cnt_data[:, j], self._cnt_res[:, j])
+            core._epoch_cell = self.epoch
+        self.uncore._epoch_cell = self.epoch
+        # Epoch-keyed caches (instance state, never class-level: a
+        # class-level cache slot would alias across sockets).
+        self._rates: _SegmentRates | None = None
+        self._rates_epoch = -1
+        self._pkg_sync_key: tuple[int, bool] | None = None
+        self._active_cache: list[Core] = []
+        self._active_epoch = -1
 
     # ---- construction ---------------------------------------------------------
 
@@ -89,9 +145,16 @@ class Socket:
     # ---- views used by the PCU and instruments ----------------------------------
 
     def active_cores(self) -> list[Core]:
-        return [c for c in self.cores
-                if c.is_active and c.current_phase is not None
-                and c.current_phase.active]
+        """Cores in C0 with an active phase (cached per epoch; treat the
+        returned list as read-only)."""
+        if self.fastpath_enabled and self._active_epoch == self.epoch.value:
+            return self._active_cache
+        active = [c for c in self.cores
+                  if c.is_active and c.current_phase is not None
+                  and c.current_phase.active]
+        self._active_cache = active
+        self._active_epoch = self.epoch.value
+        return active
 
     def activity_sum(self) -> float:
         return sum(c.current_phase.power_activity for c in self.active_cores())
@@ -125,6 +188,10 @@ class Socket:
             return 0.0
         return sum(c.freq_hz for c in active) / len(active)
 
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter over all cores (vectorized over the SoA)."""
+        return float(self._cnt_data[FIELD_ROW[name]].sum())
+
     # ---- bandwidth evaluation ------------------------------------------------------
 
     def _demands(self) -> list[BandwidthDemand]:
@@ -153,6 +220,9 @@ class Socket:
     # ---- package state ------------------------------------------------------------
 
     def sync_package_state(self, any_active_in_system: bool) -> PackageCState:
+        key = (self.epoch.value, any_active_in_system)
+        if self.fastpath_enabled and key == self._pkg_sync_key:
+            return self.package_cstate
         state = resolve_package_cstate(
             [c.cstate for c in self.cores], any_active_in_system)
         self.package_cstate = state
@@ -160,37 +230,26 @@ class Socket:
             self.uncore.halt()
         else:
             self.uncore.resume()
+        # Re-read the epoch: halt()/resume() bump it when they flip the
+        # uncore state, and that bump must invalidate the rate cache
+        # (not this key — the package state is already up to date).
+        self._pkg_sync_key = (self.epoch.value, any_active_in_system)
         return state
 
     # ---- the integrator ---------------------------------------------------------------
-    #
-    # Between events nothing changes, and most consecutive segments share
-    # the exact same operating point (steady workloads), so the per-second
-    # rates are computed once per distinct state fingerprint and reused —
-    # this is the difference between O(events x cores x models) and
-    # O(events) for the common case.
-
-    _rates_key: tuple | None = None
-    _rates: "_SegmentRates | None" = None
-
-    def _segment_fingerprint(self) -> tuple:
-        return (
-            self.uncore.freq_hz,
-            self.uncore.halted,
-            tuple((c.cstate.value, c.freq_hz, id(c.current_phase),
-                   c.execution_throttle()) for c in self.cores),
-        )
 
     def _compute_rates(self) -> "_SegmentRates":
         bw = self.bw_model.solve(self._demands(), self.uncore.freq_hz)
         nominal = self.spec.nominal_hz
-        per_core: list[tuple[CoreCounters, float, float, float, float,
-                             float, float]] = []
+        rate_matrix = np.zeros_like(self._cnt_data)
+        rate_matrix[_ROW_TSC, :] = nominal
+        res_rows = np.empty(len(self.cores), dtype=np.intp)
         core_points: list[tuple[float, float]] = []
         bias_num = 0.0
         bias_den = 0.0
 
-        for core in self.cores:
+        for j, core in enumerate(self.cores):
+            res_rows[j] = CSTATE_ROW[core.cstate]
             phase = core.current_phase
             if not (core.is_active and phase is not None and phase.active):
                 continue
@@ -199,15 +258,15 @@ class Socket:
             ipc_thread = (phase.ipc_thread(f, self.uncore.freq_hz, throttle)
                           * core.execution_throttle())
             instr_rate = ipc_thread * f
-            per_core.append((
-                core.counters,
-                f,                                     # aperf rate
-                instr_rate,                            # thread instr/s
-                instr_rate * max(core.n_threads, 1),   # core instr/s
-                phase.stall_fraction * f,              # stall cycles/s
-                bw.l3_bytes_per_s.get(core.core_id, 0.0),
-                bw.dram_bytes_per_s.get(core.core_id, 0.0),
-            ))
+            rate_matrix[_ROW_APERF, j] = f
+            rate_matrix[_ROW_MPERF, j] = nominal
+            rate_matrix[_ROW_INSTR_T0, j] = instr_rate
+            rate_matrix[_ROW_INSTR_CORE, j] = \
+                instr_rate * max(core.n_threads, 1)
+            rate_matrix[_ROW_STALL, j] = phase.stall_fraction * f
+            rate_matrix[_ROW_L3, j] = bw.l3_bytes_per_s.get(core.core_id, 0.0)
+            rate_matrix[_ROW_DRAM, j] = \
+                bw.dram_bytes_per_s.get(core.core_id, 0.0)
             core_points.append((f, phase.power_activity))
             p_core = self.power_model.core_power_w(f, phase.power_activity)
             bias_num += p_core * phase.rapl_model_bias
@@ -217,8 +276,8 @@ class Socket:
             core_points, self.uncore.freq_hz, self.uncore.halted,
             bw.total_dram_gbs)
         return _SegmentRates(
-            nominal_hz=nominal,
-            per_core=per_core,
+            rate_matrix=rate_matrix,
+            res_rows=res_rows,
             uncore_l3_rate=bw.total_l3_gbs * 1e9,
             uncore_dram_rate=bw.total_dram_gbs * 1e9,
             uclk_rate=0.0 if self.uncore.halted else self.uncore.freq_hz,
@@ -235,27 +294,18 @@ class Socket:
         self.sync_package_state(any_active_in_system)
         self._residency_pkg_ns[self.package_cstate] += dt_ns
 
-        key = self._segment_fingerprint()
-        if key != self._rates_key:
-            self._rates = self._compute_rates()
-            self._rates_key = key
         rates = self._rates
+        if (rates is None or not self.fastpath_enabled
+                or self._rates_epoch != self.epoch.value):
+            rates = self._rates = self._compute_rates()
+            self._rates_epoch = self.epoch.value
         self.last_breakdown = rates.breakdown
 
-        tsc_inc = rates.nominal_hz * dt_s
-        for core in self.cores:
-            core.counters.tsc += tsc_inc
-            core.counters.cstate_residency_ns[core.cstate] += dt_ns
-
-        for (counters, aperf_rate, instr_rate, instr_core_rate, stall_rate,
-             l3_rate, dram_rate) in rates.per_core:
-            counters.aperf += aperf_rate * dt_s
-            counters.mperf += tsc_inc
-            counters.instructions_thread0 += instr_rate * dt_s
-            counters.instructions_core += instr_core_rate * dt_s
-            counters.stall_cycles += stall_rate * dt_s
-            counters.l3_bytes += l3_rate * dt_s
-            counters.dram_bytes += dram_rate * dt_s
+        # One vectorized multiply-add advances every counter of every
+        # core; scratch avoids a temporary allocation per segment.
+        np.multiply(rates.rate_matrix, dt_s, out=self._cnt_scratch)
+        self._cnt_data += self._cnt_scratch
+        self._cnt_res[rates.res_rows, self._res_cols] += dt_ns
 
         self.uncore.counters.l3_bytes += rates.uncore_l3_rate * dt_s
         self.uncore.counters.dram_bytes += rates.uncore_dram_rate * dt_s

@@ -15,6 +15,12 @@ from repro.specs.cpu import CpuSpec
 from repro.system.counters import UncoreCounters
 
 
+# Fields whose mutation changes the socket's segment rates; writing a
+# different value bumps the socket epoch (see repro.engine.epoch).
+_EPOCH_FIELDS = frozenset({"freq_hz", "halted"})
+_UNSET = object()
+
+
 @dataclass
 class Uncore:
     spec: CpuSpec
@@ -22,6 +28,18 @@ class Uncore:
     freq_hz: float = 0.0
     halted: bool = False
     counters: UncoreCounters = field(default_factory=UncoreCounters)
+
+    # Set by the owning Socket after adoption; None while free-standing.
+    _epoch_cell = None
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in _EPOCH_FIELDS:
+            cell = self._epoch_cell
+            if cell is not None and getattr(self, name, _UNSET) != value:
+                object.__setattr__(self, name, value)
+                cell.bump()
+                return
+        object.__setattr__(self, name, value)
 
     def __post_init__(self) -> None:
         if self.freq_hz == 0.0:
