@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-simcore bench-full chaos chaos-smoke experiments examples clean
+.PHONY: install test bench bench-simcore bench-full chaos chaos-smoke hostif-smoke experiments examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -31,6 +31,16 @@ chaos:
 chaos-smoke:
 	$(PYTHON) scripts/run_paper.py --chaos 42 --strict \
 		--only table2 fig2 table3 fig5 fig6
+
+# Host-interface smoke: pepcctl info over every subsystem, then the
+# governor-in-the-loop parity experiment (hostif vs direct API must be
+# bit-identical). See docs/host_interface.md.
+hostif-smoke:
+	$(PYTHON) -m repro.tools.pepcctl pstates info --cpus 0-3
+	$(PYTHON) -m repro.tools.pepcctl cstates info --cpus 0
+	$(PYTHON) -m repro.tools.pepcctl power info
+	$(PYTHON) -m repro.tools.pepcctl uncore info
+	$(PYTHON) scripts/run_paper.py --strict --only hostif
 
 experiments:
 	$(PYTHON) scripts/generate_experiments_md.py

@@ -55,6 +55,7 @@ from repro.experiments import (  # noqa: E402
     render_fig3,
     render_fig7,
     render_fig8,
+    render_hostif_parity,
     render_table1,
     render_table2,
     render_table3,
@@ -66,6 +67,7 @@ from repro.experiments import (  # noqa: E402
     run_fig3,
     run_fig7,
     run_fig8,
+    run_hostif_parity,
     run_table1,
     run_table2,
     run_table3,
@@ -139,6 +141,12 @@ def _build_table5(full: bool) -> str:
                                     window_s=60.0 if full else 15.0))
 
 
+def _build_hostif(full: bool) -> str:
+    from repro.units import ms
+    return render_hostif_parity(
+        run_hostif_parity(measure_ns=ms(50) if full else ms(20)))
+
+
 _BUILDERS = {
     "table1": _build_table1,
     "fig1": _build_fig1,
@@ -153,6 +161,7 @@ _BUILDERS = {
     "fig7": _build_fig7,
     "fig8": _build_fig8,
     "table5": _build_table5,
+    "hostif": _build_hostif,
 }
 
 
@@ -211,6 +220,11 @@ def main() -> int:
     parser.add_argument("--chaos", type=int, default=None, metavar="SEED",
                         help="replay the suite under a deterministic "
                              "injected fault plan with this seed")
+    parser.add_argument("--chaos-profile", default="default",
+                        choices=["default", "numa-link", "psu-brownout"],
+                        help="fault profile for --chaos: the balanced "
+                             "default, or a stress profile isolating one "
+                             "fault family")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile each experiment; write "
                              "benchmarks/output/<name>.pstats and print "
@@ -225,6 +239,8 @@ def main() -> int:
 
     if args.chaos is not None and args.chaos < 0:
         parser.error("--chaos seed must be a non-negative integer")
+    if args.chaos_profile != "default" and args.chaos is None:
+        parser.error("--chaos-profile requires --chaos")
     if args.timeout <= 0:
         parser.error("--timeout must be a positive number of seconds")
     if args.max_attempts < 1:
@@ -260,12 +276,19 @@ def main() -> int:
         print(tag + (f"] -> {outcome.artifact}\n" if outcome.artifact
                      else "]\n"))
 
+    from repro.faults import (
+        DEFAULT_PROFILE, NUMA_LINK_STRESS, PSU_BROWNOUT_STRESS)
+    profile = {"default": DEFAULT_PROFILE,
+               "numa-link": NUMA_LINK_STRESS,
+               "psu-brownout": PSU_BROWNOUT_STRESS}[args.chaos_profile]
+
     runner = ExperimentRunner(
         [ExperimentSpec(name=name, build=build, timeout_s=args.timeout)
          for name, build in experiments.items()],
         artifact_writer=_artifact_writer,
         max_attempts=args.max_attempts,
         chaos_seed=args.chaos,
+        chaos_profile=profile,
         progress=show,
         jobs=args.jobs,
     )

@@ -42,6 +42,10 @@ from repro.experiments.avx_transient import (
     render_avx_transient,
 )
 from repro.experiments.ht_study import run_ht_study, render_ht_study
+from repro.experiments.hostif_parity import (
+    run_hostif_parity,
+    render_hostif_parity,
+)
 from repro.experiments.runner import (
     ExperimentOutcome,
     ExperimentRunner,
@@ -69,4 +73,5 @@ __all__ = [
     "run_turbo_bins", "render_turbo_bins",
     "run_avx_transient", "render_avx_transient",
     "run_ht_study", "render_ht_study",
+    "run_hostif_parity", "render_hostif_parity",
 ]

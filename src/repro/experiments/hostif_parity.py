@@ -1,0 +1,182 @@
+"""Governor-in-the-loop parity: host interface vs direct API.
+
+The host interface claims *write-through equivalence*: configuring the
+node through the virtual sysfs tree and MSR registers performs exactly
+the state mutations the internal Python API performs. This experiment
+proves it the strong way — two simulations with the same seed, one
+configured purely through hostif files/registers and one through the
+direct calls, must produce **bit-identical** state reports (full float
+``repr``, raw counter integers) after running a workload under an
+active cpufreq governor. The comparison is repeated with the
+steady-state fast path on and off, tying the hostif contract into the
+fastpath parity guarantee of ``docs/performance.md``.
+
+The configuration deliberately crosses every hostif surface: userspace
+governor + setspeed (cpufreq sysfs), EPB (sysfs), turbo off
+(IA32_MISC_ENABLE), a narrowed uncore window (MSR 0x620), and C6
+disabled on the idle cores (cpuidle sysfs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpufreq.policy import Governor
+from repro.cstates.states import CState
+from repro.hostif import HostMsr, VirtualHost
+from repro.hostif.msr_regs import (
+    encode_misc_enable,
+    encode_uncore_ratio_limit,
+)
+from repro.pcu.epb import Epb
+from repro.power.rapl import RaplDomain
+from repro.system.node import build_haswell_node
+from repro.units import ghz, ms
+from repro.workloads.firestarter import firestarter
+
+_SYS = "/sys/devices/system/cpu"
+
+#: The scenario: FIRESTARTER on socket 0's first six cores, pinned to
+#: 1.8 GHz via the userspace governor; C6 disabled on the next six
+#: (idle) cores; EPB performance; turbo off; uncore window narrowed so
+#: the 0x620 clamp is visible in the granted uncore frequency.
+_ACTIVE_CPUS = (0, 1, 2, 3, 4, 5)
+_C6_DISABLED_CPUS = (6, 7, 8, 9, 10, 11)
+_PIN_GHZ = 1.8
+_UNCORE_MIN_GHZ = 1.3
+_UNCORE_MAX_GHZ = 1.5
+
+
+def _configure_direct(host: VirtualHost) -> None:
+    """The internal-API path."""
+    node = host.node
+    host.cpufreq.set_governor(Governor.USERSPACE)
+    for cpu in _ACTIVE_CPUS:
+        # The same two calls sysfs setspeed performs, in the same order.
+        host.cpufreq.policy(cpu).set_speed(ghz(_PIN_GHZ))
+        node.set_pstate([cpu], ghz(_PIN_GHZ))
+    node.set_epb(Epb.PERFORMANCE)
+    node.set_turbo(False)
+    node.set_uncore_limits(ghz(_UNCORE_MIN_GHZ), ghz(_UNCORE_MAX_GHZ))
+    for cpu in _C6_DISABLED_CPUS:
+        node.core(cpu).set_cstate_disabled(CState.C6, True)
+
+
+def _configure_hostif(host: VirtualHost) -> None:
+    """The same configuration, purely through sysfs files and MSRs."""
+    for cpu in host.cpu_ids:
+        host.sysfs.write(f"{_SYS}/cpu{cpu}/cpufreq/scaling_governor",
+                         "userspace")
+    for cpu in _ACTIVE_CPUS:
+        host.sysfs.write(f"{_SYS}/cpu{cpu}/cpufreq/scaling_setspeed",
+                         str(int(_PIN_GHZ * 1e6)))
+    # Package-scoped registers: one write per socket (cpu 0 and the
+    # first cpu of socket 1).
+    per_socket = [s.cores[0].core_id for s in host.node.sockets]
+    for cpu in per_socket:
+        host.sysfs.write(f"{_SYS}/cpu{cpu}/power/energy_perf_bias", "0")
+        host.msr.write(cpu, HostMsr.IA32_MISC_ENABLE,
+                       encode_misc_enable(turbo_enabled=False))
+        host.msr.write(cpu, HostMsr.MSR_UNCORE_RATIO_LIMIT,
+                       encode_uncore_ratio_limit(ghz(_UNCORE_MIN_GHZ),
+                                                 ghz(_UNCORE_MAX_GHZ)))
+    for cpu in _C6_DISABLED_CPUS:
+        host.sysfs.write(f"{_SYS}/cpu{cpu}/cpuidle/state2/disable", "1")
+
+
+_CONFIGURE = {"direct": _configure_direct, "hostif": _configure_hostif}
+
+
+def _render_state(host: VirtualHost) -> str:
+    """Full-precision state dump — any divergence shows as a text diff."""
+    node = host.node
+    lines = [f"t_ns={node.sim.now_ns}"]
+    for cpu in (*_ACTIVE_CPUS, *_C6_DISABLED_CPUS):
+        core = node.core(cpu)
+        lines.append(
+            f"cpu{cpu} freq={core.freq_hz!r} req={core.requested_hz!r} "
+            f"cstate={core.cstate.name} aperf={core.counters.aperf!r} "
+            f"mperf={core.counters.mperf!r}")
+    for socket in node.sockets:
+        first = socket.cores[0].core_id
+        pkg = host.msr.read(first, HostMsr.MSR_PKG_ENERGY_STATUS)
+        dram = host.msr.read(first, HostMsr.MSR_DRAM_ENERGY_STATUS)
+        ratio_limit = host.msr.read(first, HostMsr.MSR_UNCORE_RATIO_LIMIT)
+        lines.append(
+            f"socket{socket.socket_id} uncore={socket.uncore.freq_hz!r} "
+            f"pkg_counter={pkg} dram_counter={dram} "
+            f"uncore_ratio_limit={ratio_limit:#x}")
+    lines.append(f"ac_energy_j={node.ac_energy_j!r}")
+    return "\n".join(lines)
+
+
+def _run_variant(variant: str, fastpath: bool, seed: int,
+                 measure_ns: int) -> str:
+    sim, node = build_haswell_node(seed=seed)
+    node.set_fastpath(fastpath)
+    host = VirtualHost(sim, node).start()
+    _CONFIGURE[variant](host)
+    node.run_workload(list(_ACTIVE_CPUS), firestarter())
+    sim.run_for(measure_ns)
+    return _render_state(host)
+
+
+@dataclass(frozen=True)
+class HostifParityResult:
+    seed: int
+    measure_ns: int
+    # (variant, fastpath) -> rendered state
+    reports: dict[tuple[str, bool], str]
+
+    def report(self, variant: str, fastpath: bool) -> str:
+        return self.reports[(variant, fastpath)]
+
+    @property
+    def parity(self) -> dict[bool, bool]:
+        """fastpath -> hostif report identical to direct report."""
+        return {fp: self.reports[("direct", fp)] == self.reports[("hostif", fp)]
+                for fp in (True, False)}
+
+    @property
+    def all_identical(self) -> bool:
+        """Both variants and both fastpath settings agree bit-for-bit."""
+        return len(set(self.reports.values())) == 1
+
+
+def run_hostif_parity(seed: int = 271,
+                      measure_ns: int = ms(20)) -> HostifParityResult:
+    reports = {
+        (variant, fastpath): _run_variant(variant, fastpath, seed, measure_ns)
+        for fastpath in (True, False)
+        for variant in ("direct", "hostif")
+    }
+    return HostifParityResult(seed=seed, measure_ns=measure_ns,
+                              reports=reports)
+
+
+def render_hostif_parity(result: HostifParityResult) -> str:
+    lines = [
+        "Host-interface parity: sysfs/MSR configuration vs direct API",
+        f"(seed {result.seed}, {result.measure_ns / 1e6:.0f} ms simulated, "
+        f"userspace governor @ {_PIN_GHZ} GHz, EPB=0, turbo off, "
+        f"uncore [{_UNCORE_MIN_GHZ}, {_UNCORE_MAX_GHZ}] GHz, "
+        "C6 disabled on idle cores)",
+        "",
+    ]
+    for fastpath, same in result.parity.items():
+        label = "on" if fastpath else "off"
+        verdict = "bit-identical" if same else "DIVERGED"
+        lines.append(f"fastpath {label}: hostif vs direct -> {verdict}")
+    lines.append("fastpath on vs off (direct): "
+                 + ("bit-identical" if result.report("direct", True)
+                    == result.report("direct", False) else "DIVERGED"))
+    lines.append("")
+    lines.append("state (hostif, fastpath on):")
+    lines.extend("  " + ln for ln in
+                 result.report("hostif", True).splitlines())
+    if not result.all_identical:
+        for (variant, fastpath), text in sorted(result.reports.items()):
+            lines.append("")
+            lines.append(f"-- {variant}, fastpath {'on' if fastpath else 'off'}")
+            lines.extend("  " + ln for ln in text.splitlines())
+    return "\n".join(lines)

@@ -10,6 +10,8 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     DEFAULT_HORIZON_NS,
     DEFAULT_PROFILE,
+    NUMA_LINK_STRESS,
+    PSU_BROWNOUT_STRESS,
     FaultEvent,
     FaultKind,
     FaultPlan,
@@ -19,6 +21,8 @@ from repro.faults.plan import (
 __all__ = [
     "DEFAULT_HORIZON_NS",
     "DEFAULT_PROFILE",
+    "NUMA_LINK_STRESS",
+    "PSU_BROWNOUT_STRESS",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",

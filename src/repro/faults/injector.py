@@ -18,7 +18,11 @@ Fault mechanics:
   ``drop``/``replace`` directives;
 * PCU jitter and PROCHOT throttles set the corresponding PCU attributes
   for the window (the throttle clamp is applied at the next grant
-  opportunity, like the hardware signal).
+  opportunity, like the hardware signal);
+* NUMA-link faults degrade ``node.link_derate`` (bandwidth factor +
+  latency adder) for the window;
+* PSU brownouts push an AC-input sag through ``node.psu.set_input_sag``
+  for the window, inflating wall-side power.
 """
 
 from __future__ import annotations
@@ -59,6 +63,8 @@ class FaultInjector:
             FaultKind.LMG_GLITCH: self._lmg_glitch,
             FaultKind.PCU_JITTER: self._pcu_jitter,
             FaultKind.THERMAL_THROTTLE: self._thermal_throttle,
+            FaultKind.NUMA_LINK: self._numa_link,
+            FaultKind.PSU_BROWNOUT: self._psu_brownout,
         }
         for ev in self.plan.events:
             if ev.time_ns < self.sim.now_ns:
@@ -152,3 +158,23 @@ class FaultInjector:
             duration, lambda _t: setattr(pcu, "prochot_cap_hz", None),
             label="fault-prochot-end")
         self._record(event, cap_hz=cap_hz)
+
+    def _numa_link(self, event: FaultEvent) -> None:
+        duration = int(event.param("duration_ns", 0))
+        factor = float(event.param("bandwidth_factor", 1.0))
+        latency_add = float(event.param("latency_add_ns", 0.0))
+        self.node.link_derate.degrade(bandwidth_factor=factor,
+                                      latency_add_ns=latency_add)
+        self.sim.schedule_after(
+            duration, lambda _t: self.node.link_derate.restore(),
+            label="fault-numa-link-end")
+        self._record(event)
+
+    def _psu_brownout(self, event: FaultEvent) -> None:
+        duration = int(event.param("duration_ns", 0))
+        sag = float(event.param("sag_frac", 0.0))
+        self.node.psu.set_input_sag(sag)
+        self.sim.schedule_after(
+            duration, lambda _t: self.node.psu.set_input_sag(0.0),
+            label="fault-psu-brownout-end")
+        self._record(event)

@@ -18,7 +18,11 @@ run into (Schuchart et al. on run-to-run variation; every RAPL user on
 * ``LMG_GLITCH`` — one out-of-envelope meter reading;
 * ``PCU_JITTER`` — the PCU's external tick source is disturbed, widening
   the grant-opportunity spread;
-* ``THERMAL_THROTTLE`` — a PROCHOT#-style episode clamps all p-states.
+* ``THERMAL_THROTTLE`` — a PROCHOT#-style episode clamps all p-states;
+* ``NUMA_LINK`` — the cross-socket (QPI) link degrades for a window:
+  bandwidth derated, per-hop latency added;
+* ``PSU_BROWNOUT`` — the AC input sags, inflating the wall-side draw the
+  LMG450 sees for the same DC load.
 """
 
 from __future__ import annotations
@@ -39,6 +43,8 @@ class FaultKind(enum.Enum):
     LMG_GLITCH = "lmg-glitch"
     PCU_JITTER = "pcu-jitter"
     THERMAL_THROTTLE = "thermal-throttle"
+    NUMA_LINK = "numa-link"
+    PSU_BROWNOUT = "psu-brownout"
 
 
 @dataclass(frozen=True)
@@ -87,9 +93,29 @@ class FaultProfile:
     pcu_jitter_extra_ns: int = us(150)
     throttle_rate: float = 0.01
     throttle_ns_range: tuple[int, int] = (ms(30), ms(250))
+    numa_link_rate: float = 0.015
+    numa_link_ns_range: tuple[int, int] = (ms(50), ms(600))
+    numa_link_bw_factor_range: tuple[float, float] = (0.35, 0.85)
+    numa_link_latency_add_ns_range: tuple[int, int] = (40, 220)
+    psu_brownout_rate: float = 0.015
+    psu_brownout_ns_range: tuple[int, int] = (ms(20), ms(250))
+    psu_brownout_sag_range: tuple[float, float] = (0.02, 0.12)
 
 
 DEFAULT_PROFILE = FaultProfile()
+
+#: Chaos profile concentrating on cross-socket link degradation: every
+#: other kind is silenced so a run isolates the NUMA-link behaviour.
+NUMA_LINK_STRESS = FaultProfile(
+    rapl_wrap_rate=0.0, msr_transient_rate=0.0, lmg_dropout_rate=0.0,
+    lmg_glitch_rate=0.0, pcu_jitter_rate=0.0, throttle_rate=0.0,
+    numa_link_rate=0.4, psu_brownout_rate=0.0)
+
+#: Chaos profile concentrating on AC-input sag episodes.
+PSU_BROWNOUT_STRESS = FaultProfile(
+    rapl_wrap_rate=0.0, msr_transient_rate=0.0, lmg_dropout_rate=0.0,
+    lmg_glitch_rate=0.0, pcu_jitter_rate=0.0, throttle_rate=0.0,
+    numa_link_rate=0.0, psu_brownout_rate=0.4)
 
 #: Default plan horizon: comfortably longer than any single experiment's
 #: simulated time, so fault pressure persists for the whole run.
@@ -173,6 +199,19 @@ class FaultPlan:
             events.append(FaultEvent(t, FaultKind.THERMAL_THROTTLE, _pairs(
                 socket=socket(),
                 duration_ns=span(profile.throttle_ns_range))))
+        # New kinds draw strictly after the original loops so existing
+        # seeds keep their original event streams for the legacy kinds.
+        for t in times(profile.numa_link_rate):
+            lo, hi = profile.numa_link_bw_factor_range
+            events.append(FaultEvent(t, FaultKind.NUMA_LINK, _pairs(
+                duration_ns=span(profile.numa_link_ns_range),
+                bandwidth_factor=round(float(rng.uniform(lo, hi)), 6),
+                latency_add_ns=span(profile.numa_link_latency_add_ns_range))))
+        for t in times(profile.psu_brownout_rate):
+            lo, hi = profile.psu_brownout_sag_range
+            events.append(FaultEvent(t, FaultKind.PSU_BROWNOUT, _pairs(
+                duration_ns=span(profile.psu_brownout_ns_range),
+                sag_frac=round(float(rng.uniform(lo, hi)), 6))))
 
         events.sort(key=lambda ev: (ev.time_ns, ev.kind.value, ev.params))
         return cls(seed=seed, horizon_ns=horizon_ns, events=tuple(events))

@@ -1,0 +1,27 @@
+"""The virtual host interface: the OS-visible face of the simulated node.
+
+The paper drives every measurement through what the operating system
+exposes — ``/dev/cpu/*/msr`` registers, cpufreq/cpuidle sysfs files,
+msr-tools and x86_adapt. This package rebuilds those surfaces over the
+simulated node so experiments and external-style tools can exercise the
+same register-level contract:
+
+* :mod:`repro.hostif.msr_regs` — register addresses and bit-layout
+  encode/decode helpers (the data-sheet layer, no simulator knowledge);
+* :mod:`repro.hostif.msrdev` — a ``/dev/cpu/*/msr``-style device with
+  write-through semantics into the live PCU/cpufreq/RAPL subsystems;
+* :mod:`repro.hostif.sysfs` — a path-addressable virtual
+  ``/sys/devices/system/cpu`` tree (cpufreq policies, cpuidle states
+  with disable knobs, topology, uncore ratio limits);
+* :mod:`repro.hostif.host` — :class:`VirtualHost`, the bundle tools and
+  experiments hold.
+
+See ``docs/host_interface.md`` for the register map and path map.
+"""
+
+from repro.hostif.host import VirtualHost
+from repro.hostif.msr_regs import HostMsr
+from repro.hostif.msrdev import VirtualMsrDev
+from repro.hostif.sysfs import VirtualSysfs
+
+__all__ = ["HostMsr", "VirtualHost", "VirtualMsrDev", "VirtualSysfs"]

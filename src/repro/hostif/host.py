@@ -1,0 +1,42 @@
+"""The bundle a host-interface client holds: node + MSR device + sysfs.
+
+Constructing a :class:`VirtualHost` wires a cpufreq subsystem, the MSR
+device and the sysfs tree over an existing (simulator, node) pair. The
+construction itself schedules nothing and draws no random numbers, so a
+host can be attached to any node — including mid-experiment — without
+perturbing determinism; call :meth:`start` to begin the cpufreq governor
+tick when the scenario wants one.
+"""
+
+from __future__ import annotations
+
+from repro.cpufreq.subsystem import CpufreqSubsystem
+from repro.engine.simulator import Simulator
+from repro.hostif.msrdev import VirtualMsrDev
+from repro.hostif.sysfs import VirtualSysfs
+from repro.system.node import Node
+from repro.units import ms
+
+
+class VirtualHost:
+    """OS-level access to one simulated node."""
+
+    def __init__(self, sim: Simulator, node: Node,
+                 cpufreq_period_ns: int = ms(10)) -> None:
+        self.sim = sim
+        self.node = node
+        self.cpufreq = CpufreqSubsystem(sim, node, cpufreq_period_ns)
+        self.msr = VirtualMsrDev(node)
+        self.sysfs = VirtualSysfs(node, self.cpufreq)
+
+    def start(self) -> "VirtualHost":
+        """Start the cpufreq governor tick (ondemand-style sampling)."""
+        self.cpufreq.start()
+        return self
+
+    def stop(self) -> None:
+        self.cpufreq.stop()
+
+    @property
+    def cpu_ids(self) -> list[int]:
+        return [c.core_id for c in self.node.all_cores]

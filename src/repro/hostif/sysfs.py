@@ -1,0 +1,295 @@
+"""A virtual ``/sys/devices/system/cpu`` tree over the simulated node.
+
+Path-addressable reads and writes, rendered exactly the way Linux
+renders them (frequencies in kHz, latencies in microseconds, booleans as
+``0``/``1``), backed by the same live subsystems the MSR device drives:
+
+* ``cpu<N>/cpufreq/*`` — the :class:`repro.cpufreq.policy.CpufreqPolicy`
+  of that core (``scaling_cur_freq`` is the stale request, the paper's
+  Section VI-A point);
+* ``cpu<N>/cpuidle/state<i>/*`` — the ACPI c-state menu plus the
+  ``disable`` knob (write-through to ``Core.set_cstate_disabled``);
+* ``cpu<N>/power/energy_perf_bias`` — raw 4-bit EPB;
+* ``cpu<N>/topology/*`` — package/core ids;
+* ``intel_uncore_frequency/package_<pp>_die_00/*`` — uncore ratio-limit
+  window (write-through to ``Pcu.set_uncore_limits``).
+
+Writes apply immediately, exactly like echoing into real sysfs; there is
+no caching layer that could diverge from the MSR view.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.cpufreq.policy import Governor
+from repro.cpufreq.subsystem import CpufreqSubsystem
+from repro.cstates.acpi import AcpiCStateTable, acpi_table_for
+from repro.cstates.states import CState
+from repro.errors import ConfigurationError
+from repro.pcu.epb import encode_epb, decode_epb
+from repro.system.node import Node
+
+_ROOT = "/sys/devices/system/cpu"
+
+_CPUFREQ_RE = re.compile(rf"^{_ROOT}/cpu(\d+)/cpufreq/(\w+)$")
+_CPUIDLE_RE = re.compile(rf"^{_ROOT}/cpu(\d+)/cpuidle/state(\d+)/(\w+)$")
+_POWER_RE = re.compile(rf"^{_ROOT}/cpu(\d+)/power/(\w+)$")
+_TOPOLOGY_RE = re.compile(rf"^{_ROOT}/cpu(\d+)/topology/(\w+)$")
+_UNCORE_RE = re.compile(
+    rf"^{_ROOT}/intel_uncore_frequency/package_(\d+)_die_00/(\w+)$")
+_TOPLEVEL_RE = re.compile(rf"^{_ROOT}/(online|possible|present)$")
+
+
+def _khz(f_hz: float) -> str:
+    return str(int(round(f_hz / 1e3)))
+
+
+def _parse_khz(value: str, path: str) -> float:
+    try:
+        return int(value) * 1e3
+    except ValueError:
+        raise ConfigurationError(
+            f"{path}: expected an integer kHz value, got {value!r}") from None
+
+
+@dataclass
+class VirtualSysfs:
+    """String-in/string-out file access on the virtual tree."""
+
+    node: Node
+    cpufreq: CpufreqSubsystem
+    _acpi: AcpiCStateTable = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._acpi = acpi_table_for(self.node.spec.cpu)
+
+    # The cpuidle state index order every cpu directory exposes.
+    _IDLE_STATES = (CState.C1, CState.C3, CState.C6)
+
+    # ---- public API ------------------------------------------------------
+
+    def read(self, path: str) -> str:
+        handler, args, _writable = self._resolve(path)
+        return handler(*args)
+
+    def write(self, path: str, value: str) -> None:
+        _handler, args, writer = self._resolve(path)
+        if writer is None:
+            raise ConfigurationError(f"{path}: permission denied (read-only)")
+        writer(*args, value.strip())
+
+    # ---- dispatch --------------------------------------------------------
+
+    def _resolve(self, path: str):
+        """-> (read handler, args, write handler or None)."""
+        if m := _CPUFREQ_RE.match(path):
+            cpu, attr = int(m.group(1)), m.group(2)
+            self._check_cpu(cpu, path)
+            return self._dispatch(self._CPUFREQ_FILES, attr, (cpu,), path)
+        if m := _CPUIDLE_RE.match(path):
+            cpu, index, attr = int(m.group(1)), int(m.group(2)), m.group(3)
+            self._check_cpu(cpu, path)
+            if not 0 <= index < len(self._IDLE_STATES):
+                raise ConfigurationError(f"{path}: no such cpuidle state")
+            return self._dispatch(self._CPUIDLE_FILES, attr,
+                                  (cpu, index), path)
+        if m := _POWER_RE.match(path):
+            cpu, attr = int(m.group(1)), m.group(2)
+            self._check_cpu(cpu, path)
+            return self._dispatch(self._POWER_FILES, attr, (cpu,), path)
+        if m := _TOPOLOGY_RE.match(path):
+            cpu, attr = int(m.group(1)), m.group(2)
+            self._check_cpu(cpu, path)
+            return self._dispatch(self._TOPOLOGY_FILES, attr, (cpu,), path)
+        if m := _UNCORE_RE.match(path):
+            package, attr = int(m.group(1)), m.group(2)
+            if not 0 <= package < len(self.node.sockets):
+                raise ConfigurationError(f"{path}: no such package")
+            return self._dispatch(self._UNCORE_FILES, attr, (package,), path)
+        if m := _TOPLEVEL_RE.match(path):
+            return self._cpu_range, (), None
+        raise ConfigurationError(f"{path}: no such sysfs file")
+
+    def _dispatch(self, table, attr, args, path):
+        try:
+            reader, writer = table[attr]
+        except KeyError:
+            raise ConfigurationError(f"{path}: no such sysfs file") from None
+        return (lambda *a: reader(self, *a)), args, \
+            (None if writer is None else (lambda *a: writer(self, *a)))
+
+    def _check_cpu(self, cpu: int, path: str) -> None:
+        if not any(c.core_id == cpu for c in self.node.all_cores):
+            raise ConfigurationError(f"{path}: no such cpu")
+
+    # ---- cpufreq ---------------------------------------------------------
+
+    def _policy(self, cpu: int):
+        return self.cpufreq.policy(cpu)
+
+    def _r_governor(self, cpu: int) -> str:
+        return self._policy(cpu).governor.value
+
+    def _w_governor(self, cpu: int, value: str) -> None:
+        try:
+            self._policy(cpu).governor = Governor(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown governor {value!r}") from None
+
+    def _r_available_governors(self, cpu: int) -> str:
+        return " ".join(g.value for g in Governor)
+
+    def _r_available_frequencies(self, cpu: int) -> str:
+        spec = self.node.core(cpu).spec
+        return " ".join(_khz(f) for f in reversed(spec.pstates_hz))
+
+    def _r_min_freq(self, cpu: int) -> str:
+        return _khz(self._policy(cpu).scaling_min_hz)
+
+    def _w_min_freq(self, cpu: int, value: str) -> None:
+        policy = self._policy(cpu)
+        policy.set_limits(_parse_khz(value, "scaling_min_freq"),
+                          policy.scaling_max_hz)
+
+    def _r_max_freq(self, cpu: int) -> str:
+        return _khz(self._policy(cpu).scaling_max_hz)
+
+    def _w_max_freq(self, cpu: int, value: str) -> None:
+        policy = self._policy(cpu)
+        policy.set_limits(policy.scaling_min_hz,
+                          _parse_khz(value, "scaling_max_freq"))
+
+    def _r_cur_freq(self, cpu: int) -> str:
+        return _khz(self._policy(cpu).scaling_cur_freq_hz)
+
+    def _r_setspeed(self, cpu: int) -> str:
+        policy = self._policy(cpu)
+        if policy.governor is not Governor.USERSPACE \
+                or policy.scaling_setspeed_hz is None:
+            return "<unsupported>"
+        return _khz(policy.scaling_setspeed_hz)
+
+    def _w_setspeed(self, cpu: int, value: str) -> None:
+        f_hz = _parse_khz(value, "scaling_setspeed")
+        # Write-through: sysfs setspeed is an immediate request, exactly
+        # like the direct policy.set_speed + Node.set_pstate pair.
+        self._policy(cpu).set_speed(f_hz)
+        self.node.set_pstate([cpu], f_hz)
+
+    def _r_cpuinfo_min(self, cpu: int) -> str:
+        return _khz(self.node.core(cpu).spec.min_hz)
+
+    def _r_cpuinfo_max(self, cpu: int) -> str:
+        return _khz(self.node.core(cpu).spec.nominal_hz)
+
+    _CPUFREQ_FILES = {
+        "scaling_governor": (_r_governor, _w_governor),
+        "scaling_available_governors": (_r_available_governors, None),
+        "scaling_available_frequencies": (_r_available_frequencies, None),
+        "scaling_min_freq": (_r_min_freq, _w_min_freq),
+        "scaling_max_freq": (_r_max_freq, _w_max_freq),
+        "scaling_cur_freq": (_r_cur_freq, None),
+        "scaling_setspeed": (_r_setspeed, _w_setspeed),
+        "cpuinfo_min_freq": (_r_cpuinfo_min, None),
+        "cpuinfo_max_freq": (_r_cpuinfo_max, None),
+    }
+
+    # ---- cpuidle ---------------------------------------------------------
+
+    def _r_idle_name(self, cpu: int, index: int) -> str:
+        return self._IDLE_STATES[index].name
+
+    def _r_idle_latency(self, cpu: int, index: int) -> str:
+        return str(int(self._acpi.entry(self._IDLE_STATES[index]).latency_us))
+
+    def _r_idle_residency(self, cpu: int, index: int) -> str:
+        return str(int(
+            self._acpi.entry(self._IDLE_STATES[index]).target_residency_us))
+
+    def _r_idle_disable(self, cpu: int, index: int) -> str:
+        state = self._IDLE_STATES[index]
+        core = self.node.core(cpu)
+        return "1" if state in core.disabled_cstates else "0"
+
+    def _w_idle_disable(self, cpu: int, index: int, value: str) -> None:
+        if value not in ("0", "1"):
+            raise ConfigurationError(f"disable: expected 0 or 1, got {value!r}")
+        self.node.core(cpu).set_cstate_disabled(
+            self._IDLE_STATES[index], value == "1")
+
+    _CPUIDLE_FILES = {
+        "name": (_r_idle_name, None),
+        "latency": (_r_idle_latency, None),
+        "residency": (_r_idle_residency, None),
+        "disable": (_r_idle_disable, _w_idle_disable),
+    }
+
+    # ---- power (EPB) -----------------------------------------------------
+
+    def _r_epb(self, cpu: int) -> str:
+        pcu = self.node.pcu_of(cpu)
+        return str(encode_epb(pcu.epb))
+
+    def _w_epb(self, cpu: int, value: str) -> None:
+        try:
+            raw = int(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"energy_perf_bias: expected 0-15, got {value!r}") from None
+        self.node.pcu_of(cpu).epb = decode_epb(raw)
+
+    _POWER_FILES = {
+        "energy_perf_bias": (_r_epb, _w_epb),
+    }
+
+    # ---- topology --------------------------------------------------------
+
+    def _r_package_id(self, cpu: int) -> str:
+        return str(self.node.core(cpu).socket_id)
+
+    def _r_core_id(self, cpu: int) -> str:
+        core = self.node.core(cpu)
+        return str(core.core_id - core.socket_id * core.spec.n_cores)
+
+    _TOPOLOGY_FILES = {
+        "physical_package_id": (_r_package_id, None),
+        "core_id": (_r_core_id, None),
+    }
+
+    # ---- uncore ratio limits ---------------------------------------------
+
+    def _r_uncore_min(self, package: int) -> str:
+        return _khz(self.node.pcus[package].uncore_limit_min_hz)
+
+    def _w_uncore_min(self, package: int, value: str) -> None:
+        self.node.pcus[package].set_uncore_limits(
+            min_hz=_parse_khz(value, "min_freq_khz"))
+
+    def _r_uncore_max(self, package: int) -> str:
+        return _khz(self.node.pcus[package].uncore_limit_max_hz)
+
+    def _w_uncore_max(self, package: int, value: str) -> None:
+        self.node.pcus[package].set_uncore_limits(
+            max_hz=_parse_khz(value, "max_freq_khz"))
+
+    def _r_uncore_initial_min(self, package: int) -> str:
+        return _khz(self.node.spec.cpu.uncore_min_hz)
+
+    def _r_uncore_initial_max(self, package: int) -> str:
+        return _khz(self.node.spec.cpu.uncore_max_hz)
+
+    _UNCORE_FILES = {
+        "min_freq_khz": (_r_uncore_min, _w_uncore_min),
+        "max_freq_khz": (_r_uncore_max, _w_uncore_max),
+        "initial_min_freq_khz": (_r_uncore_initial_min, None),
+        "initial_max_freq_khz": (_r_uncore_initial_max, None),
+    }
+
+    # ---- toplevel --------------------------------------------------------
+
+    def _cpu_range(self) -> str:
+        n = len(self.node.all_cores)
+        return f"0-{n - 1}" if n > 1 else "0"

@@ -19,6 +19,7 @@ from repro.errors import ConfigurationError
 from repro.memory.bandwidth import SocketBandwidthModel
 from repro.memory.latency import dram_latency_ns
 from repro.specs.cpu import CpuSpec
+from repro.topology.routing import LinkDerate
 from repro.units import to_ghz
 
 
@@ -49,22 +50,26 @@ class PlacementResult:
 class NumaBandwidthModel:
     """Placement-aware bandwidth evaluation for one executing socket."""
 
-    def __init__(self, spec: CpuSpec) -> None:
+    def __init__(self, spec: CpuSpec,
+                 derate: LinkDerate | None = None) -> None:
         self.spec = spec
         self.local = SocketBandwidthModel(spec)
+        # Cross-socket link health; a NUMA-link fault degrades it.
+        self.derate = derate if derate is not None else LinkDerate()
 
     @property
     def qpi_data_gbs(self) -> float:
         return (self.spec.microarch.qpi_bandwidth_bytes / 1e9
-                * _QPI_DATA_EFFICIENCY)
+                * _QPI_DATA_EFFICIENCY * self.derate.bandwidth_factor)
 
     def _per_core_limit(self, f_core_hz: float, f_uncore_hz: float,
                         n_threads_per_core: int, remote: bool) -> float:
         cfg = self.local.config
+        remote_add = (_REMOTE_LATENCY_NS + self.derate.latency_add_ns
+                      if remote else 0.0)
         latency = dram_latency_ns(
             f_core_hz, f_uncore_hz, cfg.uncore_ref_hz,
-            base_ns=cfg.dram_base_latency_ns
-            + (_REMOTE_LATENCY_NS if remote else 0.0),
+            base_ns=cfg.dram_base_latency_ns + remote_add,
             core_cycles=cfg.dram_core_overhead_cycles)
         mlp = cfg.lfb_per_core * (1.0 + cfg.ht_mlp_boost
                                   * (min(n_threads_per_core, 2) - 1))
@@ -95,7 +100,8 @@ class NumaBandwidthModel:
                      self.qpi_data_gbs, dram_capacity)
             lat = dram_latency_ns(f_core_hz, f_uncore_hz, cfg.uncore_ref_hz,
                                   base_ns=cfg.dram_base_latency_ns
-                                  + _REMOTE_LATENCY_NS,
+                                  + _REMOTE_LATENCY_NS
+                                  + self.derate.latency_add_ns,
                                   core_cycles=cfg.dram_core_overhead_cycles)
         else:
             # half the stream is local, half crosses QPI; each half is
@@ -109,7 +115,7 @@ class NumaBandwidthModel:
                                    cfg.uncore_ref_hz,
                                    base_ns=cfg.dram_base_latency_ns,
                                    core_cycles=cfg.dram_core_overhead_cycles)
-                   + _REMOTE_LATENCY_NS / 2)
+                   + (_REMOTE_LATENCY_NS + self.derate.latency_add_ns) / 2)
         return PlacementResult(placement=placement,
                                n_threads=n_cores * threads_per_core,
                                bandwidth_gbs=bw, latency_ns=lat)

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 from repro.engine import fastpath
 from repro.engine.rng import spawn_rng
+from repro.errors import ConfigurationError
 from repro.engine.simulator import Simulator
 from repro.pcu.avx import AvxUnit
 from repro.pcu.eet import EetController
@@ -56,6 +57,11 @@ class Pcu:
         # PROCHOT#-style thermal throttle: while set, every grant is
         # clamped to this frequency (fault injection / thermal episodes).
         self.prochot_cap_hz: float | None = None
+        # Software uncore-ratio limits (MSR_UNCORE_RATIO_LIMIT 0x620 via
+        # the host interface). Default to the silicon range, so behaviour
+        # is unchanged until software narrows the window.
+        self.uncore_limit_min_hz: float = self.spec.uncore_min_hz
+        self.uncore_limit_max_hz: float = self.spec.uncore_max_hz
         # Additional tick-timing jitter (fault injection: a disturbed
         # external tick source widens the grant-opportunity spread).
         self.extra_tick_jitter_ns: int = 0
@@ -92,6 +98,32 @@ class Pcu:
             self.sim.schedule_every(self.spec.eet_poll_period_ns,
                                     self._eet_poll,
                                     label=f"eet-poll-s{self.socket.socket_id}")
+
+    # ---- software control -----------------------------------------------------------
+
+    def set_uncore_limits(self, min_hz: float | None = None,
+                          max_hz: float | None = None) -> None:
+        """Narrow (or restore) the uncore frequency window.
+
+        The knob MSR_UNCORE_RATIO_LIMIT exposes: the UFS law still picks
+        the target, but grants are clamped into ``[min_hz, max_hz]``.
+        ``None`` leaves the respective bound unchanged.
+        """
+        new_min = self.uncore_limit_min_hz if min_hz is None else min_hz
+        new_max = self.uncore_limit_max_hz if max_hz is None else max_hz
+        if not (self.spec.uncore_min_hz <= new_min <= new_max
+                <= self.spec.uncore_max_hz):
+            raise ConfigurationError(
+                f"uncore limits [{new_min / 1e9:.2f}, {new_max / 1e9:.2f}] "
+                f"GHz outside the silicon range "
+                f"[{self.spec.uncore_min_hz / 1e9:.2f}, "
+                f"{self.spec.uncore_max_hz / 1e9:.2f}] GHz")
+        self.uncore_limit_min_hz = new_min
+        self.uncore_limit_max_hz = new_max
+
+    def _clamp_uncore(self, f_hz: float) -> float:
+        return min(max(f_hz, self.uncore_limit_min_hz),
+                   self.uncore_limit_max_hz)
 
     # ---- periodic work --------------------------------------------------------------
 
@@ -164,7 +196,8 @@ class Pcu:
         """Everything the grant derivation depends on besides core/uncore
         state (which the node epoch already covers)."""
         return (self._epoch.value, self.epb, self.turbo_enabled,
-                self.eet.trim_hz, self.prochot_cap_hz, self.limiter.budget_w)
+                self.eet.trim_hz, self.prochot_cap_hz, self.limiter.budget_w,
+                self.uncore_limit_min_hz, self.uncore_limit_max_hz)
 
     def _control(self, now_ns: int) -> None:
         socket = self.socket
@@ -216,6 +249,11 @@ class Pcu:
                           if cid in active_ids} or targets
         activity_sum = sum(c.current_phase.power_activity for c in active)
         ufs_target = self._uncore_target(active)
+        if ufs_target is not None:
+            # Software ratio limits (0x620) clamp the UFS target before
+            # the budget split, so TDP headroom freed by a lowered max
+            # flows back to the cores — like the hardware knob.
+            ufs_target = self._clamp_uncore(ufs_target)
         decision = self.limiter.decide(
             targets_hz=decide_targets,
             activity_sum=activity_sum,
@@ -244,12 +282,16 @@ class Pcu:
             self._apply_core_freq(core, granted)
 
         if decision.uncore_hz is not None and not socket.uncore.halted:
-            if abs(decision.uncore_hz - socket.uncore.freq_hz) > 1e6:
+            # Clamp again on apply: a TDP-bound shrink may have pushed
+            # the grant below the software minimum (both control paths
+            # share this, keeping fast/slow bit-identical).
+            uncore_hz = self._clamp_uncore(decision.uncore_hz)
+            if abs(uncore_hz - socket.uncore.freq_hz) > 1e6:
                 self.sim.trace.emit(
                     self.sim.now_ns, f"pcu{socket.socket_id}",
                     "uncore-apply", from_hz=socket.uncore.freq_hz,
-                    to_hz=decision.uncore_hz, tdp_bound=decision.tdp_bound)
-            socket.uncore.set_frequency(decision.uncore_hz)
+                    to_hz=uncore_hz, tdp_bound=decision.tdp_bound)
+            socket.uncore.set_frequency(uncore_hz)
 
         breakdown = socket.last_breakdown
         estimated_w = breakdown.package_w if breakdown is not None \

@@ -4,23 +4,41 @@ The LMG450 measures at the wall, so the AC value a Fig. 2 experiment sees
 is the DC draw pushed through this transfer function. The quadratic
 coefficients live in :class:`repro.specs.node.NodeSpec` and are calibrated
 so the paper's AC-vs-RAPL quadratic fit emerges from the simulation.
+
+Brownouts: a sagging AC input makes a switch-mode PSU draw *more* current
+(and lose more in conversion) for the same DC output. ``input_sag_frac``
+models that as a multiplicative penalty on the wall draw; the fault
+injector drives it for seeded brownout episodes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.specs.node import NodeSpec
 
+# A sag beyond 50 % would have tripped the node, not browned it out.
+_MAX_SAG_FRAC = 0.5
 
-@dataclass(frozen=True)
+
+@dataclass
 class PsuModel:
     """Wraps the node spec's AC transfer function."""
 
     node_spec: NodeSpec
+    # Fractional AC-side penalty while the input sags (0.0 = healthy).
+    input_sag_frac: float = 0.0
+
+    def set_input_sag(self, frac: float) -> None:
+        if not 0.0 <= frac <= _MAX_SAG_FRAC:
+            raise ConfigurationError(
+                f"input sag {frac} outside [0, {_MAX_SAG_FRAC}]")
+        self.input_sag_frac = frac
 
     def ac_power_w(self, dc_rapl_visible_w: float) -> float:
-        return self.node_spec.ac_power_w(dc_rapl_visible_w)
+        return (self.node_spec.ac_power_w(dc_rapl_visible_w)
+                * (1.0 + self.input_sag_frac))
 
     def efficiency(self, dc_rapl_visible_w: float) -> float:
         """Apparent end-to-end efficiency DC/AC at this operating point."""

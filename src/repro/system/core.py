@@ -46,6 +46,9 @@ _EPOCH_FIELDS = frozenset({
 })
 _UNSET = object()
 
+# Fallback chain for disabled idle states (cpuidle demotion order).
+_SHALLOWER = {CState.C6: CState.C3, CState.C3: CState.C1}
+
 
 @dataclass
 class Core:
@@ -64,6 +67,12 @@ class Core:
     avx_license: AvxLicense = AvxLicense.NORMAL
     avx_relax_deadline_ns: int | None = None
     pending_freq_hz: float | None = None
+    # cpuidle-style disable knobs (hostif sysfs ``state*/disable``): a
+    # disabled state demotes idle entries to the next shallower enabled
+    # state. C1 is always available, like a Linux cpuidle fallback.
+    disabled_cstates: set[CState] = field(default_factory=set)
+    # the idle state last asked for, before any disable demotion
+    requested_idle_cstate: CState | None = None
     # cached current phase — hot path; refreshed on bind/advance
     _phase: "WorkloadPhase | None" = None
 
@@ -135,12 +144,40 @@ class Core:
         if phase is not None and phase.active:
             raise SimulationError(
                 f"core {self.core_id} has active work; cannot idle")
-        self.cstate = state
-        if state is CState.C6:
+        self.requested_idle_cstate = state
+        effective = self._effective_idle_state(state)
+        self.cstate = effective
+        if effective is CState.C6:
             self.fivr.gate_off()
+        else:
+            # A demotion away from C6 must keep the domain powered.
+            self.fivr.gate_on()
+
+    def _effective_idle_state(self, state: CState) -> CState:
+        """Demote through disabled states: C6 -> C3 -> C1."""
+        effective = state
+        while effective in self.disabled_cstates and effective is not CState.C1:
+            effective = _SHALLOWER[effective]
+        return effective
+
+    def set_cstate_disabled(self, state: CState, disabled: bool) -> None:
+        """The cpuidle ``disable`` knob for one state of this core."""
+        if state in (CState.C0, CState.C1):
+            raise ConfigurationError(
+                f"{state.name} cannot be disabled ({state.name} is the "
+                "idle fallback)")
+        if disabled:
+            self.disabled_cstates.add(state)
+        else:
+            self.disabled_cstates.discard(state)
+        if not self.is_active:
+            # Re-resolve the resting state immediately, like the cpuidle
+            # governor would at the next idle entry.
+            self.enter_cstate(self.requested_idle_cstate or self.cstate)
 
     def wake(self) -> None:
         self.cstate = CState.C0
+        self.requested_idle_cstate = None
         self.fivr.gate_on()
 
     # ---- frequency ------------------------------------------------------------------

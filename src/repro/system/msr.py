@@ -43,6 +43,11 @@ _POWER_UNIT_W = POWER_UNIT_W
 _PL1_MASK = PL1_MASK
 _PL1_ENABLE = PL1_ENABLE
 
+# Energy-status registers are 32-bit counters that wrap; the raw read must
+# never expose more bits even if a fault hook or injector skewed the
+# underlying count past the wrap boundary.
+_ENERGY_STATUS_MASK = 0xFFFF_FFFF
+
 
 @dataclass
 class MsrSpace:
@@ -73,9 +78,11 @@ class MsrSpace:
             counts = int(pcu.limiter.budget_w / _POWER_UNIT_W) & _PL1_MASK
             return counts | _PL1_ENABLE
         if address == MSR.MSR_PKG_ENERGY_STATUS:
-            return socket.rapl.read_counter(RaplDomain.PACKAGE)
+            return (socket.rapl.read_counter(RaplDomain.PACKAGE)
+                    & _ENERGY_STATUS_MASK)
         if address == MSR.MSR_DRAM_ENERGY_STATUS:
-            return socket.rapl.read_counter(RaplDomain.DRAM)
+            return (socket.rapl.read_counter(RaplDomain.DRAM)
+                    & _ENERGY_STATUS_MASK)
         if address == MSR.MSR_UNCORE_RATIO_LIMIT:
             raise MsrError(
                 "UNCORE_RATIO_LIMIT: neither the MSR number nor its encoding "

@@ -22,6 +22,7 @@ from repro.power.psu import PsuModel
 from repro.specs.node import NodeSpec, HASWELL_TEST_NODE
 from repro.system.core import Core
 from repro.system.socket import Socket
+from repro.topology.routing import LinkDerate
 from repro.units import NS_PER_S
 from repro.workloads.base import Workload
 
@@ -45,6 +46,9 @@ class Node:
         for socket in self.sockets:
             socket.epoch.parent = self.epoch
         self.fastpath_enabled = fastpath.enabled()
+        # Cross-socket (QPI) link health; NUMA-link faults degrade it and
+        # placement studies consult it via NumaBandwidthModel.
+        self.link_derate = LinkDerate()
         self._any_active_epoch = -1
         self._any_active = False
         self._fastest_epoch = -1
@@ -182,6 +186,14 @@ class Node:
     def set_eet(self, enabled: bool) -> None:
         for pcu in self.pcus:
             pcu.eet.enabled = enabled
+
+    def set_uncore_limits(self, min_hz: float | None = None,
+                          max_hz: float | None = None,
+                          socket_ids: list[int] | None = None) -> None:
+        """Narrow the uncore frequency window (MSR 0x620 semantics)."""
+        for pcu in self.pcus:
+            if socket_ids is None or pcu.socket.socket_id in socket_ids:
+                pcu.set_uncore_limits(min_hz, max_hz)
 
     # ---- power views ----------------------------------------------------------------------------
 

@@ -2,12 +2,16 @@
 
 Mirrors the tooling ecosystem the paper works with: a
 ``likwid-powermeter``-style RAPL reporter, a ``likwid-setFrequencies``-
-style p-state utility, and a FIRESTARTER-style stress CLI. Installed as
-``repro-powermeter``, ``repro-setfreq`` and ``repro-firestarter``.
+style p-state utility, a FIRESTARTER-style stress CLI, and a
+``pepc``-style host-interface controller. Installed as
+``repro-powermeter``, ``repro-setfreq``, ``repro-firestarter`` and
+``repro-pepcctl``.
 """
 
 from repro.tools.powermeter import main as powermeter_main
 from repro.tools.setfrequencies import main as setfreq_main
 from repro.tools.firestarter_cli import main as firestarter_main
+from repro.tools.pepcctl import main as pepcctl_main
 
-__all__ = ["powermeter_main", "setfreq_main", "firestarter_main"]
+__all__ = ["powermeter_main", "setfreq_main", "firestarter_main",
+           "pepcctl_main"]

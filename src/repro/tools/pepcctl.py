@@ -1,0 +1,369 @@
+"""``repro-pepcctl`` — pepc-style power-control CLI over the virtual host.
+
+Models the ``pepc`` tool's command surface (``pstates|cstates|power|
+uncore`` × ``info|config``) against the simulated node, operating
+*purely* through the host interface: every value printed is read from
+the virtual sysfs tree or the MSR device, and every knob is written
+through the same files and registers — never through the internal
+Python API. The tool is therefore a living test of the register-level
+contract in ``docs/host_interface.md``.
+
+Examples::
+
+    repro-pepcctl pstates info --cpus 0-3
+    repro-pepcctl pstates config --cpus 0-11 --freq 1.8 --epb 0
+    repro-pepcctl cstates config --cpus 0-23 --disable C6
+    repro-pepcctl power config --packages 0 --pl1 100
+    repro-pepcctl uncore config --min 1.3 --max 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.hostif import HostMsr, VirtualHost
+from repro.hostif.msr_regs import (
+    decode_misc_enable_turbo,
+    decode_power_limit,
+    decode_rapl_energy_unit_j,
+    decode_uncore_ratio_limit,
+)
+from repro.system.node import build_haswell_node
+
+_SYS = "/sys/devices/system/cpu"
+_IDLE_STATE_COUNT = 3
+
+
+# ---- selector parsing ------------------------------------------------------
+
+def parse_cpu_list(spec: str) -> list[int]:
+    """``"0-3,12"`` -> [0, 1, 2, 3, 12]."""
+    cpus: list[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if "-" in part:
+            lo, hi = part.split("-", 1)
+            cpus.extend(range(int(lo), int(hi) + 1))
+        elif part:
+            cpus.append(int(part))
+    if not cpus:
+        raise ValueError(f"empty cpu list {spec!r}")
+    return sorted(set(cpus))
+
+
+def format_cpu_list(cpus: list[int]) -> str:
+    """[0, 1, 2, 3, 12] -> ``"0-3,12"``."""
+    parts: list[str] = []
+    run: list[int] = []
+    for cpu in sorted(cpus):
+        if run and cpu == run[-1] + 1:
+            run.append(cpu)
+            continue
+        if run:
+            parts.append(_run_str(run))
+        run = [cpu]
+    if run:
+        parts.append(_run_str(run))
+    return ",".join(parts)
+
+
+def _run_str(run: list[int]) -> str:
+    return str(run[0]) if len(run) == 1 else f"{run[0]}-{run[-1]}"
+
+
+def _grouped(pairs: list[tuple[int, str]]) -> list[tuple[str, str]]:
+    """(cpu, value) pairs -> [(value, cpu-range)] preserving value order."""
+    by_value: dict[str, list[int]] = {}
+    order: list[str] = []
+    for cpu, value in pairs:
+        if value not in by_value:
+            by_value[value] = []
+            order.append(value)
+        by_value[value].append(cpu)
+    return [(v, format_cpu_list(by_value[v])) for v in order]
+
+
+def _print_grouped(label: str, pairs: list[tuple[int, str]]) -> None:
+    for value, cpus in _grouped(pairs):
+        print(f"  {label}: {value} (cpus {cpus})")
+
+
+def _ghz(khz_text: str) -> str:
+    return f"{int(khz_text) / 1e6:.2f} GHz"
+
+
+# ---- pstates ---------------------------------------------------------------
+
+def _pstates_info(host: VirtualHost, cpus: list[int]) -> None:
+    print(f"pstates info (cpus {format_cpu_list(cpus)})")
+    first = cpus[0]
+    print("  base frequency: "
+          + _ghz(host.sysfs.read(f"{_SYS}/cpu{first}/cpufreq/cpuinfo_max_freq")))
+    print("  min operating frequency: "
+          + _ghz(host.sysfs.read(f"{_SYS}/cpu{first}/cpufreq/cpuinfo_min_freq")))
+    _print_grouped("turbo", [
+        (c, "on" if decode_misc_enable_turbo(
+            host.msr.read(c, HostMsr.IA32_MISC_ENABLE)) else "off")
+        for c in cpus])
+    _print_grouped("governor", [
+        (c, host.sysfs.read(f"{_SYS}/cpu{c}/cpufreq/scaling_governor"))
+        for c in cpus])
+    _print_grouped("scaling min freq", [
+        (c, _ghz(host.sysfs.read(f"{_SYS}/cpu{c}/cpufreq/scaling_min_freq")))
+        for c in cpus])
+    _print_grouped("scaling max freq", [
+        (c, _ghz(host.sysfs.read(f"{_SYS}/cpu{c}/cpufreq/scaling_max_freq")))
+        for c in cpus])
+    _print_grouped("scaling cur freq", [
+        (c, _ghz(host.sysfs.read(f"{_SYS}/cpu{c}/cpufreq/scaling_cur_freq")))
+        for c in cpus])
+    _print_grouped("EPB", [
+        (c, host.sysfs.read(f"{_SYS}/cpu{c}/power/energy_perf_bias"))
+        for c in cpus])
+
+
+def _pstates_config(host: VirtualHost, cpus: list[int],
+                    args: argparse.Namespace) -> None:
+    if args.governor is not None:
+        for c in cpus:
+            host.sysfs.write(f"{_SYS}/cpu{c}/cpufreq/scaling_governor",
+                             args.governor)
+    if args.min is not None:
+        for c in cpus:
+            host.sysfs.write(f"{_SYS}/cpu{c}/cpufreq/scaling_min_freq",
+                             str(int(args.min * 1e6)))
+    if args.max is not None:
+        for c in cpus:
+            host.sysfs.write(f"{_SYS}/cpu{c}/cpufreq/scaling_max_freq",
+                             str(int(args.max * 1e6)))
+    if args.freq is not None:
+        # setspeed needs the userspace governor, like real cpufreq.
+        for c in cpus:
+            host.sysfs.write(f"{_SYS}/cpu{c}/cpufreq/scaling_governor",
+                             "userspace")
+            host.sysfs.write(f"{_SYS}/cpu{c}/cpufreq/scaling_setspeed",
+                             str(int(args.freq * 1e6)))
+    if args.epb is not None:
+        for c in cpus:
+            host.sysfs.write(f"{_SYS}/cpu{c}/power/energy_perf_bias",
+                             str(args.epb))
+    if args.turbo is not None:
+        enabled = args.turbo == "on"
+        for c in cpus:
+            value = host.msr.read(c, HostMsr.IA32_MISC_ENABLE)
+            value = (value & ~(1 << 38)) | (0 if enabled else 1 << 38)
+            host.msr.write(c, HostMsr.IA32_MISC_ENABLE, value)
+    _pstates_info(host, cpus)
+
+
+# ---- cstates ---------------------------------------------------------------
+
+def _cstates_info(host: VirtualHost, cpus: list[int]) -> None:
+    print(f"cstates info (cpus {format_cpu_list(cpus)})")
+    first = cpus[0]
+    for index in range(_IDLE_STATE_COUNT):
+        base = f"{_SYS}/cpu{first}/cpuidle/state{index}"
+        name = host.sysfs.read(f"{base}/name")
+        latency = host.sysfs.read(f"{base}/latency")
+        residency = host.sysfs.read(f"{base}/residency")
+        print(f"  {name}: latency {latency} us, "
+              f"target residency {residency} us")
+        _print_grouped(f"{name} disabled", [
+            (c, host.sysfs.read(
+                f"{_SYS}/cpu{c}/cpuidle/state{index}/disable"))
+            for c in cpus])
+
+
+def _cstates_config(host: VirtualHost, cpus: list[int],
+                    args: argparse.Namespace) -> None:
+    names = [host.sysfs.read(f"{_SYS}/cpu{cpus[0]}/cpuidle/state{i}/name")
+             for i in range(_IDLE_STATE_COUNT)]
+
+    def state_index(name: str) -> int:
+        try:
+            return names.index(name.upper())
+        except ValueError:
+            raise ReproError(f"unknown c-state {name!r}; "
+                             f"available: {' '.join(names)}") from None
+
+    for name in args.disable or []:
+        index = state_index(name)
+        for c in cpus:
+            host.sysfs.write(f"{_SYS}/cpu{c}/cpuidle/state{index}/disable",
+                             "1")
+    for name in args.enable or []:
+        index = state_index(name)
+        for c in cpus:
+            host.sysfs.write(f"{_SYS}/cpu{c}/cpuidle/state{index}/disable",
+                             "0")
+    _cstates_info(host, cpus)
+
+
+# ---- power -----------------------------------------------------------------
+
+def _package_cpus(host: VirtualHost, packages: list[int]) -> dict[int, int]:
+    """package id -> one cpu on it (for package-scoped MSRs)."""
+    chosen: dict[int, int] = {}
+    for cpu in host.cpu_ids:
+        package = int(host.sysfs.read(
+            f"{_SYS}/cpu{cpu}/topology/physical_package_id"))
+        if package in packages and package not in chosen:
+            chosen[package] = cpu
+    missing = set(packages) - set(chosen)
+    if missing:
+        raise ReproError(f"no such package(s): {sorted(missing)}")
+    return chosen
+
+
+def _power_info(host: VirtualHost, packages: list[int]) -> None:
+    print(f"power info (packages {format_cpu_list(packages)})")
+    for package, cpu in _package_cpus(host, packages).items():
+        unit = host.msr.read(cpu, HostMsr.MSR_RAPL_POWER_UNIT)
+        limit_w, enabled = decode_power_limit(
+            host.msr.read(cpu, HostMsr.MSR_PKG_POWER_LIMIT))
+        pkg = host.msr.read(cpu, HostMsr.MSR_PKG_ENERGY_STATUS)
+        dram = host.msr.read(cpu, HostMsr.MSR_DRAM_ENERGY_STATUS)
+        print(f"  package {package}:")
+        print(f"    RAPL energy unit: "
+              f"{decode_rapl_energy_unit_j(unit) * 1e6:.2f} uJ")
+        print(f"    PL1 limit: {limit_w:.1f} W "
+              f"({'enabled' if enabled else 'disabled'})")
+        print(f"    PKG_ENERGY_STATUS: {pkg}")
+        print(f"    DRAM_ENERGY_STATUS: {dram}")
+
+
+def _power_config(host: VirtualHost, packages: list[int],
+                  args: argparse.Namespace) -> None:
+    if args.pl1 is not None:
+        for cpu in _package_cpus(host, packages).values():
+            host.msr.write(cpu, HostMsr.MSR_PKG_POWER_LIMIT,
+                           int(args.pl1 / 0.125) | (1 << 15))
+    _power_info(host, packages)
+
+
+# ---- uncore ----------------------------------------------------------------
+
+def _uncore_info(host: VirtualHost, packages: list[int]) -> None:
+    print(f"uncore info (packages {format_cpu_list(packages)})")
+    chosen = _package_cpus(host, packages)
+    for package in packages:
+        base = f"{_SYS}/intel_uncore_frequency/package_{package}_die_00"
+        min_hz, max_hz = decode_uncore_ratio_limit(
+            host.msr.read(chosen[package], HostMsr.MSR_UNCORE_RATIO_LIMIT))
+        print(f"  package {package}:")
+        print("    limit window: "
+              + _ghz(host.sysfs.read(f"{base}/min_freq_khz")) + " .. "
+              + _ghz(host.sysfs.read(f"{base}/max_freq_khz")))
+        print("    silicon range: "
+              + _ghz(host.sysfs.read(f"{base}/initial_min_freq_khz")) + " .. "
+              + _ghz(host.sysfs.read(f"{base}/initial_max_freq_khz")))
+        print(f"    MSR 0x620: min {min_hz / 1e9:.2f} GHz, "
+              f"max {max_hz / 1e9:.2f} GHz")
+
+
+def _uncore_config(host: VirtualHost, packages: list[int],
+                   args: argparse.Namespace) -> None:
+    for package in packages:
+        base = f"{_SYS}/intel_uncore_frequency/package_{package}_die_00"
+        if args.min is not None:
+            host.sysfs.write(f"{base}/min_freq_khz",
+                             str(int(args.min * 1e6)))
+        if args.max is not None:
+            host.sysfs.write(f"{base}/max_freq_khz",
+                             str(int(args.max * 1e6)))
+    _uncore_info(host, packages)
+
+
+# ---- entry point -----------------------------------------------------------
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pepcctl",
+        description="pepc-style control of the simulated node, purely "
+                    "through the virtual sysfs/MSR host interface")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulator seed for the node to inspect")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_action(cmd: argparse.ArgumentParser, cpu_scoped: bool):
+        action = cmd.add_subparsers(dest="action", required=True)
+        info = action.add_parser("info", help="print current settings")
+        config = action.add_parser("config", help="apply settings, "
+                                                  "then print them")
+        scope = ("--cpus", "cpu list, e.g. 0-3,12 (default: all)") \
+            if cpu_scoped else ("--packages", "package list (default: all)")
+        for p in (info, config):
+            p.add_argument(scope[0], default=None, help=scope[1])
+        return config
+
+    pstates = sub.add_parser("pstates", help="frequency / EPB / turbo")
+    config = add_action(pstates, cpu_scoped=True)
+    config.add_argument("--governor", choices=[
+        "performance", "powersave", "userspace", "ondemand"])
+    config.add_argument("--min", type=float, help="scaling min freq, GHz")
+    config.add_argument("--max", type=float, help="scaling max freq, GHz")
+    config.add_argument("--freq", type=float,
+                        help="pin via userspace setspeed, GHz")
+    config.add_argument("--epb", type=int, help="raw EPB value 0-15")
+    config.add_argument("--turbo", choices=["on", "off"])
+
+    cstates = sub.add_parser("cstates", help="idle states and disables")
+    config = add_action(cstates, cpu_scoped=True)
+    config.add_argument("--disable", action="append", metavar="CSTATE")
+    config.add_argument("--enable", action="append", metavar="CSTATE")
+
+    power = sub.add_parser("power", help="RAPL units / limits / counters")
+    config = add_action(power, cpu_scoped=False)
+    config.add_argument("--pl1", type=float, help="PL1 budget, watts")
+
+    uncore = sub.add_parser("uncore", help="uncore ratio-limit window")
+    config = add_action(uncore, cpu_scoped=False)
+    config.add_argument("--min", type=float, help="uncore min, GHz")
+    config.add_argument("--max", type=float, help="uncore max, GHz")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    sim, node = build_haswell_node(seed=args.seed)
+    host = VirtualHost(sim, node)
+
+    try:
+        if args.command in ("pstates", "cstates"):
+            cpus = parse_cpu_list(args.cpus) if args.cpus else host.cpu_ids
+            bad = set(cpus) - set(host.cpu_ids)
+            if bad:
+                raise ValueError(f"no such cpu(s): {sorted(bad)}")
+            if args.command == "pstates":
+                (_pstates_info(host, cpus) if args.action == "info"
+                 else _pstates_config(host, cpus, args))
+            else:
+                (_cstates_info(host, cpus) if args.action == "info"
+                 else _cstates_config(host, cpus, args))
+        else:
+            all_packages = list(range(len(node.sockets)))
+            packages = parse_cpu_list(args.packages) if args.packages \
+                else all_packages
+            if set(packages) - set(all_packages):
+                raise ValueError(
+                    f"no such package(s): "
+                    f"{sorted(set(packages) - set(all_packages))}")
+            if args.command == "power":
+                (_power_info(host, packages) if args.action == "info"
+                 else _power_config(host, packages, args))
+            else:
+                (_uncore_info(host, packages) if args.action == "info"
+                 else _uncore_config(host, packages, args))
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

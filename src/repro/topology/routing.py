@@ -5,13 +5,69 @@ core-to-L3-slice distance grows with die size, one reason large dies need
 the queue-bridged layout the paper describes). In the default hardware
 configuration this complexity is invisible to software — the paper notes
 this — so these helpers are analysis tools, not simulation state.
+
+The one mutable piece is :class:`LinkDerate`: a degradation knob on the
+cross-socket (QPI) link that the fault injector drives for NUMA-link
+faults. A derate scales link bandwidth down and adds per-hop latency;
+the NUMA placement model consults it when evaluating remote traffic.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import networkx as nx
 
+from repro.errors import ConfigurationError
 from repro.topology.die import Die
+
+
+@dataclass
+class LinkDerate:
+    """Mutable degradation state of the cross-socket link.
+
+    ``bandwidth_factor`` multiplies the effective link data bandwidth
+    (1.0 = healthy); ``latency_add_ns`` is added to every remote hop.
+    """
+
+    bandwidth_factor: float = 1.0
+    latency_add_ns: float = 0.0
+
+    def degrade(self, bandwidth_factor: float = 1.0,
+                latency_add_ns: float = 0.0) -> None:
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise ConfigurationError(
+                f"bandwidth factor {bandwidth_factor} outside (0, 1]")
+        if latency_add_ns < 0.0:
+            raise ConfigurationError("latency adder must be >= 0")
+        self.bandwidth_factor = bandwidth_factor
+        self.latency_add_ns = latency_add_ns
+
+    def restore(self) -> None:
+        self.bandwidth_factor = 1.0
+        self.latency_add_ns = 0.0
+
+    @property
+    def healthy(self) -> bool:
+        return self.bandwidth_factor == 1.0 and self.latency_add_ns == 0.0
+
+
+def derated_path_latency_ns(die: Die, src_name: str, dst_name: str,
+                            ns_per_hop: float,
+                            derate: LinkDerate | None = None) -> float:
+    """Stop-to-stop latency with the derate's per-path adder applied."""
+    base = hop_count(die, src_name, dst_name) * ns_per_hop
+    if derate is None:
+        return base
+    return base + derate.latency_add_ns
+
+
+def derated_link_bandwidth_gbs(base_gbs: float,
+                               derate: LinkDerate | None = None) -> float:
+    """Effective link bandwidth after any active derate."""
+    if derate is None:
+        return base_gbs
+    return base_gbs * derate.bandwidth_factor
 
 
 def ring_path(die: Die, src_name: str, dst_name: str) -> list[str]:

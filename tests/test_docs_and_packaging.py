@@ -59,7 +59,7 @@ class TestPackaging:
 
         config = tomllib.loads((REPO / "pyproject.toml").read_text())
         scripts = config["project"]["scripts"]
-        assert len(scripts) == 3
+        assert len(scripts) == 4
         for target in scripts.values():
             module, func = target.split(":")
             mod = importlib.import_module(module)

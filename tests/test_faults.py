@@ -377,3 +377,111 @@ class TestChaos:
             n2 = build_node(s2, HASWELL_TEST_NODE)
             logs = chaos.injector_logs()
             assert len(logs) == 2
+
+
+# ---- NUMA-link degradation ------------------------------------------------
+
+
+class TestNumaLinkFault:
+    def _plan(self):
+        return _plan(FaultEvent(seconds(1), FaultKind.NUMA_LINK, _pairs(
+            duration_ns=seconds(2), bandwidth_factor=0.5,
+            latency_add_ns=100.0)))
+
+    def test_derates_link_then_restores(self):
+        sim, node, injector = _armed_node(self._plan())
+        assert node.link_derate.healthy
+        sim.run_for(seconds(2))                    # mid-episode
+        assert node.link_derate.bandwidth_factor == 0.5
+        assert node.link_derate.latency_add_ns == 100.0
+        sim.run_for(seconds(2))                    # past the window
+        assert node.link_derate.healthy
+        assert injector.log[0]["kind"] == "numa-link"
+
+    def test_derate_shrinks_remote_bandwidth(self):
+        from repro.memory.numa import NumaBandwidthModel, Placement
+        from repro.specs.cpu import E5_2680_V3
+        from repro.units import ghz
+
+        sim, node, _ = _armed_node(self._plan())
+        model = NumaBandwidthModel(E5_2680_V3, node.link_derate)
+        healthy = model.evaluate(Placement.REMOTE, 12, ghz(2.5), ghz(3.0))
+        local_healthy = model.evaluate(Placement.LOCAL, 12, ghz(2.5),
+                                       ghz(3.0))
+        sim.run_for(seconds(2))
+        degraded = model.evaluate(Placement.REMOTE, 12, ghz(2.5), ghz(3.0))
+        assert degraded.bandwidth_gbs < healthy.bandwidth_gbs
+        assert degraded.latency_ns > healthy.latency_ns
+        # local traffic never crosses the link
+        local_degraded = model.evaluate(Placement.LOCAL, 12, ghz(2.5),
+                                        ghz(3.0))
+        assert local_degraded.bandwidth_gbs == local_healthy.bandwidth_gbs
+        assert local_degraded.latency_ns == local_healthy.latency_ns
+
+    def test_degrade_validates_inputs(self):
+        from repro.errors import ConfigurationError
+        from repro.topology.routing import LinkDerate
+
+        derate = LinkDerate()
+        with pytest.raises(ConfigurationError):
+            derate.degrade(bandwidth_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            derate.degrade(bandwidth_factor=1.2)
+        with pytest.raises(ConfigurationError):
+            derate.degrade(latency_add_ns=-1.0)
+
+
+# ---- PSU brownout ---------------------------------------------------------
+
+
+class TestPsuBrownoutFault:
+    def _plan(self):
+        return _plan(FaultEvent(seconds(1), FaultKind.PSU_BROWNOUT, _pairs(
+            duration_ns=seconds(2), sag_frac=0.1)))
+
+    def test_inflates_ac_power_then_restores(self):
+        sim, node, injector = _armed_node(self._plan())
+        node.run_workload([0, 1], compute())
+        sim.run_for(ms(500))
+        healthy_w = node.ac_power_w()
+        sim.run_for(seconds(1.5))                  # mid-episode
+        assert node.psu.input_sag_frac == 0.1
+        assert node.ac_power_w() == pytest.approx(healthy_w * 1.1, rel=1e-6)
+        sim.run_for(seconds(2))                    # past the window
+        assert node.psu.input_sag_frac == 0.0
+        assert node.ac_power_w() == pytest.approx(healthy_w, rel=1e-6)
+        assert injector.log[0]["kind"] == "psu-brownout"
+
+    def test_dc_side_untouched(self):
+        """A brownout wastes wall power; the DC rails see nothing."""
+        sim, node, _ = _armed_node(self._plan())
+        node.run_workload([0, 1], compute())
+        sim.run_for(ms(500))
+        dc_before = node.dc_rapl_visible_w()
+        sim.run_for(seconds(1.5))
+        assert node.dc_rapl_visible_w() == pytest.approx(dc_before, rel=1e-6)
+
+    def test_sag_validation(self):
+        from repro.errors import ConfigurationError
+
+        sim, node, _ = _armed_node(_plan())
+        with pytest.raises(ConfigurationError):
+            node.psu.set_input_sag(-0.01)
+        with pytest.raises(ConfigurationError):
+            node.psu.set_input_sag(0.6)
+
+
+class TestStressProfiles:
+    def test_numa_link_stress_generates_only_numa_link(self):
+        from repro.faults import NUMA_LINK_STRESS
+
+        plan = FaultPlan.generate(7, profile=NUMA_LINK_STRESS)
+        assert plan.events
+        assert {ev.kind for ev in plan.events} == {FaultKind.NUMA_LINK}
+
+    def test_psu_brownout_stress_generates_only_brownouts(self):
+        from repro.faults import PSU_BROWNOUT_STRESS
+
+        plan = FaultPlan.generate(7, profile=PSU_BROWNOUT_STRESS)
+        assert plan.events
+        assert {ev.kind for ev in plan.events} == {FaultKind.PSU_BROWNOUT}

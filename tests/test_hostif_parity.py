@@ -1,0 +1,23 @@
+"""Governor-in-the-loop parity: hostif-configured runs must be
+bit-identical to the direct-API path, with the fastpath on AND off."""
+
+from __future__ import annotations
+
+from repro.experiments import render_hostif_parity, run_hostif_parity
+from repro.units import ms
+
+
+class TestHostifParity:
+    def test_all_four_runs_bit_identical(self):
+        result = run_hostif_parity(measure_ns=ms(10))
+        assert result.parity[True], "hostif != direct with fastpath on"
+        assert result.parity[False], "hostif != direct with fastpath off"
+        assert result.all_identical, "fastpath on/off reports diverge"
+
+    def test_render_reports_verdicts(self):
+        result = run_hostif_parity(measure_ns=ms(5))
+        text = render_hostif_parity(result)
+        assert "Host-interface parity" in text
+        assert "fastpath on: hostif vs direct -> bit-identical" in text
+        assert "fastpath off: hostif vs direct -> bit-identical" in text
+        assert "DIVERGED" not in text

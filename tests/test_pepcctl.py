@@ -1,0 +1,131 @@
+"""Golden-output tests for the pepc-style control CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tools.pepcctl import format_cpu_list, main, parse_cpu_list
+
+PSTATES_INFO_DEFAULT = """\
+pstates info (cpus 0-3)
+  base frequency: 2.50 GHz
+  min operating frequency: 1.20 GHz
+  turbo: on (cpus 0-3)
+  governor: ondemand (cpus 0-3)
+  scaling min freq: 1.20 GHz (cpus 0-3)
+  scaling max freq: 2.50 GHz (cpus 0-3)
+  scaling cur freq: 2.50 GHz (cpus 0-3)
+  EPB: 6 (cpus 0-3)
+"""
+
+CSTATES_INFO_DEFAULT = """\
+cstates info (cpus 0)
+  C1: latency 2 us, target residency 2 us
+  C1 disabled: 0 (cpus 0)
+  C3: latency 33 us, target residency 99 us
+  C3 disabled: 0 (cpus 0)
+  C6: latency 133 us, target residency 399 us
+  C6 disabled: 0 (cpus 0)
+"""
+
+POWER_INFO_DEFAULT = """\
+power info (packages 0-1)
+  package 0:
+    RAPL energy unit: 61.04 uJ
+    PL1 limit: 120.0 W (enabled)
+    PKG_ENERGY_STATUS: 0
+    DRAM_ENERGY_STATUS: 0
+  package 1:
+    RAPL energy unit: 61.04 uJ
+    PL1 limit: 120.0 W (enabled)
+    PKG_ENERGY_STATUS: 0
+    DRAM_ENERGY_STATUS: 0
+"""
+
+UNCORE_INFO_LIMITED = """\
+uncore info (packages 0-1)
+  package 0:
+    limit window: 1.30 GHz .. 1.50 GHz
+    silicon range: 1.20 GHz .. 3.00 GHz
+    MSR 0x620: min 1.30 GHz, max 1.50 GHz
+  package 1:
+    limit window: 1.30 GHz .. 1.50 GHz
+    silicon range: 1.20 GHz .. 3.00 GHz
+    MSR 0x620: min 1.30 GHz, max 1.50 GHz
+"""
+
+
+class TestCpuListHelpers:
+    def test_parse_ranges_and_singles(self):
+        assert parse_cpu_list("0-3,12") == [0, 1, 2, 3, 12]
+        assert parse_cpu_list("5") == [5]
+        assert parse_cpu_list("3,1,2,2") == [1, 2, 3]
+
+    def test_format_collapses_runs(self):
+        assert format_cpu_list([0, 1, 2, 3, 12]) == "0-3,12"
+        assert format_cpu_list([7]) == "7"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_cpu_list("0-")
+        with pytest.raises(ValueError):
+            parse_cpu_list("three")
+
+
+class TestGoldenInfo:
+    def test_pstates_info(self, capsys):
+        assert main(["pstates", "info", "--cpus", "0-3"]) == 0
+        assert capsys.readouterr().out == PSTATES_INFO_DEFAULT
+
+    def test_cstates_info(self, capsys):
+        assert main(["cstates", "info", "--cpus", "0"]) == 0
+        assert capsys.readouterr().out == CSTATES_INFO_DEFAULT
+
+    def test_power_info(self, capsys):
+        assert main(["power", "info"]) == 0
+        assert capsys.readouterr().out == POWER_INFO_DEFAULT
+
+
+class TestGoldenConfig:
+    def test_pstates_config_pins_frequency_and_bias(self, capsys):
+        assert main(["pstates", "config", "--cpus", "0-1",
+                     "--freq", "1.8", "--epb", "0", "--turbo", "off"]) == 0
+        out = capsys.readouterr().out
+        assert "turbo: off (cpus 0-1)" in out
+        assert "governor: userspace (cpus 0-1)" in out
+        assert "EPB: 0 (cpus 0-1)" in out
+
+    def test_cstates_config_disable(self, capsys):
+        assert main(["cstates", "config", "--cpus", "0",
+                     "--disable", "C6"]) == 0
+        out = capsys.readouterr().out
+        assert "C6 disabled: 1 (cpus 0)" in out
+        assert "C3 disabled: 0 (cpus 0)" in out
+
+    def test_power_config_pl1(self, capsys):
+        assert main(["power", "config", "--pl1", "100"]) == 0
+        assert "PL1 limit: 100.0 W (enabled)" in capsys.readouterr().out
+
+    def test_uncore_config_window(self, capsys):
+        assert main(["uncore", "config", "--min", "1.3", "--max", "1.5"]) == 0
+        assert capsys.readouterr().out == UNCORE_INFO_LIMITED
+
+
+class TestErrors:
+    def test_unknown_cstate_reports_and_fails(self, capsys):
+        assert main(["cstates", "config", "--cpus", "0",
+                     "--disable", "C9"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown c-state 'C9'" in err
+
+    def test_out_of_range_cpu(self, capsys):
+        assert main(["pstates", "info", "--cpus", "99"]) == 1
+        assert "no such cpu" in capsys.readouterr().err
+
+    def test_uncore_window_outside_silicon_range(self, capsys):
+        assert main(["uncore", "config", "--min", "0.5", "--max", "1.5"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_cpu_list_syntax(self, capsys):
+        assert main(["pstates", "info", "--cpus", "0-"]) == 1
+        assert "error:" in capsys.readouterr().err
