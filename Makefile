@@ -2,13 +2,29 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-simcore bench-full chaos chaos-smoke hostif-smoke experiments examples clean
+.PHONY: install test lint sanitize-smoke bench bench-simcore bench-full chaos chaos-smoke hostif-smoke experiments examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static analysis: the repo's own AST rule engine (determinism, unit
+# suffixes, MSR layout, epoch hygiene — see docs/static_analysis.md),
+# plus ruff as a generic baseline when it is installed (CI installs it;
+# the pinned local toolchain may not have it).
+lint:
+	$(PYTHON) -m repro.lint
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; \
+	then ruff check .; \
+	else echo "ruff not installed; skipped baseline check"; fi
+
+# Runtime sanitizer smoke: the four-way hostif/fastpath parity run with
+# the RNG draw ledger and the epoch-consistency checker armed. Fails on
+# any state divergence, ledger divergence, or stale rate cache.
+sanitize-smoke:
+	$(PYTHON) -m repro.experiments.hostif_parity
 
 bench: bench-simcore
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cstates.acpi import AcpiCStateTable
+from repro.engine.rng import make_rng
 from repro.cstates.governor import MenuGovernor
 from repro.cstates.latency import WakeLatencyModel, WakeScenario
 from repro.cstates.states import CState
@@ -92,7 +93,7 @@ class IdleLoopSimulator:
 def interrupt_interval_mix(n: int, mean_us: float = 180.0,
                            seed: int = 11) -> np.ndarray:
     """A realistic long-tailed idle-interval distribution (lognormal)."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     sigma = 0.8
     mu = np.log(mean_us) - sigma ** 2 / 2
     return rng.lognormal(mu, sigma, size=n)

@@ -15,9 +15,23 @@ DEFAULT_SEED = 0x9A5735
 
 def make_rng(seed: int | None = None) -> np.random.Generator:
     """A fresh root generator (``DEFAULT_SEED`` if none given)."""
+    # repro-lint: disable=det-rng — this IS the sanctioned seeded root; every stream derives from here
     return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
 
 
 def spawn_rng(parent: np.random.Generator) -> np.random.Generator:
-    """An independent child stream of ``parent``."""
-    return np.random.default_rng(parent.bit_generator.seed_seq.spawn(1)[0])
+    """An independent child stream of ``parent``.
+
+    Spawning from a sanitize-mode ledgered stream yields a child that
+    records into the same ledger (see :mod:`repro.engine.sanitize`);
+    the drawn values are identical either way.
+    """
+    from repro.engine import sanitize
+
+    ledger = sanitize.ledger_of(parent)
+    # repro-lint: disable=det-rng — seeded spawn from the parent stream, no ambient entropy
+    child = np.random.default_rng(
+        sanitize.unwrap_rng(parent).bit_generator.seed_seq.spawn(1)[0])
+    if ledger is not None:
+        return sanitize.wrap_rng(child, ledger)
+    return child

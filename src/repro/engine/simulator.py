@@ -13,6 +13,7 @@ from typing import Any, Callable, Protocol
 
 import numpy as np
 
+from repro.engine import sanitize
 from repro.engine.events import Event, EventQueue
 from repro.engine.rng import make_rng
 from repro.engine.trace import TraceRecorder
@@ -65,6 +66,13 @@ class Simulator:
         self.now_ns: int = 0
         self.queue = EventQueue()
         self.rng: np.random.Generator = make_rng(seed)
+        # Sanitize mode (REPRO_SANITIZE=1): wrap the root stream so every
+        # draw — here and in all spawned children — lands in the ledger.
+        # Wrapping changes no drawn value, only records sites.
+        self.ledger: sanitize.DrawLedger | None = None
+        if sanitize.enabled():
+            self.ledger = sanitize.DrawLedger()
+            self.rng = sanitize.wrap_rng(self.rng, self.ledger)
         self.trace = trace if trace is not None else TraceRecorder(kinds=set())
         self._integrators: list[Integrator] = []
         self._fault_hooks: dict[str, list[Callable[..., Any]]] = {}

@@ -31,6 +31,18 @@ class MeasurementError(ReproError):
     """An instrument was used outside its operating envelope."""
 
 
+class SanitizeError(ReproError):
+    """The runtime determinism sanitizer detected an invariant violation."""
+
+
+class EpochConsistencyError(SanitizeError):
+    """A cached segment-rate matrix no longer matches a from-scratch
+    recompute: some mutation of rate-relevant state skipped the
+    ``__setattr__``-intercepted path and never bumped the socket's
+    :class:`~repro.engine.epoch.EpochCell`.
+    """
+
+
 class FaultInjectionError(ReproError):
     """A fault plan or injector was configured or driven incorrectly."""
 

@@ -19,7 +19,7 @@ disabled on the idle cores (cpuidle sysfs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cpufreq.policy import Governor
 from repro.cstates.states import CState
@@ -111,14 +111,16 @@ def _render_state(host: VirtualHost) -> str:
 
 
 def _run_variant(variant: str, fastpath: bool, seed: int,
-                 measure_ns: int) -> str:
+                 measure_ns: int) -> tuple[str, str | None, int]:
     sim, node = build_haswell_node(seed=seed)
     node.set_fastpath(fastpath)
     host = VirtualHost(sim, node).start()
     _CONFIGURE[variant](host)
     node.run_workload(list(_ACTIVE_CPUS), firestarter())
     sim.run_for(measure_ns)
-    return _render_state(host)
+    ledger = sim.ledger.render() if sim.ledger is not None else None
+    checks = sum(s.sanitize_checks for s in node.sockets)
+    return _render_state(host), ledger, checks
 
 
 @dataclass(frozen=True)
@@ -127,6 +129,11 @@ class HostifParityResult:
     measure_ns: int
     # (variant, fastpath) -> rendered state
     reports: dict[tuple[str, bool], str]
+    # (variant, fastpath) -> rendered RNG draw ledger; None unless the
+    # runs executed under sanitize mode (REPRO_SANITIZE=1)
+    ledgers: dict[tuple[str, bool], str | None] = field(default_factory=dict)
+    # (variant, fastpath) -> epoch-consistency recomputes performed
+    sanitize_checks: dict[tuple[str, bool], int] = field(default_factory=dict)
 
     def report(self, variant: str, fastpath: bool) -> str:
         return self.reports[(variant, fastpath)]
@@ -142,16 +149,36 @@ class HostifParityResult:
         """Both variants and both fastpath settings agree bit-for-bit."""
         return len(set(self.reports.values())) == 1
 
+    @property
+    def sanitized(self) -> bool:
+        """Did the runs carry RNG draw ledgers (sanitize mode on)?"""
+        return bool(self.ledgers) and None not in self.ledgers.values()
+
+    @property
+    def ledgers_identical(self) -> bool:
+        """All four runs drew from the same sites in the same order."""
+        return self.sanitized and len(set(self.ledgers.values())) == 1
+
+    @property
+    def total_sanitize_checks(self) -> int:
+        return sum(self.sanitize_checks.values())
+
 
 def run_hostif_parity(seed: int = 271,
                       measure_ns: int = ms(20)) -> HostifParityResult:
-    reports = {
-        (variant, fastpath): _run_variant(variant, fastpath, seed, measure_ns)
-        for fastpath in (True, False)
-        for variant in ("direct", "hostif")
-    }
+    reports: dict[tuple[str, bool], str] = {}
+    ledgers: dict[tuple[str, bool], str | None] = {}
+    checks: dict[tuple[str, bool], int] = {}
+    for fastpath in (True, False):
+        for variant in ("direct", "hostif"):
+            state, ledger, n_checks = _run_variant(
+                variant, fastpath, seed, measure_ns)
+            reports[(variant, fastpath)] = state
+            ledgers[(variant, fastpath)] = ledger
+            checks[(variant, fastpath)] = n_checks
     return HostifParityResult(seed=seed, measure_ns=measure_ns,
-                              reports=reports)
+                              reports=reports, ledgers=ledgers,
+                              sanitize_checks=checks)
 
 
 def render_hostif_parity(result: HostifParityResult) -> str:
@@ -170,6 +197,15 @@ def render_hostif_parity(result: HostifParityResult) -> str:
     lines.append("fastpath on vs off (direct): "
                  + ("bit-identical" if result.report("direct", True)
                     == result.report("direct", False) else "DIVERGED"))
+    if result.sanitized:
+        verdict = ("identical" if result.ledgers_identical
+                   else "DIVERGED")
+        draws = result.ledgers[("direct", True)]
+        n_draws = len(draws.splitlines()) if draws else 0
+        lines.append(
+            f"sanitize: RNG draw ledgers across all 4 runs -> {verdict} "
+            f"({n_draws} ledger entries, "
+            f"{result.total_sanitize_checks} epoch-consistency checks)")
     lines.append("")
     lines.append("state (hostif, fastpath on):")
     lines.extend("  " + ln for ln in
@@ -179,4 +215,56 @@ def render_hostif_parity(result: HostifParityResult) -> str:
             lines.append("")
             lines.append(f"-- {variant}, fastpath {'on' if fastpath else 'off'}")
             lines.extend("  " + ln for ln in text.splitlines())
+    if result.sanitized and not result.ledgers_identical:
+        for (variant, fastpath), text in sorted(result.ledgers.items()):
+            lines.append("")
+            lines.append(f"-- ledger: {variant}, "
+                         f"fastpath {'on' if fastpath else 'off'}")
+            lines.extend("  " + ln for ln in (text or "").splitlines())
     return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``make sanitize-smoke`` entry: parity run under sanitize mode.
+
+    Forces sanitize mode on (no need to export ``REPRO_SANITIZE``),
+    runs the four-way parity experiment, and fails unless the state
+    reports are bit-identical, the RNG draw ledgers agree across all
+    four runs, the epoch-consistency checker actually ran, and no
+    :class:`~repro.errors.EpochConsistencyError` was raised (one would
+    propagate out of ``run_hostif_parity``).
+    """
+    import argparse
+
+    from repro.engine import sanitize
+
+    parser = argparse.ArgumentParser(
+        description="hostif/fastpath parity under the runtime sanitizer")
+    parser.add_argument("--measure-ms", type=int, default=20,
+                        help="simulated time per run (default 20 ms)")
+    args = parser.parse_args(argv)
+
+    sanitize.set_enabled(True)
+    try:
+        result = run_hostif_parity(measure_ns=ms(args.measure_ms))
+    finally:
+        sanitize.set_enabled(None)
+    print(render_hostif_parity(result))
+    failures = []
+    if not result.all_identical:
+        failures.append("state reports diverged")
+    if not result.sanitized:
+        failures.append("runs carried no RNG draw ledger")
+    elif not result.ledgers_identical:
+        failures.append("RNG draw ledgers diverged")
+    if result.total_sanitize_checks == 0:
+        failures.append("epoch-consistency checker never ran")
+    if failures:
+        print("SANITIZE FAIL: " + "; ".join(failures))
+        return 1
+    print("SANITIZE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -222,6 +222,7 @@ class ExperimentRunner:
     # ---- internals --------------------------------------------------------
 
     def _run_one(self, spec: ExperimentSpec) -> ExperimentOutcome:
+        # repro-lint: disable=det-wallclock — harness-side duration report; never enters simulator state
         t0 = time.monotonic()
         retryable = tuple(self.retry_on)
         last_error: BaseException | None = None
@@ -278,6 +279,7 @@ class ExperimentRunner:
                 text: str | None = None) -> ExperimentOutcome:
         outcome = ExperimentOutcome(
             name=spec.name, status=status, attempts=attempts,
+            # repro-lint: disable=det-wallclock — harness-side duration report; never enters simulator state
             duration_s=time.monotonic() - t0, error=error, text=text)
         if text is not None and self.artifact_writer is not None:
             outcome.artifact = str(self.artifact_writer(spec.name, text))

@@ -16,11 +16,35 @@ ratio in bits 6:0, min ratio in bits 14:8, in units of the 100 MHz BCLK.
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 
 from repro.errors import MsrError
 
 #: Haswell-EP bus clock: every ratio field is in multiples of this.
 BCLK_HZ = 100_000_000
+
+
+@dataclass(frozen=True)
+class BitField:
+    """One contiguous field of a 64-bit MSR: ``bits hi:lo`` in SDM terms."""
+
+    name: str
+    lo: int
+    width: int
+
+    @property
+    def hi(self) -> int:
+        return self.lo + self.width - 1
+
+    @property
+    def value_mask(self) -> int:
+        """The unshifted mask (what the field value is ANDed with)."""
+        return (1 << self.width) - 1
+
+    @property
+    def mask(self) -> int:
+        """The in-register mask (shifted to the field position)."""
+        return self.value_mask << self.lo
 
 
 class HostMsr(enum.IntEnum):
@@ -39,6 +63,36 @@ class HostMsr(enum.IntEnum):
     MSR_DRAM_ENERGY_STATUS = 0x619
     MSR_UNCORE_RATIO_LIMIT = 0x620
     MSR_PP0_ENERGY_STATUS = 0x639
+
+
+# ---- declarative register layout -------------------------------------------
+# The single source of truth for every mask and shift below. The
+# ``msr-layout`` rule of ``repro-lint`` validates it statically (fields
+# must not overlap, must fit 64 bits, energy-status registers must carry
+# the 32-bit wrap field) and cross-checks every literal mask/shift in
+# this module against the declared extents, so codec and table cannot
+# drift apart. ``tests/test_hostif.py`` asserts the same at runtime.
+
+REGISTER_LAYOUT: dict[HostMsr, tuple[BitField, ...]] = {
+    HostMsr.IA32_TIME_STAMP_COUNTER: (BitField("count", 0, 64),),
+    HostMsr.IA32_MPERF: (BitField("count", 0, 64),),
+    HostMsr.IA32_APERF: (BitField("count", 0, 64),),
+    HostMsr.IA32_PERF_STATUS: (BitField("current_ratio", 8, 8),),
+    HostMsr.IA32_PERF_CTL: (BitField("target_ratio", 8, 8),),
+    HostMsr.IA32_MISC_ENABLE: (BitField("eist_enable", 16, 1),
+                               BitField("turbo_disable", 38, 1)),
+    HostMsr.IA32_ENERGY_PERF_BIAS: (BitField("epb", 0, 4),),
+    HostMsr.MSR_RAPL_POWER_UNIT: (BitField("power_unit", 0, 4),
+                                  BitField("energy_unit", 8, 5),
+                                  BitField("time_unit", 16, 4)),
+    HostMsr.MSR_PKG_POWER_LIMIT: (BitField("pl1_limit", 0, 15),
+                                  BitField("pl1_enable", 15, 1)),
+    HostMsr.MSR_PKG_ENERGY_STATUS: (BitField("energy", 0, 32),),
+    HostMsr.MSR_DRAM_ENERGY_STATUS: (BitField("energy", 0, 32),),
+    HostMsr.MSR_UNCORE_RATIO_LIMIT: (BitField("max_ratio", 0, 7),
+                                     BitField("min_ratio", 8, 7)),
+    HostMsr.MSR_PP0_ENERGY_STATUS: (BitField("energy", 0, 32),),
+}
 
 
 # ---- ratio fields (IA32_PERF_CTL/STATUS, 0x620) ---------------------------

@@ -1,0 +1,45 @@
+"""`repro-lint`: invariant-enforcing static analysis for this repository.
+
+The simulation's guarantees — bit-identical fastpath parity, seeded
+deterministic fault injection, MSR bitfield fidelity, epoch-cache
+consistency — are behavioural invariants that example-based tests can
+only sample. This package turns them into machine-checked *rules* that
+run over the whole tree on every PR (``make lint``):
+
+* ``det-*``     — determinism: no wall-clock, no unseeded RNG, no
+                  ``id()``-keyed containers, no bare set iteration.
+* ``units-mix`` — suffix-conventioned quantities (``*_hz``, ``*_w``,
+                  ``*_us``) must not mix units without going through
+                  :mod:`repro.units`.
+* ``msr-layout``— the declarative register table in
+                  :mod:`repro.hostif.msr_regs` must be self-consistent
+                  and every hand-written mask/shift must match it.
+* ``epoch-bypass`` — no writes that dodge the ``__setattr__``
+                  interception feeding :class:`repro.engine.epoch.EpochCell`.
+
+See ``docs/static_analysis.md`` for the rule catalog and the
+suppression policy (every inline suppression must carry a reason).
+"""
+
+from repro.lint.engine import (
+    Finding,
+    LintConfig,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+)
+
+# Importing the rule modules registers them with the engine.
+from repro.lint.rules import determinism, epoch, msr, units  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

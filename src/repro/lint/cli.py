@@ -1,0 +1,79 @@
+"""The ``repro-lint`` command-line interface.
+
+::
+
+    repro-lint [paths ...] [--select ID ...] [--ignore ID ...]
+               [--list-rules] [--root DIR]
+
+With no paths, lints the directories configured in
+``[tool.repro-lint] paths`` of pyproject.toml (default: src, scripts,
+benchmarks, examples). Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.engine import LintConfig, all_rules, lint_paths
+
+
+def _find_root(start: Path) -> Path:
+    """Nearest ancestor containing pyproject.toml (else the start)."""
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="invariant-enforcing static analysis for the repro tree")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: configured "
+                             "paths from pyproject.toml)")
+    parser.add_argument("--select", nargs="+", metavar="RULE",
+                        help="run only these rule ids")
+    parser.add_argument("--ignore", nargs="+", metavar="RULE", default=[],
+                        help="skip these rule ids")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repository root (default: nearest ancestor "
+                             "of cwd with a pyproject.toml)")
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        width = max(len(rule_id) for rule_id in rules)
+        for rule_id in sorted(rules):
+            print(f"{rule_id:<{width}}  {rules[rule_id].description}")
+        return 0
+
+    known = set(rules)
+    for rule_id in (*(args.select or ()), *args.ignore):
+        if rule_id not in known:
+            parser.error(f"unknown rule id {rule_id!r}; "
+                         f"valid: {sorted(known)}")
+    if args.select:
+        rules = {rule_id: rule for rule_id, rule in rules.items()
+                 if rule_id in args.select}
+    rules = {rule_id: rule for rule_id, rule in rules.items()
+             if rule_id not in args.ignore}
+
+    root = args.root if args.root is not None else _find_root(Path.cwd())
+    config = LintConfig.load(root)
+    findings = lint_paths(args.paths or None, root=root, rules=rules,
+                          config=config)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"repro-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,327 @@
+"""The rule engine: registry, per-file visitor dispatch, suppressions.
+
+One AST walk per file; every registered rule declares the node types it
+wants and receives them through :meth:`Rule.visit`. Findings carry
+``path:line:col``, a stable rule id, and a fix hint. Suppressions are
+inline comments::
+
+    # repro-lint: disable=det-wallclock — harness timeout, not simulator state
+
+A suppression **must** carry a justification after an em dash (or
+``--``); one without a reason is itself a finding (rule
+``suppression``). ``disable-file=`` on any line suppresses a rule for
+the whole file. Path allowlists live in ``pyproject.toml`` under
+``[tool.repro-lint]``; see ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+_SUPPRESS_RE = re.compile(
+    r"repro-lint:\s*(disable|disable-file)=([\w,\-]+)"
+    r"(?:\s*(?:—|--)\s*(?P<reason>\S.*))?")
+
+#: Rule id of the meta-finding for unjustified suppressions.
+SUPPRESSION_RULE = "suppression"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule}: " \
+               f"{self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``repro-lint: disable`` comment.
+
+    A trailing comment suppresses its own line; a comment that is the
+    whole line suppresses the line below it (like ``# noqa`` vs a
+    block-style pragma), so justifications can stay under the line
+    length limit.
+    """
+
+    line: int
+    rules: frozenset[str]
+    file_wide: bool
+    reason: str | None
+    standalone: bool = False
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.rule not in self.rules and "all" not in self.rules:
+            return False
+        if self.file_wide:
+            return True
+        return finding.line == self.line \
+            or (self.standalone and finding.line == self.line + 1)
+
+
+class FileContext:
+    """Everything a rule may want to know about one file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        # import alias resolution: name -> dotted origin.
+        #   ``import numpy as np``        -> modules["np"] = "numpy"
+        #   ``from time import monotonic`` -> names["monotonic"] = "time.monotonic"
+        self.modules: dict[str, str] = {}
+        self.names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = \
+                        alias.name if alias.asname else alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = \
+                        f"{node.module}.{alias.name}"
+
+    def resolve(self, func: ast.expr) -> str | None:
+        """Dotted origin of a callable expression, or None.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` under
+        ``import numpy as np``; a bare ``monotonic`` resolves to
+        ``time.monotonic`` under ``from time import monotonic``.
+        """
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.reverse()
+        base = node.id
+        if base in self.names:
+            return ".".join([self.names[base], *parts])
+        if base in self.modules:
+            return ".".join([self.modules[base], *parts])
+        return None
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, register."""
+
+    id: str = ""
+    description: str = ""
+    hint: str = ""
+    #: AST node types dispatched to :meth:`visit` (empty = none).
+    node_types: tuple[type, ...] = ()
+
+    def begin_file(self, ctx: FileContext) -> Iterable[Finding]:
+        """Whole-file checks run before the node walk."""
+        return ()
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str,
+                rule_id: str | None = None, hint: str | None = None) -> Finding:
+        return Finding(path=ctx.path, line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       rule=rule_id or self.id, message=message,
+                       hint=self.hint if hint is None else hint)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (by its ``id``) to the registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"{rule_cls.__name__} has no rule id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> dict[str, Rule]:
+    return dict(_REGISTRY)
+
+
+# ---- configuration ----------------------------------------------------------
+
+@dataclass
+class LintConfig:
+    """``[tool.repro-lint]`` from pyproject.toml."""
+
+    #: directories/files linted when the CLI gets no path arguments
+    paths: list[str] = field(default_factory=lambda: [
+        "src", "scripts", "benchmarks", "examples"])
+    #: path fragments excluded everywhere (matched against posix paths)
+    exclude: list[str] = field(default_factory=list)
+    #: rule id -> path globs where the rule does not apply
+    allow: dict[str, list[str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, root: Path) -> "LintConfig":
+        pyproject = root / "pyproject.toml"
+        if not pyproject.is_file():
+            return cls()
+        try:
+            import tomllib
+        except ImportError:          # python < 3.11: run with defaults
+            return cls()
+        table = tomllib.loads(pyproject.read_text()) \
+            .get("tool", {}).get("repro-lint", {})
+        config = cls()
+        config.paths = list(table.get("paths", config.paths))
+        config.exclude = list(table.get("exclude", config.exclude))
+        config.allow = {rule: list(globs)
+                        for rule, globs in table.get("allow", {}).items()}
+        return config
+
+    def excluded(self, rel_path: str) -> bool:
+        return any(fragment in rel_path for fragment in self.exclude)
+
+    def allowed(self, rule_id: str, rel_path: str) -> bool:
+        """True when the rule is switched off for this path."""
+        path = Path(rel_path)
+        return any(path.match(glob) or fragment_match(glob, rel_path)
+                   for glob in self.allow.get(rule_id, ()))
+
+
+def fragment_match(glob: str, rel_path: str) -> bool:
+    """A glob without wildcards also matches as a plain path fragment."""
+    return not any(ch in glob for ch in "*?[") and glob in rel_path
+
+
+# ---- suppressions -----------------------------------------------------------
+
+def parse_suppressions(source: str, path: str) -> \
+        tuple[list[Suppression], list[Finding]]:
+    """Extract suppression comments (COMMENT tokens only, so strings
+    that merely mention the syntax are inert)."""
+    found: list[Suppression] = []
+    meta: list[Finding] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except tokenize.TokenizeError:
+        comments = []
+    source_lines = source.splitlines()
+    for line, text in comments:
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        file_wide = match.group(1) == "disable-file"
+        rules = frozenset(r.strip() for r in match.group(2).split(",")
+                          if r.strip())
+        reason = match.group("reason")
+        line_text = source_lines[line - 1] if line <= len(source_lines) else ""
+        found.append(Suppression(line=line, rules=rules,
+                                 file_wide=file_wide, reason=reason,
+                                 standalone=line_text.lstrip()
+                                 .startswith("#")))
+        if not reason:
+            meta.append(Finding(
+                path=path, line=line, col=0, rule=SUPPRESSION_RULE,
+                message=f"suppression of {', '.join(sorted(rules))} has no "
+                        "justification",
+                hint="append ' — <reason>' to the disable comment"))
+    return found, meta
+
+
+# ---- the engine -------------------------------------------------------------
+
+def lint_source(source: str, path: str,
+                rules: dict[str, Rule] | None = None,
+                config: LintConfig | None = None) -> list[Finding]:
+    """Lint one file's source text; returns surviving findings sorted."""
+    rules = rules if rules is not None else all_rules()
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1, col=0,
+                        rule="parse-error", message=f"syntax error: {exc.msg}")]
+    ctx = FileContext(path=path, source=source, tree=tree)
+
+    active = {rule_id: rule for rule_id, rule in rules.items()
+              if not config.allowed(rule_id, path)}
+    findings: list[Finding] = []
+    for rule in active.values():
+        findings.extend(rule.begin_file(ctx))
+    dispatch = [(rule, rule.node_types) for rule in active.values()
+                if rule.node_types]
+    for node in ast.walk(tree):
+        for rule, node_types in dispatch:
+            if isinstance(node, node_types):
+                findings.extend(rule.visit(ctx, node))
+
+    suppressions, meta = parse_suppressions(source, path)
+    kept = [f for f in findings
+            if not any(s.covers(f) for s in suppressions)]
+    kept.extend(m for m in meta
+                if not config.allowed(SUPPRESSION_RULE, path))
+    return sorted(kept, key=lambda f: f.sort_key)
+
+
+def iter_python_files(paths: Iterable[str | Path],
+                      config: LintConfig, root: Path) -> Iterator[Path]:
+    for entry in paths:
+        path = Path(entry)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            continue
+        for candidate in candidates:
+            rel = _rel(candidate, root)
+            if not config.excluded(rel):
+                yield candidate
+
+
+def _rel(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(paths: Iterable[str | Path] | None = None,
+               root: Path | None = None,
+               rules: dict[str, Rule] | None = None,
+               config: LintConfig | None = None) -> list[Finding]:
+    """Lint files/directories (default: the configured paths)."""
+    root = Path(root) if root is not None else Path.cwd()
+    config = config if config is not None else LintConfig.load(root)
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths or config.paths, config, root):
+        findings.extend(lint_source(file_path.read_text(),
+                                    _rel(file_path, root),
+                                    rules=rules, config=config))
+    return sorted(findings, key=lambda f: f.sort_key)

@@ -1,0 +1,10 @@
+"""Rule families of ``repro-lint``.
+
+Importing a module registers its rules with the engine registry:
+
+* :mod:`repro.lint.rules.determinism` — ``det-wallclock``, ``det-rng``,
+  ``det-id-key``, ``det-set-iter``
+* :mod:`repro.lint.rules.units`       — ``units-mix``
+* :mod:`repro.lint.rules.msr`         — ``msr-layout``
+* :mod:`repro.lint.rules.epoch`       — ``epoch-bypass``
+"""

@@ -1,0 +1,137 @@
+"""Determinism rules: the simulation must be a pure function of its seed.
+
+Every result in this repository is reproduced bit-for-bit from a seed
+(``repro.engine.rng``); fastpath parity and the fault-injection replay
+guarantee both depend on it. These rules forbid the ways wall-clock
+time and ambient randomness leak into simulator state or rendered
+artifacts:
+
+* ``det-wallclock`` — ``time.time``/``perf_counter``/``sleep``,
+  ``datetime.now`` and friends. Harness-level timing (experiment
+  timeouts, benchmark scoring) is legitimate but must carry an inline
+  justification so the boundary stays audited.
+* ``det-rng``      — the ``random`` module, module-level
+  ``numpy.random.*``, ``os.urandom``, ``uuid.uuid4``, ``secrets``.
+  All randomness must flow through the seeded ``engine.rng`` spawns.
+* ``det-id-key``   — ``id(obj)`` used as a container key: CPython heap
+  addresses differ between runs, so iteration order (and anything
+  derived from it) would too.
+* ``det-set-iter`` — direct iteration over a set literal or ``set()``
+  call: set order depends on insertion history and hash seeds; sort
+  first when order can reach simulator state or output.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import FileContext, Finding, Rule, register
+
+_WALLCLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.sleep", "time.strftime", "time.localtime",
+    "time.gmtime", "time.ctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+_RNG_EXACT = frozenset({"os.urandom", "uuid.uuid4", "uuid.uuid1"})
+_RNG_PREFIXES = ("random.", "numpy.random.", "secrets.")
+
+
+@register
+class WallClockRule(Rule):
+    id = "det-wallclock"
+    description = ("wall-clock call can leak host time into simulator "
+                   "state or artifacts")
+    hint = ("use sim.now_ns / repro.units for simulated time; suppress "
+            "with a reason if this is genuinely harness-side timing")
+    node_types = (ast.Call,)
+
+    def visit(self, ctx: FileContext, node: ast.Call) -> Iterable[Finding]:
+        origin = ctx.resolve(node.func)
+        if origin in _WALLCLOCK:
+            yield self.finding(ctx, node, f"call to {origin}()")
+
+
+@register
+class AmbientRngRule(Rule):
+    id = "det-rng"
+    description = "randomness outside the seeded repro.engine.rng path"
+    hint = ("draw from the simulator's seeded generator "
+            "(repro.engine.rng.make_rng / spawn_rng)")
+    node_types = (ast.Call,)
+
+    def visit(self, ctx: FileContext, node: ast.Call) -> Iterable[Finding]:
+        origin = ctx.resolve(node.func)
+        if origin is None:
+            return
+        if origin in _RNG_EXACT or origin.startswith(_RNG_PREFIXES):
+            yield self.finding(ctx, node, f"call to {origin}()")
+
+
+@register
+class IdKeyRule(Rule):
+    id = "det-id-key"
+    description = "id()-keyed container: heap addresses vary across runs"
+    hint = "key on a stable identifier (core_id, name, index) instead"
+    node_types = (ast.Subscript, ast.Dict, ast.Call)
+
+    @staticmethod
+    def _is_id_call(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and len(node.args) == 1)
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> Iterable[Finding]:
+        if isinstance(node, ast.Subscript) and self._is_id_call(node.slice):
+            yield self.finding(ctx, node, "id() used as subscript key")
+        elif isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None and self._is_id_call(key):
+                    yield self.finding(ctx, key, "id() used as dict key")
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in ("setdefault", "get", "pop") \
+                and node.args and self._is_id_call(node.args[0]):
+            yield self.finding(
+                ctx, node, f"id() used as .{node.func.attr}() key")
+
+
+def _is_bare_set(node: ast.expr) -> bool:
+    """A set literal or ``set(...)`` call, unwrapped by any ordering."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+_ORDER_SENSITIVE_CONSUMERS = frozenset({"list", "tuple", "enumerate"})
+
+
+@register
+class SetIterationRule(Rule):
+    id = "det-set-iter"
+    description = ("iteration order of a set is not deterministic across "
+                   "processes")
+    hint = "wrap in sorted(...) before iterating"
+    node_types = (ast.For, ast.comprehension, ast.Call)
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> Iterable[Finding]:
+        if isinstance(node, ast.For) and _is_bare_set(node.iter):
+            yield self.finding(ctx, node, "for-loop over an unordered set")
+        elif isinstance(node, ast.comprehension) and _is_bare_set(node.iter):
+            yield self.finding(ctx, node.iter,
+                               "comprehension over an unordered set")
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Name) \
+                and node.func.id in _ORDER_SENSITIVE_CONSUMERS \
+                and node.args and _is_bare_set(node.args[0]):
+            yield self.finding(
+                ctx, node,
+                f"{node.func.id}() over an unordered set fixes an "
+                "arbitrary order")

@@ -1,0 +1,126 @@
+"""Epoch-hygiene rule: no writes that dodge ``__setattr__`` interception.
+
+The steady-state fast path (``docs/performance.md``) caches each
+socket's segment-rate matrix keyed on an :class:`repro.engine.epoch.EpochCell`
+that is bumped by ``Core.__setattr__`` / ``Uncore.__setattr__`` when a
+rate-relevant field changes. A write that bypasses normal attribute
+assignment — ``object.__setattr__``, ``__dict__`` pokes, ``vars()``
+subscript stores, ``setattr`` with a computed name — skips the bump,
+leaving the cached matrix stale and silently desynchronizing fastpath
+and slow-path results. ``epoch-bypass`` flags:
+
+* ``object.__setattr__(obj, field, v)`` naming a rate-relevant field,
+  or with a non-literal field name (unprovable), outside a
+  ``__setattr__`` method body (the interceptors themselves must use it);
+* any store through ``obj.__dict__[...]`` / ``vars(obj)[...]`` or
+  ``obj.__dict__.update(...)``;
+* ``setattr(obj, name, v)`` with a computed ``name`` — it does route
+  through interception, but which field it writes cannot be verified
+  statically, so it needs a literal or a justified suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import FileContext, Finding, Rule, register
+
+#: The union of Core._EPOCH_FIELDS and Uncore._EPOCH_FIELDS: writes to
+#: these must bump the socket epoch (see repro.system.core / .uncore).
+RATE_FIELDS = frozenset({
+    "freq_hz", "requested_hz", "cstate", "avx_license", "workload",
+    "_phase", "halted",
+})
+
+
+def _setattr_impl_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Line spans of ``def __setattr__`` bodies (the sanctioned callers
+    of ``object.__setattr__``)."""
+    return [(node.lineno, node.end_lineno or node.lineno)
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in ("__setattr__", "__delattr__")]
+
+
+def _is_dunder_dict(node: ast.expr) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr == "__dict__"
+
+
+def _is_vars_call(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "vars")
+
+
+@register
+class EpochBypassRule(Rule):
+    id = "epoch-bypass"
+    description = ("attribute write bypasses EpochCell dirty tracking "
+                   "(stale rate-matrix cache)")
+    hint = ("assign normally so __setattr__ interception bumps the socket "
+            "epoch; see docs/performance.md")
+    node_types = (ast.Call, ast.Assign, ast.AugAssign, ast.AnnAssign)
+
+    def begin_file(self, ctx: FileContext) -> Iterable[Finding]:
+        self._spans = _setattr_impl_spans(ctx.tree)
+        return ()
+
+    def _in_setattr_impl(self, node: ast.AST) -> bool:
+        line = getattr(node, "lineno", 0)
+        return any(lo <= line <= hi for lo, hi in self._spans)
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> Iterable[Finding]:
+        if isinstance(node, ast.Call):
+            yield from self._visit_call(ctx, node)
+            return
+        # stores through __dict__ / vars(): x.__dict__["f"] = v etc.
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Subscript) and (
+                    _is_dunder_dict(target.value)
+                    or _is_vars_call(target.value)):
+                yield self.finding(
+                    ctx, target,
+                    "store through __dict__/vars() bypasses __setattr__ "
+                    "interception")
+
+    def _visit_call(self, ctx: FileContext,
+                    node: ast.Call) -> Iterable[Finding]:
+        func = node.func
+        # object.__setattr__(obj, "field", value)
+        if isinstance(func, ast.Attribute) and func.attr == "__setattr__" \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id == "object" \
+                and not self._in_setattr_impl(node):
+            name_arg = node.args[1] if len(node.args) >= 2 else None
+            if isinstance(name_arg, ast.Constant) \
+                    and isinstance(name_arg.value, str):
+                if name_arg.value in RATE_FIELDS:
+                    yield self.finding(
+                        ctx, node,
+                        f"object.__setattr__ writes rate-relevant field "
+                        f"{name_arg.value!r} without an epoch bump")
+            else:
+                yield self.finding(
+                    ctx, node,
+                    "object.__setattr__ with a computed field name cannot "
+                    "be proven epoch-safe")
+        # obj.__dict__.update(...)
+        elif isinstance(func, ast.Attribute) and func.attr == "update" \
+                and _is_dunder_dict(func.value):
+            yield self.finding(
+                ctx, node,
+                "__dict__.update() bypasses __setattr__ interception")
+        # setattr(obj, <computed>, value)
+        elif isinstance(func, ast.Name) and func.id == "setattr" \
+                and len(node.args) >= 2 \
+                and not (isinstance(node.args[1], ast.Constant)
+                         and isinstance(node.args[1].value, str)):
+            yield self.finding(
+                ctx, node,
+                "setattr with a computed field name cannot be verified "
+                "against the epoch field set")

@@ -1,0 +1,184 @@
+"""MSR encoding rule: the register table must be sound and authoritative.
+
+Applies to modules named ``msr_regs*.py`` (the data-sheet layer of the
+host interface). The module must declare a ``REGISTER_LAYOUT`` mapping
+of register -> tuple of ``BitField(name, lo, width)``; the rule then
+checks, fully statically:
+
+* fields of one register must not overlap and must fit in 64 bits;
+* every ``*ENERGY_STATUS*`` register must declare the 32-bit wrap field
+  at bit 0 (RAPL energy counters wrap at 2^32 on Haswell-EP — a missing
+  wrap mask is exactly the class of bug the Skylake follow-up survey
+  traces through derived results);
+* every literal mask (``x & 0x7F``, ``FOO_MASK = 0x7FFF``) and every
+  literal shift (``<< 8``, ``>> 8``, ``FLAG = 1 << 38``) elsewhere in
+  the module must match a declared field's extent or position, so the
+  hand-written codecs cannot drift from the table.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Iterable
+
+from repro.lint.engine import FileContext, Finding, Rule, register
+
+
+def _const_int(node: ast.expr) -> int | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    return None
+
+
+def _register_name(key: ast.expr) -> str:
+    if isinstance(key, ast.Attribute):
+        return key.attr
+    if isinstance(key, ast.Name):
+        return key.id
+    if isinstance(key, ast.Constant):
+        return str(key.value)
+    return "<register>"
+
+
+class _DeclaredField:
+    def __init__(self, register: str, name: str, lo: int, width: int,
+                 node: ast.AST) -> None:
+        self.register = register
+        self.name = name
+        self.lo = lo
+        self.width = width
+        self.node = node
+
+    @property
+    def value_mask(self) -> int:
+        return (1 << self.width) - 1
+
+    @property
+    def mask(self) -> int:
+        return self.value_mask << self.lo
+
+
+def _parse_layout(tree: ast.Module) -> tuple[list[_DeclaredField],
+                                             ast.Dict | None]:
+    """Extract BitField declarations from the REGISTER_LAYOUT literal."""
+    layout: ast.Dict | None = None
+    for node in ast.walk(tree):
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+        else:
+            continue
+        if isinstance(target, ast.Name) and target.id == "REGISTER_LAYOUT" \
+                and isinstance(node.value, ast.Dict):
+            layout = node.value
+            break
+    if layout is None:
+        return [], None
+    fields: list[_DeclaredField] = []
+    for key, value in zip(layout.keys, layout.values):
+        register = _register_name(key) if key is not None else "<register>"
+        elements = value.elts if isinstance(value, (ast.Tuple, ast.List)) \
+            else [value]
+        for element in elements:
+            if not (isinstance(element, ast.Call)
+                    and isinstance(element.func, ast.Name)
+                    and element.func.id == "BitField"
+                    and len(element.args) == 3):
+                continue
+            name = element.args[0].value \
+                if isinstance(element.args[0], ast.Constant) else "<field>"
+            lo = _const_int(element.args[1])
+            width = _const_int(element.args[2])
+            if lo is None or width is None:
+                continue
+            fields.append(_DeclaredField(register, str(name), lo, width,
+                                         element))
+    return fields, layout
+
+
+@register
+class MsrLayoutRule(Rule):
+    id = "msr-layout"
+    description = ("MSR bitfield table inconsistent or codec literal "
+                   "drifted from it")
+    hint = "fix REGISTER_LAYOUT (or the literal) so table and codec agree"
+
+    def begin_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not PurePosixPath(ctx.path).name.startswith("msr_regs"):
+            return
+        fields, layout = _parse_layout(ctx.tree)
+        if layout is None:
+            yield self.finding(
+                ctx, ctx.tree,
+                "msr_regs module has no declarative REGISTER_LAYOUT table")
+            return
+
+        # -- table self-consistency ------------------------------------
+        by_register: dict[str, list[_DeclaredField]] = {}
+        for field in fields:
+            if field.width < 1 or field.lo < 0 or field.lo + field.width > 64:
+                yield self.finding(
+                    ctx, field.node,
+                    f"{field.register}.{field.name}: bits "
+                    f"{field.lo + field.width - 1}:{field.lo} do not fit a "
+                    "64-bit register")
+            by_register.setdefault(field.register, []).append(field)
+        for register, declared in by_register.items():
+            covered = 0
+            for field in declared:
+                if covered & field.mask:
+                    yield self.finding(
+                        ctx, field.node,
+                        f"{register}.{field.name}: bits "
+                        f"{field.lo + field.width - 1}:{field.lo} overlap "
+                        "another field")
+                covered |= field.mask
+            if "ENERGY_STATUS" in register:
+                wrap = [f for f in declared if f.lo == 0 and f.width == 32]
+                if not wrap:
+                    yield self.finding(
+                        ctx, declared[0].node,
+                        f"{register}: RAPL energy-status register must "
+                        "declare the 32-bit wrap field at bit 0")
+
+        # -- literal cross-check ---------------------------------------
+        valid_masks = {f.value_mask for f in fields} \
+            | {f.mask for f in fields}
+        valid_shifts = {f.lo for f in fields if f.lo > 0} \
+            | {f.width for f in fields}
+        layout_span = (layout.lineno, layout.end_lineno or layout.lineno)
+        for node in ast.walk(ctx.tree):
+            line = getattr(node, "lineno", 0)
+            if layout_span[0] <= line <= layout_span[1]:
+                continue
+            if isinstance(node, ast.BinOp):
+                if isinstance(node.op, ast.BitAnd):
+                    literal = _const_int(node.right) \
+                        if _const_int(node.right) is not None \
+                        else _const_int(node.left)
+                    if literal is not None and literal not in valid_masks:
+                        yield self.finding(
+                            ctx, node,
+                            f"mask {literal:#x} matches no declared field "
+                            "extent")
+                elif isinstance(node.op, (ast.LShift, ast.RShift)):
+                    shift = _const_int(node.right)
+                    if shift is not None and shift > 0 \
+                            and shift not in valid_shifts:
+                        yield self.finding(
+                            ctx, node,
+                            f"shift by {shift} matches no declared field "
+                            "position")
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and node.targets[0].id.endswith("_MASK"):
+                literal = _const_int(node.value)
+                if literal is not None and literal not in valid_masks:
+                    yield self.finding(
+                        ctx, node,
+                        f"{node.targets[0].id} = {literal:#x} matches no "
+                        "declared field extent")

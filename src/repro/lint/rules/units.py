@@ -1,0 +1,79 @@
+"""Unit-suffix mixing rule.
+
+The codebase's unit convention (``docs/architecture.md``,
+:mod:`repro.units`) encodes the unit in the identifier suffix:
+``*_hz``/``*_mhz``/``*_ghz`` for frequency, ``*_w`` for power,
+``*_j`` for energy, ``*_ns``/``*_us``/``*_ms``/``*_s`` for time. The
+Haswell→Skylake survey lineage shows how silently mixed units (1/8-W
+PL1 counts added to watts, microseconds compared against nanoseconds)
+corrupt results without crashing. ``units-mix`` flags additive
+arithmetic and comparisons between identifiers whose suffixes name
+*different units of the same dimension* — the combination that is
+always a bug unless a converter ran.
+
+ALL_CAPS identifiers are exempt: conversion-factor constants like
+``NS_PER_S`` are dimensionless ratios whose trailing token is not a
+unit claim about the constant's value.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import FileContext, Finding, Rule, register
+
+#: dimension -> unit suffixes (lowercase, as they appear after the last _).
+_FAMILIES = {
+    "frequency": frozenset({"hz", "khz", "mhz", "ghz"}),
+    "power": frozenset({"w", "mw", "kw"}),
+    "energy": frozenset({"j", "mj", "uj", "kj"}),
+    "time": frozenset({"ns", "us", "ms", "s"}),
+}
+_SUFFIX_TO_FAMILY = {suffix: family
+                     for family, suffixes in _FAMILIES.items()
+                     for suffix in suffixes}
+
+
+def _unit_of(node: ast.expr) -> tuple[str, str] | None:
+    """(family, suffix) of an identifier operand, or None."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    if name.isupper():          # conversion-factor constants (NS_PER_S)
+        return None
+    suffix = name.rsplit("_", 1)[-1].lower()
+    if suffix == name.lower():  # no underscore: not suffix-conventioned
+        return None
+    family = _SUFFIX_TO_FAMILY.get(suffix)
+    return (family, suffix) if family else None
+
+
+@register
+class UnitMixRule(Rule):
+    id = "units-mix"
+    description = ("additive arithmetic / comparison between different "
+                   "units of the same dimension")
+    hint = "convert one side through repro.units (e.g. units.ms, units.ghz)"
+    node_types = (ast.BinOp, ast.Compare)
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> Iterable[Finding]:
+        if isinstance(node, ast.BinOp):
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                return
+            pairs = [(node.left, node.right)]
+        else:  # Compare: check each adjacent operand pair
+            operands = [node.left, *node.comparators]
+            pairs = list(zip(operands, operands[1:]))
+        for left, right in pairs:
+            lhs, rhs = _unit_of(left), _unit_of(right)
+            if lhs is None or rhs is None:
+                continue
+            if lhs[0] == rhs[0] and lhs[1] != rhs[1]:
+                yield self.finding(
+                    ctx, node,
+                    f"mixes *_{lhs[1]} with *_{rhs[1]} ({lhs[0]}) without "
+                    "a repro.units conversion")

@@ -63,6 +63,18 @@ class Node:
         for pcu in self.pcus:
             pcu.fastpath_enabled = enabled
 
+    def set_sanitize(self, enabled: bool) -> None:
+        """Toggle the epoch-consistency sanitizer on every socket.
+
+        The RNG draw ledger half of sanitize mode must be in place
+        before components spawn their streams, so it is controlled by
+        ``REPRO_SANITIZE=1`` / :func:`repro.engine.sanitize.set_enabled`
+        at :class:`~repro.engine.simulator.Simulator` construction; this
+        runtime toggle covers only the rate-cache checker.
+        """
+        for socket in self.sockets:
+            socket.sanitize_enabled = enabled
+
     # ---- topology accessors -----------------------------------------------------
 
     @property

@@ -26,7 +26,8 @@ import numpy as np
 
 from repro.cstates.states import CState, PackageCState, resolve_package_cstate
 from repro.engine.epoch import EpochCell
-from repro.engine import fastpath
+from repro.engine import fastpath, sanitize
+from repro.errors import EpochConsistencyError
 from repro.memory.bandwidth import BandwidthDemand, SocketBandwidthModel
 from repro.power.fivr import Fivr
 from repro.power.model import PowerModel, SocketPowerBreakdown
@@ -94,12 +95,18 @@ class Socket:
     package_cstate: PackageCState = PackageCState.PC0
     # steady-state fast path; None = process default (repro.engine.fastpath)
     fastpath_enabled: bool | None = None
+    # epoch-consistency sanitizer; None = process default (engine.sanitize)
+    sanitize_enabled: bool | None = None
     _residency_pkg_ns: dict[PackageCState, int] = field(
         default_factory=lambda: {s: 0 for s in PackageCState})
 
     def __post_init__(self) -> None:
         if self.fastpath_enabled is None:
             self.fastpath_enabled = fastpath.enabled()
+        if self.sanitize_enabled is None:
+            self.sanitize_enabled = sanitize.enabled()
+        self._sanitize_segments = 0
+        self.sanitize_checks = 0
         # Socket-local epoch; chained to the node epoch once the node
         # assembles its sockets.
         self.epoch = EpochCell()
@@ -299,6 +306,8 @@ class Socket:
                 or self._rates_epoch != self.epoch.value):
             rates = self._rates = self._compute_rates()
             self._rates_epoch = self.epoch.value
+        elif self.sanitize_enabled:
+            self._check_epoch_consistency(rates)
         self.last_breakdown = rates.breakdown
 
         # One vectorized multiply-add advances every counter of every
@@ -317,6 +326,36 @@ class Socket:
         self.energy_dram_j += dram_e
         self.rapl.accumulate(RaplDomain.PACKAGE, pkg_e, rates.bias)
         self.rapl.accumulate(RaplDomain.DRAM, dram_e, rates.bias)
+
+    def _check_epoch_consistency(self, cached: "_SegmentRates") -> None:
+        """Sanitize mode: recompute the cached rates on a sampled segment.
+
+        Runs on cache-hit segments only, every ``EPOCH_CHECK_STRIDE``-th
+        hit. ``_compute_rates`` is pure (no RNG, no state mutation), so
+        the check observes without perturbing. A mismatch means some
+        rate-relevant field changed without bumping the epoch cell —
+        i.e. a write bypassed the ``__setattr__``-intercepted path.
+        """
+        counter = self._sanitize_segments
+        self._sanitize_segments = counter + 1
+        if counter % sanitize.EPOCH_CHECK_STRIDE != 0:
+            return
+        self.sanitize_checks += 1
+        fresh = self._compute_rates()
+        if not np.array_equal(cached.rate_matrix, fresh.rate_matrix):
+            bad = np.argwhere(
+                cached.rate_matrix != fresh.rate_matrix)[0]
+            raise EpochConsistencyError(
+                f"socket {self.socket_id}: cached segment rates diverge "
+                f"from a fresh recompute at epoch {self.epoch.value} "
+                f"(first at row {bad[0]}, core column {bad[1]}) — a "
+                "rate-relevant field was mutated without an epoch bump")
+        if not np.array_equal(cached.res_rows, fresh.res_rows):
+            raise EpochConsistencyError(
+                f"socket {self.socket_id}: cached c-state residency rows "
+                f"diverge from a fresh recompute at epoch "
+                f"{self.epoch.value} — a c-state change skipped the "
+                "__setattr__-intercepted path")
 
     @staticmethod
     def _bw_throttle(core: Core, phase: WorkloadPhase, bw) -> float:

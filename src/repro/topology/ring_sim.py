@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.rng import make_rng
 from repro.errors import ConfigurationError
 from repro.topology.die import ComponentKind, Die
 
@@ -107,7 +108,7 @@ class RingSimulator:
                  queue_latency_cycles: int = 2,
                  queue_depth: int = 8) -> None:
         self.die = die
-        self.rng = np.random.default_rng(seed)
+        self.rng = make_rng(seed)
         self.queue_latency = queue_latency_cycles
         self.queue_depth = queue_depth
         # stop layout per partition: index components within their ring

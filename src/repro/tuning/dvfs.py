@@ -5,16 +5,33 @@ Lowers the clock of cores whose workloads are dominated by memory stalls
 carries the traffic — Section VII), and restores it when the workload
 turns compute-bound. Reaction time is bounded below by the PCU's ~500 us
 grant quantum, which the controller accounts for in its cooldown.
+
+The controller can act through either control surface:
+
+* **direct** (default) — ``node.set_pstate`` calls, as an in-simulator
+  governor would;
+* **hostif** — pass a started :class:`repro.hostif.VirtualHost` and
+  every frequency change is an ``echo`` into
+  ``cpufreq/scaling_setspeed`` under the userspace governor, exactly
+  what a real tuning daemon does. The write-through guarantee of the
+  host interface makes the two bit-identical (``tests/test_tuning.py``
+  asserts it), extending the hostif parity contract to the tuning path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
 from repro.system.node import Node
 from repro.units import ms
+
+if TYPE_CHECKING:
+    from repro.hostif import VirtualHost
+
+_SYS = "/sys/devices/system/cpu"
 
 
 @dataclass
@@ -37,11 +54,16 @@ class DvfsController:
         stall_low: float = 0.2,
         low_hz: float | None = None,
         high_hz: float | None = None,
+        host: "VirtualHost | None" = None,
     ) -> None:
         if not (0.0 <= stall_low < stall_high <= 1.0):
             raise ConfigurationError("need 0 <= stall_low < stall_high <= 1")
+        if host is not None and host.node is not node:
+            raise ConfigurationError(
+                "host interface belongs to a different node")
         self.sim = sim
         self.node = node
+        self.host = host
         self.period_ns = period_ns
         self.stall_high = stall_high
         self.stall_low = stall_low
@@ -55,6 +77,12 @@ class DvfsController:
     def start(self) -> None:
         if self._task is not None:
             raise ConfigurationError("controller already running")
+        if self.host is not None:
+            # scaling_setspeed is only writable under userspace; claim
+            # the policies up front like a real tuning daemon would.
+            for cpu in self.host.cpu_ids:
+                self.host.sysfs.write(
+                    f"{_SYS}/cpu{cpu}/cpufreq/scaling_governor", "userspace")
         self._snapshot()
         self._task = self.sim.schedule_every(self.period_ns, self._tick,
                                              label="dvfs-controller")
@@ -68,6 +96,15 @@ class DvfsController:
         for core in self.node.all_cores:
             self._last_stall[core.core_id] = core.counters.stall_cycles
 
+    def _set_frequency(self, core_id: int, f_hz: float) -> None:
+        """One frequency change through the selected control surface."""
+        if self.host is None:
+            self.node.set_pstate([core_id], f_hz)
+        else:
+            self.host.sysfs.write(
+                f"{_SYS}/cpu{core_id}/cpufreq/scaling_setspeed",
+                str(int(round(f_hz / 1e3))))
+
     def _tick(self, now_ns: int) -> None:
         for core in self.node.all_cores:
             if not core.is_active:
@@ -78,13 +115,13 @@ class DvfsController:
             stall_frac = min(d_stall / cycles, 1.0)
             if stall_frac >= self.stall_high \
                     and (core.requested_hz or 0) != self.low_hz:
-                self.node.set_pstate([core.core_id], self.low_hz)
+                self._set_frequency(core.core_id, self.low_hz)
                 self.decisions.append(DvfsDecision(
                     now_ns, core.core_id, self.low_hz,
                     f"stall fraction {stall_frac:.2f} >= {self.stall_high}"))
             elif stall_frac <= self.stall_low \
                     and (core.requested_hz or 0) != self.high_hz:
-                self.node.set_pstate([core.core_id], self.high_hz)
+                self._set_frequency(core.core_id, self.high_hz)
                 self.decisions.append(DvfsDecision(
                     now_ns, core.core_id, self.high_hz,
                     f"stall fraction {stall_frac:.2f} <= {self.stall_low}"))

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.rng import make_rng
 from repro.errors import ConfigurationError
 from repro.workloads.base import Workload, steady
 
@@ -107,7 +108,7 @@ class FirestarterKernel:
         flavors: list[str] = []
         for flavor, count in quotas.items():
             flavors.extend([flavor] * count)
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         rng.shuffle(flavors)
         return [InstructionGroup(f, _GROUP_TEMPLATES[f]) for f in flavors]
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.rng import make_rng
 from repro.errors import ConfigurationError
 from repro.units import ms
 from repro.workloads.base import Workload, WorkloadPhase
@@ -96,7 +97,7 @@ def synthetic_hpc_trace(
     if not (0.0 < compute_share + memory_share < 1.0):
         raise ConfigurationError("compute+memory shares must leave room "
                                  "for the communication phase")
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     rows: list[TraceRow] = []
     for _ in range(n_iterations):
         scale = float(1.0 + rng.uniform(-jitter, jitter))

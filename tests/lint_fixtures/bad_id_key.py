@@ -1,0 +1,17 @@
+"""Known-bad fixture: id()-keyed containers (heap-address dependent)."""
+
+
+def build_owner_map(cores):
+    owners = {}
+    for core in cores:
+        owners[id(core)] = core
+    return owners
+
+
+def lookup(owners, core, registry):
+    registry.setdefault(id(core), []).append(core)
+    return owners.get(id(core))
+
+
+def literal_map(a, b):
+    return {id(a): "a", id(b): "b"}

@@ -1,0 +1,21 @@
+"""Known-bad fixture: ambient randomness outside the seeded path."""
+
+import os
+import random
+import uuid
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def jitter():
+    return random.random() * 5e-6
+
+
+def noise(n):
+    rng = default_rng()
+    return rng.normal(size=n) + np.random.rand(n)
+
+
+def token():
+    return uuid.uuid4().hex + os.urandom(4).hex()

@@ -1,0 +1,16 @@
+"""Known-bad fixture: iteration over unordered sets."""
+
+
+def render_states(states):
+    lines = []
+    for state in {"C0", "C1", "C6"}:
+        lines.append(state)
+    return lines
+
+
+def first_cores(cores):
+    return list(set(cores))[:2]
+
+
+def pairs(ids):
+    return [(i, x) for i, x in enumerate(set(ids))]

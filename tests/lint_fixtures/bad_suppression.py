@@ -1,0 +1,10 @@
+"""Known-bad fixture: a suppression comment without a justification."""
+
+import time
+
+
+def measure(fn):
+    # repro-lint: disable=det-wallclock
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start  # repro-lint: disable=det-wallclock

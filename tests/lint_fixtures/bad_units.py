@@ -1,0 +1,13 @@
+"""Known-bad fixture: additive mixing of different unit suffixes."""
+
+
+def total_frequency(base_hz, boost_mhz):
+    return base_hz + boost_mhz
+
+
+def over_budget(used_us, budget_ns):
+    return used_us > budget_ns
+
+
+def energy_delta(before_j, after_mj):
+    return after_mj - before_j

@@ -1,0 +1,17 @@
+"""Known-bad fixture: wall-clock calls leaking into results."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp_result(result):
+    result["finished_at"] = time.time()
+    result["rendered"] = datetime.now().isoformat()
+    return result
+
+
+def measure(fn):
+    start = perf_counter()
+    fn()
+    return perf_counter() - start

@@ -1,0 +1,13 @@
+"""Known-good fixture: containers keyed on stable identifiers."""
+
+
+def build_owner_map(cores):
+    owners = {}
+    for core in cores:
+        owners[core.core_id] = core
+    return owners
+
+
+def lookup(owners, core, registry):
+    registry.setdefault(core.core_id, []).append(core)
+    return owners.get(core.core_id)

@@ -1,0 +1,13 @@
+"""Known-good fixture: all randomness flows through the seeded spawns."""
+
+from repro.engine.rng import make_rng, spawn_rng
+
+
+def jitter(parent):
+    rng = spawn_rng(parent)
+    return rng.random() * 5e-6
+
+
+def noise(seed, n):
+    rng = make_rng(seed)
+    return rng.normal(size=n)

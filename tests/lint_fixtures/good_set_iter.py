@@ -1,0 +1,12 @@
+"""Known-good fixture: sets are sorted before any order matters."""
+
+
+def render_states(states):
+    lines = []
+    for state in sorted({"C0", "C1", "C6"}):
+        lines.append(state)
+    return lines
+
+
+def first_cores(cores):
+    return sorted(set(cores))[:2]

@@ -1,0 +1,11 @@
+"""Known-good fixture: suppressions carry a reason, so they are valid."""
+
+import time
+
+
+def measure(fn):
+    # repro-lint: disable=det-wallclock — harness-side benchmark scoring only
+    start = time.perf_counter()
+    fn()
+    # repro-lint: disable=det-wallclock — harness-side benchmark scoring only
+    return time.perf_counter() - start

@@ -1,0 +1,13 @@
+"""Known-good fixture: converted operands share a suffix before math."""
+
+from repro.units import mhz, us
+
+
+def total_frequency(base_hz, boost_mhz):
+    boost_hz = mhz(boost_mhz)
+    return base_hz + boost_hz
+
+
+def over_budget(used_us, budget_ns):
+    used_ns = us(used_us)
+    return used_ns > budget_ns

@@ -1,0 +1,12 @@
+"""Known-good fixture: timing comes from the simulated clock."""
+
+
+def stamp_result(sim, result):
+    result["finished_at_ns"] = sim.now_ns
+    return result
+
+
+def measure(sim, fn):
+    start_ns = sim.now_ns
+    fn()
+    return sim.now_ns - start_ns

@@ -1,0 +1,35 @@
+"""Known-bad fixture for the msr-layout rule.
+
+Overlapping bitfields, a field past bit 63, an energy-status register
+missing its 32-bit wrap field, and codec literals that drift from the
+declared table.
+"""
+
+
+class BitField:
+    def __init__(self, name, lo, width):
+        self.name = name
+        self.lo = lo
+        self.width = width
+
+
+REGISTER_LAYOUT = {
+    "MSR_PERF_CTL": (
+        BitField("target_ratio", 8, 8),
+        BitField("overlapping", 10, 4),
+    ),
+    "MSR_OVERFLOW": (
+        BitField("too_wide", 60, 8),
+    ),
+    "MSR_PKG_ENERGY_STATUS": (
+        BitField("status_bits", 32, 8),
+    ),
+}
+
+
+def encode_ratio(ratio):
+    # 0x1FF is 9 bits wide; the table declares target_ratio as 8 bits.
+    return (ratio & 0x1FF) << 9
+
+
+WRAP_MASK = 0xFFFF

@@ -1,0 +1,29 @@
+"""Known-good fixture for the msr-layout rule: table and codec agree."""
+
+
+class BitField:
+    def __init__(self, name, lo, width):
+        self.name = name
+        self.lo = lo
+        self.width = width
+
+
+REGISTER_LAYOUT = {
+    "MSR_PERF_CTL": (
+        BitField("target_ratio", 8, 8),
+    ),
+    "MSR_PKG_ENERGY_STATUS": (
+        BitField("energy", 0, 32),
+    ),
+}
+
+
+def encode_ratio(ratio):
+    return (ratio & 0xFF) << 8
+
+
+def decode_ratio(value):
+    return (value >> 8) & 0xFF
+
+
+WRAP_MASK = 0xFFFFFFFF

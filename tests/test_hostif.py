@@ -263,3 +263,54 @@ class TestVirtualHost:
         with pytest.raises(ConfigurationError):
             host.cpufreq.start()
         host.stop()
+
+
+# ---- declarative register layout -----------------------------------------
+
+
+class TestRegisterLayout:
+    """REGISTER_LAYOUT is the single source of truth; repro-lint checks
+    it statically, these assertions check the same invariants live."""
+
+    def test_every_served_register_is_declared(self):
+        assert set(regs.REGISTER_LAYOUT) == set(HostMsr)
+
+    def test_fields_fit_and_do_not_overlap(self):
+        for msr, fields in regs.REGISTER_LAYOUT.items():
+            covered = 0
+            for field in fields:
+                assert field.width >= 1 and field.lo >= 0, (msr, field.name)
+                assert field.hi <= 63, (msr, field.name)
+                assert not (covered & field.mask), (msr, field.name)
+                covered |= field.mask
+
+    def test_energy_status_registers_declare_wrap_field(self):
+        for msr, fields in regs.REGISTER_LAYOUT.items():
+            if "ENERGY_STATUS" not in msr.name:
+                continue
+            assert any(f.lo == 0 and f.width == 32 for f in fields), msr
+
+    def test_codec_constants_match_declared_fields(self):
+        def field(msr, name):
+            return next(f for f in regs.REGISTER_LAYOUT[msr]
+                        if f.name == name)
+
+        pl1 = field(HostMsr.MSR_PKG_POWER_LIMIT, "pl1_limit")
+        assert regs.PL1_MASK == pl1.value_mask
+        assert regs.PL1_ENABLE == \
+            field(HostMsr.MSR_PKG_POWER_LIMIT, "pl1_enable").mask
+        assert regs.MISC_ENABLE_EIST == \
+            field(HostMsr.IA32_MISC_ENABLE, "eist_enable").mask
+        assert regs.MISC_ENABLE_TURBO_DISABLE == \
+            field(HostMsr.IA32_MISC_ENABLE, "turbo_disable").mask
+        assert regs.ENERGY_STATUS_MASK == \
+            field(HostMsr.MSR_PKG_ENERGY_STATUS, "energy").value_mask
+
+    def test_codecs_stay_inside_declared_extents(self):
+        ctl = regs.REGISTER_LAYOUT[HostMsr.IA32_PERF_CTL][0]
+        assert regs.encode_perf_ctl(ghz(2.5)) & ~ctl.mask == 0
+        uncore = regs.REGISTER_LAYOUT[HostMsr.MSR_UNCORE_RATIO_LIMIT]
+        limit = regs.encode_uncore_ratio_limit(ghz(1.2), ghz(3.0))
+        assert limit & ~(uncore[0].mask | uncore[1].mask) == 0
+        epb = regs.REGISTER_LAYOUT[HostMsr.IA32_ENERGY_PERF_BIAS][0]
+        assert epb.mask == 0xF

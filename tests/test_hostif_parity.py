@@ -21,3 +21,22 @@ class TestHostifParity:
         assert "fastpath on: hostif vs direct -> bit-identical" in text
         assert "fastpath off: hostif vs direct -> bit-identical" in text
         assert "DIVERGED" not in text
+        assert not result.sanitized      # no ledgers outside sanitize mode
+
+
+class TestSanitizedParity:
+    def test_ledgers_identical_across_all_four_runs(self):
+        from repro.engine import sanitize
+
+        sanitize.set_enabled(True)
+        try:
+            result = run_hostif_parity(measure_ns=ms(5))
+        finally:
+            sanitize.set_enabled(None)
+        assert result.all_identical
+        assert result.sanitized
+        assert result.ledgers_identical, "RNG draw ledgers diverged"
+        assert result.total_sanitize_checks > 0
+        text = render_hostif_parity(result)
+        assert "sanitize: RNG draw ledgers across all 4 runs -> identical" \
+            in text

@@ -1,0 +1,153 @@
+"""The repro-lint rule engine, rule families, and the live-tree gate."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, all_rules, lint_paths, lint_source
+from repro.lint.cli import main as lint_main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: fixture file -> rule ids it must (and may only) trigger.
+BAD_FIXTURES = {
+    "bad_wallclock.py": {"det-wallclock"},
+    "bad_rng.py": {"det-rng"},
+    "bad_id_key.py": {"det-id-key"},
+    "bad_set_iter.py": {"det-set-iter"},
+    "bad_units.py": {"units-mix"},
+    "bad_epoch.py": {"epoch-bypass"},
+    "msr_regs_bad.py": {"msr-layout"},
+    "bad_suppression.py": {"suppression"},
+}
+
+GOOD_FIXTURES = [
+    "good_wallclock.py",
+    "good_rng.py",
+    "good_id_key.py",
+    "good_set_iter.py",
+    "good_units.py",
+    "good_epoch.py",
+    "msr_regs_good.py",
+    "good_suppression.py",
+]
+
+
+def lint_fixture(name):
+    path = FIXTURES / name
+    # A fresh default config: the repo pyproject's allowlists must not
+    # mask what a fixture is designed to prove.
+    return lint_source(path.read_text(), name, config=LintConfig())
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("name", sorted(BAD_FIXTURES))
+    def test_bad_fixture_fires_exactly_its_rule(self, name):
+        findings = lint_fixture(name)
+        assert findings, f"{name}: expected findings, got none"
+        assert {f.rule for f in findings} == BAD_FIXTURES[name]
+
+    @pytest.mark.parametrize("name", GOOD_FIXTURES)
+    def test_good_fixture_is_clean(self, name):
+        findings = lint_fixture(name)
+        assert findings == [], \
+            f"{name}: " + "; ".join(f.render() for f in findings)
+
+    def test_every_rule_family_has_a_fixture_pair(self):
+        covered = set().union(*BAD_FIXTURES.values()) - {"suppression"}
+        assert covered == set(all_rules())
+
+
+class TestEngine:
+    def test_findings_carry_location_rule_and_hint(self):
+        findings = lint_fixture("bad_wallclock.py")
+        first = findings[0]
+        assert first.path == "bad_wallclock.py"
+        assert first.line > 0
+        rendered = first.render()
+        assert "bad_wallclock.py:" in rendered
+        assert "det-wallclock" in rendered
+        assert "hint:" in rendered
+
+    def test_inline_suppression_with_reason_suppresses(self):
+        source = ("import time\n"
+                  "t = time.time()  # repro-lint: disable=det-wallclock"
+                  " — fixture reason\n")
+        assert lint_source(source, "x.py", config=LintConfig()) == []
+
+    def test_standalone_suppression_covers_next_line(self):
+        source = ("import time\n"
+                  "# repro-lint: disable=det-wallclock — fixture reason\n"
+                  "t = time.time()\n")
+        assert lint_source(source, "x.py", config=LintConfig()) == []
+
+    def test_suppression_without_reason_is_a_finding(self):
+        source = ("import time\n"
+                  "t = time.time()  # repro-lint: disable=det-wallclock\n")
+        findings = lint_source(source, "x.py", config=LintConfig())
+        assert [f.rule for f in findings] == ["suppression"]
+
+    def test_disable_file_covers_whole_file(self):
+        source = ("# repro-lint: disable-file=det-wallclock — fixture\n"
+                  "import time\n"
+                  "a = time.time()\n"
+                  "b = time.time()\n")
+        assert lint_source(source, "x.py", config=LintConfig()) == []
+
+    def test_string_mentioning_syntax_is_inert(self):
+        source = ('import time\n'
+                  'doc = "# repro-lint: disable=all — not a comment"\n'
+                  't = time.time()\n')
+        findings = lint_source(source, "x.py", config=LintConfig())
+        assert [f.rule for f in findings] == ["det-wallclock"]
+
+    def test_syntax_error_becomes_parse_error_finding(self):
+        findings = lint_source("def broken(:\n", "x.py",
+                               config=LintConfig())
+        assert [f.rule for f in findings] == ["parse-error"]
+
+    def test_import_alias_resolution(self):
+        source = ("from time import monotonic as mono\n"
+                  "t = mono()\n")
+        findings = lint_source(source, "x.py", config=LintConfig())
+        assert [f.rule for f in findings] == ["det-wallclock"]
+        assert "time.monotonic" in findings[0].message
+
+    def test_allowlist_switches_rule_off_per_path(self):
+        config = LintConfig(allow={"det-wallclock": ["bench_*.py"]})
+        source = "import time\nt = time.time()\n"
+        assert lint_source(source, "bench_x.py", config=config) == []
+        assert lint_source(source, "other.py", config=config)
+
+
+class TestLiveTree:
+    def test_repo_lints_clean(self):
+        """The acceptance gate: `repro-lint` exits 0 on the live tree
+        (every remaining suppression carries a justification)."""
+        findings = lint_paths(root=REPO_ROOT)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in all_rules():
+            assert rule_id in out
+
+    def test_bad_fixture_exits_nonzero(self, capsys):
+        code = lint_main([str(FIXTURES / "bad_wallclock.py"),
+                          "--root", str(REPO_ROOT)])
+        assert code == 1
+        assert "det-wallclock" in capsys.readouterr().out
+
+    def test_good_fixture_exits_zero(self, capsys):
+        code = lint_main([str(FIXTURES / "good_wallclock.py"),
+                          "--root", str(REPO_ROOT)])
+        assert code == 0
+
+    def test_select_unknown_rule_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            lint_main(["--select", "no-such-rule"])
+        assert excinfo.value.code == 2

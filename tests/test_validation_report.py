@@ -42,6 +42,22 @@ class TestWriteExperimentsMd:
         assert "Table X" in text
         assert "Reading guide" in text
 
+    def test_output_is_byte_stable(self, tmp_path, monkeypatch):
+        """Two generations must produce identical bytes: LF newlines and
+        UTF-8 regardless of platform/locale, no timestamps, no
+        hash-order dependence."""
+        import repro.validation.report as report_mod
+
+        monkeypatch.setattr(report_mod, "run_full_report",
+                            lambda quick, seed: _fake_results())
+        a, b = tmp_path / "a.md", tmp_path / "b.md"
+        write_experiments_md(a, quick=True)
+        write_experiments_md(b, quick=True)
+        raw = a.read_bytes()
+        assert raw == b.read_bytes()
+        assert b"\r" not in raw
+        raw.decode("utf-8")       # must already be utf-8, not locale
+
 
 class TestRepoExperimentsMdFresh:
     def test_checked_in_report_is_complete(self):
