@@ -2,7 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint sanitize-smoke bench bench-simcore bench-full chaos chaos-smoke hostif-smoke experiments examples clean
+.PHONY: install test lint sanitize-smoke conformance coverage bench bench-simcore bench-full chaos chaos-smoke hostif-smoke experiments examples clean
+
+# Minimum line-coverage percentage for the `coverage` gate.
+COVERAGE_FLOOR ?= 70
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -25,6 +28,23 @@ lint:
 # any state divergence, ledger divergence, or stale rate cache.
 sanitize-smoke:
 	$(PYTHON) -m repro.experiments.hostif_parity
+
+# Conformance gate: replay the committed golden trace (bit-identical
+# event stream under the current tree), then the differential sweep —
+# 4 execution modes x {no chaos, every chaos profile}, serial vs
+# jobs=4, with the RNG draw ledger folded into the compared streams.
+# See docs/conformance.md.
+conformance:
+	$(PYTHON) -m repro.conformance
+
+# Coverage gate: tier-1 suite under pytest-cov with a recorded floor.
+# pytest-cov is not part of the pinned local toolchain: skipped with a
+# note when missing (CI installs it explicitly).
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; \
+	then $(PYTHON) -m pytest tests/ --cov=repro \
+		--cov-report=term --cov-fail-under=$(COVERAGE_FLOOR); \
+	else echo "pytest-cov not installed; skipped coverage gate"; fi
 
 bench: bench-simcore
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

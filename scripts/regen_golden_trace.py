@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden conformance trace.
+
+Run from the repository root after an intentional wire-format change
+(schema version bump) or behaviour change that legitimately alters the
+canonical scenario's event stream:
+
+    PYTHONPATH=src python scripts/regen_golden_trace.py
+
+The golden manifest is deliberately recorded **without** the sanitizer's
+RNG ledger: ledger sites are ``path:line`` and would make the committed
+trace churn on unrelated source edits. Replay-time ledger checking is
+covered by the differential sweep instead (``make conformance``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.conformance.replay import record_to_file, replay_file  # noqa: E402
+from repro.conformance.scenario import make_manifest  # noqa: E402
+from repro.units import ms  # noqa: E402
+
+GOLDEN = REPO_ROOT / "tests" / "golden" / "scenario_default.trace.jsonl"
+
+#: The golden scenario: default seed, 10 ms, direct API, fastpath on,
+#: NUMA-link chaos so fault-fire events are part of the stream.
+MANIFEST = make_manifest(seed=271, measure_ns=ms(10), fastpath=True,
+                         variant="direct", chaos_profile="numa-link",
+                         sanitize=False)
+
+
+def main() -> int:
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    trace = record_to_file(MANIFEST, GOLDEN)
+    print(f"wrote {GOLDEN.relative_to(REPO_ROOT)}: "
+          f"{len(trace.events)} events, schema v{trace.schema_version} "
+          f"({trace.schema_digest})")
+    report = replay_file(GOLDEN)
+    print(report.render())
+    return 0 if report.match else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

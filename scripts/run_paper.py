@@ -23,6 +23,10 @@ injected fault plan (RAPL counter wraps, transient MSR read failures,
 meter dropouts/glitches, PCU-tick jitter, PROCHOT throttle episodes);
 see docs/fault_injection.md.
 
+``--record <trace>`` / ``--replay <trace>`` capture and verify a
+canonical conformance trace (event-for-event replay equality; see
+docs/conformance.md) instead of running the suite.
+
 ``--profile`` wraps every experiment in cProfile, writes
 ``benchmarks/output/<name>.pstats``, and prints the top-20
 cumulative-time functions per experiment (see docs/performance.md).
@@ -208,6 +212,30 @@ def _artifact_writer(name: str, text: str) -> Path:
     return write_artifact(f"run_paper_{name}", text)
 
 
+def _record_or_replay(args) -> int:
+    """Handle --record/--replay: conformance tracing instead of the suite."""
+    from repro.conformance.replay import record_to_file, replay_file
+    from repro.conformance.scenario import make_manifest
+    from repro.errors import ReproError
+    from repro.units import ms
+
+    try:
+        if args.replay is not None:
+            report = replay_file(Path(args.replay))
+            print(report.render())
+            return 0 if report.match else 1
+        chaos = "" if args.trace_chaos == "none" else args.trace_chaos
+        manifest = make_manifest(measure_ns=ms(args.trace_ms),
+                                 chaos_profile=chaos)
+        trace = record_to_file(manifest, Path(args.record))
+        print(f"recorded {len(trace.events)} events "
+              f"(schema v{trace.schema_version}) -> {args.record}")
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true",
@@ -225,6 +253,20 @@ def main() -> int:
                         help="fault profile for --chaos: the balanced "
                              "default, or a stress profile isolating one "
                              "fault family")
+    parser.add_argument("--record", metavar="TRACE", default=None,
+                        help="record the canonical conformance scenario "
+                             "to this trace file and exit (see "
+                             "docs/conformance.md)")
+    parser.add_argument("--replay", metavar="TRACE", default=None,
+                        help="replay a recorded conformance trace and "
+                             "exit 1 on any event divergence")
+    parser.add_argument("--trace-ms", type=int, default=10,
+                        help="simulated milliseconds for --record "
+                             "(default 10)")
+    parser.add_argument("--trace-chaos", default="numa-link",
+                        choices=["none", "numa-link", "psu-brownout"],
+                        help="chaos profile baked into a --record "
+                             "manifest (default numa-link)")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile each experiment; write "
                              "benchmarks/output/<name>.pstats and print "
@@ -236,6 +278,11 @@ def main() -> int:
     parser.add_argument("--strict", action="store_true",
                         help="exit nonzero if any experiment hard-failed")
     args = parser.parse_args()
+
+    if args.record is not None and args.replay is not None:
+        parser.error("--record and --replay are mutually exclusive")
+    if args.record is not None or args.replay is not None:
+        return _record_or_replay(args)
 
     if args.chaos is not None and args.chaos < 0:
         parser.error("--chaos seed must be a non-negative integer")
@@ -301,9 +348,18 @@ def main() -> int:
                 _print_profile_summary(name, path)
 
     print(report.render())
-    report_path = OUTPUT_DIR / "run_paper_report.json"
+    # Stable rendering (no durations/paths): the committed report stays
+    # byte-identical across machines; tests/test_run_paper_report.py
+    # re-renders it and compares bytes. Subset / chaos invocations land
+    # on a scratch path so CI smoke targets cannot drift the committed
+    # artifact.
+    canonical = (set(selected) == set(experiments)
+                 and args.chaos is None and not args.full)
+    report_path = OUTPUT_DIR / (
+        "run_paper_report.json" if canonical
+        else "run_paper_report.partial.json")
     OUTPUT_DIR.mkdir(exist_ok=True)
-    report_path.write_text(report.to_json() + "\n")
+    report_path.write_text(report.to_stable_json())
     print(f"report -> {report_path}")
 
     if args.strict and report.hard_failures:

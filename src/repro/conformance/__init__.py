@@ -1,0 +1,71 @@
+"""Deterministic trace record/replay conformance subsystem.
+
+Public surface:
+
+* :mod:`repro.conformance.schema` — the versioned event catalog;
+* :class:`~repro.conformance.recorder.ConformanceRecorder`,
+  :class:`~repro.conformance.recorder.Trace`,
+  :func:`~repro.conformance.recorder.diff_traces`;
+* :class:`~repro.conformance.scenario.ScenarioManifest`,
+  :func:`~repro.conformance.scenario.run_scenario`;
+* :func:`~repro.conformance.replay.replay` /
+  :func:`~repro.conformance.replay.record_to_file`;
+* :func:`~repro.conformance.differential.run_differential`.
+
+``python -m repro.conformance`` (= ``make conformance``) replays the
+committed golden trace and runs the differential sweep.
+"""
+
+from repro.conformance.differential import (
+    DifferentialReport,
+    run_differential,
+)
+from repro.conformance.recorder import (
+    ConformanceRecorder,
+    Divergence,
+    Trace,
+    diff_traces,
+)
+from repro.conformance.replay import (
+    ReplayReport,
+    record,
+    record_to_file,
+    replay,
+    replay_file,
+)
+from repro.conformance.scenario import (
+    CHAOS_PROFILES,
+    ScenarioManifest,
+    make_manifest,
+    run_scenario,
+)
+from repro.conformance.schema import (
+    EVENT_SCHEMAS,
+    SCHEMA_HISTORY,
+    SCHEMA_VERSION,
+    current_digest,
+    validate_event,
+)
+
+__all__ = [
+    "CHAOS_PROFILES",
+    "ConformanceRecorder",
+    "DifferentialReport",
+    "Divergence",
+    "EVENT_SCHEMAS",
+    "ReplayReport",
+    "SCHEMA_HISTORY",
+    "SCHEMA_VERSION",
+    "ScenarioManifest",
+    "Trace",
+    "current_digest",
+    "diff_traces",
+    "make_manifest",
+    "record",
+    "record_to_file",
+    "replay",
+    "replay_file",
+    "run_differential",
+    "run_scenario",
+    "validate_event",
+]

@@ -1,0 +1,93 @@
+"""Record a scenario to a trace file; replay one and assert equality.
+
+Replay is the conformance contract in executable form: re-running the
+manifest embedded in a recorded trace must reproduce the event stream
+*event for event*. Before comparing, the replayer checks that the trace
+was recorded under the schema this tree declares (version **and**
+digest) — comparing streams across wire-format changes would report a
+meaningless diff, so an incompatible trace raises
+:class:`~repro.errors.TraceSchemaError` with regeneration instructions
+instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.conformance import schema as _schema
+from repro.conformance.recorder import Divergence, Trace, diff_traces
+from repro.conformance.scenario import ScenarioManifest, run_scenario
+from repro.errors import TraceSchemaError
+
+
+def record(manifest: ScenarioManifest) -> Trace:
+    """Run the manifest and return its trace (alias with intent)."""
+    return run_scenario(manifest)
+
+
+def record_to_file(manifest: ScenarioManifest, path: Path | str) -> Trace:
+    trace = record(manifest)
+    Path(path).write_text(trace.to_jsonl(), encoding="utf-8")
+    return trace
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of replaying one recorded trace."""
+
+    manifest: dict
+    recorded_events: int
+    replayed_events: int
+    divergence: Divergence | None
+
+    @property
+    def match(self) -> bool:
+        return self.divergence is None
+
+    def render(self) -> str:
+        head = (f"replay: seed={self.manifest.get('seed')} "
+                f"measure_ns={self.manifest.get('measure_ns')} "
+                f"variant={self.manifest.get('variant')} "
+                f"fastpath={self.manifest.get('fastpath')} "
+                f"chaos={self.manifest.get('chaos_profile') or 'none'}")
+        if self.match:
+            return (f"{head}\n  OK: {self.recorded_events} events "
+                    "reproduced bit-identically")
+        return (f"{head}\n  MISMATCH: recorded {self.recorded_events} "
+                f"events, replayed {self.replayed_events}\n"
+                + "  " + self.divergence.render().replace("\n", "\n  "))
+
+
+def check_schema_compat(trace: Trace) -> None:
+    """Refuse traces recorded under a different wire format."""
+    if trace.schema_version != _schema.SCHEMA_VERSION:
+        raise TraceSchemaError(
+            f"trace was recorded under schema version "
+            f"{trace.schema_version}, this tree declares "
+            f"{_schema.SCHEMA_VERSION}; regenerate the trace "
+            "(scripts/regen_golden_trace.py for the committed golden)")
+    digest = _schema.current_digest()
+    if trace.schema_digest != digest:
+        raise TraceSchemaError(
+            f"trace schema digest {trace.schema_digest} does not match "
+            f"the declared table ({digest}); the event catalog changed "
+            "without a version bump, or the trace predates it — "
+            "regenerate the trace")
+
+
+def replay(trace: Trace) -> ReplayReport:
+    """Re-execute the trace's manifest and compare event streams."""
+    check_schema_compat(trace)
+    manifest = ScenarioManifest.from_dict(trace.manifest)
+    fresh = run_scenario(manifest)
+    return ReplayReport(
+        manifest=trace.manifest,
+        recorded_events=len(trace.events),
+        replayed_events=len(fresh.events),
+        divergence=diff_traces(trace, fresh))
+
+
+def replay_file(path: Path | str) -> ReplayReport:
+    text = Path(path).read_text(encoding="utf-8")
+    return replay(Trace.from_jsonl(text))

@@ -1,0 +1,209 @@
+"""Declarative, versioned schemas for the conformance event stream.
+
+Every event a :class:`~repro.conformance.recorder.ConformanceRecorder`
+accepts is declared here as a typed record: an event kind plus an
+ordered tuple of ``(field, type)`` pairs. The table is the single source
+of truth for what a trace may contain — the recorder validates every
+emitted payload against it, the canonical JSONL serialization follows
+it, and the ``trace-schema`` rules of ``repro-lint`` hold it stable:
+
+* the module must declare an integer ``SCHEMA_VERSION`` and an
+  append-only ``SCHEMA_HISTORY`` of ``version -> digest`` entries;
+* the digest of the declared table (see :func:`compute_digest`) must
+  equal ``SCHEMA_HISTORY[SCHEMA_VERSION]`` — any edit that changes the
+  wire format therefore fails lint until the version is bumped and a
+  new history entry is appended.
+
+Recorded traces embed their schema version and digest; the replayer
+refuses to compare streams produced under different schemas instead of
+reporting a meaningless event diff.
+
+Field types are the JSON-compatible scalars (``int``, ``float``,
+``str``, ``bool``) plus ``dict`` for open sub-records such as fault
+parameters. Validation is strict: unknown kinds, missing fields, extra
+fields, and type mismatches all raise
+:class:`~repro.errors.TraceSchemaError` at emission time, so a
+malformed event can never silently enter a golden trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import TraceSchemaError
+
+#: Types an event field may declare.
+FIELD_TYPES = ("int", "float", "str", "bool", "dict")
+
+_PYTHON_TYPES = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": bool,
+    "dict": dict,
+}
+
+
+@dataclass(frozen=True)
+class EventField:
+    """One typed field of an event record."""
+
+    name: str
+    type: str
+
+    def __post_init__(self) -> None:
+        if self.type not in FIELD_TYPES:
+            raise TraceSchemaError(
+                f"field {self.name!r}: unknown type {self.type!r} "
+                f"(valid: {', '.join(FIELD_TYPES)})")
+
+
+@dataclass(frozen=True)
+class EventSchema:
+    """The declared shape of one event kind."""
+
+    kind: str
+    fields: tuple[EventField, ...]
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(names) != len(set(names)):
+            raise TraceSchemaError(
+                f"event {self.kind!r} declares a duplicate field")
+
+    def validate(self, payload: dict) -> None:
+        declared = {f.name: f.type for f in self.fields}
+        missing = sorted(set(declared) - set(payload))
+        extra = sorted(set(payload) - set(declared))
+        if missing or extra:
+            raise TraceSchemaError(
+                f"event {self.kind!r}: payload fields do not match the "
+                f"schema (missing: {missing or 'none'}, "
+                f"unexpected: {extra or 'none'})")
+        for name, type_name in declared.items():
+            value = payload[name]
+            expected = _PYTHON_TYPES[type_name]
+            ok = isinstance(value, expected)
+            if type_name in ("int", "float") and isinstance(value, bool):
+                ok = False       # bool is an int subclass; keep types strict
+            if not ok:
+                raise TraceSchemaError(
+                    f"event {self.kind!r}: field {name!r} must be "
+                    f"{type_name}, got {type(value).__name__} ({value!r})")
+
+
+def schema_table(*schemas: EventSchema) -> dict[str, EventSchema]:
+    """Build the kind -> schema mapping, rejecting duplicate kinds."""
+    table: dict[str, EventSchema] = {}
+    for schema in schemas:
+        if schema.kind in table:
+            raise TraceSchemaError(f"duplicate event kind {schema.kind!r}")
+        table[schema.kind] = schema
+    return table
+
+
+# ---- the event catalog (version 1) -----------------------------------------
+# Editing anything inside EVENT_SCHEMAS changes the wire format: bump
+# SCHEMA_VERSION, append the new digest to SCHEMA_HISTORY (repro-lint
+# prints the expected value), and regenerate the golden traces.
+
+EVENT_SCHEMAS = schema_table(
+    # A PCU grant landing on a core after the voltage-ramp switch time.
+    EventSchema("freq-apply", (
+        EventField("core_id", "int"),
+        EventField("from_hz", "float"),
+        EventField("to_hz", "float"),
+    )),
+    # An uncore frequency retarget (UFS decision or 0x620 clamp).
+    EventSchema("uncore-apply", (
+        EventField("from_hz", "float"),
+        EventField("to_hz", "float"),
+        EventField("tdp_bound", "bool"),
+    )),
+    # One core changing c-state (includes disable-knob demotions).
+    EventSchema("cstate-switch", (
+        EventField("core_id", "int"),
+        EventField("from_state", "str"),
+        EventField("to_state", "str"),
+    )),
+    # The periodic RAPL refresh latching the visible energy counters.
+    EventSchema("rapl-update", (
+        EventField("socket", "int"),
+        EventField("package", "int"),
+        EventField("dram", "int"),
+    )),
+    # A planned fault firing (the injector's applied-fault record).
+    EventSchema("fault-fire", (
+        EventField("fault", "str"),
+        EventField("params", "dict"),
+    )),
+    # A write through the virtual host interface (sysfs file or MSR).
+    EventSchema("hostif-write", (
+        EventField("target", "str"),
+        EventField("value", "str"),
+    )),
+    # One run-length entry of the sanitizer's RNG draw ledger.
+    EventSchema("rng-draw", (
+        EventField("site", "str"),
+        EventField("method", "str"),
+        EventField("count", "int"),
+    )),
+    # End-of-run marker carrying the digest of the full state report.
+    EventSchema("run-end", (
+        EventField("state_sha256", "str"),
+    )),
+)
+
+#: Current wire-format version. Bump together with SCHEMA_HISTORY.
+SCHEMA_VERSION = 1
+
+#: Append-only version -> digest history. The digest of the *current*
+#: EVENT_SCHEMAS must be the last entry; ``repro-lint`` enforces this
+#: statically and ``tests/test_conformance.py`` at runtime.
+SCHEMA_HISTORY = {
+    1: "2b9951529f955267",
+}
+
+
+def compute_digest(table: dict[str, EventSchema] | None = None) -> str:
+    """Canonical 16-hex-digit digest of an event table.
+
+    Kinds sorted, fields sorted by name — cosmetic reordering of the
+    declaration does not change the digest, while adding, removing,
+    renaming, or retyping anything does. The ``trace-schema-digest``
+    lint rule computes the identical value from the AST of this module.
+    """
+    table = EVENT_SCHEMAS if table is None else table
+    lines = []
+    for kind in sorted(table):
+        fields = ",".join(
+            f"{f.name}:{f.type}"
+            for f in sorted(table[kind].fields, key=lambda f: f.name))
+        lines.append(f"{kind}({fields})")
+    text = "\n".join(lines)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def current_digest() -> str:
+    return compute_digest(EVENT_SCHEMAS)
+
+
+def assert_schema_current() -> None:
+    """Raise unless SCHEMA_HISTORY's latest entry matches the table."""
+    digest = current_digest()
+    recorded = SCHEMA_HISTORY.get(SCHEMA_VERSION)
+    if recorded != digest:
+        raise TraceSchemaError(
+            f"EVENT_SCHEMAS digest {digest} does not match "
+            f"SCHEMA_HISTORY[{SCHEMA_VERSION}] = {recorded}; bump "
+            "SCHEMA_VERSION and append the new digest")
+
+
+def validate_event(kind: str, payload: dict) -> None:
+    schema = EVENT_SCHEMAS.get(kind)
+    if schema is None:
+        raise TraceSchemaError(
+            f"unknown event kind {kind!r} "
+            f"(declared: {', '.join(sorted(EVENT_SCHEMAS))})")
+    schema.validate(payload)

@@ -21,8 +21,13 @@ class TraceRecorder:
         self.records: list[TraceRecord] = []
         self._kinds = kinds
 
+    def wants(self, kind: str) -> bool:
+        """True when events of ``kind`` would be recorded (lets emitters
+        skip payload construction for filtered kinds on hot paths)."""
+        return self._kinds is None or kind in self._kinds
+
     def emit(self, time_ns: int, source: str, kind: str, **payload: Any) -> None:
-        if self._kinds is None or kind in self._kinds:
+        if self.wants(kind):
             self.records.append(TraceRecord(time_ns, source, kind, payload))
 
     def of_kind(self, kind: str) -> list[TraceRecord]:

@@ -47,6 +47,15 @@ class FaultInjectionError(ReproError):
     """A fault plan or injector was configured or driven incorrectly."""
 
 
+class ConformanceError(ReproError):
+    """The trace record/replay conformance subsystem detected a problem."""
+
+
+class TraceSchemaError(ConformanceError):
+    """An event does not match its declared schema, or a recorded trace
+    was produced under an incompatible schema version/digest."""
+
+
 class TransientFaultError(ReproError):
     """A recoverable fault: the operation may succeed if retried.
 

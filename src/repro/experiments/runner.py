@@ -102,6 +102,15 @@ class SuiteReport:
                                            for o in self.outcomes]},
                           indent=2, sort_keys=True)
 
+    def to_stable_json(self) -> str:
+        """Byte-stable report: only the deterministic per-experiment
+        fields (no wall-clock durations, no absolute artifact paths),
+        so a committed report matches a fresh run of the same suite
+        byte for byte. Ends with a newline."""
+        return json.dumps({"counts": self.counts,
+                           "experiments": self.records()},
+                          indent=2, sort_keys=True) + "\n"
+
     def render(self) -> str:
         width = max((len(o.name) for o in self.outcomes), default=4)
         lines = ["experiment outcomes:"]

@@ -80,6 +80,11 @@ class FaultInjector:
         entry.update(dict(event.params))
         entry.update(detail)
         self.log.append(entry)
+        if self.sim.trace.wants("fault-fire"):
+            params = dict(event.params)
+            params.update(detail)
+            self.sim.trace.emit(self.sim.now_ns, "faults", "fault-fire",
+                                fault=event.kind.value, params=params)
 
     def _socket_index(self, event: FaultEvent) -> int:
         return int(event.param("socket", 0)) % len(self.node.sockets)

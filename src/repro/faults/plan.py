@@ -69,6 +69,12 @@ class FaultEvent:
         return {"time_ns": self.time_ns, "kind": self.kind.value,
                 "params": dict(self.params)}
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        return cls(time_ns=int(data["time_ns"]),
+                   kind=FaultKind(data["kind"]),
+                   params=_pairs(**data.get("params", {})))
+
 
 def _pairs(**kwargs) -> tuple[tuple[str, int | float | str], ...]:
     return tuple(sorted(kwargs.items()))
@@ -145,12 +151,22 @@ class FaultPlan:
     def by_kind(self, kind: FaultKind) -> list[FaultEvent]:
         return [ev for ev in self.events if ev.kind is kind]
 
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "horizon_ns": self.horizon_ns,
+                "events": [ev.to_dict() for ev in self.events]}
+
     def to_json(self) -> str:
         """Canonical serialization — byte-identical for identical plans."""
-        return json.dumps(
-            {"seed": self.seed, "horizon_ns": self.horizon_ns,
-             "events": [ev.to_dict() for ev in self.events]},
-            sort_keys=True, separators=(",", ":"))
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict` (used by trace-manifest replay)."""
+        return cls(seed=int(data["seed"]),
+                   horizon_ns=int(data["horizon_ns"]),
+                   events=tuple(FaultEvent.from_dict(e)
+                                for e in data.get("events", [])))
 
     @classmethod
     def generate(cls, seed: int, horizon_ns: int = DEFAULT_HORIZON_NS,

@@ -76,6 +76,14 @@ class VirtualMsrDev:
         raise MsrError(f"unimplemented MSR {address:#x}")
 
     def write(self, cpu: int, address: int, value: int) -> None:
+        self._write_through(cpu, address, value)
+        sim = self.node.sim
+        if sim.trace.wants("hostif-write"):
+            sim.trace.emit(sim.now_ns, "hostif", "hostif-write",
+                           target=f"msr:cpu{cpu}:{address:#x}",
+                           value=f"{value:#x}")
+
+    def _write_through(self, cpu: int, address: int, value: int) -> None:
         core = self.node.core(cpu)
         pcu = self.node.pcus[core.socket_id]
         if address == HostMsr.IA32_PERF_CTL:

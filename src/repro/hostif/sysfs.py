@@ -79,6 +79,10 @@ class VirtualSysfs:
         if writer is None:
             raise ConfigurationError(f"{path}: permission denied (read-only)")
         writer(*args, value.strip())
+        sim = self.node.sim
+        if sim.trace.wants("hostif-write"):
+            sim.trace.emit(sim.now_ns, "hostif", "hostif-write",
+                           target=path, value=value.strip())
 
     # ---- dispatch --------------------------------------------------------
 

@@ -16,6 +16,10 @@ run over the whole tree on every PR (``make lint``):
                   and every hand-written mask/shift must match it.
 * ``epoch-bypass`` — no writes that dodge the ``__setattr__``
                   interception feeding :class:`repro.engine.epoch.EpochCell`.
+* ``trace-schema-*`` — the conformance event catalog in
+                  :mod:`repro.conformance.schema` must stay versioned:
+                  any wire-format edit requires a ``SCHEMA_VERSION``
+                  bump with a matching digest in ``SCHEMA_HISTORY``.
 
 See ``docs/static_analysis.md`` for the rule catalog and the
 suppression policy (every inline suppression must carry a reason).
@@ -32,7 +36,13 @@ from repro.lint.engine import (
 )
 
 # Importing the rule modules registers them with the engine.
-from repro.lint.rules import determinism, epoch, msr, units  # noqa: F401
+from repro.lint.rules import (  # noqa: F401
+    determinism,
+    epoch,
+    msr,
+    trace_schema,
+    units,
+)
 
 __all__ = [
     "Finding",

@@ -1,0 +1,290 @@
+"""Trace-schema rules: the conformance event catalog must stay versioned.
+
+Applies to any module that declares ``EVENT_SCHEMAS = schema_table(...)``
+(in this tree: :mod:`repro.conformance.schema`). Golden conformance
+traces embed the schema version and digest they were recorded under, so
+an edit to the catalog that is not accompanied by a version bump
+silently invalidates every committed trace. Three rule families make
+that class of edit impossible to land:
+
+* ``trace-schema-version`` — the module must declare an integer
+  ``SCHEMA_VERSION`` and a literal ``SCHEMA_HISTORY`` dict whose keys
+  are contiguous ``1..N`` with 16-hex-digit digest values, and
+  ``SCHEMA_VERSION`` must be the latest entry (history is append-only
+  by construction: removing or rewriting an old entry changes a digest
+  some committed trace may reference).
+* ``trace-schema-digest`` — the digest of the declared event table,
+  computed statically from the AST with the exact algorithm of
+  :func:`repro.conformance.schema.compute_digest`, must equal
+  ``SCHEMA_HISTORY[SCHEMA_VERSION]``. Any schema-affecting edit without
+  a bump fails here, with the expected digest in the message.
+* ``trace-schema-field`` — event kinds must be unique kebab-case
+  strings, field names unique snake_case, field types drawn from the
+  declared scalar set; entries must be pure literals so the other two
+  rules (and this one) can see them.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from typing import Iterable
+
+from repro.lint.engine import FileContext, Finding, Rule, register
+
+_KEBAB = re.compile(r"^[a-z0-9]+(-[a-z0-9]+)*$")
+_SNAKE = re.compile(r"^[a-z][a-z0-9_]*$")
+_HEX16 = re.compile(r"^[0-9a-f]{16}$")
+_FIELD_TYPES = ("int", "float", "str", "bool", "dict")
+
+
+class _ParsedSchema:
+    def __init__(self, kind: str | None, node: ast.AST) -> None:
+        self.kind = kind
+        self.node = node
+        # (name | None, type | None, node) per declared field
+        self.fields: list[tuple[str | None, str | None, ast.AST]] = []
+        self.literal = True     # False when any part is not a literal
+
+
+def _str_const(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _find_table(tree: ast.Module) -> ast.Call | None:
+    """The ``EVENT_SCHEMAS = schema_table(...)`` call, if declared."""
+    for node in ast.walk(tree):
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+        else:
+            continue
+        if isinstance(target, ast.Name) and target.id == "EVENT_SCHEMAS" \
+                and isinstance(node.value, ast.Call) \
+                and isinstance(node.value.func, ast.Name) \
+                and node.value.func.id == "schema_table":
+            return node.value
+    return None
+
+
+def _parse_schemas(table: ast.Call) -> list[_ParsedSchema]:
+    schemas: list[_ParsedSchema] = []
+    for arg in table.args:
+        if not (isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Name)
+                and arg.func.id == "EventSchema"
+                and len(arg.args) == 2):
+            parsed = _ParsedSchema(None, arg)
+            parsed.literal = False
+            schemas.append(parsed)
+            continue
+        parsed = _ParsedSchema(_str_const(arg.args[0]), arg)
+        if parsed.kind is None:
+            parsed.literal = False
+        fields_node = arg.args[1]
+        if not isinstance(fields_node, (ast.Tuple, ast.List)):
+            parsed.literal = False
+            schemas.append(parsed)
+            continue
+        for element in fields_node.elts:
+            if (isinstance(element, ast.Call)
+                    and isinstance(element.func, ast.Name)
+                    and element.func.id == "EventField"
+                    and len(element.args) == 2):
+                name = _str_const(element.args[0])
+                type_name = _str_const(element.args[1])
+                if name is None or type_name is None:
+                    parsed.literal = False
+                parsed.fields.append((name, type_name, element))
+            else:
+                parsed.literal = False
+                parsed.fields.append((None, None, element))
+        schemas.append(parsed)
+    return schemas
+
+
+def _int_assign(tree: ast.Module, name: str) -> tuple[int | None, ast.AST | None]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and node.targets[0].id == name:
+            if isinstance(node.value, ast.Constant) \
+                    and isinstance(node.value.value, int) \
+                    and not isinstance(node.value.value, bool):
+                return node.value.value, node
+            return None, node
+    return None, None
+
+
+def _history_assign(tree: ast.Module) -> tuple[dict[int, str] | None,
+                                               ast.AST | None]:
+    """``SCHEMA_HISTORY`` as {int: str}, or (None, node) when malformed."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and node.targets[0].id == "SCHEMA_HISTORY":
+            if not isinstance(node.value, ast.Dict):
+                return None, node
+            history: dict[int, str] = {}
+            for key, value in zip(node.value.keys, node.value.values):
+                if not (isinstance(key, ast.Constant)
+                        and isinstance(key.value, int)
+                        and isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    return None, node
+                history[key.value] = value.value
+            return history, node
+    return None, None
+
+
+def _ast_digest(schemas: list[_ParsedSchema]) -> str | None:
+    """The table digest, mirroring ``schema.compute_digest`` exactly.
+
+    None when any entry is non-literal (``trace-schema-field`` owns
+    that); duplicate kinds collapse like the runtime dict does.
+    """
+    table: dict[str, list[tuple[str, str]]] = {}
+    for parsed in schemas:
+        if not parsed.literal or parsed.kind is None:
+            return None
+        table[parsed.kind] = [(n, t) for n, t, _ in parsed.fields
+                              if n is not None and t is not None]
+    lines = []
+    for kind in sorted(table):
+        fields = ",".join(f"{name}:{type_name}" for name, type_name
+                          in sorted(table[kind]))
+        lines.append(f"{kind}({fields})")
+    text = "\n".join(lines)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+@register
+class TraceSchemaVersionRule(Rule):
+    id = "trace-schema-version"
+    description = ("conformance schema module lacks a sound "
+                   "SCHEMA_VERSION/SCHEMA_HISTORY declaration")
+    hint = ("declare an int SCHEMA_VERSION and an append-only "
+            "SCHEMA_HISTORY {1..N: 16-hex digest} ending at the version")
+
+    def begin_file(self, ctx: FileContext) -> Iterable[Finding]:
+        table = _find_table(ctx.tree)
+        if table is None:
+            return
+        version, version_node = _int_assign(ctx.tree, "SCHEMA_VERSION")
+        history, history_node = _history_assign(ctx.tree)
+        if version_node is None:
+            yield self.finding(ctx, table,
+                               "module declares EVENT_SCHEMAS but no "
+                               "SCHEMA_VERSION")
+        elif version is None:
+            yield self.finding(ctx, version_node,
+                               "SCHEMA_VERSION must be an integer literal")
+        if history_node is None:
+            yield self.finding(ctx, table,
+                               "module declares EVENT_SCHEMAS but no "
+                               "SCHEMA_HISTORY")
+            return
+        if history is None:
+            yield self.finding(ctx, history_node,
+                               "SCHEMA_HISTORY must be a literal dict of "
+                               "int version -> digest string")
+            return
+        bad_digests = [v for v in history.values()
+                       if not _HEX16.match(v)]
+        for value in bad_digests:
+            yield self.finding(ctx, history_node,
+                               f"SCHEMA_HISTORY digest {value!r} is not a "
+                               "16-hex-digit string")
+        if sorted(history) != list(range(1, len(history) + 1)):
+            yield self.finding(ctx, history_node,
+                               f"SCHEMA_HISTORY keys {sorted(history)} are "
+                               "not contiguous from 1 (history is "
+                               "append-only)")
+        elif version is not None and version != max(history):
+            yield self.finding(ctx, history_node,
+                               f"SCHEMA_VERSION is {version} but the latest "
+                               f"SCHEMA_HISTORY entry is {max(history)}")
+
+
+@register
+class TraceSchemaDigestRule(Rule):
+    id = "trace-schema-digest"
+    description = ("conformance event table changed without a schema "
+                   "version bump")
+    hint = ("bump SCHEMA_VERSION, append the new digest to "
+            "SCHEMA_HISTORY, and regenerate the golden traces")
+
+    def begin_file(self, ctx: FileContext) -> Iterable[Finding]:
+        table = _find_table(ctx.tree)
+        if table is None:
+            return
+        version, _ = _int_assign(ctx.tree, "SCHEMA_VERSION")
+        history, history_node = _history_assign(ctx.tree)
+        if version is None or history is None or version not in history:
+            return      # trace-schema-version owns structural problems
+        digest = _ast_digest(_parse_schemas(table))
+        if digest is None:
+            return      # trace-schema-field owns non-literal entries
+        if history[version] != digest:
+            yield self.finding(
+                ctx, history_node,
+                f"EVENT_SCHEMAS digest is {digest} but "
+                f"SCHEMA_HISTORY[{version}] records {history[version]}")
+
+
+@register
+class TraceSchemaFieldRule(Rule):
+    id = "trace-schema-field"
+    description = ("conformance event table entry is malformed "
+                   "(naming, typing, or non-literal declaration)")
+    hint = ("use literal EventSchema('kebab-kind', (EventField('name', "
+            "'type'), ...)) entries with types from the scalar set")
+
+    def begin_file(self, ctx: FileContext) -> Iterable[Finding]:
+        table = _find_table(ctx.tree)
+        if table is None:
+            return
+        seen_kinds: set[str] = set()
+        for parsed in _parse_schemas(table):
+            if parsed.kind is None:
+                yield self.finding(ctx, parsed.node,
+                                   "event table entry is not a literal "
+                                   "EventSchema('kind', (fields...)) call")
+                continue
+            if not _KEBAB.match(parsed.kind):
+                yield self.finding(ctx, parsed.node,
+                                   f"event kind {parsed.kind!r} is not "
+                                   "kebab-case")
+            if parsed.kind in seen_kinds:
+                yield self.finding(ctx, parsed.node,
+                                   f"duplicate event kind {parsed.kind!r}")
+            seen_kinds.add(parsed.kind)
+            seen_fields: set[str] = set()
+            for name, type_name, node in parsed.fields:
+                if name is None or type_name is None:
+                    yield self.finding(
+                        ctx, node,
+                        f"event {parsed.kind!r}: field is not a literal "
+                        "EventField('name', 'type') call")
+                    continue
+                if not _SNAKE.match(name):
+                    yield self.finding(
+                        ctx, node,
+                        f"event {parsed.kind!r}: field name {name!r} is "
+                        "not snake_case")
+                if name in seen_fields:
+                    yield self.finding(
+                        ctx, node,
+                        f"event {parsed.kind!r}: duplicate field {name!r}")
+                seen_fields.add(name)
+                if type_name not in _FIELD_TYPES:
+                    yield self.finding(
+                        ctx, node,
+                        f"event {parsed.kind!r}: field {name!r} has "
+                        f"unknown type {type_name!r} (valid: "
+                        f"{', '.join(_FIELD_TYPES)})")

@@ -78,11 +78,18 @@ class Core:
 
     # Set by the owning Socket after adoption; None while free-standing.
     _epoch_cell = None
+    # Conformance-trace probe: called as hook(old_cstate, new_cstate) on
+    # every c-state change. None (the default) keeps the hot path free of
+    # any tracing cost; repro.conformance installs one per core when the
+    # active recorder wants "cstate-switch" events.
+    _cstate_hook = None
 
     def __setattr__(self, name: str, value) -> None:
         if name in _EPOCH_FIELDS:
             cell = self._epoch_cell
             if cell is not None and getattr(self, name, _UNSET) != value:
+                if name == "cstate" and self._cstate_hook is not None:
+                    self._cstate_hook(self.cstate, value)
                 object.__setattr__(self, name, value)
                 cell.bump()
                 return

@@ -19,6 +19,7 @@ from repro.pcu.epb import Epb
 from repro.pcu.pcu import Pcu
 from repro.power.mbvr import Mbvr, SvidCommand
 from repro.power.psu import PsuModel
+from repro.power.rapl import RaplDomain
 from repro.specs.node import NodeSpec, HASWELL_TEST_NODE
 from repro.system.core import Core
 from repro.system.socket import Socket
@@ -234,8 +235,16 @@ class Node:
         self.ac_energy_j += ac_w * (t1_ns - t0_ns) / NS_PER_S
 
     def _rapl_refresh(self, _now_ns: int) -> None:
+        trace = self.sim.trace
+        record = trace.wants("rapl-update")
         for s in self.sockets:
             s.rapl.refresh()
+            if record:
+                trace.emit(
+                    self.sim.now_ns, f"rapl{s.socket_id}", "rapl-update",
+                    socket=s.socket_id,
+                    package=s.rapl.read_counter(RaplDomain.PACKAGE),
+                    dram=s.rapl.read_counter(RaplDomain.DRAM))
 
     # ---- human-readable state dump ---------------------------------------------
 

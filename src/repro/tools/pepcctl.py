@@ -125,20 +125,54 @@ def _pstates_info(host: VirtualHost, cpus: list[int]) -> None:
         for c in cpus])
 
 
+def _check_pstate(host: VirtualHost, cpu: int, ghz: float,
+                  knob: str) -> None:
+    available = host.sysfs.read(
+        f"{_SYS}/cpu{cpu}/cpufreq/scaling_available_frequencies")
+    f_khz = ghz * 1e6
+    if not any(abs(f_khz - int(p)) < 500 for p in available.split()):
+        raise ValueError(f"{knob}: {ghz:.2f} GHz is not a selectable "
+                         f"p-state (available: {available} kHz)")
+
+
 def _pstates_config(host: VirtualHost, cpus: list[int],
                     args: argparse.Namespace) -> None:
+    # Validate every request against read-only state before the first
+    # write, so a rejected invocation leaves the node untouched.
+    for knob in ("min", "max", "freq"):
+        ghz = getattr(args, knob)
+        if ghz is not None:
+            _check_pstate(host, cpus[0], ghz, knob)
+    if args.epb is not None and not 0 <= args.epb <= 15:
+        raise ValueError(f"EPB is a 4-bit field, got {args.epb}")
+    limit_writes: list[tuple[str, str]] = []
+    for c in cpus:
+        new_min = args.min if args.min is not None else int(
+            host.sysfs.read(f"{_SYS}/cpu{c}/cpufreq/scaling_min_freq")) / 1e6
+        new_max = args.max if args.max is not None else int(
+            host.sysfs.read(f"{_SYS}/cpu{c}/cpufreq/scaling_max_freq")) / 1e6
+        if args.min is not None or args.max is not None:
+            if new_min > new_max:
+                raise ValueError(
+                    f"cpu {c}: scaling min {new_min:.2f} GHz above "
+                    f"max {new_max:.2f} GHz")
+            # Widening first keeps min <= max at every intermediate step.
+            writes = [("scaling_max_freq", int(new_max * 1e6)),
+                      ("scaling_min_freq", int(new_min * 1e6))]
+            cur_min = int(host.sysfs.read(
+                f"{_SYS}/cpu{c}/cpufreq/scaling_min_freq")) / 1e6
+            if new_max < cur_min:
+                writes.reverse()
+            limit_writes.extend(
+                (f"{_SYS}/cpu{c}/cpufreq/{file}", str(khz))
+                for file, khz in writes)
+
     if args.governor is not None:
         for c in cpus:
             host.sysfs.write(f"{_SYS}/cpu{c}/cpufreq/scaling_governor",
                              args.governor)
-    if args.min is not None:
-        for c in cpus:
-            host.sysfs.write(f"{_SYS}/cpu{c}/cpufreq/scaling_min_freq",
-                             str(int(args.min * 1e6)))
-    if args.max is not None:
-        for c in cpus:
-            host.sysfs.write(f"{_SYS}/cpu{c}/cpufreq/scaling_max_freq",
-                             str(int(args.max * 1e6)))
+    for path, value in limit_writes:
+        host.sysfs.write(path, value)
     if args.freq is not None:
         # setspeed needs the userspace governor, like real cpufreq.
         for c in cpus:
@@ -189,16 +223,15 @@ def _cstates_config(host: VirtualHost, cpus: list[int],
             raise ReproError(f"unknown c-state {name!r}; "
                              f"available: {' '.join(names)}") from None
 
-    for name in args.disable or []:
-        index = state_index(name)
+    # Resolve every referenced state before the first write: one unknown
+    # name must not leave earlier disables half-applied.
+    staged = [(state_index(name), flag)
+              for names, flag in ((args.disable, "1"), (args.enable, "0"))
+              for name in names or []]
+    for index, flag in staged:
         for c in cpus:
             host.sysfs.write(f"{_SYS}/cpu{c}/cpuidle/state{index}/disable",
-                             "1")
-    for name in args.enable or []:
-        index = state_index(name)
-        for c in cpus:
-            host.sysfs.write(f"{_SYS}/cpu{c}/cpuidle/state{index}/disable",
-                             "0")
+                             flag)
     _cstates_info(host, cpus)
 
 
@@ -238,9 +271,14 @@ def _power_info(host: VirtualHost, packages: list[int]) -> None:
 def _power_config(host: VirtualHost, packages: list[int],
                   args: argparse.Namespace) -> None:
     if args.pl1 is not None:
+        counts = int(args.pl1 / 0.125)
+        if not 0 < counts <= 0x7FFF:
+            raise ValueError(
+                f"PL1 {args.pl1} W outside the 15-bit 1/8-W field "
+                f"(0.125 .. {0x7FFF * 0.125:.3f} W)")
         for cpu in _package_cpus(host, packages).values():
             host.msr.write(cpu, HostMsr.MSR_PKG_POWER_LIMIT,
-                           int(args.pl1 / 0.125) | (1 << 15))
+                           counts | (1 << 15))
     _power_info(host, packages)
 
 
@@ -266,21 +304,49 @@ def _uncore_info(host: VirtualHost, packages: list[int]) -> None:
 
 def _uncore_config(host: VirtualHost, packages: list[int],
                    args: argparse.Namespace) -> None:
+    # Validate the whole request against the silicon range (and the
+    # current window where one bound is left alone) before any write.
+    staged: list[tuple[str, str]] = []
     for package in packages:
         base = f"{_SYS}/intel_uncore_frequency/package_{package}_die_00"
-        if args.min is not None:
-            host.sysfs.write(f"{base}/min_freq_khz",
-                             str(int(args.min * 1e6)))
-        if args.max is not None:
-            host.sysfs.write(f"{base}/max_freq_khz",
-                             str(int(args.max * 1e6)))
+        lo_ghz = int(host.sysfs.read(f"{base}/initial_min_freq_khz")) / 1e6
+        hi_ghz = int(host.sysfs.read(f"{base}/initial_max_freq_khz")) / 1e6
+        new_min = args.min if args.min is not None \
+            else int(host.sysfs.read(f"{base}/min_freq_khz")) / 1e6
+        new_max = args.max if args.max is not None \
+            else int(host.sysfs.read(f"{base}/max_freq_khz")) / 1e6
+        if not lo_ghz <= new_min <= new_max <= hi_ghz:
+            raise ValueError(
+                f"package {package}: uncore window [{new_min:.2f}, "
+                f"{new_max:.2f}] GHz outside the silicon range "
+                f"[{lo_ghz:.2f}, {hi_ghz:.2f}] GHz")
+        # Widening first keeps min <= max at every intermediate step.
+        writes = [("max_freq_khz", int(new_max * 1e6)),
+                  ("min_freq_khz", int(new_min * 1e6))]
+        if new_max < int(host.sysfs.read(f"{base}/min_freq_khz")) / 1e6:
+            writes.reverse()
+        staged.extend((f"{base}/{file}", str(khz)) for file, khz in writes)
+    for path, value in staged:
+        host.sysfs.write(path, value)
     _uncore_info(host, packages)
 
 
 # ---- entry point -----------------------------------------------------------
 
+class _Parser(argparse.ArgumentParser):
+    """Route usage errors through the CLI's own error: / exit-1 path.
+
+    Subparsers inherit this class via argparse's default parser_class,
+    so a malformed ``--cpus -3`` fails like a malformed ``--cpus 3-0``
+    instead of SystemExit(2).
+    """
+
+    def error(self, message: str):
+        raise ValueError(message)
+
+
 def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro-pepcctl",
         description="pepc-style control of the simulated node, purely "
                     "through the virtual sysfs/MSR host interface")
@@ -328,14 +394,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = _build_parser()
-    args = parser.parse_args(argv)
-
-    sim, node = build_haswell_node(seed=args.seed)
-    host = VirtualHost(sim, node)
 
     try:
+        args = parser.parse_args(argv)
+
+        sim, node = build_haswell_node(seed=args.seed)
+        host = VirtualHost(sim, node)
+
         if args.command in ("pstates", "cstates"):
-            cpus = parse_cpu_list(args.cpus) if args.cpus else host.cpu_ids
+            cpus = parse_cpu_list(args.cpus) if args.cpus is not None \
+                else host.cpu_ids
             bad = set(cpus) - set(host.cpu_ids)
             if bad:
                 raise ValueError(f"no such cpu(s): {sorted(bad)}")
@@ -347,8 +415,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                  else _cstates_config(host, cpus, args))
         else:
             all_packages = list(range(len(node.sockets)))
-            packages = parse_cpu_list(args.packages) if args.packages \
-                else all_packages
+            packages = parse_cpu_list(args.packages) \
+                if args.packages is not None else all_packages
             if set(packages) - set(all_packages):
                 raise ValueError(
                     f"no such package(s): "

@@ -1,0 +1,26 @@
+"""Bad fixture: the event table changed but the recorded digest did not."""
+
+
+def schema_table(*schemas):
+    return {s[0]: s for s in schemas}
+
+
+def EventSchema(kind, fields):  # noqa: N802 — mirrors the real declaration
+    return (kind, fields)
+
+
+def EventField(name, type_name):  # noqa: N802 — mirrors the real declaration
+    return (name, type_name)
+
+
+EVENT_SCHEMAS = schema_table(
+    EventSchema("demo-event", (
+        EventField("value", "int"),
+    )),
+)
+
+SCHEMA_VERSION = 1
+
+SCHEMA_HISTORY = {
+    1: "0000000000000000",
+}

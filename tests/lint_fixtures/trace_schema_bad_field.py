@@ -1,0 +1,31 @@
+"""Bad fixture: unknown field type and a duplicate field name.
+
+The recorded digest matches this (malformed) table, so only the
+``trace-schema-field`` family fires.
+"""
+
+
+def schema_table(*schemas):
+    return {s[0]: s for s in schemas}
+
+
+def EventSchema(kind, fields):  # noqa: N802 — mirrors the real declaration
+    return (kind, fields)
+
+
+def EventField(name, type_name):  # noqa: N802 — mirrors the real declaration
+    return (name, type_name)
+
+
+EVENT_SCHEMAS = schema_table(
+    EventSchema("demo-event", (
+        EventField("value", "integer"),
+        EventField("value", "integer"),
+    )),
+)
+
+SCHEMA_VERSION = 1
+
+SCHEMA_HISTORY = {
+    1: "a07c05a092826bcf",
+}

@@ -1,0 +1,26 @@
+"""Bad fixture: SCHEMA_VERSION points past the recorded history."""
+
+
+def schema_table(*schemas):
+    return {s[0]: s for s in schemas}
+
+
+def EventSchema(kind, fields):  # noqa: N802 — mirrors the real declaration
+    return (kind, fields)
+
+
+def EventField(name, type_name):  # noqa: N802 — mirrors the real declaration
+    return (name, type_name)
+
+
+EVENT_SCHEMAS = schema_table(
+    EventSchema("demo-event", (
+        EventField("value", "int"),
+    )),
+)
+
+SCHEMA_VERSION = 2
+
+SCHEMA_HISTORY = {
+    1: "f69a39e8efb8fa31",
+}

@@ -12,8 +12,8 @@ REPO = Path(__file__).parents[1]
 class TestDocsExist:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "Makefile",
-        "docs/architecture.md", "docs/calibration.md", "docs/paper_map.md",
-        "docs/static_analysis.md", "examples/README.md",
+        "docs/architecture.md", "docs/calibration.md", "docs/conformance.md",
+        "docs/paper_map.md", "docs/static_analysis.md", "examples/README.md",
     ])
     def test_file_present_and_nonempty(self, name):
         path = REPO / name
@@ -59,7 +59,7 @@ class TestPackaging:
 
         config = tomllib.loads((REPO / "pyproject.toml").read_text())
         scripts = config["project"]["scripts"]
-        assert len(scripts) == 5
+        assert len(scripts) == 6
         for target in scripts.values():
             module, func = target.split(":")
             mod = importlib.import_module(module)

@@ -19,6 +19,9 @@ BAD_FIXTURES = {
     "bad_units.py": {"units-mix"},
     "bad_epoch.py": {"epoch-bypass"},
     "msr_regs_bad.py": {"msr-layout"},
+    "trace_schema_bad_version.py": {"trace-schema-version"},
+    "trace_schema_bad_digest.py": {"trace-schema-digest"},
+    "trace_schema_bad_field.py": {"trace-schema-field"},
     "bad_suppression.py": {"suppression"},
 }
 
@@ -30,6 +33,7 @@ GOOD_FIXTURES = [
     "good_units.py",
     "good_epoch.py",
     "msr_regs_good.py",
+    "trace_schema_good.py",
     "good_suppression.py",
 ]
 

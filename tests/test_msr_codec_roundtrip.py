@@ -1,0 +1,162 @@
+"""Property-style round-trip tests for every hostif MSR codec.
+
+Exhaustive over full field ranges where the range is enumerable (8-bit
+ratios, 7-bit uncore ratios, 4-bit EPB, 5-bit energy exponents, 15-bit
+PL1 counts) and seeded-random where it is not (32-bit energy counters).
+Deliberately hypothesis-free: plain loops over the full domain plus a
+seeded :func:`repro.engine.rng.make_rng` stream, so failures replay
+without a shrinker and CI needs no extra dependency.
+"""
+
+import pytest
+
+from repro.engine.rng import make_rng
+from repro.errors import ConfigurationError, MsrError
+from repro.hostif import msr_regs as regs
+from repro.pcu.epb import CANONICAL_ENCODING, Epb, decode_epb, encode_epb
+from repro.power.rapl import unit_exponent, wraparound_delta
+
+RNG = 20260806      # seed for the non-enumerable domains
+
+
+class TestRatioCodecs:
+    def test_perf_ctl_roundtrip_full_ratio_range(self):
+        for ratio in range(1, 256):
+            f_hz = regs.decode_ratio(ratio)
+            encoded = regs.encode_perf_ctl(f_hz)
+            assert encoded == ratio << 8
+            assert regs.decode_perf_ctl(encoded) == f_hz
+
+    def test_perf_status_matches_perf_ctl_field(self):
+        for ratio in range(1, 256):
+            f_hz = regs.decode_ratio(ratio)
+            assert regs.encode_perf_status(f_hz) == regs.encode_perf_ctl(f_hz)
+
+    def test_perf_ctl_zero_ratio_rejected(self):
+        with pytest.raises(MsrError):
+            regs.decode_perf_ctl(0)
+
+    def test_encode_ratio_rounds_to_nearest_bclk_bin(self):
+        for ratio in range(1, 255):
+            f_hz = regs.decode_ratio(ratio)
+            assert regs.encode_ratio(f_hz + 49e6) == ratio
+            assert regs.encode_ratio(f_hz + 51e6) == ratio + 1
+
+    def test_uncore_ratio_limit_roundtrip_full_range(self):
+        for min_ratio in range(1, 128):
+            for max_ratio in range(1, 128):
+                min_hz = regs.decode_ratio(min_ratio)
+                max_hz = regs.decode_ratio(max_ratio)
+                value = regs.encode_uncore_ratio_limit(min_hz, max_hz)
+                assert value < (1 << 15)
+                assert regs.decode_uncore_ratio_limit(value) == (min_hz, max_hz)
+
+    def test_uncore_ratio_limit_zero_field_rejected(self):
+        with pytest.raises(MsrError):
+            regs.decode_uncore_ratio_limit(0)
+        with pytest.raises(MsrError):
+            # max ratio present, min ratio zero
+            regs.decode_uncore_ratio_limit(0x12)
+
+
+class TestMiscEnable:
+    @pytest.mark.parametrize("turbo", [True, False])
+    @pytest.mark.parametrize("eist", [True, False])
+    def test_roundtrip_all_flag_combinations(self, turbo, eist):
+        value = regs.encode_misc_enable(turbo, eist_enabled=eist)
+        assert regs.decode_misc_enable_turbo(value) is turbo
+        assert bool(value & regs.MISC_ENABLE_EIST) is eist
+        # No stray bits outside the two declared fields.
+        assert value & ~(regs.MISC_ENABLE_EIST
+                         | regs.MISC_ENABLE_TURBO_DISABLE) == 0
+
+
+class TestEpb:
+    def test_decode_covers_full_4bit_range(self):
+        for raw in range(16):
+            epb = decode_epb(raw)
+            if raw == 0:
+                assert epb is Epb.PERFORMANCE
+            elif raw <= 7:
+                assert epb is Epb.BALANCED
+            else:
+                assert epb is Epb.POWERSAVE
+
+    def test_encode_decode_is_identity_on_behaviours(self):
+        for epb in Epb:
+            assert decode_epb(encode_epb(epb)) is epb
+            assert encode_epb(epb) == CANONICAL_ENCODING[epb]
+
+    @pytest.mark.parametrize("raw", [-1, 16, 99])
+    def test_out_of_field_values_rejected(self, raw):
+        with pytest.raises(ConfigurationError):
+            decode_epb(raw)
+
+
+class TestRaplPowerUnit:
+    def test_energy_exponent_roundtrip_full_5bit_range(self):
+        for exponent in range(32):
+            value = regs.encode_rapl_power_unit(exponent)
+            unit_j = regs.decode_rapl_energy_unit_j(value)
+            assert unit_j == 1.0 / (1 << exponent)
+            assert unit_exponent(unit_j) == exponent
+            # The fixed power/time unit fields survive alongside.
+            assert value & 0xF == regs.RAPL_POWER_UNIT_EXP
+            assert (value >> 16) & 0xF == regs.RAPL_TIME_UNIT_EXP
+
+
+class TestPowerLimit:
+    def test_pl1_roundtrip_full_15bit_count_range(self):
+        for counts in range(0, 0x8000):
+            watts = counts * regs.POWER_UNIT_W
+            value = regs.encode_power_limit(watts)
+            assert value == counts | regs.PL1_ENABLE
+            decoded_w, enabled = regs.decode_power_limit(value)
+            assert decoded_w == watts
+            assert enabled
+
+    def test_pl1_disable_bit(self):
+        value = regs.encode_power_limit(100.0, enabled=False)
+        watts, enabled = regs.decode_power_limit(value)
+        assert watts == 100.0
+        assert not enabled
+
+    def test_pl1_quantizes_to_eighth_watt_units(self):
+        rng = make_rng(RNG)
+        for _ in range(500):
+            watts = float(rng.uniform(0.0, 0x7FFF * regs.POWER_UNIT_W))
+            decoded_w, _ = regs.decode_power_limit(
+                regs.encode_power_limit(watts))
+            # Truncated to the 1/8-W grid, never negative, within one unit.
+            assert decoded_w == (int(watts / regs.POWER_UNIT_W)
+                                 * regs.POWER_UNIT_W)
+            assert 0.0 <= watts - decoded_w < regs.POWER_UNIT_W
+
+
+class TestEnergyStatusWrap:
+    def test_wraparound_delta_recovers_seeded_32bit_deltas(self):
+        rng = make_rng(RNG)
+        for _ in range(2000):
+            before = int(rng.integers(0, 1 << 32))
+            delta = int(rng.integers(0, 1 << 32))
+            after = (before + delta) & regs.ENERGY_STATUS_MASK
+            assert wraparound_delta(before, after) == delta
+
+    def test_wrap_edges(self):
+        top = regs.ENERGY_STATUS_MASK
+        assert wraparound_delta(0, 0) == 0
+        assert wraparound_delta(top, 0) == 1
+        assert wraparound_delta(top, top) == 0
+        assert wraparound_delta(1, 0) == top          # max wrap distance
+        assert wraparound_delta(0, top) == top
+
+    def test_energy_status_mask_matches_declared_layout(self):
+        declared = {
+            register: fields
+            for register, fields in regs.REGISTER_LAYOUT.items()
+            if "ENERGY_STATUS" in register.name}
+        assert len(declared) == 3
+        for fields in declared.values():
+            (field,) = fields
+            assert (field.lo, field.width) == (0, 32)
+            assert field.mask == regs.ENERGY_STATUS_MASK

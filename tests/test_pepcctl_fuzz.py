@@ -1,0 +1,161 @@
+"""Fuzz-style CLI tests for ``repro-pepcctl``.
+
+Every malformed invocation must (a) exit 1, (b) say why on stderr, and
+(c) leave the node state byte-for-byte untouched — the config handlers
+validate the whole request against read-only state before the first
+write. The node is held across the call via a monkeypatched
+``build_haswell_node`` so the untouched-state claim is checked against
+the exact object the CLI operated on, not a fresh rebuild.
+"""
+
+import pytest
+
+import repro.tools.pepcctl as pepcctl
+from repro.engine.rng import make_rng
+from repro.hostif import HostMsr, VirtualHost
+from repro.system.node import build_haswell_node
+
+_SYS = "/sys/devices/system/cpu"
+
+
+@pytest.fixture()
+def held(monkeypatch):
+    """(host, node) pair that pepcctl.main will operate on in-place."""
+    sim, node = build_haswell_node(seed=7)
+    monkeypatch.setattr(pepcctl, "build_haswell_node",
+                        lambda seed=0: (sim, node))
+    return VirtualHost(sim, node)
+
+
+def snapshot(host: VirtualHost) -> str:
+    """Render every knob the CLI can touch into one comparable blob."""
+    lines = []
+    for c in host.cpu_ids:
+        for file in ("scaling_governor", "scaling_min_freq",
+                     "scaling_max_freq", "scaling_cur_freq"):
+            lines.append(host.sysfs.read(f"{_SYS}/cpu{c}/cpufreq/{file}"))
+        lines.append(host.sysfs.read(f"{_SYS}/cpu{c}/power/energy_perf_bias"))
+        for state in range(3):
+            lines.append(host.sysfs.read(
+                f"{_SYS}/cpu{c}/cpuidle/state{state}/disable"))
+        lines.append(str(host.msr.read(c, HostMsr.IA32_MISC_ENABLE)))
+    for c in (0, host.cpu_ids[-1]):     # one cpu per package
+        lines.append(str(host.msr.read(c, HostMsr.MSR_PKG_POWER_LIMIT)))
+        lines.append(str(host.msr.read(c, HostMsr.MSR_UNCORE_RATIO_LIMIT)))
+    return "\n".join(lines)
+
+
+def run_rejected(host, capsys, argv):
+    """Invoke main(argv); assert exit 1 + stderr message + untouched."""
+    before = snapshot(host)
+    rc = pepcctl.main(argv)
+    captured = capsys.readouterr()
+    assert rc == 1, f"{argv}: expected exit 1, got {rc}\n{captured.err}"
+    assert captured.err.startswith("error: "), argv
+    assert captured.err.strip(), argv
+    assert snapshot(host) == before, f"{argv}: node state mutated"
+    return captured.err
+
+
+class TestMalformedCpuRanges:
+    @pytest.mark.parametrize("spec", [
+        "abc", "", ",", "1-2-3", "0x3", "3-0", "1..4", "-", "0,abc",
+    ])
+    def test_unparseable_or_empty_specs_rejected(self, held, capsys, spec):
+        run_rejected(held, capsys, ["pstates", "info", "--cpus", spec])
+
+    def test_out_of_topology_cpus_rejected(self, held, capsys):
+        err = run_rejected(
+            held, capsys, ["pstates", "info", "--cpus", "0-99999"])
+        assert "no such cpu" in err
+
+    def test_out_of_topology_packages_rejected(self, held, capsys):
+        err = run_rejected(held, capsys, ["power", "info", "--packages", "9"])
+        assert "no such package" in err
+
+    def test_seeded_random_specs_never_traceback(self, held, capsys):
+        rng = make_rng(20260806)
+        alphabet = "0123456789-,x "
+        for _ in range(200):
+            length = int(rng.integers(1, 12))
+            spec = "".join(alphabet[int(i)] for i in
+                           rng.integers(0, len(alphabet), size=length))
+            before = snapshot(held)
+            rc = pepcctl.main(["cstates", "info", "--cpus", spec])
+            captured = capsys.readouterr()
+            assert rc in (0, 1), spec
+            if rc == 1:
+                assert captured.err.startswith("error: "), spec
+            assert snapshot(held) == before, spec
+
+
+class TestUnknownRegisters:
+    @pytest.mark.parametrize("argv", [
+        ["cstates", "config", "--cpus", "0-3", "--disable", "C9"],
+        ["cstates", "config", "--cpus", "0-3", "--enable", "POLL"],
+        # The valid disable must not be applied before the bogus one
+        # is rejected.
+        ["cstates", "config", "--cpus", "0-3",
+         "--disable", "C6", "--disable", "BOGUS"],
+        ["cstates", "config", "--cpus", "0-3",
+         "--disable", "C3", "--enable", "C99"],
+    ])
+    def test_unknown_cstate_names_rejected_atomically(self, held, capsys,
+                                                      argv):
+        err = run_rejected(held, capsys, argv)
+        assert "available: C1 C3 C6" in err
+
+
+class TestOutOfRangeWrites:
+    @pytest.mark.parametrize("argv", [
+        ["pstates", "config", "--cpus", "0", "--epb", "16"],
+        ["pstates", "config", "--cpus", "0", "--epb", "-1"],
+        ["pstates", "config", "--cpus", "0", "--freq", "9.9"],
+        ["pstates", "config", "--cpus", "0", "--min", "0.4"],
+        ["pstates", "config", "--cpus", "0", "--max", "7.5"],
+        ["pstates", "config", "--cpus", "0", "--min", "2.0", "--max", "1.4"],
+        ["power", "config", "--pl1", "0"],
+        ["power", "config", "--pl1", "-12.5"],
+        ["power", "config", "--pl1", "5000"],
+        ["uncore", "config", "--min", "0.5"],
+        ["uncore", "config", "--max", "9.0"],
+        ["uncore", "config", "--min", "2.6", "--max", "1.4"],
+    ])
+    def test_rejected_with_node_untouched(self, held, capsys, argv):
+        run_rejected(held, capsys, argv)
+
+    def test_partial_multi_knob_request_not_applied(self, held, capsys):
+        # Valid governor + frequency riding with an invalid EPB: nothing
+        # may land, even though the governor write alone would succeed.
+        run_rejected(held, capsys, [
+            "pstates", "config", "--cpus", "0-11",
+            "--governor", "performance", "--freq", "1.8", "--epb", "99"])
+
+
+class TestValidRequestsStillLand:
+    """Guard that the validate-first refactor kept the happy path."""
+
+    def test_limits_narrow_and_widen(self, held, capsys):
+        assert pepcctl.main(["pstates", "config", "--cpus", "0-3",
+                             "--min", "1.4", "--max", "2.0"]) == 0
+        assert "1.40 GHz" in capsys.readouterr().out
+        # Disjoint window below the current one: only the min-first
+        # write order keeps min <= max at every step.
+        assert pepcctl.main(["pstates", "config", "--cpus", "0-3",
+                             "--min", "1.2", "--max", "1.3"]) == 0
+        out = capsys.readouterr().out
+        assert "scaling min freq: 1.20 GHz" in out
+        assert "scaling max freq: 1.30 GHz" in out
+
+    def test_uncore_window_moves_atomically(self, held, capsys):
+        assert pepcctl.main(["uncore", "config",
+                             "--min", "2.2", "--max", "2.8"]) == 0
+        assert "2.20 GHz .. 2.80 GHz" in capsys.readouterr().out
+        assert pepcctl.main(["uncore", "config",
+                             "--min", "1.3", "--max", "1.6"]) == 0
+        assert "1.30 GHz .. 1.60 GHz" in capsys.readouterr().out
+
+    def test_cstate_disable_applies(self, held, capsys):
+        assert pepcctl.main(["cstates", "config", "--cpus", "0-3",
+                             "--disable", "C6"]) == 0
+        assert "C6 disabled: 1 (cpus 0-3)" in capsys.readouterr().out
