@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint sanitize-smoke conformance coverage bench bench-simcore bench-full chaos chaos-smoke hostif-smoke experiments examples clean
+.PHONY: install test lint sanitize-smoke conformance coverage bench bench-simcore bench-full chaos chaos-smoke hostif-smoke fleet-smoke experiments examples clean
 
 # Minimum line-coverage percentage for the `coverage` gate.
 COVERAGE_FLOOR ?= 70
@@ -77,6 +77,12 @@ hostif-smoke:
 	$(PYTHON) -m repro.tools.pepcctl power info
 	$(PYTHON) -m repro.tools.pepcctl uncore info
 	$(PYTHON) scripts/run_paper.py --strict --only hostif
+
+# Fleet crash/resume smoke: 64-node sweep with an injected worker crash
+# and straggler, resumed, and diffed byte-for-byte against an
+# undisturbed reference sweep of the same plan. See docs/fleet.md.
+fleet-smoke:
+	$(PYTHON) scripts/fleet_smoke.py
 
 experiments:
 	$(PYTHON) scripts/generate_experiments_md.py

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Fleet crash/resume smoke: injected failures must not change a byte.
+
+The CI-facing acceptance check behind ``make fleet-smoke``:
+
+1. sweep a 64-node plan with one injected worker crash and one injected
+   straggler (short deadline) — the sweep must complete *degraded* (the
+   crash recovers via pool rebuild + requeue; the straggler times out);
+2. ``resume`` the same namespace — the stalled shard's tombstone is
+   already claimed, so it runs clean and the sweep completes;
+3. run an undisturbed reference sweep of the *same plan* in a second
+   namespace (``--no-inject`` disarms the injections without changing
+   the plan digest);
+4. assert the two ``aggregate.json`` files are byte-identical.
+
+Everything goes through the ``repro-fleet`` CLI entry point, so the
+smoke also covers plan loading, exit codes and report writing.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.fleet.cli import main as fleet_main
+from repro.fleet.plan import FleetPlan
+from repro.units import ms
+
+
+def run(label: str, argv: list[str], expect: int) -> None:
+    print(f"--- fleet-smoke: {label}: repro-fleet {' '.join(argv)}")
+    rc = fleet_main(argv)
+    if rc != expect:
+        print(f"fleet-smoke: {label} exited {rc}, expected {expect}",
+              file=sys.stderr)
+        raise SystemExit(1)
+
+
+def main() -> int:
+    # The deadline must be generous for honest shards even on a loaded
+    # 2-core CI runner, while the injected stall sails far past it.
+    plan = FleetPlan(
+        n_nodes=64, seed_root=0x5EED, shard_size=8,
+        settle_ns=ms(1), measure_ns=ms(2), active_cores=4,
+        straggler_timeout_s=8.0, max_attempts=3,
+        crash_shards=(3,), straggler_shards=(5,), straggler_hold_s=20.0)
+    scratch = Path(tempfile.mkdtemp(prefix="fleet-smoke-"))
+    try:
+        plan_file = scratch / "plan.json"
+        plan_file.write_text(plan.to_json(), encoding="utf-8")
+        chaos_root = scratch / "chaos"
+        ref_root = scratch / "ref"
+
+        # Crash recovers in-run; the straggler degrades the sweep (3).
+        run("chaos sweep", ["run", "--plan", str(plan_file), "--jobs", "4",
+                            "--ckpt-dir", str(chaos_root)], expect=3)
+        digest = plan.digest()
+        # The resume below rewrites run_report.json; judge the chaos run
+        # by the report the chaos run wrote.
+        chaos_report = json.loads(
+            (chaos_root / digest / "run_report.json").read_text())
+        # Resume finishes the degraded shard cleanly (tombstone claimed).
+        run("resume", ["resume", "--ckpt-dir", str(chaos_root)], expect=0)
+        # Undisturbed reference run of the SAME plan (and digest).
+        run("reference sweep", ["run", "--plan", str(plan_file),
+                                "--jobs", "4", "--no-inject",
+                                "--ckpt-dir", str(ref_root)], expect=0)
+
+        chaos_agg = (chaos_root / digest / "aggregate.json").read_bytes()
+        ref_agg = (ref_root / digest / "aggregate.json").read_bytes()
+        if chaos_agg != ref_agg:
+            print("fleet-smoke: FAIL — crashed+resumed aggregate differs "
+                  "from the undisturbed reference run", file=sys.stderr)
+            return 1
+        if chaos_report["pool_rebuilds"] < 1:
+            print("fleet-smoke: FAIL — injected crash never broke the pool",
+                  file=sys.stderr)
+            return 1
+        if chaos_report["counts"].get("degraded", 0) < 1:
+            print("fleet-smoke: FAIL — injected straggler never timed out",
+                  file=sys.stderr)
+            return 1
+        records_digest = json.loads(chaos_agg)["records_digest"]
+        print(f"fleet-smoke: PASS — {plan.n_nodes} nodes, "
+              f"{chaos_report['pool_rebuilds']} pool rebuild(s), "
+              f"{chaos_report['counts'].get('degraded', 0)} degraded "
+              f"shard(s), aggregates byte-identical "
+              f"(records digest {records_digest})")
+        return 0
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,16 @@ docs/conformance.md) instead of running the suite.
 ``benchmarks/output/<name>.pstats``, and prints the top-20
 cumulative-time functions per experiment (see docs/performance.md).
 
+``--fleet N`` runs a fault-tolerant N-node fleet sweep (per-node
+manufacturing variation, crash-isolated shards, checkpoint/resume; see
+docs/fleet.md) instead of the table/figure suite.
+
+SIGINT/SIGTERM are handled gracefully in both modes: the partial
+outcome report is flushed (``run_paper_report.partial.json``, or the
+fleet's checkpoints plus ``aggregate.partial.json``) and the process
+exits with the distinct code 75 so callers can tell "interrupted but
+resumable" from failure.
+
 Artifacts land in benchmarks/output/ (same files the benchmark harness
 writes), plus run_paper_report.json with the per-experiment outcomes.
 """
@@ -42,6 +52,7 @@ import cProfile
 import functools
 import io
 import pstats
+import signal
 import sys
 from pathlib import Path
 
@@ -212,6 +223,40 @@ def _artifact_writer(name: str, text: str) -> Path:
     return write_artifact(f"run_paper_{name}", text)
 
 
+#: Exit code for a signal-interrupted (but resumable) run; matches
+#: repro.fleet.cli.EXIT_INTERRUPTED.
+EXIT_INTERRUPTED = 75
+
+
+class _Interrupted(BaseException):
+    """Raised from the SIGINT/SIGTERM handler to unwind the suite.
+
+    A ``BaseException`` (like ``KeyboardInterrupt``) on purpose: the
+    resilient harness catches ``Exception`` broadly to keep one bad
+    experiment from killing the suite, and a shutdown signal must not
+    be absorbed into a per-experiment "failed" outcome.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signal.Signals(signum).name)
+        self.signum = signum
+
+
+def _run_fleet(args) -> int:
+    """Handle --fleet: a fault-tolerant N-node sweep instead of the suite."""
+    from repro.errors import ReproError
+    from repro.fleet.cli import drive
+    from repro.fleet.plan import FleetPlan
+
+    try:
+        plan = FleetPlan(n_nodes=args.fleet, max_attempts=args.max_attempts)
+        return drive(plan, Path(args.fleet_ckpt_dir), jobs=args.jobs,
+                     resume=args.fleet_resume)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _record_or_replay(args) -> int:
     """Handle --record/--replay: conformance tracing instead of the suite."""
     from repro.conformance.replay import record_to_file, replay_file
@@ -267,6 +312,16 @@ def main() -> int:
                         choices=["none", "numa-link", "psu-brownout"],
                         help="chaos profile baked into a --record "
                              "manifest (default numa-link)")
+    parser.add_argument("--fleet", type=int, default=None, metavar="N",
+                        help="run a fault-tolerant N-node fleet sweep "
+                             "(crash-isolated shards, checkpoint/resume; "
+                             "see docs/fleet.md) instead of the suite")
+    parser.add_argument("--fleet-ckpt-dir",
+                        default="benchmarks/output/fleet",
+                        help="checkpoint root for --fleet")
+    parser.add_argument("--fleet-resume", action="store_true",
+                        help="with --fleet: finish an interrupted sweep "
+                             "instead of starting fresh")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile each experiment; write "
                              "benchmarks/output/<name>.pstats and print "
@@ -284,16 +339,23 @@ def main() -> int:
     if args.record is not None or args.replay is not None:
         return _record_or_replay(args)
 
+    if args.max_attempts < 1:
+        parser.error("--max-attempts must be at least 1")
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    if args.fleet_resume and args.fleet is None:
+        parser.error("--fleet-resume requires --fleet")
+    if args.fleet is not None:
+        if args.fleet < 1:
+            parser.error("--fleet must be a positive node count")
+        return _run_fleet(args)
+
     if args.chaos is not None and args.chaos < 0:
         parser.error("--chaos seed must be a non-negative integer")
     if args.chaos_profile != "default" and args.chaos is None:
         parser.error("--chaos-profile requires --chaos")
     if args.timeout <= 0:
         parser.error("--timeout must be a positive number of seconds")
-    if args.max_attempts < 1:
-        parser.error("--max-attempts must be at least 1")
-    if args.jobs < 1:
-        parser.error("--jobs must be at least 1")
     if args.chaos is not None and args.jobs > 1:
         print("note: --chaos with --jobs is deterministic but its fault "
               "plans differ from a serial chaos run (plans depend on "
@@ -311,7 +373,10 @@ def main() -> int:
             name: _ProfiledBuilder(name, build, str(OUTPUT_DIR))
             for name, build in experiments.items()}
 
+    finished = []                    # outcomes seen so far (partial flush)
+
     def show(outcome) -> None:
+        finished.append(outcome)
         print(f"### {outcome.name} " + "#" * 50)
         if outcome.text is not None:
             print(outcome.text)
@@ -339,7 +404,30 @@ def main() -> int:
         progress=show,
         jobs=args.jobs,
     )
-    report = runner.run(selected)
+
+    # Graceful SIGINT/SIGTERM: unwind the suite, flush the outcomes
+    # collected so far as a .partial.json report, exit 75 (resumable).
+    def on_signal(signum, frame) -> None:
+        raise _Interrupted(signum)
+
+    previous = {sig: signal.signal(sig, on_signal)
+                for sig in (signal.SIGINT, signal.SIGTERM)}
+    try:
+        report = runner.run(selected)
+    except (_Interrupted, KeyboardInterrupt) as exc:
+        from repro.experiments.runner import SuiteReport
+        name = exc.args[0] if isinstance(exc, _Interrupted) else "SIGINT"
+        partial = SuiteReport(outcomes=list(finished))
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        partial_path = OUTPUT_DIR / "run_paper_report.partial.json"
+        partial_path.write_text(partial.to_stable_json())
+        print(f"\ninterrupted by {name}: {len(finished)}/{len(selected)} "
+              f"experiments finished", file=sys.stderr)
+        print(f"partial report -> {partial_path}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
 
     if args.profile:
         for name in selected:

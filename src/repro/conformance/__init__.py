@@ -24,6 +24,7 @@ from repro.conformance.recorder import (
     ConformanceRecorder,
     Divergence,
     Trace,
+    canonical_json,
     diff_traces,
 )
 from repro.conformance.replay import (
@@ -58,6 +59,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "ScenarioManifest",
     "Trace",
+    "canonical_json",
     "current_digest",
     "diff_traces",
     "make_manifest",

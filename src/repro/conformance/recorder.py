@@ -62,6 +62,19 @@ def canonicalize_payload(kind: str, payload: dict[str, Any]) -> dict[str, Any]:
     return out
 
 
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON form shared by every durable artifact.
+
+    Sorted keys, compact separators, NumPy scalars collapsed to native
+    Python — byte equality of two canonical strings is exactly value
+    equality of the underlying objects. Trace files, fleet shard
+    checkpoints and fleet aggregate reports all serialize through here,
+    so "byte-identical" means the same thing across subsystems.
+    """
+    return json.dumps(_canonical_value(obj), sort_keys=True,
+                      separators=(",", ":"))
+
+
 class ConformanceRecorder(TraceRecorder):
     """Records every declared event kind, canonicalized and validated."""
 

@@ -51,6 +51,15 @@ class ConformanceError(ReproError):
     """The trace record/replay conformance subsystem detected a problem."""
 
 
+class FleetError(ReproError):
+    """The fleet simulation layer was configured or driven incorrectly."""
+
+
+class CheckpointError(FleetError):
+    """A fleet shard checkpoint is unreadable, truncated, or belongs to
+    a different :class:`~repro.fleet.plan.FleetPlan` digest."""
+
+
 class TraceSchemaError(ConformanceError):
     """An event does not match its declared schema, or a recorded trace
     was produced under an incompatible schema version/digest."""

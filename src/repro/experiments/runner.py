@@ -204,28 +204,90 @@ class ExperimentRunner:
     # ---- parallel mode ----------------------------------------------------
 
     def _run_parallel(self, selected: list[str]) -> SuiteReport:
+        """Fan the suite out over a process pool, surviving worker death.
+
+        A dead worker breaks the whole ``ProcessPoolExecutor``: every
+        unfinished future raises ``BrokenExecutor``, including
+        experiments that were never at fault. Rebuild the pool and
+        requeue exactly those unfinished experiments (completed results
+        are kept), up to ``max_attempts`` pool generations; an
+        experiment that then completes is reported ``retried``, not
+        ``failed`` — only experiments whose workers die in every
+        generation fail.
+        """
         report = SuiteReport()
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = [
-                pool.submit(
-                    _run_spec_in_worker, self.specs[name], self.max_attempts,
-                    self.backoff, self.retry_on, self.chaos_seed,
-                    self.chaos_profile)
-                for name in selected
-            ]
-            for name, future in zip(selected, futures):
-                try:
-                    outcome = future.result()
-                except BrokenExecutor as exc:
-                    outcome = ExperimentOutcome(
-                        name=name, status="failed", attempts=1, duration_s=0.0,
-                        error=f"worker process died: {exc}")
-                if outcome.text is not None and self.artifact_writer is not None:
-                    outcome.artifact = str(
-                        self.artifact_writer(outcome.name, outcome.text))
-                report.outcomes.append(outcome)
-                if self.progress is not None:
-                    self.progress(outcome)
+        results: dict[str, ExperimentOutcome] = {}
+        remaining = list(selected)
+        generation = 0
+
+        # Checkpoint artifacts and report progress as results land (not
+        # at the end), so an interrupted parallel suite still flushes
+        # everything that finished before the signal.
+        def finish(name: str, outcome: ExperimentOutcome) -> None:
+            if outcome.text is not None and self.artifact_writer is not None:
+                outcome.artifact = str(
+                    self.artifact_writer(outcome.name, outcome.text))
+            results[name] = outcome
+            if self.progress is not None:
+                self.progress(outcome)
+
+        while remaining:
+            generation += 1
+            last_break: BaseException | None = None
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+            try:
+                futures = {
+                    name: pool.submit(
+                        _run_spec_in_worker, self.specs[name],
+                        self.max_attempts, self.backoff, self.retry_on,
+                        self.chaos_seed, self.chaos_profile)
+                    for name in remaining
+                }
+                requeue: list[str] = []
+                for name in remaining:
+                    try:
+                        outcome = futures[name].result()
+                    except BrokenExecutor as exc:
+                        last_break = exc
+                        requeue.append(name)
+                        continue
+                    if generation > 1:
+                        outcome.attempts += generation - 1
+                        if outcome.status == "ok":
+                            outcome.status = "retried"
+                    finish(name, outcome)
+                remaining = requeue
+            except BaseException:
+                # Signal-driven unwind (KeyboardInterrupt or the
+                # driver's interrupt exception): abandon in-flight
+                # experiments instead of blocking a graceful shutdown
+                # on them; the caller flushes what finished. SIGKILL,
+                # not terminate(): forked workers inherit the parent's
+                # signal handlers, so SIGTERM gets absorbed into the
+                # worker's own harness while its builder thread keeps
+                # computing — and interpreter exit would then block on
+                # joining the worker until the longest in-flight
+                # experiment completes.
+                # No explicit shutdown(): killing the workers breaks
+                # the pool and its own machinery reaps the management
+                # thread at exit (shutdown(wait=False) here would close
+                # the wakeup pipe the atexit hook still writes to).
+                for proc in list((getattr(pool, "_processes", None)
+                                  or {}).values()):
+                    proc.kill()
+                raise
+            pool.shutdown(wait=True)
+            if remaining:
+                if generation >= self.max_attempts:
+                    for name in remaining:
+                        finish(name, ExperimentOutcome(
+                            name=name, status="failed", attempts=generation,
+                            duration_s=0.0,
+                            error=f"worker process died: {last_break}"))
+                    remaining = []
+                else:
+                    self.sleep(self.backoff.delay_s(generation))
+        report.outcomes.extend(results[name] for name in selected)
         return report
 
     # ---- internals --------------------------------------------------------

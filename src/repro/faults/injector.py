@@ -69,6 +69,11 @@ class FaultInjector:
         for ev in self.plan.events:
             if ev.time_ns < self.sim.now_ns:
                 continue
+            if ev.kind is FaultKind.WORKER_CRASH:
+                # Process-level fault: kills the host process, not the
+                # simulated node. Consumed by repro.fleet.worker before
+                # the simulation starts; meaningless as a sim event.
+                continue
             self.sim.schedule_at(
                 ev.time_ns,
                 lambda _t, e=ev, fn=apply[ev.kind]: fn(e),

@@ -45,6 +45,11 @@ class FaultKind(enum.Enum):
     THERMAL_THROTTLE = "thermal-throttle"
     NUMA_LINK = "numa-link"
     PSU_BROWNOUT = "psu-brownout"
+    # Process-level kind: the worker process hosting the simulation dies
+    # (``os._exit``). It never reaches a simulator — FaultInjector skips
+    # it; the fleet layer (repro.fleet.worker) consumes it to kill its
+    # own shard worker mid-sweep, one-shot per sweep.
+    WORKER_CRASH = "worker-crash"
 
 
 @dataclass(frozen=True)
@@ -106,6 +111,9 @@ class FaultProfile:
     psu_brownout_rate: float = 0.015
     psu_brownout_ns_range: tuple[int, int] = (ms(20), ms(250))
     psu_brownout_sag_range: tuple[float, float] = (0.02, 0.12)
+    # Off by default: worker crashes are a fleet-level fault (they kill
+    # the hosting process, not the simulated node).
+    worker_crash_rate: float = 0.0
 
 
 DEFAULT_PROFILE = FaultProfile()
@@ -228,6 +236,8 @@ class FaultPlan:
             events.append(FaultEvent(t, FaultKind.PSU_BROWNOUT, _pairs(
                 duration_ns=span(profile.psu_brownout_ns_range),
                 sag_frac=round(float(rng.uniform(lo, hi)), 6))))
+        for t in times(profile.worker_crash_rate):
+            events.append(FaultEvent(t, FaultKind.WORKER_CRASH))
 
         events.sort(key=lambda ev: (ev.time_ns, ev.kind.value, ev.params))
         return cls(seed=seed, horizon_ns=horizon_ns, events=tuple(events))

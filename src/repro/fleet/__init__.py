@@ -1,0 +1,56 @@
+"""Fault-tolerant fleet simulation: crash-isolated sharded sweeps.
+
+Scales the single 2-socket test node to N seeded nodes with per-node
+manufacturing variation (:mod:`repro.specs.variation`), swept shard by
+shard over a process pool that survives worker death, stragglers and
+signals — the common case at fleet scale, per Schuchart et al.
+(arXiv:1808.08106). See ``docs/fleet.md``.
+
+Public surface:
+
+* :class:`~repro.fleet.plan.FleetPlan` / \
+  :class:`~repro.fleet.plan.FleetShard` — the deterministic recipe;
+* :class:`~repro.fleet.supervisor.FleetSupervisor` / \
+  :class:`~repro.fleet.supervisor.FleetRunReport` — the resilient loop;
+* :class:`~repro.fleet.checkpoint.CheckpointStore` / \
+  :class:`~repro.fleet.checkpoint.ShardCheckpoint` — canonical-JSONL,
+  content-digest-keyed resume state;
+* :func:`~repro.fleet.aggregate.aggregate` and friends — degraded-fleet
+  aggregation with byte-stable reports;
+* :func:`~repro.fleet.worker.simulate_node` — one node's record.
+
+``repro-fleet`` (:mod:`repro.fleet.cli`) is the command-line driver.
+"""
+
+from repro.fleet.aggregate import (
+    aggregate,
+    aggregate_digest,
+    aggregate_from_store,
+    render_aggregate,
+    stable_aggregate_json,
+)
+from repro.fleet.checkpoint import CheckpointStore, ShardCheckpoint
+from repro.fleet.plan import FleetPlan, FleetShard
+from repro.fleet.supervisor import (
+    FleetRunReport,
+    FleetSupervisor,
+    ShardOutcome,
+)
+from repro.fleet.worker import run_shard, simulate_node
+
+__all__ = [
+    "CheckpointStore",
+    "FleetPlan",
+    "FleetRunReport",
+    "FleetShard",
+    "FleetSupervisor",
+    "ShardCheckpoint",
+    "ShardOutcome",
+    "aggregate",
+    "aggregate_digest",
+    "aggregate_from_store",
+    "render_aggregate",
+    "run_shard",
+    "simulate_node",
+    "stable_aggregate_json",
+]

@@ -1,0 +1,122 @@
+"""Fleet aggregation: distributions over whatever nodes reported.
+
+The aggregate is computed from the checkpoint namespace alone — not
+from the run that produced it — so a degraded sweep aggregates the
+nodes it has, and a resumed sweep that completes the stragglers
+produces the byte-identical aggregate of an undisturbed sweep (same
+records → same canonical bytes → same digest). Run dynamics (retries,
+rebuilds, stragglers) belong to the supervisor's run report, which is
+deliberately *not* part of the canonical aggregate: attempt history is
+not data.
+
+The report carries, per metric (package/DRAM/AC power, mean active
+frequency, leakage scale), the fleet distribution the Schuchart-style
+scale analysis needs: mean, population std, min/max and the 5/50/95th
+percentiles, plus an outcome histogram over shards (``complete`` vs
+``missing``) and a digest over the per-node records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.conformance.recorder import canonical_json
+from repro.errors import FleetError
+from repro.fleet.checkpoint import CheckpointStore, ShardCheckpoint
+from repro.fleet.plan import FleetPlan
+
+AGGREGATE_FORMAT = "repro-fleet-aggregate"
+
+#: Per-node record fields the aggregate summarizes, with report keys.
+_METRICS = (
+    ("pkg_power_w", "pkg_power_w"),
+    ("dram_power_w", "dram_power_w"),
+    ("ac_power_w", "ac_power_w"),
+    ("mean_active_freq_hz", "mean_active_freq_hz"),
+)
+
+
+def _distribution(values: list[float]) -> dict:
+    arr = np.asarray(values, dtype=np.float64)
+    p5, p50, p95 = np.percentile(arr, [5.0, 50.0, 95.0])
+    return {"mean": round(float(arr.mean()), 6),
+            "std": round(float(arr.std()), 6),
+            "min": round(float(arr.min()), 6),
+            "max": round(float(arr.max()), 6),
+            "p5": round(float(p5), 6),
+            "p50": round(float(p50), 6),
+            "p95": round(float(p95), 6)}
+
+
+def aggregate(plan: FleetPlan,
+              checkpoints: dict[int, ShardCheckpoint]) -> dict:
+    """The aggregate report dict for whatever shards completed."""
+    records = sorted(
+        (dict(r) for ck in checkpoints.values() for r in ck.records),
+        key=lambda r: r["node_id"])
+    seen = [r["node_id"] for r in records]
+    if len(set(seen)) != len(seen):
+        raise FleetError("duplicate node records across shard checkpoints")
+    complete = len(records) == plan.n_nodes
+    distributions = {}
+    if records:
+        for field_name, key in _METRICS:
+            distributions[key] = _distribution(
+                [float(r[field_name]) for r in records])
+        distributions["leakage_scale"] = _distribution(
+            [float(r["variation"]["leakage_scale"]) for r in records])
+        distributions["turbo_derate_bins"] = _distribution(
+            [float(r["variation"]["turbo_derate_bins"]) for r in records])
+    records_digest = hashlib.sha256(
+        ("\n".join(canonical_json(r) for r in records) + "\n")
+        .encode("utf-8")).hexdigest()
+    return {
+        "format": AGGREGATE_FORMAT,
+        "plan_digest": plan.digest(),
+        "n_nodes": plan.n_nodes,
+        "nodes_reported": len(records),
+        "complete": complete,
+        "shards": {"complete": len(checkpoints),
+                   "missing": plan.n_shards - len(checkpoints)},
+        "faults_fired_total": sum(int(r["faults_fired"]) for r in records),
+        "distributions": distributions,
+        "records_digest": records_digest,
+    }
+
+
+def aggregate_from_store(store: CheckpointStore) -> dict:
+    return aggregate(store.plan, store.completed())
+
+
+def stable_aggregate_json(agg: dict) -> str:
+    """Canonical bytes: identical records ⇒ identical report files."""
+    return canonical_json(agg) + "\n"
+
+
+def aggregate_digest(agg: dict) -> str:
+    return hashlib.sha256(
+        stable_aggregate_json(agg).encode("utf-8")).hexdigest()[:16]
+
+
+def render_aggregate(agg: dict) -> str:
+    """Human-readable summary of an aggregate report."""
+    lines = [
+        f"fleet aggregate [{agg['plan_digest']}] "
+        f"({'complete' if agg['complete'] else 'PARTIAL'}): "
+        f"{agg['nodes_reported']}/{agg['n_nodes']} nodes, "
+        f"shards {agg['shards']['complete']} complete / "
+        f"{agg['shards']['missing']} missing, "
+        f"{agg['faults_fired_total']} faults fired",
+    ]
+    units = {"pkg_power_w": "W", "dram_power_w": "W", "ac_power_w": "W",
+             "mean_active_freq_hz": "Hz", "leakage_scale": "x",
+             "turbo_derate_bins": "bins"}
+    for key, dist in agg["distributions"].items():
+        u = units.get(key, "")
+        lines.append(
+            f"  {key:<22} mean={dist['mean']:<14g} std={dist['std']:<12g} "
+            f"p5={dist['p5']:<14g} p95={dist['p95']:<14g} {u}")
+    lines.append(f"  records digest: {agg['records_digest'][:16]}")
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Fleet plans: the deterministic recipe for an N-node sweep.
+
+A :class:`FleetPlan` is pure data — node count, seed root, variation
+model, per-shard chaos profile, the per-node scenario window, straggler
+budget, and the (one-shot) failure injections — and everything the
+sweep does derives from it:
+
+* every node ``i`` gets a stable seed :meth:`FleetPlan.node_seed`, from
+  which both its silicon (:func:`repro.specs.variation.draw_variation`)
+  and, under a chaos profile, its fault plan are drawn;
+* node ids partition into shards of ``shard_size`` in ascending order
+  (:meth:`shards`), so the shard ↔ node mapping never depends on pool
+  scheduling;
+* the canonical JSON of the plan (:meth:`to_json`, via the conformance
+  canonicalizer) digests to :meth:`digest` — the key under which shard
+  checkpoints and the aggregate report are stored. Two sweeps of the
+  same plan read and write the same checkpoint namespace; any edit to
+  the plan moves it.
+
+Failure injection is deliberately *outside* the per-node data path:
+``crash_shards``/``straggler_shards`` kill or stall the worker process
+*hosting* a shard, never the simulated nodes, so a recovered or resumed
+sweep aggregates to the byte-identical report of an undisturbed one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.conformance.recorder import canonical_json
+from repro.errors import FleetError
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.specs.variation import DEFAULT_VARIATION, VariationModel
+from repro.units import ms
+
+#: Chaos profiles a plan may name; resolved lazily against the
+#: conformance re-rated profiles (ms-scale windows need ms-scale rates).
+CHAOS_PROFILE_NAMES = ("", "numa-link", "psu-brownout")
+
+
+@dataclass(frozen=True)
+class FleetShard:
+    """One unit of work/failure: a contiguous slice of node ids."""
+
+    shard_id: int
+    node_ids: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """Everything needed to reproduce one fleet sweep."""
+
+    n_nodes: int
+    seed_root: int = 0x5EED
+    shard_size: int = 16
+    variation: VariationModel = field(default_factory=VariationModel)
+    chaos_profile: str = ""            # "" = no per-node fault plans
+    settle_ns: int = ms(1)
+    measure_ns: int = ms(5)
+    active_cores: int = 6
+    straggler_timeout_s: float = 60.0
+    max_attempts: int = 3
+    # One-shot injected process failures (testing/smoke): the first time
+    # a worker picks up one of these shards in a given checkpoint
+    # namespace, it dies / stalls. Tombstoned so retries run clean.
+    crash_shards: tuple[int, ...] = ()
+    straggler_shards: tuple[int, ...] = ()
+    straggler_hold_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise FleetError("a fleet needs at least one node")
+        if self.shard_size < 1:
+            raise FleetError("shard_size must be at least 1")
+        if self.seed_root < 0:
+            raise FleetError("seed_root must be non-negative")
+        if self.chaos_profile not in CHAOS_PROFILE_NAMES:
+            raise FleetError(
+                f"unknown chaos profile {self.chaos_profile!r} "
+                f"(valid: {', '.join(n or '<none>' for n in CHAOS_PROFILE_NAMES)})")
+        if self.settle_ns < 0 or self.measure_ns <= 0:
+            raise FleetError("need a positive measurement window")
+        if self.active_cores < 1:
+            raise FleetError("active_cores must be at least 1")
+        if self.straggler_timeout_s <= 0:
+            raise FleetError("straggler_timeout_s must be positive")
+        if self.max_attempts < 1:
+            raise FleetError("need at least one attempt per shard")
+        if self.straggler_hold_s < 0:
+            raise FleetError("straggler_hold_s must be non-negative")
+        n = self.n_shards
+        for name in ("crash_shards", "straggler_shards"):
+            bad = [s for s in getattr(self, name) if not 0 <= s < n]
+            if bad:
+                raise FleetError(
+                    f"{name} {bad} outside the {n}-shard plan")
+
+    # ---- deterministic derivations ----------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return -(-self.n_nodes // self.shard_size)
+
+    def shards(self) -> list[FleetShard]:
+        """Ascending, contiguous partition of node ids — never depends
+        on scheduling, so shard ``k`` means the same nodes everywhere."""
+        out = []
+        for sid in range(self.n_shards):
+            lo = sid * self.shard_size
+            hi = min(lo + self.shard_size, self.n_nodes)
+            out.append(FleetShard(shard_id=sid, node_ids=tuple(range(lo, hi))))
+        return out
+
+    def node_seed(self, node_id: int) -> int:
+        """Stable per-node seed: silicon and fault draws both hang off
+        this, mixed with distinct salts so the streams never alias."""
+        if not 0 <= node_id < self.n_nodes:
+            raise FleetError(f"node {node_id} outside the plan")
+        return (self.seed_root * 2_654_435_761 + node_id * 97 + 1) & 0xFFFF_FFFF
+
+    def fault_plan_for(self, node_id: int) -> FaultPlan | None:
+        """The node's fault plan under the plan's chaos profile.
+
+        Uses the conformance-layer re-rated profiles (the stock chaos
+        rates are tuned for multi-second paper runs; a fleet node's
+        window is milliseconds).
+        """
+        if not self.chaos_profile:
+            return None
+        from repro.conformance.scenario import CHAOS_PROFILES
+        profile = CHAOS_PROFILES[self.chaos_profile]
+        horizon = self.settle_ns + self.measure_ns
+        return FaultPlan.generate(
+            (self.node_seed(node_id) ^ 0x00FA_017E) & 0xFFFF_FFFF,
+            horizon_ns=horizon, profile=profile)
+
+    def chaos_crash_shards(self) -> tuple[int, ...]:
+        """Shards whose chaos fault plans drew a WORKER_CRASH event."""
+        if not self.chaos_profile:
+            return ()
+        out = []
+        for shard in self.shards():
+            if any((plan := self.fault_plan_for(nid)) is not None
+                   and plan.by_kind(FaultKind.WORKER_CRASH)
+                   for nid in shard.node_ids):
+                out.append(shard.shard_id)
+        return tuple(out)
+
+    # ---- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"format": "repro-fleet-plan",
+                "n_nodes": self.n_nodes,
+                "seed_root": self.seed_root,
+                "shard_size": self.shard_size,
+                "variation": self.variation.to_dict(),
+                "chaos_profile": self.chaos_profile,
+                "settle_ns": self.settle_ns,
+                "measure_ns": self.measure_ns,
+                "active_cores": self.active_cores,
+                "straggler_timeout_s": self.straggler_timeout_s,
+                "max_attempts": self.max_attempts,
+                "crash_shards": list(self.crash_shards),
+                "straggler_shards": list(self.straggler_shards),
+                "straggler_hold_s": self.straggler_hold_s}
+
+    def to_json(self) -> str:
+        """Canonical serialization — identical plans, identical bytes."""
+        return canonical_json(self.to_dict()) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetPlan":
+        if data.get("format", "repro-fleet-plan") != "repro-fleet-plan":
+            raise FleetError(
+                f"not a fleet plan (format tag {data.get('format')!r})")
+        return cls(n_nodes=int(data["n_nodes"]),
+                   seed_root=int(data["seed_root"]),
+                   shard_size=int(data["shard_size"]),
+                   variation=VariationModel.from_dict(data["variation"]),
+                   chaos_profile=str(data.get("chaos_profile", "")),
+                   settle_ns=int(data["settle_ns"]),
+                   measure_ns=int(data["measure_ns"]),
+                   active_cores=int(data["active_cores"]),
+                   straggler_timeout_s=float(data["straggler_timeout_s"]),
+                   max_attempts=int(data["max_attempts"]),
+                   crash_shards=tuple(int(s)
+                                      for s in data.get("crash_shards", [])),
+                   straggler_shards=tuple(
+                       int(s) for s in data.get("straggler_shards", [])),
+                   straggler_hold_s=float(data.get("straggler_hold_s", 0.0)))
+
+    def digest(self) -> str:
+        """Content digest keying the checkpoint namespace.
+
+        Injection fields are *included*: a plan with injections is a
+        different experiment setup — but the per-node records it
+        produces are injection-independent, which is what the aggregate
+        digest (see :mod:`repro.fleet.aggregate`) certifies.
+        """
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:16]

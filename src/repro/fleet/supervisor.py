@@ -1,0 +1,300 @@
+"""The fleet supervisor: survive worker death, stragglers and signals.
+
+Failure taxonomy (per shard, in the run report):
+
+* ``ok``       — completed on its first submission;
+* ``cached``   — already checkpointed by an earlier run (resume);
+* ``retried``  — its worker died (``BrokenProcessPool``); the pool was
+  rebuilt and the shard requeued, and a later attempt completed;
+* ``degraded`` — exceeded the per-shard straggler deadline; the sweep
+  carries on without it (its future is abandoned, never killed — a
+  late result is simply ignored);
+* ``lost``     — worker death on every allowed attempt;
+* ``failed``   — the shard raised a real exception (a bug, not chaos);
+* ``interrupted`` — still pending/in flight when SIGINT/SIGTERM stopped
+  the run.
+
+Fleet status is ``ok`` (all ok/cached), ``degraded`` (everything
+completed-or-degraded, nothing failed/lost — the acceptance bar for a
+chaos sweep), ``failed``, or ``interrupted``. Every non-``ok`` sweep is
+resumable: completed shards live in the checkpoint namespace, and
+``resume`` runs only what is missing.
+
+Requeue backoff is exponential with *seeded* jitter
+(:class:`~repro.util.retry.Backoff` with a generator derived from the
+plan seed): a mass requeue after a pool rebuild de-synchronizes without
+consulting wall clock or global random state.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future
+from concurrent.futures import ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.engine.rng import make_rng
+from repro.fleet.checkpoint import CheckpointStore, ShardCheckpoint
+from repro.fleet.plan import FleetPlan, FleetShard
+from repro.fleet.worker import run_shard
+from repro.util.retry import Backoff
+
+#: Shard statuses that carry data in the checkpoint namespace.
+COMPLETE_STATUSES = frozenset({"ok", "cached", "retried"})
+
+#: Default requeue backoff: short, capped, half-range seeded jitter.
+DEFAULT_BACKOFF = Backoff(initial_s=0.05, max_delay_s=1.0, jitter_frac=0.5)
+
+
+@dataclass
+class ShardOutcome:
+    shard_id: int
+    status: str                 # see module docstring
+    attempts: int
+    error: str | None = None
+    duration_s: float = 0.0
+
+    def record(self) -> dict:
+        return {"shard_id": self.shard_id, "status": self.status,
+                "attempts": self.attempts, "error": self.error}
+
+
+@dataclass
+class FleetRunReport:
+    plan_digest: str
+    outcomes: list[ShardOutcome] = field(default_factory=list)
+    pool_rebuilds: int = 0
+    interrupted: bool = False
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for o in self.outcomes:
+            out[o.status] = out.get(o.status, 0) + 1
+        return out
+
+    @property
+    def status(self) -> str:
+        statuses = {o.status for o in self.outcomes}
+        if self.interrupted or "interrupted" in statuses:
+            return "interrupted"
+        if statuses & {"failed", "lost"}:
+            return "failed"
+        if statuses <= {"ok", "cached"}:
+            return "ok"
+        return "degraded"
+
+    def completed_shards(self) -> list[int]:
+        return sorted(o.shard_id for o in self.outcomes
+                      if o.status in COMPLETE_STATUSES)
+
+    def to_dict(self) -> dict:
+        return {"plan_digest": self.plan_digest, "status": self.status,
+                "counts": self.counts, "pool_rebuilds": self.pool_rebuilds,
+                "shards": [o.record() for o in self.outcomes]}
+
+    def render(self) -> str:
+        lines = [f"fleet sweep [{self.plan_digest}]: {self.status}"]
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        lines.append(f"  shards: {len(self.outcomes)} ({summary}), "
+                     f"pool rebuilds: {self.pool_rebuilds}")
+        for o in self.outcomes:
+            if o.status not in ("ok", "cached"):
+                tag = f"  shard {o.shard_id:4d}: {o.status} " \
+                      f"(attempts={o.attempts})"
+                if o.error:
+                    tag += f" [{o.error}]"
+                lines.append(tag)
+        return "\n".join(lines)
+
+
+class FleetSupervisor:
+    """Drives one :class:`FleetPlan` to completion over a process pool."""
+
+    def __init__(
+        self,
+        plan: FleetPlan,
+        ckpt_root: Path | str,
+        *,
+        jobs: int = 4,
+        backoff: Backoff = DEFAULT_BACKOFF,
+        sleep: Callable[[float], None] = time.sleep,
+        progress: Callable[[ShardOutcome], None] | None = None,
+        poll_s: float = 0.05,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.plan = plan
+        self.store = CheckpointStore(ckpt_root, plan)
+        self.jobs = jobs
+        self.backoff = backoff
+        self.sleep = sleep
+        self.progress = progress
+        self.poll_s = poll_s
+        # Jitter stream: seeded from the plan, so a replayed sweep backs
+        # off on the identical schedule.
+        self._jitter_rng = make_rng((plan.seed_root ^ 0x0BAC_50FF)
+                                    & 0xFFFF_FFFF)
+        self._stop_requested = False
+        self._old_handlers: dict[int, object] = {}
+
+    # ---- signals ---------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Graceful shutdown: finish nothing new, flush, report."""
+        self._stop_requested = True
+
+    def _install_signal_handlers(self) -> None:
+        def handler(signum, frame):  # noqa: ARG001 — signal signature
+            self.request_stop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            self._old_handlers[signum] = signal.signal(signum, handler)
+
+    def _restore_signal_handlers(self) -> None:
+        for signum, old in self._old_handlers.items():
+            signal.signal(signum, old)
+        self._old_handlers.clear()
+
+    # ---- run loop --------------------------------------------------------
+
+    def run(self, *, resume: bool = False, inject: bool = True,
+            install_signals: bool = False) -> FleetRunReport:
+        """Sweep the plan; with ``resume``, keep completed checkpoints.
+
+        A fresh run clears the plan's checkpoint namespace (including
+        injection tombstones, so one-shot chaos re-arms); a resume keeps
+        both, which is what makes injected failures fire exactly once
+        across an interrupt/resume pair.
+
+        ``inject=False`` pre-claims every injection tombstone instead of
+        editing the plan, so an undisturbed reference run keeps the
+        *same* plan digest (and checkpoint namespace key) as the chaos
+        run it is compared against.
+        """
+        self.store.ensure()
+        if not resume:
+            self.store.clear()
+            self.store.save_plan()
+        if not inject:
+            for sid in (*self.plan.crash_shards,
+                        *self.plan.chaos_crash_shards()):
+                self.store.claim_marker(f"crash-{sid:04d}")
+            for sid in self.plan.straggler_shards:
+                self.store.claim_marker(f"straggler-{sid:04d}")
+        if install_signals:
+            self._install_signal_handlers()
+        try:
+            return self._run_loop(resume)
+        finally:
+            if install_signals:
+                self._restore_signal_handlers()
+
+    def _run_loop(self, resume: bool) -> FleetRunReport:
+        report = FleetRunReport(plan_digest=self.store.plan_digest)
+        outcomes: dict[int, ShardOutcome] = {}
+        cached = self.store.completed() if resume else {}
+        for sid in cached:
+            outcomes[sid] = ShardOutcome(shard_id=sid, status="cached",
+                                         attempts=0)
+        pending: deque[FleetShard] = deque(
+            s for s in self.plan.shards() if s.shard_id not in cached)
+        attempts: dict[int, int] = {}
+        in_flight: dict[Future, tuple[FleetShard, float, float]] = {}
+        retired_pools: list[ProcessPoolExecutor] = []
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+
+        def finish(shard: FleetShard, status: str, error: str | None,
+                   t_submit: float) -> None:
+            outcome = ShardOutcome(
+                shard_id=shard.shard_id, status=status,
+                attempts=attempts.get(shard.shard_id, 0), error=error,
+                # repro-lint: disable=det-wallclock — harness-side duration report; never enters simulator state
+                duration_s=time.monotonic() - t_submit)
+            outcomes[shard.shard_id] = outcome
+            if self.progress is not None:
+                self.progress(outcome)
+
+        try:
+            while pending or in_flight:
+                if self._stop_requested:
+                    break
+                while pending and len(in_flight) < self.jobs:
+                    shard = pending.popleft()
+                    sid = shard.shard_id
+                    attempts[sid] = attempts.get(sid, 0) + 1
+                    fut = pool.submit(run_shard, self.plan, sid,
+                                      str(self.store.dir.parent))
+                    # repro-lint: disable=det-wallclock — straggler deadline is a harness-side wall-clock budget
+                    now = time.monotonic()
+                    in_flight[fut] = (
+                        shard, now, now + self.plan.straggler_timeout_s)
+                done, _ = wait(set(in_flight), timeout=self.poll_s,
+                               return_when=FIRST_COMPLETED)
+                broken: list[tuple[FleetShard, float]] = []
+                for fut in done:
+                    shard, t_submit, _deadline = in_flight.pop(fut)
+                    try:
+                        payload = fut.result()
+                    except BrokenExecutor:
+                        broken.append((shard, t_submit))
+                    except Exception as exc:  # noqa: BLE001 — sweep must survive
+                        finish(shard, "failed",
+                               f"{type(exc).__name__}: {exc}", t_submit)
+                    else:
+                        self.store.write_shard(ShardCheckpoint(
+                            plan_digest=payload["plan_digest"],
+                            shard_id=payload["shard_id"],
+                            node_ids=tuple(payload["node_ids"]),
+                            records=tuple(payload["records"])))
+                        status = ("ok" if attempts[shard.shard_id] == 1
+                                  else "retried")
+                        finish(shard, status, None, t_submit)
+                if broken:
+                    # The pool is gone; every other in-flight future died
+                    # with it. Requeue all of them (bounded), rebuild.
+                    report.pool_rebuilds += 1
+                    victims = broken + [(sh, ts) for sh, ts, _ in
+                                        in_flight.values()]
+                    in_flight.clear()
+                    retired_pools.append(pool)
+                    pool.shutdown(wait=False)
+                    pool = ProcessPoolExecutor(max_workers=self.jobs)
+                    for shard, t_submit in victims:
+                        if attempts[shard.shard_id] >= self.plan.max_attempts:
+                            finish(shard, "lost",
+                                   "worker died on every attempt", t_submit)
+                        else:
+                            pending.append(shard)
+                    self.sleep(self.backoff.delay_s(
+                        min(report.pool_rebuilds, 10), rng=self._jitter_rng))
+                    continue
+                # Straggler deadlines: degrade, never kill. The future is
+                # abandoned; a late result is ignored (no checkpoint).
+                # repro-lint: disable=det-wallclock — straggler deadline is a harness-side wall-clock budget
+                now = time.monotonic()
+                for fut in [f for f, (_s, _t, dl) in in_flight.items()
+                            if now > dl]:
+                    shard, t_submit, _deadline = in_flight.pop(fut)
+                    fut.cancel()
+                    finish(shard, "degraded",
+                           f"straggler: exceeded "
+                           f"{self.plan.straggler_timeout_s:g} s", t_submit)
+        finally:
+            for shard, t_submit, _deadline in in_flight.values():
+                finish(shard, "interrupted", "stopped by signal", t_submit)
+            for shard in pending:
+                outcomes[shard.shard_id] = ShardOutcome(
+                    shard_id=shard.shard_id, status="interrupted",
+                    attempts=attempts.get(shard.shard_id, 0),
+                    error="stopped by signal")
+            report.interrupted = self._stop_requested
+            pool.shutdown(wait=False)
+            for retired in retired_pools:
+                retired.shutdown(wait=False)
+        report.outcomes = [outcomes[sid]
+                           for sid in sorted(outcomes)]
+        return report

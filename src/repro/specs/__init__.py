@@ -30,6 +30,12 @@ from repro.specs.node import (
     SANDY_BRIDGE_TEST_NODE,
     WESTMERE_TEST_NODE,
 )
+from repro.specs.variation import (
+    DEFAULT_VARIATION,
+    NodeVariation,
+    VariationModel,
+    draw_variation,
+)
 
 __all__ = [
     "MicroarchSpec",
@@ -49,4 +55,8 @@ __all__ = [
     "HASWELL_TEST_NODE",
     "SANDY_BRIDGE_TEST_NODE",
     "WESTMERE_TEST_NODE",
+    "DEFAULT_VARIATION",
+    "NodeVariation",
+    "VariationModel",
+    "draw_variation",
 ]

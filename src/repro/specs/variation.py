@@ -1,0 +1,138 @@
+"""Per-node manufacturing variation for fleet-scale simulation.
+
+One 2-socket node is what the paper measured; a fleet of them is what
+its authors measured next. Schuchart et al. (arXiv:1808.08106) show
+that nominally identical Haswell nodes differ measurably in power at
+the same operating point and in the turbo frequencies they sustain —
+the paper's own test system already exhibits the seed of this (Section
+III: socket 0 runs at higher voltage than socket 1 for the same
+p-state, Table IV gives it lower sustained frequencies).
+
+:class:`VariationModel` parameterizes that spread; :func:`draw_variation`
+turns a node seed into one concrete :class:`NodeVariation` — the drawn
+per-socket voltage offsets, a leakage scale, and a turbo-bin derate —
+via :func:`repro.engine.rng.make_rng`, so the same ``(seed, model)``
+always yields the same silicon. ``NodeVariation.apply`` stamps the draw
+onto a :class:`~repro.specs.node.NodeSpec`, producing the varied node
+the fleet worker simulates.
+
+Draw order is part of the contract (voltage offsets per socket, then
+leakage, then turbo derate): changing it changes every fleet's silicon,
+exactly like changing a fault-plan draw order would change its faults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.engine.rng import make_rng
+from repro.errors import ConfigurationError
+from repro.specs.node import NodeSpec
+
+#: Turbo bins move in whole 100 MHz speed-bin steps, like real binning.
+_TURBO_STEP_HZ = 100e6
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Fleet-wide distribution parameters for per-node silicon spread.
+
+    * ``voltage_sigma_v`` — per-socket V/f offset, normal, clipped to
+      ``±voltage_limit_v`` (the paper's two sockets differ by 12 mV);
+    * ``leakage_sigma_frac`` — multiplicative spread of the static
+      (leakage) power term, log-ish via clipped normal;
+    * ``turbo_derate_p`` — probability that a node loses one 100 MHz
+      turbo speed bin, applied twice (so 0/1/2 bins, binomially).
+    """
+
+    voltage_sigma_v: float = 0.006
+    voltage_limit_v: float = 0.025
+    leakage_sigma_frac: float = 0.06
+    leakage_limit_frac: float = 0.25
+    turbo_derate_p: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.voltage_sigma_v < 0 or self.voltage_limit_v < 0:
+            raise ConfigurationError("voltage spread must be non-negative")
+        if not 0 <= self.leakage_sigma_frac:
+            raise ConfigurationError("leakage sigma must be non-negative")
+        if not 0 < self.leakage_limit_frac < 1:
+            raise ConfigurationError("leakage limit must be within (0, 1)")
+        if not 0 <= self.turbo_derate_p <= 1:
+            raise ConfigurationError("turbo_derate_p must be within [0, 1]")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VariationModel":
+        return cls(**{f.name: type(f.default)(data[f.name])
+                      for f in dataclasses.fields(cls)})
+
+
+DEFAULT_VARIATION = VariationModel()
+
+
+@dataclass(frozen=True)
+class NodeVariation:
+    """One node's drawn silicon: pure data, applicable to any NodeSpec."""
+
+    seed: int
+    voltage_offsets_v: tuple[float, ...]
+    leakage_scale: float
+    turbo_derate_bins: int
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed,
+                "voltage_offsets_v": list(self.voltage_offsets_v),
+                "leakage_scale": self.leakage_scale,
+                "turbo_derate_bins": self.turbo_derate_bins}
+
+    def apply(self, base: NodeSpec) -> NodeSpec:
+        """Stamp this draw onto ``base`` (offsets add to the spec's own
+        per-socket skew, so the paper's socket-0 asymmetry survives)."""
+        if len(self.voltage_offsets_v) != base.n_sockets:
+            raise ConfigurationError(
+                f"variation drawn for {len(self.voltage_offsets_v)} "
+                f"sockets, node has {base.n_sockets}")
+        cpu = base.cpu
+        power = dataclasses.replace(
+            cpu.power, static_w=cpu.power.static_w * self.leakage_scale)
+        turbo = cpu.turbo
+        if self.turbo_derate_bins:
+            derate = self.turbo_derate_bins * _TURBO_STEP_HZ
+            floor = cpu.nominal_hz
+            turbo = dataclasses.replace(
+                turbo,
+                non_avx_hz=tuple(max(b - derate, floor)
+                                 for b in turbo.non_avx_hz),
+                avx_hz=tuple(max(b - derate, cpu.avx_base_hz or floor)
+                             for b in turbo.avx_hz))
+        return dataclasses.replace(
+            base,
+            cpu=dataclasses.replace(cpu, power=power, turbo=turbo),
+            socket_voltage_offsets_v=tuple(
+                base_off + drawn for base_off, drawn in
+                zip(base.socket_voltage_offsets_v, self.voltage_offsets_v)))
+
+
+def draw_variation(seed: int, n_sockets: int = 2,
+                   model: VariationModel = DEFAULT_VARIATION,
+                   ) -> NodeVariation:
+    """Draw one node's silicon from ``seed``. Same arguments ⇒ same part."""
+    if n_sockets < 1:
+        raise ConfigurationError("a node needs at least one socket")
+    rng = make_rng(seed)
+    lim = model.voltage_limit_v
+    offsets = tuple(
+        round(float(min(max(rng.normal(0.0, model.voltage_sigma_v or 1e-12),
+                            -lim), lim)), 6)
+        for _ in range(n_sockets))
+    lk_lim = model.leakage_limit_frac
+    leakage = round(1.0 + float(
+        min(max(rng.normal(0.0, model.leakage_sigma_frac or 1e-12),
+                -lk_lim), lk_lim)), 6)
+    derate = int(rng.binomial(2, model.turbo_derate_p))
+    return NodeVariation(seed=seed, voltage_offsets_v=offsets,
+                         leakage_scale=leakage, turbo_derate_bins=derate)

@@ -26,23 +26,41 @@ DEFAULT_RETRYABLE: tuple[type[BaseException], ...] = (
 @dataclass(frozen=True)
 class Backoff:
     """Exponential backoff policy: ``initial * factor^(attempt-1)``,
-    capped at ``max_delay_s``. Purely deterministic — reseeding between
-    attempts happens at the fault-plan layer, not by jittering sleeps."""
+    capped at ``max_delay_s``.
+
+    ``jitter_frac`` optionally de-synchronizes retry storms (many fleet
+    shards requeued by one worker death would otherwise hammer the pool
+    in lockstep): with a generator passed to :meth:`delay_s`, the delay
+    is scaled by a factor drawn uniformly from ``[1 - jitter_frac, 1]``.
+    The draw comes only from the *passed-in* RNG — never wall clock or
+    global ``random`` state — so a reseeded replay sleeps the identical
+    schedule. Without an RNG the delay stays un-jittered, which keeps
+    every existing call site bit-for-bit unchanged."""
 
     initial_s: float = 0.05
     factor: float = 2.0
     max_delay_s: float = 2.0
+    jitter_frac: float = 0.0
 
     def __post_init__(self) -> None:
         if self.initial_s < 0 or self.factor < 1.0 or self.max_delay_s < 0:
             raise ValueError("invalid backoff parameters")
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise ValueError("jitter_frac must be within [0, 1]")
 
-    def delay_s(self, attempt: int) -> float:
-        """Sleep before retry number ``attempt`` (1-based)."""
+    def delay_s(self, attempt: int, rng=None) -> float:
+        """Sleep before retry number ``attempt`` (1-based).
+
+        ``rng`` is a seeded ``numpy.random.Generator`` (or anything with
+        a ``random()`` method) supplying the jitter draw.
+        """
         if attempt < 1:
             raise ValueError("attempt numbers are 1-based")
-        return min(self.initial_s * self.factor ** (attempt - 1),
-                   self.max_delay_s)
+        delay = min(self.initial_s * self.factor ** (attempt - 1),
+                    self.max_delay_s)
+        if self.jitter_frac > 0.0 and rng is not None:
+            delay *= 1.0 - self.jitter_frac * float(rng.random())
+        return delay
 
     def delays(self, n: int) -> Iterator[float]:
         return (self.delay_s(i) for i in range(1, n + 1))

@@ -66,8 +66,18 @@ class TestFaultPlan:
         assert all(0 <= t <= plan.horizon_ns for t in times)
 
     def test_every_kind_represented(self):
+        # WORKER_CRASH is process-level: the fleet layer consumes it
+        # and the default profile's rate is zero, so default plans
+        # contain every in-process kind and nothing else.
         kinds = {ev.kind for ev in FaultPlan.generate(42).events}
-        assert kinds == set(FaultKind)
+        assert kinds == set(FaultKind) - {FaultKind.WORKER_CRASH}
+
+    def test_worker_crash_requires_nonzero_rate(self):
+        from repro.faults.plan import FaultProfile
+        profile = FaultProfile(worker_crash_rate=2.0)
+        kinds = {ev.kind
+                 for ev in FaultPlan.generate(42, profile=profile).events}
+        assert FaultKind.WORKER_CRASH in kinds
 
     def test_bad_horizon_rejected(self):
         with pytest.raises(FaultInjectionError):
