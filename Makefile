@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint sanitize-smoke conformance coverage bench bench-simcore bench-full chaos chaos-smoke hostif-smoke fleet-smoke experiments examples clean
+.PHONY: install test lint sanitize-smoke conformance coverage bench bench-simcore bench-full chaos chaos-smoke hostif-smoke fleet-smoke service-smoke experiments examples clean
 
 # Minimum line-coverage percentage for the `coverage` gate.
 COVERAGE_FLOOR ?= 70
@@ -83,6 +83,13 @@ hostif-smoke:
 # undisturbed reference sweep of the same plan. See docs/fleet.md.
 fleet-smoke:
 	$(PYTHON) scripts/fleet_smoke.py
+
+# Experiment-service smoke: serve over a unix socket, submit a
+# dataset-targeted sweep with an injected worker crash (completes
+# degraded), resubmit identically (100% verified cache hits,
+# byte-identical results report). See docs/service.md.
+service-smoke:
+	$(PYTHON) scripts/service_smoke.py
 
 experiments:
 	$(PYTHON) scripts/generate_experiments_md.py

@@ -35,6 +35,11 @@ cumulative-time functions per experiment (see docs/performance.md).
 manufacturing variation, crash-isolated shards, checkpoint/resume; see
 docs/fleet.md) instead of the table/figure suite.
 
+``--service`` hosts the async experiment service (versioned host
+datasets, crash-isolated workers, digest-verified result caching; see
+docs/service.md); ``--submit sweep.json`` sends a sweep-request file to
+the running service and follows it to completion.
+
 SIGINT/SIGTERM are handled gracefully in both modes: the partial
 outcome report is flushed (``run_paper_report.partial.json``, or the
 fleet's checkpoints plus ``aggregate.partial.json``) and the process
@@ -257,6 +262,20 @@ def _run_fleet(args) -> int:
         return 1
 
 
+def _run_service(args) -> int:
+    """Handle --service: host the async experiment service (docs/service.md)."""
+    from repro.service.cli import main as service_main
+    return service_main(["--state-root", args.service_root,
+                         "serve", "--jobs", str(args.jobs)])
+
+
+def _submit_sweep(args) -> int:
+    """Handle --submit: send a sweep to the running service and follow it."""
+    from repro.service.cli import main as service_main
+    return service_main(["--state-root", args.service_root,
+                         "submit", "--sweep", args.submit, "--wait"])
+
+
 def _record_or_replay(args) -> int:
     """Handle --record/--replay: conformance tracing instead of the suite."""
     from repro.conformance.replay import record_to_file, replay_file
@@ -322,6 +341,19 @@ def main() -> int:
     parser.add_argument("--fleet-resume", action="store_true",
                         help="with --fleet: finish an interrupted sweep "
                              "instead of starting fresh")
+    parser.add_argument("--service", action="store_true",
+                        help="host the async experiment service in the "
+                             "foreground (datasets, digest-verified result "
+                             "cache; see docs/service.md) instead of the "
+                             "suite; --jobs sets its worker count")
+    parser.add_argument("--submit", metavar="SWEEP_JSON", default=None,
+                        help="submit a sweep-request JSON file to the "
+                             "running service and follow it to completion "
+                             "(exit 0 ok / 3 degraded / 1 failed)")
+    parser.add_argument("--service-root",
+                        default="benchmarks/output/service",
+                        help="state root for --service/--submit (socket, "
+                             "result cache, job outputs)")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile each experiment; write "
                              "benchmarks/output/<name>.pstats and print "
@@ -338,6 +370,16 @@ def main() -> int:
         parser.error("--record and --replay are mutually exclusive")
     if args.record is not None or args.replay is not None:
         return _record_or_replay(args)
+
+    if args.service and args.submit is not None:
+        parser.error("--service and --submit are mutually exclusive "
+                     "(serve in one process, submit from another)")
+    if args.service:
+        if args.jobs < 1:
+            parser.error("--jobs must be at least 1")
+        return _run_service(args)
+    if args.submit is not None:
+        return _submit_sweep(args)
 
     if args.max_attempts < 1:
         parser.error("--max-attempts must be at least 1")

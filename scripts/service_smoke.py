@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Experiment-service smoke: crash mid-sweep, then resubmit from cache.
+
+The CI-facing acceptance check behind ``make service-smoke``:
+
+1. snapshot a hostif-configured host dataset with ``repro-datasets``;
+2. start ``repro-service serve`` as a real subprocess and wait for its
+   unix socket;
+3. submit a sweep targeting the dataset with an injected worker crash —
+   the pool breaks mid-sweep, the service rebuilds it and requeues the
+   victims, and the job must complete *degraded* (exit 3);
+4. resubmit the identical sweep (without the injection — injections are
+   excluded from the request digest) — every task must be served as a
+   verified cache hit (exit 0) and the two jobs' canonical
+   ``results.json`` reports must be byte-identical;
+5. shut the service down over the socket and check it exits cleanly.
+
+Everything flows through the ``repro-datasets`` and ``repro-service``
+CLI entry points, so the smoke also covers dataset resolution, the
+NDJSON protocol, exit codes and report writing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.service.cli import main as service_main
+from repro.service.datasets_cli import main as datasets_main
+from repro.service.server import socket_path
+
+#: Generous on a loaded 2-core CI runner; locally the socket is up in
+#: well under a second.
+SERVE_STARTUP_TIMEOUT_S = 30.0
+
+
+def run(label: str, entry, argv: list[str], expect: int) -> None:
+    print(f"--- service-smoke: {label}: {' '.join(argv)}")
+    rc = entry(argv)
+    if rc != expect:
+        print(f"service-smoke: {label} exited {rc}, expected {expect}",
+              file=sys.stderr)
+        raise SystemExit(1)
+
+
+def fail(message: str) -> "SystemExit":
+    print(f"service-smoke: FAIL — {message}", file=sys.stderr)
+    return SystemExit(1)
+
+
+def wait_for_socket(path: Path, proc: subprocess.Popen) -> None:
+    """Wall-clock polling is the point here: we are waiting for a real
+    subprocess to bind a real unix socket; the simulation runs inside
+    it and never sees this clock."""
+    # repro-lint: disable=det-wallclock — harness-side wait for a real subprocess to start
+    deadline = time.monotonic() + SERVE_STARTUP_TIMEOUT_S
+    while True:
+        if path.exists():
+            return
+        if proc.poll() is not None:
+            raise fail(f"serve exited {proc.returncode} before listening")
+        # repro-lint: disable=det-wallclock — harness-side wait for a real subprocess to start
+        if time.monotonic() > deadline:
+            raise fail(f"service socket {path} never appeared")
+        # repro-lint: disable=det-wallclock — harness-side wait for a real subprocess to start
+        time.sleep(0.05)
+
+
+def main() -> int:
+    scratch = Path(tempfile.mkdtemp(prefix="service-smoke-"))
+    state_root = scratch / "state"
+    dataset_dir = scratch / "datasets"
+    serve_log = scratch / "serve.log"
+    proc: subprocess.Popen | None = None
+    try:
+        run("snapshot dataset", datasets_main,
+            ["--dir", str(dataset_dir), "snapshot", "smoke",
+             "--seed", "271", "--configure", "hostif"], expect=0)
+
+        serve_argv = [sys.executable, "-m", "repro.service.cli",
+                      "--state-root", str(state_root),
+                      "serve", "--jobs", "2",
+                      "--dataset-dir", str(dataset_dir)]
+        print(f"--- service-smoke: serve: {' '.join(serve_argv[1:])}")
+        with serve_log.open("w", encoding="utf-8") as log:
+            proc = subprocess.Popen(serve_argv, stdout=log, stderr=log,
+                                    env=os.environ.copy())
+        wait_for_socket(socket_path(state_root), proc)
+
+        submit = ["--state-root", str(state_root), "submit",
+                  "--name", "smoke", "--dataset", "smoke",
+                  "--seeds", "11,12", "--measure-ms", "2", "--wait"]
+        # Injected worker crash mid-sweep: pool rebuild, requeue,
+        # degraded completion.
+        run("chaos submit", service_main,
+            submit + ["--crash-tasks", "0"], expect=3)
+        # Identical resubmission (injections are not data): every task
+        # a verified cache hit.
+        run("cached resubmit", service_main, submit, expect=0)
+
+        jobs = sorted((state_root / "jobs").iterdir())
+        if len(jobs) != 2:
+            raise fail(f"expected 2 job dirs, found {len(jobs)}")
+        chaos_run = json.loads((jobs[0] / "run.json").read_text())
+        cached_run = json.loads((jobs[1] / "run.json").read_text())
+        if chaos_run["state"] != "degraded" or chaos_run["pool_rebuilds"] < 1:
+            raise fail("injected crash never broke the pool "
+                       f"(state={chaos_run['state']}, "
+                       f"rebuilds={chaos_run['pool_rebuilds']})")
+        not_cached = [t for t in cached_run["tasks"]
+                      if t["status"] != "cached"]
+        if not_cached or cached_run["cache_hits"] != len(cached_run["tasks"]):
+            raise fail(f"resubmission was not 100% cache hits: {not_cached}")
+
+        chaos_results = (jobs[0] / "results.json").read_bytes()
+        cached_results = (jobs[1] / "results.json").read_bytes()
+        if chaos_results != cached_results:
+            raise fail("cached resubmission report differs from the "
+                       "crashed run's report")
+
+        run("shutdown", service_main,
+            ["--state-root", str(state_root), "shutdown"], expect=0)
+        rc = proc.wait(timeout=SERVE_STARTUP_TIMEOUT_S)
+        if rc != 0:
+            print(serve_log.read_text(encoding="utf-8"), file=sys.stderr)
+            raise fail(f"serve exited {rc} after shutdown")
+        proc = None
+
+        print("service-smoke: PASS — crashed sweep completed degraded "
+              f"({chaos_run['counts']}), resubmission served "
+              f"{cached_run['cache_hits']}/{len(cached_run['tasks'])} "
+              "verified cache hits, reports byte-identical")
+        return 0
+    finally:
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

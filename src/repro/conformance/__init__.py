@@ -25,7 +25,9 @@ from repro.conformance.recorder import (
     Divergence,
     Trace,
     canonical_json,
+    content_digest,
     diff_traces,
+    sha256_hex,
 )
 from repro.conformance.replay import (
     ReplayReport,
@@ -60,8 +62,10 @@ __all__ = [
     "ScenarioManifest",
     "Trace",
     "canonical_json",
+    "content_digest",
     "current_digest",
     "diff_traces",
+    "sha256_hex",
     "make_manifest",
     "record",
     "record_to_file",

@@ -19,6 +19,7 @@ canonical lines.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any
@@ -75,6 +76,25 @@ def canonical_json(obj: Any) -> str:
                       separators=(",", ":"))
 
 
+def sha256_hex(text: str) -> str:
+    """The sha256 hex digest of a utf-8 text — the one hashing
+    convention every durable artifact (traces, checkpoints, datasets,
+    service cache entries) shares."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def content_digest(obj: Any, length: int = 16) -> str:
+    """Content-address any canonical-JSON-able object.
+
+    ``sha256(canonical_json(obj) + "\\n")`` truncated to ``length`` hex
+    chars. Fleet plans key their checkpoint namespace through here, and
+    the experiment service keys its result cache through here — one
+    digest convention, so "same content" means the same thing in both
+    subsystems.
+    """
+    return sha256_hex(canonical_json(obj) + "\n")[:length]
+
+
 class ConformanceRecorder(TraceRecorder):
     """Records every declared event kind, canonicalized and validated."""
 
@@ -126,6 +146,16 @@ class Trace:
 
     def to_jsonl(self) -> str:
         return "\n".join([self.header_line(), *self.event_lines()]) + "\n"
+
+    def digest(self) -> str:
+        """sha256 over the canonical JSONL bytes.
+
+        Because serialization is canonical, two traces digest equal iff
+        they are event-for-event (and manifest-for-manifest) identical —
+        this is the identity the service result cache stores and
+        re-verifies on every hit.
+        """
+        return sha256_hex(self.to_jsonl())
 
     @classmethod
     def from_jsonl(cls, text: str) -> "Trace":

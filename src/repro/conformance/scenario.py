@@ -25,7 +25,12 @@ import dataclasses
 import hashlib
 from dataclasses import dataclass
 
-from repro.conformance.recorder import ConformanceRecorder, Trace
+from repro.conformance import schema as _schema
+from repro.conformance.recorder import (
+    ConformanceRecorder,
+    Trace,
+    content_digest,
+)
 from repro.engine import sanitize
 from repro.engine.simulator import Simulator
 from repro.errors import ConformanceError
@@ -99,6 +104,32 @@ class ScenarioManifest:
                 "fault_plan": (self.fault_plan.to_dict()
                                if self.fault_plan is not None else None),
                 "sanitize": self.sanitize}
+
+    def digest(self) -> str:
+        """Content digest of the manifest (full sha256 hex).
+
+        Two manifests digest equal iff they describe the identical run
+        recipe — the conformance guarantee then promises identical
+        traces, which is what lets the service cache serve results by
+        digest instead of by re-execution.
+        """
+        return content_digest(self.to_dict(), length=64)
+
+    def cache_key(self, dataset_digest: str = "") -> str:
+        """The result-cache identity of executing this manifest.
+
+        Keyed on (manifest digest, schema version + digest, dataset
+        digest): a schema bump or an event-catalog edit moves every
+        key, and the same sweep against a different host dataset never
+        aliases. Shared by the experiment service's result cache and
+        anything else that wants to address "the outcome of this run".
+        """
+        return content_digest({
+            "manifest_digest": self.digest(),
+            "schema_version": _schema.SCHEMA_VERSION,
+            "schema_digest": _schema.current_digest(),
+            "dataset_digest": dataset_digest,
+        }, length=32)
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioManifest":

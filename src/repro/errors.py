@@ -65,6 +65,15 @@ class TraceSchemaError(ConformanceError):
     was produced under an incompatible schema version/digest."""
 
 
+class ServiceError(ReproError):
+    """The experiment service was configured or driven incorrectly."""
+
+
+class DatasetError(ServiceError):
+    """A host dataset is unreadable, tampered, truncated, or cannot be
+    restored to a bit-identical host."""
+
+
 class TransientFaultError(ReproError):
     """A recoverable fault: the operation may succeed if retried.
 

@@ -18,11 +18,9 @@ percentiles, plus an outcome histogram over shards (``complete`` vs
 
 from __future__ import annotations
 
-import hashlib
-
 import numpy as np
 
-from repro.conformance.recorder import canonical_json
+from repro.conformance.recorder import canonical_json, sha256_hex
 from repro.errors import FleetError
 from repro.fleet.checkpoint import CheckpointStore, ShardCheckpoint
 from repro.fleet.plan import FleetPlan
@@ -69,9 +67,8 @@ def aggregate(plan: FleetPlan,
             [float(r["variation"]["leakage_scale"]) for r in records])
         distributions["turbo_derate_bins"] = _distribution(
             [float(r["variation"]["turbo_derate_bins"]) for r in records])
-    records_digest = hashlib.sha256(
-        ("\n".join(canonical_json(r) for r in records) + "\n")
-        .encode("utf-8")).hexdigest()
+    records_digest = sha256_hex(
+        "\n".join(canonical_json(r) for r in records) + "\n")
     return {
         "format": AGGREGATE_FORMAT,
         "plan_digest": plan.digest(),
@@ -96,8 +93,7 @@ def stable_aggregate_json(agg: dict) -> str:
 
 
 def aggregate_digest(agg: dict) -> str:
-    return hashlib.sha256(
-        stable_aggregate_json(agg).encode("utf-8")).hexdigest()[:16]
+    return sha256_hex(stable_aggregate_json(agg))[:16]
 
 
 def render_aggregate(agg: dict) -> str:

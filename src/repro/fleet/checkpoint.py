@@ -23,13 +23,12 @@ property the aggregate-equality acceptance test leans on.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.conformance.recorder import canonical_json
+from repro.conformance.recorder import canonical_json, sha256_hex
 from repro.errors import CheckpointError
 from repro.fleet.plan import FleetPlan
 
@@ -58,8 +57,7 @@ class ShardCheckpoint:
              "shard_id": self.shard_id, "node_ids": list(self.node_ids)})
         lines = [header, *(canonical_json(r) for r in self.records)]
         body = "\n".join(lines) + "\n"
-        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
-        return body + canonical_json({"sha256": digest}) + "\n"
+        return body + canonical_json({"sha256": sha256_hex(body)}) + "\n"
 
     @classmethod
     def from_jsonl(cls, text: str) -> "ShardCheckpoint":
@@ -73,8 +71,7 @@ class ShardCheckpoint:
         if not isinstance(trailer, dict) or "sha256" not in trailer:
             raise CheckpointError("missing integrity trailer")
         body = "\n".join(lines[:-1]) + "\n"
-        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
-        if digest != trailer["sha256"]:
+        if sha256_hex(body) != trailer["sha256"]:
             raise CheckpointError("shard checkpoint failed integrity check")
         try:
             header = json.loads(lines[0])

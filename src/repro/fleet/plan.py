@@ -25,10 +25,9 @@ sweep aggregates to the byte-identical report of an undisturbed one.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 
-from repro.conformance.recorder import canonical_json
+from repro.conformance.recorder import canonical_json, content_digest
 from repro.errors import FleetError
 from repro.faults.plan import FaultKind, FaultPlan
 from repro.specs.variation import DEFAULT_VARIATION, VariationModel
@@ -201,4 +200,4 @@ class FleetPlan:
         produces are injection-independent, which is what the aggregate
         digest (see :mod:`repro.fleet.aggregate`) certifies.
         """
-        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:16]
+        return content_digest(self.to_dict())

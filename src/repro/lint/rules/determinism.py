@@ -7,9 +7,11 @@ time and ambient randomness leak into simulator state or rendered
 artifacts:
 
 * ``det-wallclock`` — ``time.time``/``perf_counter``/``sleep``,
-  ``datetime.now`` and friends. Harness-level timing (experiment
-  timeouts, benchmark scoring) is legitimate but must carry an inline
-  justification so the boundary stays audited.
+  ``datetime.now`` and friends, plus the asyncio faces of the same
+  clock: ``asyncio.sleep`` and the event loop's ``loop.time()``.
+  Harness-level timing (experiment timeouts, benchmark scoring, the
+  experiment service's worker backoff) is legitimate but must carry an
+  inline justification so the boundary stays audited.
 * ``det-rng``      — the ``random`` module, module-level
   ``numpy.random.*``, ``os.urandom``, ``uuid.uuid4``, ``secrets``.
   All randomness must flow through the seeded ``engine.rng`` spawns.
@@ -35,6 +37,7 @@ _WALLCLOCK = frozenset({
     "time.gmtime", "time.ctime",
     "datetime.datetime.now", "datetime.datetime.utcnow",
     "datetime.datetime.today", "datetime.date.today",
+    "asyncio.sleep",
 })
 
 _RNG_EXACT = frozenset({"os.urandom", "uuid.uuid4", "uuid.uuid1"})
@@ -54,6 +57,19 @@ class WallClockRule(Rule):
         origin = ctx.resolve(node.func)
         if origin in _WALLCLOCK:
             yield self.finding(ctx, node, f"call to {origin}()")
+            return
+        # The event loop's clock: ``loop.time()`` reads the host
+        # monotonic clock through a local variable the import resolver
+        # cannot see through, so match the conventional receiver name
+        # (``loop``, ``event_loop``, ``_loop``, ...).
+        func = node.func
+        if (origin is None and isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and "loop" in func.value.id.lower()):
+            yield self.finding(
+                ctx, node,
+                f"call to {func.value.id}.time() (event-loop wall clock)")
 
 
 @register

@@ -1,0 +1,41 @@
+"""Async experiment service: datasets, sweeps, digest-verified caching.
+
+The service layer turns the single-shot experiment runners into a
+long-lived facility:
+
+* :mod:`repro.service.dataset` — versioned host datasets: the complete
+  hostif sysfs+MSR state of a node as a canonical, tamper-evident JSONL
+  file, restorable to a bit-identical host (``repro-datasets``).
+* :mod:`repro.service.sweep` — sweep requests and their deterministic
+  expansion into conformance-scenario tasks with cache keys.
+* :mod:`repro.service.cache` — the result cache: entries keyed on
+  (manifest digest, schema version, dataset digest) and verified on hit
+  against the stored conformance-trace digest.
+* :mod:`repro.service.core` — the asyncio service: crash-isolated
+  worker pool, job lifecycle, status/result streaming.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  NDJSON-over-unix-socket protocol behind ``repro-service``.
+"""
+
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.core import ExperimentService
+from repro.service.dataset import (HostDataset, diff_datasets, list_datasets,
+                                   load_dataset, resolve_dataset, restore_host,
+                                   save_dataset, snapshot_host)
+from repro.service.sweep import SweepRequest, expand_sweep
+
+__all__ = [
+    "CacheEntry",
+    "ExperimentService",
+    "HostDataset",
+    "ResultCache",
+    "SweepRequest",
+    "diff_datasets",
+    "expand_sweep",
+    "list_datasets",
+    "load_dataset",
+    "resolve_dataset",
+    "restore_host",
+    "save_dataset",
+    "snapshot_host",
+]

@@ -1,0 +1,112 @@
+"""Synchronous client for the experiment service's unix socket.
+
+The CLI side of the NDJSON protocol (see :mod:`repro.service.server`):
+plain blocking sockets, no asyncio — a ``repro-service submit`` in a
+shell script shouldn't need an event loop. One connection per request;
+``watch`` holds its connection open and yields each streamed event.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ServiceError
+
+
+class ServiceClient:
+    """Talks to one service socket; raises :class:`ServiceError` on
+    protocol-level failures (including ``ok: false`` responses)."""
+
+    def __init__(self, path: Path | str, timeout_s: float = 60.0) -> None:
+        self.path = Path(path)
+        self.timeout_s = timeout_s
+
+    # ---- one-shot ops -----------------------------------------------------
+
+    def request(self, op: str, **fields) -> dict:
+        with self._connect() as (sock, fh):
+            _send_line(sock, {"op": op, **fields})
+            return self._read_response(fh, op)
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def submit(self, request_dict: dict) -> str:
+        return self.request("submit", request=request_dict)["job_id"]
+
+    def status(self, job_id: str) -> dict:
+        return self.request("status", job_id=job_id)["status"]
+
+    def jobs(self) -> list[dict]:
+        return self.request("jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request("cancel", job_id=job_id)["status"]
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+    # ---- streaming --------------------------------------------------------
+
+    def watch(self, job_id: str) -> Iterator[dict]:
+        """Stream a job's events; the final item has ``done: true`` and
+        carries the settled job status."""
+        with self._connect() as (sock, fh):
+            _send_line(sock, {"op": "watch", "job_id": job_id})
+            while True:
+                response = self._read_response(fh, "watch")
+                yield response
+                if response.get("done"):
+                    return
+
+    # ---- internals --------------------------------------------------------
+
+    def _connect(self):
+        if not self.path.exists():
+            raise ServiceError(
+                f"no service socket at {self.path} — is "
+                f"'repro-service serve' running?")
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout_s)
+        try:
+            sock.connect(str(self.path))
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"cannot connect to service at {self.path}: {exc}") from exc
+        return _Connection(sock)
+
+    @staticmethod
+    def _read_response(fh, op: str) -> dict:
+        line = fh.readline()
+        if not line:
+            raise ServiceError(f"service closed the connection mid-{op}")
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"garbled service response: {exc}") from exc
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "service error"))
+        return response
+
+
+class _Connection:
+    """Context manager pairing a socket with a buffered line reader."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.fh = sock.makefile("r", encoding="utf-8")
+
+    def __enter__(self):
+        return self.sock, self.fh
+
+    def __exit__(self, *exc) -> None:
+        self.fh.close()
+        self.sock.close()
+
+
+def _send_line(sock: socket.socket, payload: dict) -> None:
+    sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))

@@ -1,0 +1,133 @@
+"""``repro-datasets``: snapshot, restore, list and diff host datasets.
+
+    repro-datasets snapshot tuned --seed 271 --configure hostif
+    repro-datasets restore tuned
+    repro-datasets list
+    repro-datasets diff tuned baseline
+
+``snapshot`` builds a fresh Haswell node, optionally applies one of the
+parity experiment's configurations through the host interface, and
+writes the host's complete sysfs+MSR state as a versioned dataset.
+``restore`` rebuilds a host from a dataset and verifies bit-parity
+(every restore does — the command exists to prove a file on disk still
+restores cleanly). ``diff`` compares two datasets entry-by-entry.
+
+Exit codes: 0 — success (``diff``: state-identical); 3 — ``diff`` found
+divergent entries; 1 — usage error, unreadable/tampered dataset, or a
+restore that cannot reach bit-parity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.experiments.hostif_parity import _CONFIGURE
+from repro.hostif import VirtualHost
+from repro.service.dataset import (DEFAULT_SEARCH_DIRS, dataset_path,
+                                   diff_datasets, list_datasets, load_dataset,
+                                   render_diff, resolve_dataset, restore_host,
+                                   save_dataset, snapshot_host)
+from repro.system.node import build_haswell_node
+
+#: ``diff`` exit code when the datasets describe different host state.
+EXIT_DIVERGENT = 3
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    sim, node = build_haswell_node(seed=args.seed)
+    host = VirtualHost(sim, node)
+    if args.configure != "none":
+        _CONFIGURE[args.configure](host)
+    dataset = snapshot_host(host, args.name, args.seed)
+    path = save_dataset(dataset, dataset_path(args.dir, args.name))
+    print(f"dataset {args.name!r}: {len(dataset.entries)} entries, "
+          f"configure={args.configure}, seed={args.seed}")
+    print(f"digest {dataset.digest()[:16]} -> {path}")
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    path = resolve_dataset(args.dataset, _search_dirs(args))
+    dataset = load_dataset(path)
+    restore_host(dataset)          # verifies bit-parity or raises
+    print(f"dataset {dataset.name!r} ({path}) restores to a "
+          f"bit-identical host [{dataset.digest()[:16]}]")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = list_datasets(args.dir)
+    if not rows:
+        print(f"no datasets under {args.dir}")
+        return 0
+    for name, path in rows:
+        try:
+            dataset = load_dataset(path)
+        except ReproError as exc:
+            print(f"  {name:<20} UNREADABLE: {exc}")
+            continue
+        print(f"  {name:<20} {dataset.digest()[:16]}  "
+              f"seed={dataset.seed:<6} {len(dataset.entries)} entries  "
+              f"{dataset.spec}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    dirs = _search_dirs(args)
+    a = load_dataset(resolve_dataset(args.a, dirs))
+    b = load_dataset(resolve_dataset(args.b, dirs))
+    diffs = diff_datasets(a, b)
+    print(render_diff(diffs))
+    return EXIT_DIVERGENT if diffs else 0
+
+
+def _search_dirs(args: argparse.Namespace) -> tuple[str, ...]:
+    return (args.dir, *DEFAULT_SEARCH_DIRS)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-datasets",
+        description="Snapshot, restore, list and diff host datasets.")
+    parser.add_argument("--dir", default=DEFAULT_SEARCH_DIRS[0],
+                        help="dataset directory (default: %(default)s)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("snapshot", help="capture a fresh host as a dataset")
+    p.add_argument("name", help="dataset name")
+    p.add_argument("--seed", type=int, default=271,
+                   help="simulator seed the host is built from")
+    p.add_argument("--configure", default="none",
+                   choices=("none", *sorted(_CONFIGURE)),
+                   help="apply a parity-experiment configuration first")
+    p.set_defaults(func=_cmd_snapshot)
+
+    p = sub.add_parser("restore",
+                       help="rebuild a host and verify bit-parity")
+    p.add_argument("dataset", help="dataset name or path")
+    p.set_defaults(func=_cmd_restore)
+
+    p = sub.add_parser("list", help="list datasets in the dataset directory")
+    p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("diff", help="compare two datasets entry-by-entry")
+    p.add_argument("a", help="dataset name or path")
+    p.add_argument("b", help="dataset name or path")
+    p.set_defaults(func=_cmd_diff)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

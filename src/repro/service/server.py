@@ -1,0 +1,156 @@
+"""NDJSON-over-unix-socket front end for the experiment service.
+
+One request line in, one (or a stream of) response lines out — the
+protocol is line-oriented JSON so ``socat``, a five-line Python client,
+or :mod:`repro.service.client` can all drive it:
+
+    {"op": "ping"}
+    {"op": "submit", "request": {<sweep-request dict>}}
+    {"op": "status", "job_id": "..."}       {"op": "jobs"}
+    {"op": "watch", "job_id": "..."}        (streams events, then done)
+    {"op": "cancel", "job_id": "..."}       {"op": "shutdown"}
+
+Every response carries ``"ok"``; errors come back as
+``{"ok": false, "error": "..."}`` on the same connection instead of
+tearing it down. ``watch`` streams each job event as its own line and
+terminates with ``{"ok": true, "done": true, "status": {...}}``.
+
+The socket lives under the service state root by default, so one
+machine can host several services side by side and the CLI finds the
+right one from ``--state-root`` alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+from repro.errors import ReproError, ServiceError
+from repro.service.core import ExperimentService
+from repro.service.sweep import SweepRequest
+
+SOCKET_NAME = "service.sock"
+
+
+def socket_path(state_root: Path | str) -> Path:
+    return Path(state_root) / SOCKET_NAME
+
+
+class ServiceServer:
+    """Serves one :class:`ExperimentService` over a unix socket."""
+
+    def __init__(self, service: ExperimentService,
+                 path: Path | str | None = None) -> None:
+        self.service = service
+        self.path = Path(path) if path is not None \
+            else socket_path(service.state_root)
+        self._server: asyncio.Server | None = None
+        self._shutdown = asyncio.Event()
+        self._connections: set[asyncio.Task] = set()
+
+    # ---- lifecycle --------------------------------------------------------
+
+    async def start(self) -> "ServiceServer":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():        # stale socket from a dead server
+            self.path.unlink()
+        self._server = await asyncio.start_unix_server(
+            self._handle, path=str(self.path))
+        return self
+
+    async def run_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` op (or task cancellation) arrives."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._shutdown.wait()
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await self.service.close()
+        if self.path.exists():
+            self.path.unlink()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    # ---- connection handling ----------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self._connections.add(asyncio.current_task())
+        try:
+            while line := await reader.readline():
+                try:
+                    await self._dispatch(json.loads(line), writer)
+                except (ReproError, ValueError, KeyError) as exc:
+                    await _send(writer, {"ok": False,
+                                         "error": f"{type(exc).__name__}: "
+                                                  f"{exc}"})
+        except (ConnectionResetError, BrokenPipeError):
+            pass                       # client went away mid-stream
+        except asyncio.CancelledError:
+            pass                       # server shutting down mid-read
+        finally:
+            self._connections.discard(asyncio.current_task())
+            writer.close()
+
+    async def _dispatch(self, message: dict,
+                        writer: asyncio.StreamWriter) -> None:
+        op = message.get("op")
+        if op == "ping":
+            await _send(writer, {"ok": True, "pong": True,
+                                 "jobs": len(self.service.jobs())})
+        elif op == "submit":
+            request = SweepRequest.from_dict(message["request"])
+            job_id = await self.service.submit(request)
+            await _send(writer, {"ok": True, "job_id": job_id,
+                                 "n_tasks": request.n_tasks})
+        elif op == "status":
+            await _send(writer, {"ok": True,
+                                 "status":
+                                     self.service.status(message["job_id"])})
+        elif op == "jobs":
+            await _send(writer, {"ok": True, "jobs": self.service.jobs()})
+        elif op == "watch":
+            job_id = message["job_id"]
+            async for event in self.service.watch(job_id):
+                await _send(writer, {"ok": True, **event})
+            await _send(writer, {"ok": True, "done": True,
+                                 "status": self.service.status(job_id)})
+        elif op == "cancel":
+            await _send(writer, {"ok": True,
+                                 "status":
+                                     await self.service.cancel(
+                                         message["job_id"])})
+        elif op == "shutdown":
+            await _send(writer, {"ok": True, "shutting_down": True})
+            self.request_shutdown()
+        else:
+            raise ServiceError(f"unknown op {op!r}")
+
+
+async def _send(writer: asyncio.StreamWriter, payload: dict) -> None:
+    writer.write((json.dumps(payload, sort_keys=True) + "\n")
+                 .encode("utf-8"))
+    await writer.drain()
+
+
+async def serve(service: ExperimentService,
+                path: Path | str | None = None,
+                ready: asyncio.Event | None = None) -> None:
+    """Start a server and run it to shutdown (the ``serve`` CLI body)."""
+    server = await ServiceServer(service, path).start()
+    if ready is not None:
+        ready.set()
+    await server.run_until_shutdown()

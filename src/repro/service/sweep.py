@@ -1,0 +1,175 @@
+"""Sweep requests: the experiment service's unit of submission.
+
+A :class:`SweepRequest` is pure data — a name, an optional host dataset
+to target, and the axes to sweep (seeds × variants × fastpath modes ×
+chaos profiles). :func:`expand_sweep` turns it into an ordered list of
+:class:`TaskSpec`, one conformance :class:`ScenarioManifest` per axis
+combination, each carrying the result-cache key it resolves to.
+
+The dataset enters the expansion twice, deliberately:
+
+* its *seed* folds into every task's scenario seed, so sweeping the
+  same request against two different host datasets runs genuinely
+  different (but individually reproducible) simulations;
+* its *digest* folds into every cache key, so a result computed against
+  one dataset can never be served for another — even one with the same
+  name and seed but edited state.
+
+A manifest stays the complete recipe for its run (the conformance
+guarantee is untouched); the dataset only chooses *which* manifests the
+sweep expands to.
+
+Injected worker crashes (``crash_tasks``) are request-level chaos, not
+data: they name task ids whose first executing worker dies mid-run, and
+they are excluded from the request digest the way fleet injections are
+*included* in the plan digest — a service job's canonical results must
+be byte-identical with and without injections, and keying the cache on
+injection would split namespaces that provably hold the same records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.conformance.recorder import content_digest
+from repro.conformance.scenario import (CHAOS_PROFILES, ScenarioManifest,
+                                        make_manifest)
+from repro.errors import ServiceError
+from repro.service.dataset import HostDataset
+from repro.units import ms
+
+_VALID_VARIANTS = ("direct", "hostif")
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """Everything the service needs to expand and run one sweep."""
+
+    name: str
+    dataset: str = ""                       # dataset name/path; "" = ad hoc
+    seeds: tuple[int, ...] = (271,)
+    variants: tuple[str, ...] = ("direct",)
+    fastpath_modes: tuple[bool, ...] = (True,)
+    chaos_profiles: tuple[str, ...] = ("",)
+    measure_ns: int = ms(5)
+    sanitize: bool = False
+    max_attempts: int = 3
+    # One-shot injected worker crashes by task id (testing/smoke); the
+    # first worker to pick one up dies, tombstoned so retries run clean.
+    crash_tasks: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServiceError("a sweep needs a name")
+        if not self.seeds:
+            raise ServiceError("a sweep needs at least one seed")
+        bad = [v for v in self.variants if v not in _VALID_VARIANTS]
+        if bad or not self.variants:
+            raise ServiceError(
+                f"invalid variants {bad or '()'} "
+                f"(valid: {', '.join(_VALID_VARIANTS)})")
+        if not self.fastpath_modes:
+            raise ServiceError("a sweep needs at least one fastpath mode")
+        bad = [c for c in self.chaos_profiles
+               if c and c not in CHAOS_PROFILES]
+        if bad or not self.chaos_profiles:
+            raise ServiceError(
+                f"invalid chaos profiles {bad or '()'} "
+                f"(valid: <none>, {', '.join(sorted(CHAOS_PROFILES))})")
+        if self.measure_ns <= 0:
+            raise ServiceError("measure_ns must be positive")
+        if self.max_attempts < 1:
+            raise ServiceError("need at least one attempt per task")
+        n = self.n_tasks
+        bad = [t for t in self.crash_tasks if not 0 <= t < n]
+        if bad:
+            raise ServiceError(f"crash_tasks {bad} outside the "
+                               f"{n}-task sweep")
+
+    @property
+    def n_tasks(self) -> int:
+        return (len(self.seeds) * len(self.variants)
+                * len(self.fastpath_modes) * len(self.chaos_profiles))
+
+    # ---- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"format": "repro-sweep-request", "name": self.name,
+                "dataset": self.dataset, "seeds": list(self.seeds),
+                "variants": list(self.variants),
+                "fastpath_modes": list(self.fastpath_modes),
+                "chaos_profiles": list(self.chaos_profiles),
+                "measure_ns": self.measure_ns, "sanitize": self.sanitize,
+                "max_attempts": self.max_attempts,
+                "crash_tasks": list(self.crash_tasks)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepRequest":
+        if data.get("format", "repro-sweep-request") != "repro-sweep-request":
+            raise ServiceError(
+                f"not a sweep request (format tag {data.get('format')!r})")
+        return cls(name=str(data["name"]),
+                   dataset=str(data.get("dataset", "")),
+                   seeds=tuple(int(s) for s in data.get("seeds", [271])),
+                   variants=tuple(data.get("variants", ["direct"])),
+                   fastpath_modes=tuple(
+                       bool(m) for m in data.get("fastpath_modes", [True])),
+                   chaos_profiles=tuple(data.get("chaos_profiles", [""])),
+                   measure_ns=int(data.get("measure_ns", ms(5))),
+                   sanitize=bool(data.get("sanitize", False)),
+                   max_attempts=int(data.get("max_attempts", 3)),
+                   crash_tasks=tuple(
+                       int(t) for t in data.get("crash_tasks", [])))
+
+    def digest(self) -> str:
+        """Identity of the sweep's *data* — injections excluded, so a
+        chaos-injected job and its undisturbed reference share it."""
+        data = self.to_dict()
+        del data["crash_tasks"]
+        del data["max_attempts"]
+        return content_digest(data)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One expanded unit of work: a manifest plus its cache identity."""
+
+    task_id: int
+    manifest: ScenarioManifest
+    cache_key: str
+    axes: dict = field(default_factory=dict)    # the axis values, for reports
+
+
+def task_seed(request_seed: int, dataset: HostDataset | None) -> int:
+    """The scenario seed for one sweep seed against one dataset.
+
+    Same golden-ratio mix the fleet uses for node seeds, so the streams
+    never alias across subsystems by accident of arithmetic.
+    """
+    if dataset is None:
+        return request_seed
+    return (dataset.seed * 2_654_435_761 + request_seed) & 0xFFFF_FFFF
+
+
+def expand_sweep(request: SweepRequest,
+                 dataset: HostDataset | None) -> list[TaskSpec]:
+    """Deterministic task list: the product of the request's axes, in
+    (seed, variant, fastpath, chaos) nesting order."""
+    dataset_digest = dataset.digest() if dataset is not None else ""
+    tasks: list[TaskSpec] = []
+    for seed in request.seeds:
+        for variant in request.variants:
+            for fastpath in request.fastpath_modes:
+                for chaos in request.chaos_profiles:
+                    manifest = make_manifest(
+                        seed=task_seed(seed, dataset),
+                        measure_ns=request.measure_ns,
+                        fastpath=fastpath, variant=variant,
+                        chaos_profile=chaos, sanitize=request.sanitize)
+                    tasks.append(TaskSpec(
+                        task_id=len(tasks), manifest=manifest,
+                        cache_key=manifest.cache_key(dataset_digest),
+                        axes={"seed": seed, "variant": variant,
+                              "fastpath": fastpath,
+                              "chaos_profile": chaos}))
+    return tasks

@@ -8,11 +8,20 @@ through the same files and registers — never through the internal
 Python API. The tool is therefore a living test of the register-level
 contract in ``docs/host_interface.md``.
 
+Like ``pepc``, the tool can target a *named host* instead of building a
+fresh node: ``-H <name>`` (or ``-D <dataset>`` with an explicit name or
+path) restores a bit-identical host from a versioned host dataset (see
+:mod:`repro.service.dataset`) and operates on that. ``config`` actions
+against a dataset-targeted host are ephemeral unless ``--save`` writes
+the post-configuration state back to the dataset file.
+
 Examples::
 
     repro-pepcctl pstates info --cpus 0-3
     repro-pepcctl pstates config --cpus 0-11 --freq 1.8 --epb 0
-    repro-pepcctl cstates config --cpus 0-23 --disable C6
+    repro-pepcctl -H tuned pstates info
+    repro-pepcctl -D datasets/tuned.dataset.jsonl uncore info
+    repro-pepcctl -H tuned --save cstates config --disable C6
     repro-pepcctl power config --packages 0 --pl1 100
     repro-pepcctl uncore config --min 1.3 --max 2.0
 """
@@ -30,6 +39,14 @@ from repro.hostif.msr_regs import (
     decode_power_limit,
     decode_rapl_energy_unit_j,
     decode_uncore_ratio_limit,
+)
+from repro.service.dataset import (
+    DEFAULT_SEARCH_DIRS,
+    load_dataset,
+    resolve_dataset,
+    restore_host,
+    save_dataset,
+    snapshot_host,
 )
 from repro.system.node import build_haswell_node
 
@@ -331,6 +348,28 @@ def _uncore_config(host: VirtualHost, packages: list[int],
     _uncore_info(host, packages)
 
 
+# ---- host targeting --------------------------------------------------------
+
+def _make_host(args: argparse.Namespace):
+    """-> (host, dataset or None, dataset path or None).
+
+    ``-D``/``-H`` restore a host from a dataset (bit-parity verified by
+    the restore itself); otherwise a fresh node is built from --seed.
+    """
+    target = args.dataset if args.dataset is not None else args.host
+    if target is None:
+        if args.save:
+            raise ValueError("--save needs a dataset-targeted host (-H/-D)")
+        sim, node = build_haswell_node(seed=args.seed)
+        return VirtualHost(sim, node), None, None
+    dirs = DEFAULT_SEARCH_DIRS if args.dataset_dir is None \
+        else (args.dataset_dir, *DEFAULT_SEARCH_DIRS)
+    path = resolve_dataset(target, dirs)
+    dataset = load_dataset(path)
+    _sim, _node, host = restore_host(dataset)
+    return host, dataset, path
+
+
 # ---- entry point -----------------------------------------------------------
 
 class _Parser(argparse.ArgumentParser):
@@ -352,6 +391,17 @@ def _build_parser() -> argparse.ArgumentParser:
                     "through the virtual sysfs/MSR host interface")
     parser.add_argument("--seed", type=int, default=0,
                         help="simulator seed for the node to inspect")
+    parser.add_argument("-H", "--host", default=None, metavar="NAME",
+                        help="target the named dataset-emulated host "
+                             "instead of a fresh node")
+    parser.add_argument("-D", "--dataset", default=None, metavar="DATASET",
+                        help="target a host dataset by name or path "
+                             "(overrides -H)")
+    parser.add_argument("--dataset-dir", default=None, metavar="DIR",
+                        help="extra dataset search directory for -H/-D")
+    parser.add_argument("--save", action="store_true",
+                        help="with -H/-D and a config action: write the "
+                             "post-configuration state back to the dataset")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_action(cmd: argparse.ArgumentParser, cpu_scoped: bool):
@@ -398,8 +448,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         args = parser.parse_args(argv)
 
-        sim, node = build_haswell_node(seed=args.seed)
-        host = VirtualHost(sim, node)
+        host, dataset, dataset_file = _make_host(args)
+        node = host.node
 
         if args.command in ("pstates", "cstates"):
             cpus = parse_cpu_list(args.cpus) if args.cpus is not None \
@@ -427,6 +477,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             else:
                 (_uncore_info(host, packages) if args.action == "info"
                  else _uncore_config(host, packages, args))
+        if args.save and dataset is not None and args.action == "config":
+            save_dataset(snapshot_host(host, dataset.name, dataset.seed),
+                         dataset_file)
+            print(f"dataset {dataset.name!r} updated -> {dataset_file}")
     except (ReproError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

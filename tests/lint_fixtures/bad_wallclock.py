@@ -15,3 +15,13 @@ def measure(fn):
     start = perf_counter()
     fn()
     return perf_counter() - start
+
+
+import asyncio
+
+
+async def poll_until_done(job):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + 5.0
+    while not job.done and loop.time() < deadline:
+        await asyncio.sleep(0.1)

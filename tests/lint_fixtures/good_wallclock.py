@@ -10,3 +10,10 @@ def measure(sim, fn):
     start_ns = sim.now_ns
     fn()
     return sim.now_ns - start_ns
+
+
+async def wait_until_done(job):
+    # Event-driven, not clock-driven: woken by the job itself.
+    async with job.cond:
+        while not job.done:
+            await job.cond.wait()

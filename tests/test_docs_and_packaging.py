@@ -13,7 +13,8 @@ class TestDocsExist:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "Makefile",
         "docs/architecture.md", "docs/calibration.md", "docs/conformance.md",
-        "docs/fleet.md", "docs/paper_map.md", "docs/static_analysis.md",
+        "docs/fleet.md", "docs/paper_map.md", "docs/service.md",
+        "docs/static_analysis.md",
         "examples/README.md",
     ])
     def test_file_present_and_nonempty(self, name):
@@ -60,7 +61,7 @@ class TestPackaging:
 
         config = tomllib.loads((REPO / "pyproject.toml").read_text())
         scripts = config["project"]["scripts"]
-        assert len(scripts) == 7
+        assert len(scripts) == 9
         for target in scripts.values():
             module, func = target.split(":")
             mod = importlib.import_module(module)
