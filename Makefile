@@ -13,12 +13,14 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Static analysis: the repo's own AST rule engine (determinism, unit
+# Static analysis: the repo's own two-phase project-wide rule engine
+# (determinism/seed taint, layering, async/executor safety, unit
 # suffixes, MSR layout, epoch hygiene — see docs/static_analysis.md),
-# plus ruff as a generic baseline when it is installed (CI installs it;
-# the pinned local toolchain may not have it).
+# gated against the committed baseline, plus ruff as a generic baseline
+# when it is installed (CI installs it; the pinned local toolchain may
+# not have it).
 lint:
-	$(PYTHON) -m repro.lint
+	$(PYTHON) -m repro.lint --baseline
 	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; \
 	then ruff check .; \
 	else echo "ruff not installed; skipped baseline check"; fi

@@ -27,7 +27,7 @@ from repro.conformance.scenario import (
     make_manifest,
     run_scenario,
 )
-from repro.experiments.runner import ExperimentRunner, ExperimentSpec
+from repro.faults.runner import ExperimentRunner, ExperimentSpec
 from repro.units import ms
 
 #: The four execution modes; the first is the comparison baseline.

@@ -34,10 +34,10 @@ from repro.conformance.recorder import (
 from repro.engine import sanitize
 from repro.engine.simulator import Simulator
 from repro.errors import ConformanceError
-from repro.experiments.hostif_parity import (
-    _ACTIVE_CPUS,
-    _CONFIGURE,
-    _render_state,
+from repro.conformance.hostconfig import (
+    ACTIVE_CPUS as _ACTIVE_CPUS,
+    CONFIGURE as _CONFIGURE,
+    render_state as _render_state,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (

@@ -14,8 +14,12 @@ DEFAULT_SEED = 0x9A5735
 
 
 def make_rng(seed: int | None = None) -> np.random.Generator:
-    """A fresh root generator (``DEFAULT_SEED`` if none given)."""
-    # repro-lint: disable=det-rng — this IS the sanctioned seeded root; every stream derives from here
+    """A fresh root generator (``DEFAULT_SEED`` if none given).
+
+    This module is the sanctioned birthplace of every generator: the
+    ``det-seed-flow`` rule exempts it (``rng-factories`` in
+    pyproject.toml) and polices everyone else.
+    """
     return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
 
 
@@ -29,7 +33,6 @@ def spawn_rng(parent: np.random.Generator) -> np.random.Generator:
     from repro.engine import sanitize
 
     ledger = sanitize.ledger_of(parent)
-    # repro-lint: disable=det-rng — seeded spawn from the parent stream, no ambient entropy
     child = np.random.default_rng(
         sanitize.unwrap_rng(parent).bit_generator.seed_seq.spawn(1)[0])
     if ledger is not None:

@@ -21,93 +21,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cpufreq.policy import Governor
-from repro.cstates.states import CState
-from repro.hostif import HostMsr, VirtualHost
-from repro.hostif.msr_regs import (
-    encode_misc_enable,
-    encode_uncore_ratio_limit,
+# The configuration/rendering helpers live in the conformance layer
+# (repro.conformance.hostconfig) because the scenario machinery and the
+# dataset CLI share them; the old underscore names stay re-exported.
+from repro.conformance.hostconfig import (
+    ACTIVE_CPUS as _ACTIVE_CPUS,
+    C6_DISABLED_CPUS as _C6_DISABLED_CPUS,
+    CONFIGURE as _CONFIGURE,
+    PIN_GHZ as _PIN_GHZ,
+    UNCORE_MAX_GHZ as _UNCORE_MAX_GHZ,
+    UNCORE_MIN_GHZ as _UNCORE_MIN_GHZ,
+    render_state as _render_state,
 )
-from repro.pcu.epb import Epb
-from repro.power.rapl import RaplDomain
+from repro.hostif import VirtualHost
 from repro.system.node import build_haswell_node
-from repro.units import ghz, ms
+from repro.units import ms
 from repro.workloads.firestarter import firestarter
-
-_SYS = "/sys/devices/system/cpu"
-
-#: The scenario: FIRESTARTER on socket 0's first six cores, pinned to
-#: 1.8 GHz via the userspace governor; C6 disabled on the next six
-#: (idle) cores; EPB performance; turbo off; uncore window narrowed so
-#: the 0x620 clamp is visible in the granted uncore frequency.
-_ACTIVE_CPUS = (0, 1, 2, 3, 4, 5)
-_C6_DISABLED_CPUS = (6, 7, 8, 9, 10, 11)
-_PIN_GHZ = 1.8
-_UNCORE_MIN_GHZ = 1.3
-_UNCORE_MAX_GHZ = 1.5
-
-
-def _configure_direct(host: VirtualHost) -> None:
-    """The internal-API path."""
-    node = host.node
-    host.cpufreq.set_governor(Governor.USERSPACE)
-    for cpu in _ACTIVE_CPUS:
-        # The same two calls sysfs setspeed performs, in the same order.
-        host.cpufreq.policy(cpu).set_speed(ghz(_PIN_GHZ))
-        node.set_pstate([cpu], ghz(_PIN_GHZ))
-    node.set_epb(Epb.PERFORMANCE)
-    node.set_turbo(False)
-    node.set_uncore_limits(ghz(_UNCORE_MIN_GHZ), ghz(_UNCORE_MAX_GHZ))
-    for cpu in _C6_DISABLED_CPUS:
-        node.core(cpu).set_cstate_disabled(CState.C6, True)
-
-
-def _configure_hostif(host: VirtualHost) -> None:
-    """The same configuration, purely through sysfs files and MSRs."""
-    for cpu in host.cpu_ids:
-        host.sysfs.write(f"{_SYS}/cpu{cpu}/cpufreq/scaling_governor",
-                         "userspace")
-    for cpu in _ACTIVE_CPUS:
-        host.sysfs.write(f"{_SYS}/cpu{cpu}/cpufreq/scaling_setspeed",
-                         str(int(_PIN_GHZ * 1e6)))
-    # Package-scoped registers: one write per socket (cpu 0 and the
-    # first cpu of socket 1).
-    per_socket = [s.cores[0].core_id for s in host.node.sockets]
-    for cpu in per_socket:
-        host.sysfs.write(f"{_SYS}/cpu{cpu}/power/energy_perf_bias", "0")
-        host.msr.write(cpu, HostMsr.IA32_MISC_ENABLE,
-                       encode_misc_enable(turbo_enabled=False))
-        host.msr.write(cpu, HostMsr.MSR_UNCORE_RATIO_LIMIT,
-                       encode_uncore_ratio_limit(ghz(_UNCORE_MIN_GHZ),
-                                                 ghz(_UNCORE_MAX_GHZ)))
-    for cpu in _C6_DISABLED_CPUS:
-        host.sysfs.write(f"{_SYS}/cpu{cpu}/cpuidle/state2/disable", "1")
-
-
-_CONFIGURE = {"direct": _configure_direct, "hostif": _configure_hostif}
-
-
-def _render_state(host: VirtualHost) -> str:
-    """Full-precision state dump — any divergence shows as a text diff."""
-    node = host.node
-    lines = [f"t_ns={node.sim.now_ns}"]
-    for cpu in (*_ACTIVE_CPUS, *_C6_DISABLED_CPUS):
-        core = node.core(cpu)
-        lines.append(
-            f"cpu{cpu} freq={core.freq_hz!r} req={core.requested_hz!r} "
-            f"cstate={core.cstate.name} aperf={core.counters.aperf!r} "
-            f"mperf={core.counters.mperf!r}")
-    for socket in node.sockets:
-        first = socket.cores[0].core_id
-        pkg = host.msr.read(first, HostMsr.MSR_PKG_ENERGY_STATUS)
-        dram = host.msr.read(first, HostMsr.MSR_DRAM_ENERGY_STATUS)
-        ratio_limit = host.msr.read(first, HostMsr.MSR_UNCORE_RATIO_LIMIT)
-        lines.append(
-            f"socket{socket.socket_id} uncore={socket.uncore.freq_hz!r} "
-            f"pkg_counter={pkg} dram_counter={dram} "
-            f"uncore_ratio_limit={ratio_limit:#x}")
-    lines.append(f"ac_energy_j={node.ac_energy_j!r}")
-    return "\n".join(lines)
 
 
 def _run_variant(variant: str, fastpath: bool, seed: int,

@@ -30,6 +30,7 @@ from repro.faults.plan import (
     FaultPlan,
     FaultProfile,
 )
+from repro.system import buildhooks
 
 if TYPE_CHECKING:
     from repro.engine.simulator import Simulator
@@ -88,7 +89,14 @@ def injector_logs() -> list[list[dict]]:
 
 
 def maybe_arm(sim: "Simulator", node: "Node") -> FaultInjector | None:
-    """Called by ``build_node``: arm an injector if chaos is active."""
+    """Post-build hook: arm an injector if chaos is active.
+
+    Registered with :mod:`repro.system.buildhooks` below, so
+    ``build_node`` runs it without the system layer importing this
+    module (the layering inversion).  Chaos mode is only reachable
+    through this module, so the registration always precedes any
+    armed build.
+    """
     if _state is None:
         return None
     _state.builds += 1
@@ -101,6 +109,9 @@ def maybe_arm(sim: "Simulator", node: "Node") -> FaultInjector | None:
     injector = FaultInjector(sim, node, plan).arm()
     _state.injectors.append(injector)
     return injector
+
+
+buildhooks.register(maybe_arm)
 
 
 @contextmanager

@@ -6,8 +6,19 @@ consistency — are behavioural invariants that example-based tests can
 only sample. This package turns them into machine-checked *rules* that
 run over the whole tree on every PR (``make lint``):
 
-* ``det-*``     — determinism: no wall-clock, no unseeded RNG, no
-                  ``id()``-keyed containers, no bare set iteration.
+* ``det-*``     — determinism: no wall-clock, no ``id()``-keyed
+                  containers, no bare set iteration, and
+                  ``det-seed-flow`` interprocedural taint: every
+                  generator must descend from a plan seed through
+                  ``repro.engine.rng.make_rng``/``spawn_rng``.
+* ``arch-*``    — architecture: the declarative layer map in
+                  ``[tool.repro-lint]`` (imports point downward only),
+                  import-cycle detection, and "the sim core never
+                  reaches asyncio or wall-clock code" reachability.
+* ``async-*`` / ``exec-picklable`` — concurrency safety: blocking
+                  calls on the event loop, ``asyncio.Condition`` ops
+                  outside their lock, fire-and-forget tasks,
+                  unpicklable callables into process pools.
 * ``units-mix`` — suffix-conventioned quantities (``*_hz``, ``*_w``,
                   ``*_us``) must not mix units without going through
                   :mod:`repro.units`.
@@ -28,18 +39,26 @@ suppression policy (every inline suppression must carry a reason).
 from repro.lint.engine import (
     Finding,
     LintConfig,
+    ProjectRule,
     Rule,
+    all_project_rules,
+    all_rule_ids,
     all_rules,
     lint_paths,
     lint_source,
     register,
+    register_project,
 )
+from repro.lint.project import ProjectIndex, build_index, lint_project
 
 # Importing the rule modules registers them with the engine.
 from repro.lint.rules import (  # noqa: F401
+    async_safety,
     determinism,
     epoch,
+    layering,
     msr,
+    seedflow,
     trace_schema,
     units,
 )
@@ -47,9 +66,16 @@ from repro.lint.rules import (  # noqa: F401
 __all__ = [
     "Finding",
     "LintConfig",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
+    "all_rule_ids",
     "all_rules",
+    "build_index",
     "lint_paths",
+    "lint_project",
     "lint_source",
     "register",
+    "register_project",
 ]

@@ -1,0 +1,95 @@
+"""The committed findings baseline: CI fails only on *new* findings.
+
+``lint-baseline.json`` pins the set of accepted findings as
+``(path, rule, message)`` triples — deliberately line-free, so moving
+code around a file does not churn the baseline.  Three operations:
+
+* **gate** (``repro-lint --baseline``): findings absent from the
+  baseline are *new* and fail the run; baselined findings are filtered
+  out of the report.
+* **drift** (``--baseline --fail-on-drift``): baseline entries that no
+  longer occur in the tree are *stale* — the fix landed but the
+  shrinkage was not committed.  CI's ``lint-baseline-drift`` job fails
+  on them (exit 4) so the baseline only ever reflects reality.
+* **update** (``--update-baseline``): rewrite the file from the current
+  findings.
+
+An empty baseline (the healthy state) is a committed, reviewable claim
+that the tree is clean.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.engine import Finding
+
+BASELINE_FORMAT = "repro-lint-baseline"
+BASELINE_VERSION = 1
+
+Entry = tuple[str, str, str]        # (path, rule, message)
+
+
+def _entry(finding: Finding) -> Entry:
+    return (finding.path, finding.rule, finding.message)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of comparing current findings against the baseline."""
+
+    new: list[Finding]              # findings not in the baseline
+    stale: list[Entry]              # baseline entries no longer occurring
+    matched: int                    # findings filtered by the baseline
+
+
+def load_baseline(path: Path) -> list[Entry]:
+    """Entries of a baseline file; a missing file is an empty baseline."""
+    if not path.is_file():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("format") != BASELINE_FORMAT:
+        raise ValueError(f"{path}: not a {BASELINE_FORMAT} file")
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: unsupported baseline version "
+                         f"{data.get('version')!r}")
+    return [(e["path"], e["rule"], e["message"]) for e in data["entries"]]
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    entries = sorted({_entry(f) for f in findings})
+    payload = {
+        "format": BASELINE_FORMAT,
+        "version": BASELINE_VERSION,
+        "entries": [{"path": p, "rule": r, "message": m}
+                    for p, r, m in entries],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def apply_baseline(findings: list[Finding],
+                   entries: list[Entry]) -> BaselineResult:
+    """Split findings into new vs baselined, and spot stale entries.
+
+    Multiset semantics per triple: N baseline entries for the same
+    triple absorb at most N occurrences; extras are new findings.
+    """
+    budget: dict[Entry, int] = {}
+    for entry in entries:
+        budget[entry] = budget.get(entry, 0) + 1
+    new: list[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = _entry(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            new.append(finding)
+    stale = sorted(key for key, remaining in budget.items()
+                   for _ in range(remaining) if remaining > 0)
+    return BaselineResult(new=new, stale=stale, matched=matched)

@@ -3,11 +3,19 @@
 ::
 
     repro-lint [paths ...] [--select ID ...] [--ignore ID ...]
+               [--format text|sarif] [--sarif-out FILE]
+               [--baseline] [--update-baseline] [--fail-on-drift]
+               [--graph dot|mermaid] [--no-cache]
                [--list-rules] [--root DIR]
 
 With no paths, lints the directories configured in
 ``[tool.repro-lint] paths`` of pyproject.toml (default: src, scripts,
-benchmarks, examples). Exit status: 0 clean, 1 findings, 2 usage error.
+benchmarks, examples).  ``--baseline`` gates against the committed
+``lint-baseline.json`` (only *new* findings fail); ``--fail-on-drift``
+additionally fails when baseline entries went stale.  ``--graph`` dumps
+the layer-colored import graph instead of linting.
+
+Exit status: 0 clean, 1 findings, 2 usage error, 4 baseline drift.
 """
 
 from __future__ import annotations
@@ -16,7 +24,18 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.lint.engine import LintConfig, all_rules, lint_paths
+from repro.lint.engine import (
+    LintConfig,
+    all_project_rules,
+    all_rule_ids,
+    all_rules,
+)
+from repro.lint.project import build_index, lint_project
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_DRIFT = 4
 
 
 def _find_root(start: Path) -> Path:
@@ -25,6 +44,32 @@ def _find_root(start: Path) -> Path:
         if (candidate / "pyproject.toml").is_file():
             return candidate
     return start
+
+
+def _select_rules(parser: argparse.ArgumentParser, select, ignore):
+    """(file rules, project rules) filtered by --select/--ignore."""
+    known = all_rule_ids() | {"suppression", "parse-error"}
+    for rule_id in (*(select or ()), *ignore):
+        if rule_id not in known:
+            parser.error(f"unknown rule id {rule_id!r}; "
+                         f"valid: {sorted(known)}")
+    rules = all_rules()
+    project_rules = all_project_rules()
+    if select:
+        wanted = set(select)
+        rules = {rule_id: rule for rule_id, rule in rules.items()
+                 if rule_id in wanted}
+        project_rules = {
+            rule_id: rule for rule_id, rule in project_rules.items()
+            if wanted.intersection(rule.all_ids())}
+    if ignore:
+        dropped = set(ignore)
+        rules = {rule_id: rule for rule_id, rule in rules.items()
+                 if rule_id not in dropped}
+        project_rules = {
+            rule_id: rule for rule_id, rule in project_rules.items()
+            if not dropped.issuperset(rule.all_ids())}
+    return rules, project_rules
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -38,6 +83,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="run only these rule ids")
     parser.add_argument("--ignore", nargs="+", metavar="RULE", default=[],
                         help="skip these rule ids")
+    parser.add_argument("--format", choices=("text", "sarif"),
+                        default="text", help="report format")
+    parser.add_argument("--sarif-out", type=Path, metavar="FILE",
+                        help="also write a SARIF report to FILE "
+                             "(independent of --format)")
+    parser.add_argument("--baseline", action="store_true",
+                        help="gate against the committed baseline: only "
+                             "findings not in it fail the run")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline file from the current "
+                             "findings and exit 0")
+    parser.add_argument("--fail-on-drift", action="store_true",
+                        help="with --baseline: exit 4 when baseline "
+                             "entries no longer occur in the tree")
+    parser.add_argument("--graph", choices=("dot", "mermaid"),
+                        metavar="FORMAT",
+                        help="dump the layer-colored import graph "
+                             "(dot|mermaid) instead of linting")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the phase-1 fact "
+                             "cache")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     parser.add_argument("--root", type=Path, default=None,
@@ -45,34 +111,80 @@ def main(argv: list[str] | None = None) -> int:
                              "of cwd with a pyproject.toml)")
     args = parser.parse_args(argv)
 
-    rules = all_rules()
     if args.list_rules:
-        width = max(len(rule_id) for rule_id in rules)
-        for rule_id in sorted(rules):
-            print(f"{rule_id:<{width}}  {rules[rule_id].description}")
-        return 0
+        catalog: dict[str, str] = {
+            rule_id: rule.description
+            for rule_id, rule in all_rules().items()}
+        for rule in all_project_rules().values():
+            for rule_id in rule.all_ids():
+                catalog.setdefault(rule_id, rule.description)
+        width = max(len(rule_id) for rule_id in catalog)
+        for rule_id in sorted(catalog):
+            print(f"{rule_id:<{width}}  {catalog[rule_id]}")
+        return EXIT_CLEAN
 
-    known = set(rules)
-    for rule_id in (*(args.select or ()), *args.ignore):
-        if rule_id not in known:
-            parser.error(f"unknown rule id {rule_id!r}; "
-                         f"valid: {sorted(known)}")
-    if args.select:
-        rules = {rule_id: rule for rule_id, rule in rules.items()
-                 if rule_id in args.select}
-    rules = {rule_id: rule for rule_id, rule in rules.items()
-             if rule_id not in args.ignore}
-
+    rules, project_rules = _select_rules(parser, args.select, args.ignore)
     root = args.root if args.root is not None else _find_root(Path.cwd())
     config = LintConfig.load(root)
-    findings = lint_paths(args.paths or None, root=root, rules=rules,
-                          config=config)
-    for finding in findings:
-        print(finding.render())
+    use_cache = not args.no_cache
+
+    if args.graph:
+        from repro.lint.graph import render_dot, render_mermaid
+        index = build_index(args.paths or None, root=root, rules=rules,
+                            config=config, use_cache=use_cache)
+        render = render_dot if args.graph == "dot" else render_mermaid
+        sys.stdout.write(render(index, config))
+        return EXIT_CLEAN
+
+    findings, _index = lint_project(
+        args.paths or None, root=root, rules=rules,
+        project_rules=project_rules, config=config, use_cache=use_cache)
+
+    if args.update_baseline:
+        from repro.lint.baseline import write_baseline
+        baseline_path = root / config.baseline
+        write_baseline(baseline_path, findings)
+        print(f"repro-lint: wrote {len(findings)} entr"
+              f"{'y' if len(findings) == 1 else 'ies'} to "
+              f"{baseline_path}", file=sys.stderr)
+        return EXIT_CLEAN
+
+    drift = False
+    if args.baseline:
+        from repro.lint.baseline import apply_baseline, load_baseline
+        try:
+            entries = load_baseline(root / config.baseline)
+        except ValueError as exc:
+            parser.error(str(exc))
+        result = apply_baseline(findings, entries)
+        findings = result.new
+        if result.stale:
+            drift = True
+            for path, rule, message in result.stale:
+                print(f"{path}: stale baseline entry ({rule}): {message}",
+                      file=sys.stderr)
+
+    if args.sarif_out is not None:
+        from repro.lint.sarif import render_sarif
+        args.sarif_out.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif_out.write_text(render_sarif(findings), encoding="utf-8")
+
+    if args.format == "sarif":
+        from repro.lint.sarif import render_sarif
+        sys.stdout.write(render_sarif(findings))
+    else:
+        for finding in findings:
+            print(finding.render())
     if findings:
-        print(f"repro-lint: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    return 0
+        label = "new finding(s)" if args.baseline else "finding(s)"
+        print(f"repro-lint: {len(findings)} {label}", file=sys.stderr)
+        return EXIT_FINDINGS
+    if drift and args.fail_on_drift:
+        print("repro-lint: baseline drift — tree is cleaner than the "
+              "committed baseline; run --update-baseline and commit",
+              file=sys.stderr)
+        return EXIT_DRIFT
+    return EXIT_CLEAN
 
 
 if __name__ == "__main__":

@@ -1,16 +1,28 @@
-"""The rule engine: registry, per-file visitor dispatch, suppressions.
+"""The rule engine: registries, per-file dispatch, config, suppressions.
 
-One AST walk per file; every registered rule declares the node types it
-wants and receives them through :meth:`Rule.visit`. Findings carry
-``path:line:col``, a stable rule id, and a fix hint. Suppressions are
-inline comments::
+Linting is two-phase (see :mod:`repro.lint.project`): phase 1 parses
+and tokenizes every module exactly once, building per-module fact
+summaries and the shared project index; phase 2 runs two kinds of
+rules over it:
+
+* :class:`Rule` — per-file rules: one AST walk per file, each rule
+  declares the node types it wants and receives them through
+  :meth:`Rule.visit`;
+* :class:`ProjectRule` — cross-file rules: receive the whole
+  :class:`~repro.lint.project.ProjectIndex` (import graph, call
+  summaries, async/executor/RNG facts) and may relate any module to
+  any other.
+
+Findings carry ``path:line:col``, a stable rule id, and a fix hint.
+Suppressions are inline comments::
 
     # repro-lint: disable=det-wallclock — harness timeout, not simulator state
 
 A suppression **must** carry a justification after an em dash (or
 ``--``); one without a reason is itself a finding (rule
 ``suppression``). ``disable-file=`` on any line suppresses a rule for
-the whole file. Path allowlists live in ``pyproject.toml`` under
+the whole file. Path allowlists, the architecture layer map, and the
+seed-flow/sim-core configuration live in ``pyproject.toml`` under
 ``[tool.repro-lint]``; see ``docs/static_analysis.md``.
 """
 
@@ -150,7 +162,40 @@ class Rule:
                        hint=self.hint if hint is None else hint)
 
 
+class ProjectRule:
+    """Base class for cross-file rules (phase 2).
+
+    A project rule sees the whole :class:`~repro.lint.project.ProjectIndex`
+    at once instead of one file at a time, so it can walk the import
+    graph, follow interprocedural call summaries, or compare modules
+    against each other. ``id`` is the *family* id; a rule may emit
+    findings under several ids (list them in ``ids`` so ``--select``
+    and allowlists know about all of them).
+    """
+
+    id: str = ""
+    description: str = ""
+    hint: str = ""
+    #: every finding id this rule can emit (defaults to just ``id``).
+    ids: tuple[str, ...] = ()
+
+    def check_project(self, index, config: "LintConfig") -> Iterable[Finding]:
+        """Yield findings over the whole project index."""
+        return ()
+
+    def all_ids(self) -> tuple[str, ...]:
+        return self.ids or (self.id,)
+
+    def finding(self, path: str, line: int, message: str,
+                rule_id: str | None = None, hint: str | None = None,
+                col: int = 0) -> Finding:
+        return Finding(path=path, line=line, col=col,
+                       rule=rule_id or self.id, message=message,
+                       hint=self.hint if hint is None else hint)
+
+
 _REGISTRY: dict[str, Rule] = {}
+_PROJECT_REGISTRY: dict[str, ProjectRule] = {}
 
 
 def register(rule_cls: type[Rule]) -> type[Rule]:
@@ -164,8 +209,31 @@ def register(rule_cls: type[Rule]) -> type[Rule]:
     return rule_cls
 
 
+def register_project(rule_cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator adding a project rule to the phase-2 registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"{rule_cls.__name__} has no rule id")
+    if rule.id in _PROJECT_REGISTRY or rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _PROJECT_REGISTRY[rule.id] = rule
+    return rule_cls
+
+
 def all_rules() -> dict[str, Rule]:
     return dict(_REGISTRY)
+
+
+def all_project_rules() -> dict[str, ProjectRule]:
+    return dict(_PROJECT_REGISTRY)
+
+
+def all_rule_ids() -> set[str]:
+    """Every selectable finding id across both registries."""
+    ids = set(_REGISTRY)
+    for rule in _PROJECT_REGISTRY.values():
+        ids.update(rule.all_ids())
+    return ids
 
 
 # ---- configuration ----------------------------------------------------------
@@ -181,6 +249,27 @@ class LintConfig:
     exclude: list[str] = field(default_factory=list)
     #: rule id -> path globs where the rule does not apply
     allow: dict[str, list[str]] = field(default_factory=dict)
+    #: architecture layer map, lowest first: (layer name, package
+    #: prefixes). A module belongs to the first layer whose prefix
+    #: matches. Empty = arch-layering disabled.
+    layers: list[tuple[str, tuple[str, ...]]] = field(default_factory=list)
+    #: package prefixes forming the deterministic simulation core: no
+    #: module here may (transitively, at import time) reach asyncio or
+    #: wall-clock code. Empty = arch-sim-reach disabled.
+    sim_core: list[str] = field(default_factory=list)
+    #: module prefixes housing the blessed seeded-RNG factories; calls
+    #: to ``default_rng``/``Random`` *inside* them are the sanctioned
+    #: roots, everywhere else they are det-seed-flow findings.
+    rng_factories: list[str] = field(
+        default_factory=lambda: ["repro.engine.rng"])
+    #: function names (within the factory modules) whose return value
+    #: counts as a blessed, plan-seeded generator.
+    rng_factory_functions: list[str] = field(
+        default_factory=lambda: ["make_rng", "spawn_rng"])
+    #: committed-baseline file, relative to the repo root.
+    baseline: str = "lint-baseline.json"
+    #: phase-1 fact cache directory, relative to the repo root.
+    cache_dir: str = ".lint_cache"
 
     @classmethod
     def load(cls, root: Path) -> "LintConfig":
@@ -198,7 +287,33 @@ class LintConfig:
         config.exclude = list(table.get("exclude", config.exclude))
         config.allow = {rule: list(globs)
                         for rule, globs in table.get("allow", {}).items()}
+        config.layers = [(str(entry.get("name", f"layer{i}")),
+                          tuple(entry.get("packages", ())))
+                         for i, entry in enumerate(table.get("layer", []))]
+        config.sim_core = list(table.get("sim-core", config.sim_core))
+        config.rng_factories = list(
+            table.get("rng-factories", config.rng_factories))
+        config.rng_factory_functions = list(
+            table.get("rng-factory-functions", config.rng_factory_functions))
+        config.baseline = str(table.get("baseline", config.baseline))
+        config.cache_dir = str(table.get("cache-dir", config.cache_dir))
         return config
+
+    def layer_of(self, module: str) -> tuple[int, str] | None:
+        """(index, name) of the layer owning a dotted module, or None."""
+        for index, (name, packages) in enumerate(self.layers):
+            for package in packages:
+                if module == package or module.startswith(package + "."):
+                    return (index, name)
+        return None
+
+    def in_sim_core(self, module: str) -> bool:
+        return any(module == p or module.startswith(p + ".")
+                   for p in self.sim_core)
+
+    def is_rng_factory(self, module: str) -> bool:
+        return any(module == p or module.startswith(p + ".")
+                   for p in self.rng_factories)
 
     def excluded(self, rel_path: str) -> bool:
         return any(fragment in rel_path for fragment in self.exclude)
@@ -252,39 +367,38 @@ def parse_suppressions(source: str, path: str) -> \
     return found, meta
 
 
-# ---- the engine -------------------------------------------------------------
+# ---- per-file rule execution (phase 1 helper) -------------------------------
+
+def run_file_rules(ctx: FileContext,
+                   rules: dict[str, Rule]) -> list[Finding]:
+    """One AST walk of one file through every per-file rule.
+
+    Pure with respect to configuration: allowlists and suppressions are
+    applied later, so the result is cacheable per (source, rules).
+    """
+    findings: list[Finding] = []
+    for rule in rules.values():
+        findings.extend(rule.begin_file(ctx))
+    dispatch = [(rule, rule.node_types) for rule in rules.values()
+                if rule.node_types]
+    for node in ast.walk(ctx.tree):
+        for rule, node_types in dispatch:
+            if isinstance(node, node_types):
+                findings.extend(rule.visit(ctx, node))
+    return findings
+
 
 def lint_source(source: str, path: str,
                 rules: dict[str, Rule] | None = None,
                 config: LintConfig | None = None) -> list[Finding]:
-    """Lint one file's source text; returns surviving findings sorted."""
-    rules = rules if rules is not None else all_rules()
-    config = config or LintConfig()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [Finding(path=path, line=exc.lineno or 1, col=0,
-                        rule="parse-error", message=f"syntax error: {exc.msg}")]
-    ctx = FileContext(path=path, source=source, tree=tree)
+    """Lint one file's source text; returns surviving findings sorted.
 
-    active = {rule_id: rule for rule_id, rule in rules.items()
-              if not config.allowed(rule_id, path)}
-    findings: list[Finding] = []
-    for rule in active.values():
-        findings.extend(rule.begin_file(ctx))
-    dispatch = [(rule, rule.node_types) for rule in active.values()
-                if rule.node_types]
-    for node in ast.walk(tree):
-        for rule, node_types in dispatch:
-            if isinstance(node, node_types):
-                findings.extend(rule.visit(ctx, node))
-
-    suppressions, meta = parse_suppressions(source, path)
-    kept = [f for f in findings
-            if not any(s.covers(f) for s in suppressions)]
-    kept.extend(m for m in meta
-                if not config.allowed(SUPPRESSION_RULE, path))
-    return sorted(kept, key=lambda f: f.sort_key)
+    The file is treated as a one-module project, so per-file rules and
+    every project rule that can operate without cross-file context
+    (seed-flow creation checks, async safety) still apply.
+    """
+    from repro.lint.project import lint_single_source
+    return lint_single_source(source, path, rules=rules, config=config)
 
 
 def iter_python_files(paths: Iterable[str | Path],
@@ -315,13 +429,12 @@ def _rel(path: Path, root: Path) -> str:
 def lint_paths(paths: Iterable[str | Path] | None = None,
                root: Path | None = None,
                rules: dict[str, Rule] | None = None,
-               config: LintConfig | None = None) -> list[Finding]:
-    """Lint files/directories (default: the configured paths)."""
-    root = Path(root) if root is not None else Path.cwd()
-    config = config if config is not None else LintConfig.load(root)
-    findings: list[Finding] = []
-    for file_path in iter_python_files(paths or config.paths, config, root):
-        findings.extend(lint_source(file_path.read_text(),
-                                    _rel(file_path, root),
-                                    rules=rules, config=config))
-    return sorted(findings, key=lambda f: f.sort_key)
+               config: LintConfig | None = None,
+               project_rules: dict[str, ProjectRule] | None = None,
+               use_cache: bool = False) -> list[Finding]:
+    """Two-phase lint of files/directories (default: configured paths)."""
+    from repro.lint.project import lint_project
+    findings, _index = lint_project(paths, root=root, rules=rules,
+                                    project_rules=project_rules,
+                                    config=config, use_cache=use_cache)
+    return findings

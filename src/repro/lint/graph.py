@@ -1,0 +1,128 @@
+"""``repro-lint --graph``: the internal import graph, layer-colored.
+
+Collapses the module-level import graph to package granularity (one
+node per top two dotted components, ``repro.engine``), colors each node
+by its layer from the ``[tool.repro-lint]`` layer map, and renders
+either Graphviz ``dot`` or a Mermaid flowchart (the latter pastes
+straight into ``docs/static_analysis.md``).  Edges that violate the
+layer map come out red and bold — the picture is the review artifact
+for architecture discussions.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import LintConfig
+from repro.lint.project import ProjectIndex
+
+#: one fill color per layer index, lowest layer first (colorblind-safe
+#: light palette; unmapped packages stay grey).
+_LAYER_COLORS = (
+    "#dde8ff", "#cde8d8", "#fff2c2", "#ffd8b0",
+    "#f3d1f4", "#d3f0f7", "#ffd0d0", "#e4e0d0",
+)
+_UNMAPPED_COLOR = "#e8e8e8"
+
+
+def _package(module: str) -> str:
+    parts = module.split(".")
+    return ".".join(parts[:2]) if parts[0] == "repro" else parts[0]
+
+
+def package_graph(index: ProjectIndex, config: LintConfig) \
+        -> tuple[dict[str, int | None], list[tuple[str, str, bool]]]:
+    """(package -> layer index or None, [(src, dst, violates)])."""
+    packages: dict[str, int | None] = {}
+    for facts in index.modules.values():
+        package = _package(facts.module)
+        layer = config.layer_of(facts.module)
+        packages.setdefault(package, layer[0] if layer else None)
+    edges: dict[tuple[str, str], bool] = {}
+    for module, targets in index.import_edges().items():
+        source_pkg = _package(module)
+        source_layer = config.layer_of(module)
+        for target, _ in targets:
+            target_pkg = _package(target)
+            if target_pkg == source_pkg:
+                continue
+            target_layer = config.layer_of(target)
+            violates = (source_layer is not None and target_layer is not None
+                        and target_layer[0] > source_layer[0])
+            key = (source_pkg, target_pkg)
+            edges[key] = edges.get(key, False) or violates
+    return packages, sorted((s, d, v) for (s, d), v in edges.items())
+
+
+def _color(layer: int | None) -> str:
+    if layer is None:
+        return _UNMAPPED_COLOR
+    return _LAYER_COLORS[layer % len(_LAYER_COLORS)]
+
+
+def render_dot(index: ProjectIndex, config: LintConfig) -> str:
+    packages, edges = package_graph(index, config)
+    lines = [
+        "digraph imports {",
+        "  rankdir=BT;",
+        '  node [shape=box, style="filled,rounded", '
+        'fontname="Helvetica"];',
+    ]
+    layer_names = {i: name for i, (name, _) in enumerate(config.layers)}
+    by_layer: dict[int | None, list[str]] = {}
+    for package, layer in sorted(packages.items()):
+        by_layer.setdefault(layer, []).append(package)
+    for layer in sorted(by_layer, key=lambda v: (v is None, v)):
+        members = by_layer[layer]
+        if layer is not None:
+            lines.append(f'  subgraph "cluster_{layer}" {{')
+            lines.append(f'    label="{layer_names.get(layer, layer)}"; '
+                         'style=dashed; color="#bbbbbb";')
+            indent = "    "
+        else:
+            indent = "  "
+        for package in members:
+            lines.append(f'{indent}"{package}" '
+                         f'[fillcolor="{_color(layer)}"];')
+        if layer is not None:
+            lines.append("  }")
+    for source, target, violates in edges:
+        style = ' [color=red, penwidth=2.5]' if violates else ""
+        lines.append(f'  "{source}" -> "{target}"{style};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def render_mermaid(index: ProjectIndex, config: LintConfig) -> str:
+    packages, edges = package_graph(index, config)
+    lines = ["flowchart BT"]
+    layer_names = {i: name for i, (name, _) in enumerate(config.layers)}
+    by_layer: dict[int | None, list[str]] = {}
+    for package, layer in sorted(packages.items()):
+        by_layer.setdefault(layer, []).append(package)
+
+    def node_id(package: str) -> str:
+        return package.replace(".", "_").replace("-", "_")
+
+    for layer in sorted(by_layer, key=lambda v: (v is None, v)):
+        members = by_layer[layer]
+        if layer is not None:
+            lines.append(f'  subgraph L{layer}["'
+                         f'{layer_names.get(layer, layer)}"]')
+            indent = "    "
+        else:
+            indent = "  "
+        for package in members:
+            lines.append(f'{indent}{node_id(package)}["{package}"]')
+        if layer is not None:
+            lines.append("  end")
+    bad_edges: list[int] = []
+    for position, (source, target, violates) in enumerate(edges):
+        lines.append(f"  {node_id(source)} --> {node_id(target)}")
+        if violates:
+            bad_edges.append(position)
+    for layer, members in by_layer.items():
+        for package in members:
+            lines.append(f"  style {node_id(package)} "
+                         f"fill:{_color(layer)}")
+    for position in bad_edges:
+        lines.append(f"  linkStyle {position} stroke:red,stroke-width:3px")
+    return "\n".join(lines) + "\n"

@@ -1,10 +1,19 @@
 """Rule families of ``repro-lint``.
 
-Importing a module registers its rules with the engine registry:
+Importing a module registers its rules with the engine registries
+(per-file rules via :func:`~repro.lint.engine.register`, cross-file
+project rules via :func:`~repro.lint.engine.register_project`):
 
-* :mod:`repro.lint.rules.determinism` — ``det-wallclock``, ``det-rng``,
+* :mod:`repro.lint.rules.determinism`  — ``det-wallclock``,
   ``det-id-key``, ``det-set-iter``
-* :mod:`repro.lint.rules.units`       — ``units-mix``
-* :mod:`repro.lint.rules.msr`         — ``msr-layout``
-* :mod:`repro.lint.rules.epoch`       — ``epoch-bypass``
+* :mod:`repro.lint.rules.units`        — ``units-mix``
+* :mod:`repro.lint.rules.msr`          — ``msr-layout``
+* :mod:`repro.lint.rules.epoch`        — ``epoch-bypass``
+* :mod:`repro.lint.rules.trace_schema` — ``trace-schema-*``
+* :mod:`repro.lint.rules.layering`     — ``arch-layering``,
+  ``arch-cycle``, ``arch-sim-reach`` (project)
+* :mod:`repro.lint.rules.seedflow`     — ``det-seed-flow`` (project)
+* :mod:`repro.lint.rules.async_safety` — ``async-blocking``,
+  ``async-condition``, ``async-fire-forget``, ``exec-picklable``
+  (project)
 """

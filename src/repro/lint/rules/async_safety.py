@@ -1,0 +1,184 @@
+"""Async/executor safety rules over the phase-1 call summaries.
+
+Every ``async def`` in this repository is treated as reachable from the
+service event loop (the service is the only reason coroutines exist
+here), so the rules need no entry-point annotation:
+
+* ``async-blocking`` — a thread-blocking call (``time.sleep``,
+  ``subprocess.run``, sync sockets/HTTP) inside an ``async def``, or
+  inside any sync helper an ``async def`` calls through a chain of
+  project functions, stalls every job on the loop.  File I/O is flagged
+  only when it sits in a loop — one config read is noise, a per-item
+  read loop is a stall.  Bare ``fut.result()`` on a future inside a
+  coroutine is flagged too: it deadlocks if the future is not already
+  done.
+* ``async-condition`` — ``wait``/``notify`` on an
+  ``asyncio.Condition`` outside an ``async with`` on that same
+  condition raises at runtime on the unlucky schedule; the rule finds
+  the sites the tests never hit.  Receivers are matched against every
+  name the project binds to ``asyncio.Condition()`` (including
+  dataclass ``field(default_factory=...)``).
+* ``async-fire-forget`` — ``asyncio.create_task``/``ensure_future``
+  as a bare expression statement: nothing holds the task, so the event
+  loop may garbage-collect it mid-flight and its exceptions vanish.
+* ``exec-picklable`` — a lambda or nested function submitted to a
+  ``ProcessPoolExecutor`` (or ``run_in_executor`` with a process pool)
+  pickles at submit time and dies at runtime, not at review time.
+  Thread pools take anything callable and are exempt.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.engine import Finding, LintConfig, ProjectRule, \
+    register_project
+from repro.lint.project import BLOCKING_ORIGINS, ProjectIndex
+
+
+@register_project
+class AsyncBlockingRule(ProjectRule):
+    id = "async-blocking"
+    description = "blocking call on the event loop"
+    hint = ("await the asyncio equivalent, or push the call into "
+            "run_in_executor so the loop keeps serving other jobs")
+
+    def check_project(self, index: ProjectIndex,
+                      config: LintConfig) -> Iterable[Finding]:
+        functions = index.functions()
+
+        # transitive blocking summary over *sync* project functions:
+        # an async caller is flagged at its call site into the chain.
+        memo: dict[str, str | None] = {}
+
+        def blocks_via(key: str, trail: set[str]) -> str | None:
+            if key in memo:
+                return memo[key]
+            if key in trail:
+                return None
+            fact = functions[key]
+            if fact.is_async:
+                return None     # awaited coroutines report themselves
+            for blocking in fact.blocking:
+                if blocking.origin in BLOCKING_ORIGINS:
+                    memo[key] = blocking.origin
+                    return blocking.origin
+            trail.add(key)
+            module = key.split("::")[0]
+            for call in fact.calls:
+                target = index.resolve_call(module, fact.qualname,
+                                            call.callee)
+                if target is None:
+                    continue
+                origin = blocks_via(target, trail)
+                if origin is not None:
+                    memo[key] = origin
+                    trail.discard(key)
+                    return origin
+            trail.discard(key)
+            memo[key] = None
+            return None
+
+        for key in sorted(functions):
+            fact = functions[key]
+            if not fact.is_async:
+                continue
+            module = key.split("::")[0]
+            path = index.modules[index.by_module[module]].path
+            for blocking in fact.blocking:
+                if blocking.origin in BLOCKING_ORIGINS:
+                    yield self.finding(
+                        path, blocking.lineno,
+                        f"blocking call to {blocking.origin}() in async "
+                        f"{fact.qualname}")
+                elif blocking.in_loop:
+                    yield self.finding(
+                        path, blocking.lineno,
+                        f"blocking file I/O ({blocking.origin.split(':')[1]})"
+                        f" in a loop in async {fact.qualname}")
+            for lineno in fact.future_results:
+                yield self.finding(
+                    path, lineno,
+                    f"bare Future.result() in async {fact.qualname} blocks "
+                    "the loop unless the future is already done")
+            for call in fact.calls:
+                target = index.resolve_call(module, fact.qualname,
+                                            call.callee)
+                if target is None:
+                    continue
+                origin = blocks_via(target, set())
+                if origin is not None:
+                    target_fact = functions[target]
+                    yield self.finding(
+                        path, call.lineno,
+                        f"async {fact.qualname} calls "
+                        f"{target_fact.qualname}, which blocks on "
+                        f"{origin}()")
+
+
+@register_project
+class ConditionDisciplineRule(ProjectRule):
+    id = "async-condition"
+    description = "asyncio.Condition operation outside its lock"
+    hint = "wrap the wait/notify in `async with <condition>:`"
+
+    def check_project(self, index: ProjectIndex,
+                      config: LintConfig) -> Iterable[Finding]:
+        condition_names: set[str] = set()
+        for facts in index.modules.values():
+            condition_names.update(facts.condition_names)
+        if not condition_names:
+            return
+        for facts in sorted(index.modules.values(), key=lambda f: f.module):
+            for fact in facts.functions.values():
+                for cond in fact.conds:
+                    attr = cond.receiver.split(".")[-1]
+                    if attr not in condition_names or cond.guarded:
+                        continue
+                    yield self.finding(
+                        facts.path, cond.lineno,
+                        f"{cond.receiver}.{cond.op}() outside "
+                        f"`async with {cond.receiver}:`")
+
+
+@register_project
+class FireAndForgetRule(ProjectRule):
+    id = "async-fire-forget"
+    description = "task created and immediately dropped"
+    hint = ("keep a reference (collection or attribute) and await or "
+            "cancel it on shutdown; dropped tasks can be collected "
+            "mid-flight and swallow exceptions")
+
+    def check_project(self, index: ProjectIndex,
+                      config: LintConfig) -> Iterable[Finding]:
+        for facts in sorted(index.modules.values(), key=lambda f: f.module):
+            for fact in facts.functions.values():
+                for task in fact.tasks:
+                    if task.discarded:
+                        yield self.finding(
+                            facts.path, task.lineno,
+                            f"{task.origin}(...) result discarded: "
+                            "fire-and-forget task")
+
+
+@register_project
+class PicklableSubmitRule(ProjectRule):
+    id = "exec-picklable"
+    description = "unpicklable callable submitted to a process pool"
+    hint = ("process pools pickle the callable: submit a module-level "
+            "function (use functools.partial for bound arguments)")
+
+    def check_project(self, index: ProjectIndex,
+                      config: LintConfig) -> Iterable[Finding]:
+        for facts in sorted(index.modules.values(), key=lambda f: f.module):
+            for fact in facts.functions.values():
+                for submit in fact.submits:
+                    if submit.executor != "process":
+                        continue
+                    if submit.callable_kind in ("lambda", "nested"):
+                        yield self.finding(
+                            facts.path, submit.lineno,
+                            f"{submit.callable_kind} function "
+                            f"{submit.callable_name!r} submitted to a "
+                            f"process pool via {submit.api}() cannot be "
+                            "pickled")

@@ -12,15 +12,17 @@ artifacts:
   Harness-level timing (experiment timeouts, benchmark scoring, the
   experiment service's worker backoff) is legitimate but must carry an
   inline justification so the boundary stays audited.
-* ``det-rng``      — the ``random`` module, module-level
-  ``numpy.random.*``, ``os.urandom``, ``uuid.uuid4``, ``secrets``.
-  All randomness must flow through the seeded ``engine.rng`` spawns.
 * ``det-id-key``   — ``id(obj)`` used as a container key: CPython heap
   addresses differ between runs, so iteration order (and anything
   derived from it) would too.
 * ``det-set-iter`` — direct iteration over a set literal or ``set()``
   call: set order depends on insertion history and hash seeds; sort
   first when order can reach simulator state or output.
+
+Ambient-randomness policing moved to the interprocedural
+``det-seed-flow`` project rule (:mod:`repro.lint.rules.seedflow`),
+which understands the blessed ``make_rng``/``spawn_rng`` factories
+instead of flagging every ``random.*`` spelling syntactically.
 """
 
 from __future__ import annotations
@@ -29,19 +31,7 @@ import ast
 from typing import Iterable
 
 from repro.lint.engine import FileContext, Finding, Rule, register
-
-_WALLCLOCK = frozenset({
-    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
-    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
-    "time.process_time_ns", "time.sleep", "time.strftime", "time.localtime",
-    "time.gmtime", "time.ctime",
-    "datetime.datetime.now", "datetime.datetime.utcnow",
-    "datetime.datetime.today", "datetime.date.today",
-    "asyncio.sleep",
-})
-
-_RNG_EXACT = frozenset({"os.urandom", "uuid.uuid4", "uuid.uuid1"})
-_RNG_PREFIXES = ("random.", "numpy.random.", "secrets.")
+from repro.lint.project import WALLCLOCK_ORIGINS as _WALLCLOCK
 
 
 @register
@@ -70,22 +60,6 @@ class WallClockRule(Rule):
             yield self.finding(
                 ctx, node,
                 f"call to {func.value.id}.time() (event-loop wall clock)")
-
-
-@register
-class AmbientRngRule(Rule):
-    id = "det-rng"
-    description = "randomness outside the seeded repro.engine.rng path"
-    hint = ("draw from the simulator's seeded generator "
-            "(repro.engine.rng.make_rng / spawn_rng)")
-    node_types = (ast.Call,)
-
-    def visit(self, ctx: FileContext, node: ast.Call) -> Iterable[Finding]:
-        origin = ctx.resolve(node.func)
-        if origin is None:
-            return
-        if origin in _RNG_EXACT or origin.startswith(_RNG_PREFIXES):
-            yield self.finding(ctx, node, f"call to {origin}()")
 
 
 @register

@@ -1,0 +1,160 @@
+"""``det-seed-flow``: seed-provenance taint for random generators.
+
+Replaces the syntactic ``det-rng`` rule.  Every generator in this
+repository must descend from a plan seed through the blessed factories
+(``repro.engine.rng.make_rng`` / ``spawn_rng``); this rule tracks where
+generators are *born* and where they *flow*:
+
+* an ambient construction — ``numpy.random.default_rng``,
+  ``random.Random()``, ``secrets.*``, ``os.urandom``, ``uuid.uuid4`` —
+  outside a blessed factory module is flagged at the call site;
+* an argument flowing into an ``rng``-named parameter of a project
+  function (``rng``, ``parent_rng``, ``node_rng``, …) is classified by
+  walking the def/use chain interprocedurally: a value returned by a
+  blessed factory (directly or through any chain of project functions)
+  is *blessed*; a value traceable to an ambient constructor is
+  *ambient* and flagged; anything the analysis cannot prove (parameters
+  of the caller, attribute loads, arbitrary expressions) stays
+  *unknown* and is never flagged — the rule only reports taint it can
+  actually demonstrate.
+
+Classification is a fixed point over per-function return summaries from
+phase 1, with a memo and a cycle guard (recursive chains resolve to
+unknown rather than looping).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.lint.engine import Finding, LintConfig, ProjectRule, \
+    register_project
+from repro.lint.project import (
+    AMBIENT_RNG_EXACT,
+    AMBIENT_RNG_PREFIXES,
+    FunctionFact,
+    ProjectIndex,
+)
+
+_RNG_PARAM_RE = re.compile(r"(^|_)rng$")
+
+BLESSED, AMBIENT, UNKNOWN = "blessed", "ambient", "unknown"
+
+
+@register_project
+class SeedFlowRule(ProjectRule):
+    id = "det-seed-flow"
+    description = ("random generator not derived from the plan seed "
+                   "through the blessed factories")
+    hint = ("derive generators from repro.engine.rng.make_rng(seed) / "
+            "spawn_rng(parent) so replay stays bit-identical")
+
+    def check_project(self, index: ProjectIndex,
+                      config: LintConfig) -> Iterable[Finding]:
+        self._index = index
+        self._config = config
+        self._functions = index.functions()
+        self._return_memo: dict[str, str] = {}
+
+        for facts in sorted(index.modules.values(), key=lambda f: f.module):
+            if config.is_rng_factory(facts.module):
+                continue    # the factory is the sanctioned birthplace
+            for fact in facts.functions.values():
+                for create in fact.rng_creates:
+                    yield self.finding(
+                        facts.path, create.lineno,
+                        f"ambient RNG from {create.origin}() outside "
+                        "the blessed factory modules")
+                for arg in fact.args:
+                    param = self._rng_param(facts.module, fact, arg)
+                    if param is None:
+                        continue
+                    verdict = self._classify(facts.module, fact, arg.source,
+                                             trail=set())
+                    if verdict == AMBIENT:
+                        yield self.finding(
+                            facts.path, arg.lineno,
+                            f"argument for parameter {param!r} of "
+                            f"{self._callee_label(arg.callee)} traces to an "
+                            "ambient RNG, not a plan seed")
+
+    # -- which arguments are generator-valued ----------------------------
+
+    def _rng_param(self, module: str, fact: FunctionFact, arg) -> str | None:
+        """Resolved rng-ish parameter name this argument feeds, or None."""
+        if not arg.param.startswith("#"):
+            return arg.param if _RNG_PARAM_RE.search(arg.param) else None
+        key = self._index.resolve_call(module, fact.qualname, arg.callee)
+        if key is None:
+            return None
+        callee = self._functions[key]
+        position = int(arg.param[1:])
+        if callee.params and callee.params[0] in ("self", "cls") \
+                and arg.callee.startswith("self:"):
+            position += 1
+        if position >= len(callee.params):
+            return None
+        name = callee.params[position]
+        return name if _RNG_PARAM_RE.search(name) else None
+
+    @staticmethod
+    def _callee_label(callee: str) -> str:
+        for prefix in ("local:", "self:"):
+            if callee.startswith(prefix):
+                return callee[len(prefix):]
+        return callee
+
+    # -- provenance classification ----------------------------------------
+
+    def _is_blessed_factory(self, module: str, callee: str) -> bool:
+        """Does this callee name a blessed factory function?"""
+        label = self._callee_label(callee)
+        parts = label.split(".")
+        if parts[-1] not in self._config.rng_factory_functions:
+            return False
+        if len(parts) == 1:
+            # bare name: blessed when it resolves into a factory module
+            # or when we *are* the factory module defining it.
+            key = self._index.resolve_call(module, "<module>", callee)
+            if key is not None:
+                return self._config.is_rng_factory(key.split("::")[0])
+            return self._config.is_rng_factory(module)
+        return self._config.is_rng_factory(".".join(parts[:-1]))
+
+    def _classify(self, module: str, fact: FunctionFact, source: str,
+                  trail: set[str]) -> str:
+        if source.startswith("call:"):
+            callee = source[len("call:"):]
+            if self._is_blessed_factory(module, callee):
+                return BLESSED
+            origin = self._callee_label(callee)
+            if origin in AMBIENT_RNG_EXACT \
+                    or origin.startswith(AMBIENT_RNG_PREFIXES):
+                return AMBIENT
+            key = self._index.resolve_call(module, fact.qualname, callee)
+            if key is not None:
+                return self._returns_of(key, trail)
+            return UNKNOWN
+        return UNKNOWN      # params, attribute loads, plain expressions
+
+    def _returns_of(self, key: str, trail: set[str]) -> str:
+        """Join of a project function's return classifications."""
+        if key in self._return_memo:
+            return self._return_memo[key]
+        if key in trail:
+            return UNKNOWN
+        trail.add(key)
+        fact = self._functions[key]
+        module = key.split("::")[0]
+        verdicts = {self._classify(module, fact, ret, trail)
+                    for ret in fact.returns}
+        trail.discard(key)
+        if AMBIENT in verdicts:
+            verdict = AMBIENT
+        elif verdicts == {BLESSED}:
+            verdict = BLESSED
+        else:
+            verdict = UNKNOWN
+        self._return_memo[key] = verdict
+        return verdict

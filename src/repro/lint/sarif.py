@@ -1,0 +1,82 @@
+"""Minimal SARIF 2.1.0 emitter for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what CI dashboards
+and code-scanning UIs ingest; ``repro-lint --format sarif`` produces one
+run with the full rule catalog in ``tool.driver.rules`` and one result
+per finding.  Only the fields consumers actually read are emitted — no
+fixes, no code flows, no graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.lint.engine import (
+    Finding,
+    all_project_rules,
+    all_rules,
+)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rule_catalog() -> list[dict]:
+    catalog: dict[str, dict] = {}
+    for rule_id, rule in sorted(all_rules().items()):
+        catalog[rule_id] = {
+            "id": rule_id,
+            "shortDescription": {"text": rule.description},
+            "help": {"text": rule.hint},
+        }
+    for rule in all_project_rules().values():
+        for rule_id in rule.all_ids():
+            catalog.setdefault(rule_id, {
+                "id": rule_id,
+                "shortDescription": {"text": rule.description},
+                "help": {"text": rule.hint},
+            })
+    catalog.setdefault("suppression", {
+        "id": "suppression",
+        "shortDescription": {"text": "suppression without justification"},
+        "help": {"text": "append ' — <reason>' to the disable comment"},
+    })
+    return [catalog[rule_id] for rule_id in sorted(catalog)]
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
+    return {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index.get(finding.rule, -1),
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {"startLine": max(finding.line, 1),
+                           "startColumn": finding.col + 1},
+            },
+        }],
+    }
+
+
+def render_sarif(findings: Iterable[Finding]) -> str:
+    """Findings as one pretty-printed SARIF 2.1.0 document."""
+    rules = _rule_catalog()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri":
+                    "https://example.invalid/repro/docs/static_analysis.md",
+                "rules": rules,
+            }},
+            "results": [_result(f, rule_index) for f in findings],
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

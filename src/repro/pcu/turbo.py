@@ -141,8 +141,9 @@ class TdpLimiter:
                 f_core = float(brentq(excess, lo, hi, xtol=1e5))
             return f_core, fu_parity(f_core), True
         if p_at_request > NEAR_BUDGET_UTILIZATION * budget:
-            # Near the edge: undershoot the core, hand headroom to uncore.
-            f_core = f_common * (1.0 - CORE_UNDERSHOOT)
+            # Near the edge: undershoot the core, hand headroom to uncore —
+            # but never below the lowest ratio the silicon can grant.
+            f_core = max(f_common * (1.0 - CORE_UNDERSHOOT), spec.min_hz)
         else:
             f_core = f_common
         f_uncore = min(ufs_cap, self.power_model.solve_uncore_for_budget(

@@ -381,6 +381,7 @@ class ExperimentService:
             for fut in done:
                 task = in_flight.pop(fut)
                 try:
+                    # repro-lint: disable=async-blocking — fut is in asyncio.wait's done set: already resolved, result() cannot block
                     payload = fut.result()
                 except BrokenExecutor:
                     broken.append(task)

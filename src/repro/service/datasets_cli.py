@@ -24,7 +24,7 @@ import sys
 from pathlib import Path
 
 from repro.errors import ReproError
-from repro.experiments.hostif_parity import _CONFIGURE
+from repro.conformance.hostconfig import CONFIGURE as _CONFIGURE
 from repro.hostif import VirtualHost
 from repro.service.dataset import (DEFAULT_SEARCH_DIRS, dataset_path,
                                    diff_datasets, list_datasets, load_dataset,

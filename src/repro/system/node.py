@@ -14,13 +14,13 @@ from repro.engine import fastpath
 from repro.engine.epoch import EpochCell
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
-from repro.faults import chaos
 from repro.pcu.epb import Epb
 from repro.pcu.pcu import Pcu
 from repro.power.mbvr import Mbvr, SvidCommand
 from repro.power.psu import PsuModel
 from repro.power.rapl import RaplDomain
 from repro.specs.node import NodeSpec, HASWELL_TEST_NODE
+from repro.system import buildhooks
 from repro.system.core import Core
 from repro.system.socket import Socket
 from repro.topology.routing import LinkDerate
@@ -308,9 +308,10 @@ def build_node(
     node.mbvr.apply(SvidCommand("VCCin", 1.8))
     node.mbvr.apply(SvidCommand("VCCD_01", 1.2))
     node.mbvr.apply(SvidCommand("VCCD_23", 1.2))
-    # Under chaos mode (run_paper --chaos) every node gets a seeded
-    # fault injector; a no-op otherwise.
-    chaos.maybe_arm(sim, node)
+    # Post-build hooks: under chaos mode (run_paper --chaos) the fault
+    # layer has registered an armer that gives every node a seeded
+    # injector; with no hooks registered this is a no-op.
+    buildhooks.run(sim, node)
     return node
 
 

@@ -1,0 +1,7 @@
+"""Half of a deliberate module-level import cycle."""
+
+import cyc_b
+
+
+def ping():
+    return cyc_b.pong()

@@ -1,0 +1,7 @@
+"""Other half of the deliberate module-level import cycle."""
+
+import cyc_a
+
+
+def pong():
+    return cyc_a.ping()

@@ -1,0 +1,5 @@
+"""High layer of the deliberate-violation package."""
+
+
+def build():
+    return 1

@@ -1,0 +1,7 @@
+"""Deliberate violation: a low-layer module importing the high layer."""
+
+from highpkg.api import build
+
+
+def use():
+    return build()

@@ -1,0 +1,7 @@
+"""Deliberate violation: a sim-core module importing asyncio."""
+
+import asyncio
+
+
+def loop_factory():
+    return asyncio.new_event_loop

@@ -1,0 +1,26 @@
+"""Known-bad fixture: blocking calls reachable from the event loop.
+
+Four async-blocking shapes: a direct blocking call in a coroutine,
+file I/O inside a loop in a coroutine, a blocking call buried in a sync
+helper the coroutine calls, and a bare ``fut.result()``.
+"""
+
+import subprocess
+from pathlib import Path
+
+
+def helper(cmd):
+    return subprocess.check_output(cmd)
+
+
+async def fetch(paths):
+    subprocess.run(["sync"])
+    rows = []
+    for path in paths:
+        rows.append(Path(path).read_text())
+    return rows
+
+
+async def status(fut, cmd):
+    helper(cmd)
+    return fut.result()

@@ -1,0 +1,15 @@
+"""Known-bad fixture: asyncio.Condition operations outside the lock."""
+
+import asyncio
+
+
+class JobQueue:
+    def __init__(self):
+        self.cond = asyncio.Condition()
+
+    async def poke(self):
+        self.cond.notify_all()
+
+
+async def drain(queue):
+    await queue.cond.wait()

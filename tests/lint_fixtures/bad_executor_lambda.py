@@ -1,0 +1,14 @@
+"""Known-bad fixture: unpicklable callables into a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def scale(values, factor):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda v: v * factor, v) for v in values]
+
+        def bump(v):
+            return v + 1
+
+        extra = pool.submit(bump, 1)
+    return futures, extra

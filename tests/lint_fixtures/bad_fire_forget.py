@@ -1,0 +1,12 @@
+"""Known-bad fixture: tasks created and immediately dropped."""
+
+import asyncio
+
+
+async def tick():
+    pass
+
+
+async def main():
+    asyncio.create_task(tick())
+    asyncio.ensure_future(tick())

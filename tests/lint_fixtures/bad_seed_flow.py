@@ -1,0 +1,19 @@
+"""Known-bad fixture: an un-provenanced generator reaches the sim.
+
+Two det-seed-flow shapes: the ambient construction itself, and the
+interprocedural flow of its return value into an ``rng`` parameter.
+"""
+
+from numpy.random import default_rng
+
+
+def build_node_rng():
+    return default_rng()
+
+
+def simulate(steps, rng):
+    return [rng.random() for _ in range(steps)]
+
+
+def run():
+    return simulate(10, build_node_rng())

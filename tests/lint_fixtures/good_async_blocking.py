@@ -1,0 +1,17 @@
+"""Known-good fixture: blocking work pushed off the event loop."""
+
+import asyncio
+import subprocess
+
+
+def run_tool(cmd):
+    return subprocess.run(cmd)
+
+
+async def fetch(cmd):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, run_tool, cmd)
+
+
+async def status(fut):
+    return await fut

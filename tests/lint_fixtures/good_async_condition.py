@@ -1,0 +1,17 @@
+"""Known-good fixture: every Condition op inside `async with`."""
+
+import asyncio
+
+
+class JobQueue:
+    def __init__(self):
+        self.cond = asyncio.Condition()
+
+    async def poke(self):
+        async with self.cond:
+            self.cond.notify_all()
+
+
+async def drain(queue):
+    async with queue.cond:
+        await queue.cond.wait()

@@ -1,0 +1,17 @@
+"""Known-good fixture: process pools get module-level callables only
+(threads may take anything — nothing is pickled)."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
+
+
+def double(value):
+    return value * 2
+
+
+def scale(values):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(partial(double, v)) for v in values]
+    with ThreadPoolExecutor() as threads:
+        quick = threads.submit(lambda: 1)
+    return futures, quick

@@ -1,0 +1,13 @@
+"""Known-good fixture: every created task is held and awaited."""
+
+import asyncio
+
+
+async def tick():
+    pass
+
+
+async def main():
+    tasks = [asyncio.create_task(tick())]
+    keeper = asyncio.ensure_future(tick())
+    await asyncio.gather(*tasks, keeper)

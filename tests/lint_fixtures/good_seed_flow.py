@@ -1,0 +1,16 @@
+"""Known-good fixture: generators descend from the plan seed."""
+
+from repro.engine.rng import make_rng, spawn_rng
+
+
+def node_stream(seed):
+    return make_rng(seed)
+
+
+def simulate(steps, rng):
+    return [rng.random() for _ in range(steps)]
+
+
+def run(plan_seed):
+    rng = node_stream(plan_seed)
+    return simulate(10, spawn_rng(rng))

@@ -1,0 +1,12 @@
+"""Cross-file taint sink: the ambient generator crosses a module
+boundary before reaching an ``rng`` parameter."""
+
+from producer import fresh
+
+
+def simulate(steps, rng):
+    return [rng.random() for _ in range(steps)]
+
+
+def run():
+    return simulate(3, fresh())

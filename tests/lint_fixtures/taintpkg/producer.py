@@ -1,0 +1,7 @@
+"""Cross-file taint source: births an ambient generator."""
+
+from numpy.random import default_rng
+
+
+def fresh():
+    return default_rng()
