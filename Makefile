@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint sanitize-smoke conformance coverage bench bench-simcore bench-full chaos chaos-smoke hostif-smoke fleet-smoke service-smoke experiments examples clean
+.PHONY: install test lint sanitize-smoke conformance coverage bench bench-simcore bench-check bench-full chaos chaos-smoke hostif-smoke fleet-smoke service-smoke experiments examples clean
 
 # Minimum line-coverage percentage for the `coverage` gate.
 COVERAGE_FLOOR ?= 70
@@ -55,6 +55,15 @@ bench: bench-simcore
 # BENCH_simcore.json at the repo root. See docs/performance.md.
 bench-simcore:
 	$(PYTHON) benchmarks/perf/bench_simcore.py
+
+# Perf-regression gate: re-run the simulator-core scenarios (smoke
+# durations) and fail when any falls more than the tolerance below the
+# scores committed in BENCH_simcore.json. The wide tolerance absorbs
+# shared-runner noise; a real hot-path regression (the gate's target is
+# the 3x tick-heavy win) blows way past it. See docs/performance.md.
+bench-check:
+	$(PYTHON) benchmarks/perf/bench_simcore.py --check --smoke \
+		--repeats 5 --check-tolerance 0.5
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

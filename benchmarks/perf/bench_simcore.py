@@ -26,10 +26,20 @@ at the repository root:
 * ``current``  — this run.
 * ``speedup_vs_baseline`` — current/baseline per scenario.
 
+``--check`` turns the benchmark into a perf-regression gate: instead of
+rewriting the result file, it re-runs the scenarios and compares them
+against the committed ``current`` scores, failing (exit 3) when any
+scenario lands more than ``--check-tolerance`` (default 15%) below its
+recorded score. Scenario durations differ between the committed full
+run and ``--smoke``, but the score is a rate (sim-ns per wall-second),
+so cross-duration comparison is meaningful — just noisier, hence the
+generous default tolerance and best-of-``--repeats`` scoring.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench_simcore.py [--smoke]
         [--rebaseline] [--output PATH] [--repeats N]
+        [--check] [--check-tolerance FRAC]
 """
 
 from __future__ import annotations
@@ -41,9 +51,9 @@ import time
 from pathlib import Path
 
 from repro.system.node import build_haswell_node
-from repro.units import NS_PER_S, us
+from repro.units import NS_PER_S
 from repro.workloads import micro
-from repro.workloads.base import Workload, WorkloadPhase
+from repro.workloads.base import Workload
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
@@ -57,27 +67,15 @@ DURATIONS_S = {
 }
 
 
-def _tick_heavy_workload() -> Workload:
-    """Short alternating phases: worst case for segment-rate caching."""
-    phases = (
-        WorkloadPhase(name="burst", duration_ns=us(150), power_activity=0.6,
-                      ipc_parity=2.0, stall_fraction=0.05),
-        WorkloadPhase(name="avx", duration_ns=us(120), power_activity=0.9,
-                      avx_fraction=0.9, ipc_parity=1.4, stall_fraction=0.08,
-                      l3_bytes_per_cycle=1.0),
-        WorkloadPhase(name="nap", duration_ns=us(80), active=False,
-                      idle_cstate="C1"),
-    )
-    return Workload(name="tick-heavy", phases=phases, cyclic=True)
-
-
 def _scenario_workload(name: str) -> Workload | None:
     if name == "idle":
         return None
     if name == "steady-active":
         return micro.compute()
     if name == "tick-heavy":
-        return _tick_heavy_workload()
+        # Shared with the tick-heavy conformance scenario, so the perf
+        # gate and the golden trace exercise the same event mix.
+        return micro.tick_heavy()
     raise ValueError(f"unknown scenario {name!r}")
 
 
@@ -107,6 +105,46 @@ def run_all(smoke: bool, repeats: int) -> dict[str, float]:
     return scores
 
 
+def run_check(args: argparse.Namespace) -> int:
+    """Perf-regression gate: current tree vs the committed scores.
+
+    Exit codes: 0 = within tolerance, 2 = no reference to compare
+    against (missing/corrupt result file), 3 = regression.
+    """
+    try:
+        reference = json.loads(args.output.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"check: cannot read reference {args.output}: {exc}")
+        return 2
+    ref_scores = reference.get("current", {}).get("scenarios", {})
+    if not ref_scores:
+        print(f"check: {args.output} has no current.scenarios to gate on")
+        return 2
+
+    scores = run_all(args.smoke, args.repeats)
+    width = max(len(n) for n in scores)
+    regressed = []
+    print(f"{'scenario':<{width}}  {'current':>12}  {'committed':>12}  "
+          f"{'ratio':>6}  floor -{args.check_tolerance:.0%}")
+    for name, score in scores.items():
+        ref = ref_scores.get(name)
+        if not ref:
+            print(f"{name:<{width}}  {score:>12.3e}  {'(new)':>12}")
+            continue
+        ratio = score / ref
+        ok = ratio >= 1.0 - args.check_tolerance
+        if not ok:
+            regressed.append(name)
+        print(f"{name:<{width}}  {score:>12.3e}  {ref:>12.3e}  "
+              f"{ratio:>5.2f}x  {'ok' if ok else 'REGRESSED'}")
+    if regressed:
+        print(f"PERF REGRESSION: {', '.join(regressed)} fell more than "
+              f"{args.check_tolerance:.0%} below the committed score")
+        return 3
+    print("perf check ok")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -117,9 +155,22 @@ def main() -> int:
                         help="result JSON path (default: repo root)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="runs per scenario; best score wins")
+    parser.add_argument("--check", action="store_true",
+                        help="gate mode: compare against the committed "
+                             "scores instead of rewriting the result file "
+                             "(exit 3 on regression)")
+    parser.add_argument("--check-tolerance", type=float, default=0.15,
+                        help="allowed fractional drop per scenario in "
+                             "--check mode (default 0.15)")
     args = parser.parse_args()
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
+    if not 0.0 <= args.check_tolerance < 1.0:
+        parser.error("--check-tolerance must be in [0, 1)")
+    if args.check:
+        if args.rebaseline:
+            parser.error("--check and --rebaseline are mutually exclusive")
+        return run_check(args)
 
     scores = run_all(args.smoke, args.repeats)
     current = {

@@ -25,24 +25,39 @@ from repro.conformance.replay import record_to_file, replay_file  # noqa: E402
 from repro.conformance.scenario import make_manifest  # noqa: E402
 from repro.units import ms  # noqa: E402
 
-GOLDEN = REPO_ROOT / "tests" / "golden" / "scenario_default.trace.jsonl"
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
 
-#: The golden scenario: default seed, 10 ms, direct API, fastpath on,
-#: NUMA-link chaos so fault-fire events are part of the stream.
-MANIFEST = make_manifest(seed=271, measure_ns=ms(10), fastpath=True,
-                         variant="direct", chaos_profile="numa-link",
-                         sanitize=False)
+#: The committed golden scenarios.
+#:
+#: * ``scenario_default`` — default seed, 10 ms, direct API, fastpath
+#:   on, NUMA-link chaos so fault-fire events are part of the stream.
+#: * ``scenario_tick_heavy`` — every core churning through sub-quantum
+#:   compute/AVX/nap phases under TDP-bound turbo, 2 ms: the high-churn
+#:   regime of the vectorized hot path (dithered freq-apply decisions,
+#:   dense c-state traffic).
+GOLDENS = {
+    "scenario_default.trace.jsonl": make_manifest(
+        seed=271, measure_ns=ms(10), fastpath=True, variant="direct",
+        chaos_profile="numa-link", sanitize=False),
+    "scenario_tick_heavy.trace.jsonl": make_manifest(
+        seed=271, measure_ns=ms(2), fastpath=True, variant="direct",
+        workload="tick-heavy", sanitize=False),
+}
 
 
 def main() -> int:
-    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
-    trace = record_to_file(MANIFEST, GOLDEN)
-    print(f"wrote {GOLDEN.relative_to(REPO_ROOT)}: "
-          f"{len(trace.events)} events, schema v{trace.schema_version} "
-          f"({trace.schema_digest})")
-    report = replay_file(GOLDEN)
-    print(report.render())
-    return 0 if report.match else 1
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    failed = False
+    for name, manifest in GOLDENS.items():
+        golden = GOLDEN_DIR / name
+        trace = record_to_file(manifest, golden)
+        print(f"wrote {golden.relative_to(REPO_ROOT)}: "
+              f"{len(trace.events)} events, schema v{trace.schema_version} "
+              f"({trace.schema_digest})")
+        report = replay_file(golden)
+        print(report.render())
+        failed |= not report.match
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -20,7 +20,10 @@ from repro.conformance.replay import replay_file
 from repro.errors import ConformanceError
 from repro.units import ms
 
-DEFAULT_GOLDEN = Path("tests/golden/scenario_default.trace.jsonl")
+DEFAULT_GOLDENS = (
+    Path("tests/golden/scenario_default.trace.jsonl"),
+    Path("tests/golden/scenario_tick_heavy.trace.jsonl"),
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -28,9 +31,11 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.conformance",
         description="replay the golden trace and run the differential "
                     "conformance sweep")
-    parser.add_argument("--golden", type=Path, default=DEFAULT_GOLDEN,
-                        help=f"golden trace to replay "
-                             f"(default {DEFAULT_GOLDEN})")
+    parser.add_argument("--golden", type=Path, action="append",
+                        default=None,
+                        help="golden trace(s) to replay; repeatable "
+                             "(default: the committed goldens under "
+                             "tests/golden/)")
     parser.add_argument("--skip-golden", action="store_true",
                         help="skip the golden-trace replay")
     parser.add_argument("--measure-ms", type=int, default=10,
@@ -46,17 +51,19 @@ def main(argv: list[str] | None = None) -> int:
 
     failed = False
     if not args.skip_golden:
-        if not args.golden.exists():
-            print(f"error: golden trace {args.golden} not found "
-                  "(run scripts/regen_golden_trace.py)", file=sys.stderr)
-            return 2
-        try:
-            report = replay_file(args.golden)
-        except ConformanceError as exc:
-            print(f"golden replay error: {exc}", file=sys.stderr)
-            return 1
-        print(report.render())
-        failed |= not report.match
+        goldens = args.golden if args.golden else list(DEFAULT_GOLDENS)
+        for golden in goldens:
+            if not golden.exists():
+                print(f"error: golden trace {golden} not found "
+                      "(run scripts/regen_golden_trace.py)", file=sys.stderr)
+                return 2
+            try:
+                report = replay_file(golden)
+            except ConformanceError as exc:
+                print(f"golden replay error: {exc}", file=sys.stderr)
+                return 1
+            print(report.render())
+            failed |= not report.match
 
     diff = run_differential(measure_ns=ms(args.measure_ms), jobs=args.jobs,
                             sanitize=not args.no_sanitize)

@@ -68,6 +68,7 @@ class ModeCheck:
     #: serial trace text vs the same manifest run under jobs=N
     #: (None = parallel pass skipped, e.g. the worker died)
     parallel_identical: bool | None
+    workload: str = "firestarter"
 
     @property
     def key(self) -> str:
@@ -96,7 +97,8 @@ class DifferentialReport:
     def render(self) -> str:
         lines = [
             "Differential conformance: 4 execution modes x "
-            f"{{no chaos, {', '.join(sorted(CHAOS_PROFILES))}}}, "
+            f"{{no chaos, {', '.join(sorted(CHAOS_PROFILES))}}} "
+            "+ tick-heavy, "
             f"serial vs jobs={self.jobs}",
             f"(seed {self.seed}, {self.measure_ns / 1e6:.0f} ms simulated "
             "per run; cross-variant diffs ignore hostif-write)",
@@ -104,6 +106,8 @@ class DifferentialReport:
         ]
         for check in self.checks:
             chaos = check.profile or "no chaos"
+            if check.workload != "firestarter":
+                chaos = f"{check.workload}|{chaos}"
             serial = ("baseline" if check.divergence is None
                       and (check.fastpath, check.variant) == MODES[0]
                       else "bit-identical" if check.divergence is None
@@ -128,14 +132,26 @@ def run_differential(seed: int = 271, measure_ns: int = ms(10),
                      jobs: int = 4, sanitize: bool = False,
                      chaos_profiles: tuple[str, ...] = (
                          "", *sorted(CHAOS_PROFILES)),
+                     workloads: tuple[str, ...] = (
+                         "firestarter", "tick-heavy"),
                      ) -> DifferentialReport:
-    """Run the full differential sweep and collect verdicts."""
+    """Run the full differential sweep and collect verdicts.
+
+    The firestarter workload sweeps every chaos profile; the tick-heavy
+    workload (all cores churning under TDP-bound turbo dither) runs the
+    4 execution modes without chaos — its point is the vectorized hot
+    path, and the fault machinery is already covered by the firestarter
+    passes.
+    """
     report = DifferentialReport(seed=seed, measure_ns=measure_ns, jobs=jobs)
-    for profile in chaos_profiles:
+    sweeps = [(w, p)
+              for w in workloads
+              for p in (chaos_profiles if w == "firestarter" else ("",))]
+    for workload, profile in sweeps:
         manifests = [
             make_manifest(seed=seed, measure_ns=measure_ns, fastpath=fp,
                           variant=var, chaos_profile=profile,
-                          sanitize=sanitize)
+                          sanitize=sanitize, workload=workload)
             for fp, var in MODES]
         traces = [run_scenario(m) for m in manifests]
         parallel_texts = _parallel_texts(manifests, jobs)
@@ -150,6 +166,7 @@ def run_differential(seed: int = 271, measure_ns: int = ms(10),
                                   else par_text == trace.to_jsonl())
             report.checks.append(ModeCheck(
                 profile=profile, fastpath=fp, variant=var,
+                workload=workload,
                 events=len(trace.events),
                 fault_fires=len(trace.of_kind("fault-fire")),
                 divergence=divergence,

@@ -83,6 +83,32 @@ def configure_hostif(host: VirtualHost) -> None:
 CONFIGURE = {"direct": configure_direct, "hostif": configure_hostif}
 
 
+def configure_tick_heavy_direct(host: VirtualHost) -> None:
+    """Tick-heavy scenario knobs, internal-API path.
+
+    Turbo stays on and EPB goes to performance so the fully loaded node
+    runs TDP-bound — the PCU's turbo dither re-decides every quantum,
+    which is exactly the high-churn regime the tick-heavy golden trace
+    and the perf gate are meant to pin down.
+    """
+    node = host.node
+    node.set_epb(Epb.PERFORMANCE)
+    node.set_turbo(True)
+
+
+def configure_tick_heavy_hostif(host: VirtualHost) -> None:
+    """The same two knobs, purely through sysfs and MSR writes."""
+    per_socket = [s.cores[0].core_id for s in host.node.sockets]
+    for cpu in per_socket:
+        host.sysfs.write(f"{_SYS}/cpu{cpu}/power/energy_perf_bias", "0")
+        host.msr.write(cpu, HostMsr.IA32_MISC_ENABLE,
+                       encode_misc_enable(turbo_enabled=True))
+
+
+TICK_HEAVY_CONFIGURE = {"direct": configure_tick_heavy_direct,
+                        "hostif": configure_tick_heavy_hostif}
+
+
 def render_state(host: VirtualHost) -> str:
     """Full-precision state dump — any divergence shows as a text diff."""
     node = host.node

@@ -37,6 +37,7 @@ from repro.errors import ConformanceError
 from repro.conformance.hostconfig import (
     ACTIVE_CPUS as _ACTIVE_CPUS,
     CONFIGURE as _CONFIGURE,
+    TICK_HEAVY_CONFIGURE as _TICK_HEAVY_CONFIGURE,
     render_state as _render_state,
 )
 from repro.faults.injector import FaultInjector
@@ -49,7 +50,15 @@ from repro.hostif import VirtualHost
 from repro.specs.node import HASWELL_TEST_NODE
 from repro.system.node import Node, build_node
 from repro.units import ms, us
+from repro.workloads import micro
 from repro.workloads.firestarter import firestarter
+
+#: Selectable scenario workloads. ``firestarter`` is the canonical
+#: hostif-parity configuration (six pinned cores, turbo off);
+#: ``tick-heavy`` loads every core with sub-quantum compute/AVX/nap
+#: churn under active turbo, so the trace captures the TDP-bound dither
+#: and c-state traffic the vectorized hot path optimizes.
+WORKLOADS = ("firestarter", "tick-heavy")
 
 #: Stress profiles re-rated for conformance windows. The stock chaos
 #: profiles are tuned for multi-second paper runs (~0.4 events/s — a
@@ -88,12 +97,17 @@ class ScenarioManifest:
     chaos_profile: str = ""        # name the fault plan was drawn from
     fault_plan: FaultPlan | None = None
     sanitize: bool = False         # fold the RNG ledger into the trace
+    workload: str = "firestarter"  # see WORKLOADS
 
     def __post_init__(self) -> None:
         if self.variant not in _CONFIGURE:
             raise ConformanceError(
                 f"unknown variant {self.variant!r} "
                 f"(valid: {', '.join(sorted(_CONFIGURE))})")
+        if self.workload not in WORKLOADS:
+            raise ConformanceError(
+                f"unknown workload {self.workload!r} "
+                f"(valid: {', '.join(WORKLOADS)})")
         if self.measure_ns <= 0:
             raise ConformanceError("measure_ns must be positive")
 
@@ -103,7 +117,8 @@ class ScenarioManifest:
                 "chaos_profile": self.chaos_profile,
                 "fault_plan": (self.fault_plan.to_dict()
                                if self.fault_plan is not None else None),
-                "sanitize": self.sanitize}
+                "sanitize": self.sanitize,
+                "workload": self.workload}
 
     def digest(self) -> str:
         """Content digest of the manifest (full sha256 hex).
@@ -141,20 +156,21 @@ class ScenarioManifest:
                    chaos_profile=str(data.get("chaos_profile", "")),
                    fault_plan=(FaultPlan.from_dict(plan)
                                if plan is not None else None),
-                   sanitize=bool(data.get("sanitize", False)))
+                   sanitize=bool(data.get("sanitize", False)),
+                   workload=str(data.get("workload", "firestarter")))
 
 
 def make_manifest(seed: int = 271, measure_ns: int = ms(20),
                   fastpath: bool = True, variant: str = "direct",
-                  chaos_profile: str = "",
-                  sanitize: bool = False) -> ScenarioManifest:
+                  chaos_profile: str = "", sanitize: bool = False,
+                  workload: str = "firestarter") -> ScenarioManifest:
     """Build a manifest, drawing the fault plan when a profile is named."""
     plan = (chaos_plan(chaos_profile, seed, measure_ns)
             if chaos_profile else None)
     return ScenarioManifest(seed=seed, measure_ns=measure_ns,
                             fastpath=fastpath, variant=variant,
                             chaos_profile=chaos_profile, fault_plan=plan,
-                            sanitize=sanitize)
+                            sanitize=sanitize, workload=workload)
 
 
 def install_cstate_probes(recorder: ConformanceRecorder, node: Node) -> None:
@@ -197,8 +213,13 @@ def _run(manifest: ScenarioManifest) -> Trace:
     host = VirtualHost(sim, node).start()
     if manifest.fault_plan is not None:
         FaultInjector(sim, node, manifest.fault_plan).arm()
-    _CONFIGURE[manifest.variant](host)
-    node.run_workload(list(_ACTIVE_CPUS), firestarter())
+    if manifest.workload == "tick-heavy":
+        _TICK_HEAVY_CONFIGURE[manifest.variant](host)
+        node.run_workload([c.core_id for c in node.all_cores],
+                          micro.tick_heavy())
+    else:
+        _CONFIGURE[manifest.variant](host)
+        node.run_workload(list(_ACTIVE_CPUS), firestarter())
     sim.run_for(manifest.measure_ns)
     # Trailer: the RNG draw ledger (when requested) and the end-of-run
     # state digest, so a trace diff catches divergent final state even

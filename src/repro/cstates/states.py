@@ -24,6 +24,13 @@ class CState(enum.Enum):
     C3 = 3     # caches flushed to L3, clocks off
     C6 = 6     # core power-gated, state saved to SRAM
 
+    # Identity hash: members are singletons and equality is identity, so
+    # the id-based C hash is consistent with __eq__ and skips the
+    # Python-level Enum.__hash__ on every residency/row dict lookup in
+    # the integration hot path. (Dict iteration is insertion-ordered in
+    # CPython, so this changes no observable ordering.)
+    __hash__ = object.__hash__
+
     def __lt__(self, other: "CState") -> bool:
         if not isinstance(other, CState):
             return NotImplemented
@@ -44,6 +51,8 @@ class PackageCState(enum.Enum):
     PC0 = 0    # uncore active
     PC3 = 3    # uncore clock halted, caches retained
     PC6 = 6    # uncore power-gated
+
+    __hash__ = object.__hash__  # see CState
 
     def __lt__(self, other: "PackageCState") -> bool:
         if not isinstance(other, PackageCState):

@@ -24,7 +24,13 @@ class EpochCell:
 
     def bump(self) -> None:
         self.value += 1
+        # The chain is at most socket -> node in practice; unroll the
+        # first link so the common two-level bump never enters the loop.
         cell = self.parent
+        if cell is None:
+            return
+        cell.value += 1
+        cell = cell.parent
         while cell is not None:
             cell.value += 1
             cell = cell.parent

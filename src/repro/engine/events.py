@@ -3,19 +3,24 @@
 Events are ordered by (time, sequence number) so same-time events run in
 scheduling order — a deterministic tie-break that keeps every simulation
 run bit-reproducible.
+
+The heap stores plain ``(time_ns, seq, event)`` tuples rather than the
+events themselves: tuple comparison of two ints runs entirely in C,
+while a rich-comparison dunder on the event class would execute Python
+bytecode on every sift — at hundreds of thousands of heap operations per
+simulated second the difference is a measurable slice of the tick-heavy
+budget. ``seq`` is unique, so the comparison never reaches the event.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import SimulationError
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
@@ -23,44 +28,76 @@ class Event:
     events stay in the heap but are skipped when popped (lazy deletion).
     """
 
-    time_ns: int
-    seq: int
-    action: Callable[[int], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time_ns", "seq", "action", "label", "cancelled")
+
+    def __init__(self, time_ns: int, seq: int,
+                 action: Callable[[int], None], label: str = "") -> None:
+        self.time_ns = time_ns
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = False
 
     def cancel(self) -> None:
         self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return (f"Event(t={self.time_ns}, seq={self.seq}, "
+                f"label={self.label!r}{state})")
 
 
 class EventQueue:
     """Min-heap of events with lazy cancellation."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[int, int, Event]] = []
         self._counter = itertools.count()
 
     def __len__(self) -> int:
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return sum(1 for _, _, ev in self._heap if not ev.cancelled)
 
     def push(self, time_ns: int, action: Callable[[int], None], label: str = "") -> Event:
         if time_ns < 0:
             raise SimulationError(f"cannot schedule event at negative time {time_ns}")
-        event = Event(time_ns=int(time_ns), seq=next(self._counter),
-                      action=action, label=label)
-        heapq.heappush(self._heap, event)
+        time_ns = int(time_ns)
+        event = Event(time_ns, next(self._counter), action, label)
+        heapq.heappush(self._heap, (time_ns, event.seq, event))
         return event
 
     def peek_time(self) -> int | None:
         """Firing time of the next live event, or None if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time_ns if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def pop(self) -> Event | None:
         """Pop the next live event, or None if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
                 return event
+        return None
+
+    def pop_next_until(self, t_ns: int) -> Event | None:
+        """Pop the next live event firing at or before ``t_ns``.
+
+        Returns None (leaving the event queued) when the next live event
+        fires later, or when the queue is empty. One heap traversal
+        serves what a ``peek_time`` + ``pop`` pair did — the run loop's
+        per-event cost is mostly this walk.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            head = heap[0]
+            if head[2].cancelled:
+                pop(heap)
+                continue
+            if head[0] > t_ns:
+                return None
+            pop(heap)
+            return head[2]
         return None

@@ -4,13 +4,32 @@ All stochastic elements of the simulation (meter noise, measurement
 jitter, random FTaLaT delays) derive from a single seed via
 ``numpy.random.Generator`` spawning, so every experiment is exactly
 reproducible and independent sub-streams never alias.
+
+Hot draw sites go through :class:`DrawBatch`, which refills a seeded
+buffer with one vectorized generator call and hands values out one per
+:meth:`~DrawBatch.take`. numpy's ``Generator`` produces the identical
+value stream (and identical post-call generator state) for
+``integers(lo, hi, size=N)`` as for ``N`` sequential single draws, so a
+batch whose draw site is the only consumer of its parent stream yields
+byte-identical simulations — only cheaper. Sanitize-mode draw-order
+accounting happens per ``take``, exactly like a direct generator call;
+the refill itself draws from the unwrapped stream and is invisible to
+the ledger by design (the ``rng-batch-bypass`` lint rule keeps everyone
+else out of the buffer).
 """
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
 DEFAULT_SEED = 0x9A5735
+
+#: Draws fetched per DrawBatch refill. Large enough to amortize the
+#: generator call, small enough that a retune (draw args changed, e.g. a
+#: PCU_JITTER fault widening the tick spread) discards little work.
+DRAW_BATCH_BLOCK = 256
 
 
 def make_rng(seed: int | None = None) -> np.random.Generator:
@@ -38,3 +57,50 @@ def spawn_rng(parent: np.random.Generator) -> np.random.Generator:
     if ledger is not None:
         return sanitize.wrap_rng(child, ledger)
     return child
+
+
+class DrawBatch:
+    """A pre-filled buffer of draws from one (generator, method) pair.
+
+    ``take(*args)`` is the **only** sanctioned way to consume the buffer:
+    it records the caller's site in the parent's sanitize ledger exactly
+    like a direct ``rng.method(*args)`` call would, refills with one
+    vectorized draw when the buffer runs dry, and retunes (discarding
+    the remainder deterministically) whenever the draw arguments change.
+    Direct indexing into ``_prefill``/``_prefill_cursor`` from outside
+    this module bypasses draw-order accounting and is rejected by the
+    ``rng-batch-bypass`` lint rule.
+    """
+
+    __slots__ = ("_parent", "_method", "_block",
+                 "_prefill", "_prefill_args", "_prefill_cursor")
+
+    def __init__(self, parent, method: str,
+                 block: int = DRAW_BATCH_BLOCK) -> None:
+        if block < 1:
+            raise ValueError("DrawBatch block must be >= 1")
+        self._parent = parent
+        self._method = method
+        self._block = int(block)
+        self._prefill: np.ndarray | None = None
+        self._prefill_args: tuple = ()
+        self._prefill_cursor = 0
+
+    def take(self, *args):
+        """One draw of ``method(*args)`` from the buffer (numpy scalar)."""
+        prefill = self._prefill
+        cursor = self._prefill_cursor
+        if prefill is None or cursor >= self._block \
+                or args != self._prefill_args:
+            from repro.engine import sanitize
+            bare = sanitize.unwrap_rng(self._parent)
+            prefill = self._prefill = getattr(bare, self._method)(
+                *args, size=self._block)
+            self._prefill_args = args
+            cursor = 0
+        self._prefill_cursor = cursor + 1
+        ledger = getattr(self._parent, "_ledger", None)
+        if ledger is not None:
+            from repro.engine import sanitize
+            ledger.record(sanitize._site_of(sys._getframe(1)), self._method)
+        return prefill[cursor]

@@ -160,14 +160,20 @@ class Simulator:
         if t_ns < self.now_ns:
             raise SimulationError(
                 f"run_until({t_ns}) but now is {self.now_ns}")
+        pop_next = self.queue.pop_next_until
+        integrators = self._integrators
         while True:
-            next_time = self.queue.peek_time()
-            if next_time is None or next_time > t_ns:
+            event = pop_next(t_ns)
+            if event is None:
                 break
-            self._advance_to(next_time)
-            event = self.queue.pop()
-            if event is not None:
-                event.action(self.now_ns)
+            time_ns = event.time_ns
+            if time_ns != self.now_ns:
+                # _advance_to, inlined: integrate the segment up to the
+                # event, then move the clock.
+                for component in integrators:
+                    component.integrate(self.now_ns, time_ns)
+                self.now_ns = time_ns
+            event.action(time_ns)
         self._advance_to(t_ns)
 
     def run_for(self, duration_ns: int) -> None:

@@ -27,6 +27,10 @@ run over the whole tree on every PR (``make lint``):
                   and every hand-written mask/shift must match it.
 * ``epoch-bypass`` — no writes that dodge the ``__setattr__``
                   interception feeding :class:`repro.engine.epoch.EpochCell`.
+* ``rng-batch-bypass`` — no reaching into the
+                  :class:`repro.engine.rng.DrawBatch` prefill buffer
+                  outside ``repro/engine/rng.py``; ``take()`` is the
+                  only draw-order-accounted consumer.
 * ``trace-schema-*`` — the conformance event catalog in
                   :mod:`repro.conformance.schema` must stay versioned:
                   any wire-format edit requires a ``SCHEMA_VERSION``

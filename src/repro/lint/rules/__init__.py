@@ -8,7 +8,8 @@ project rules via :func:`~repro.lint.engine.register_project`):
   ``det-id-key``, ``det-set-iter``
 * :mod:`repro.lint.rules.units`        — ``units-mix``
 * :mod:`repro.lint.rules.msr`          — ``msr-layout``
-* :mod:`repro.lint.rules.epoch`        — ``epoch-bypass``
+* :mod:`repro.lint.rules.epoch`        — ``epoch-bypass``,
+  ``rng-batch-bypass``
 * :mod:`repro.lint.rules.trace_schema` — ``trace-schema-*``
 * :mod:`repro.lint.rules.layering`     — ``arch-layering``,
   ``arch-cycle``, ``arch-sim-reach`` (project)

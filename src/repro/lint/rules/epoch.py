@@ -17,6 +17,15 @@ and slow-path results. ``epoch-bypass`` flags:
 * ``setattr(obj, name, v)`` with a computed ``name`` — it does route
   through interception, but which field it writes cannot be verified
   statically, so it needs a literal or a justified suppression.
+
+The same family polices the batched-RNG buffer: ``rng-batch-bypass``
+flags any access to :class:`repro.engine.rng.DrawBatch`'s private
+prefill state (``_prefill``, ``_prefill_args``, ``_prefill_cursor``)
+outside ``repro/engine/rng.py``. ``take()`` is the only sanctioned
+way to consume the buffer — it records the draw site in the sanitize
+ledger exactly like a direct generator call; reaching into the buffer
+consumes randomness invisibly, so a fastpath-on and fastpath-off run
+could agree on every final counter while having drawn differently.
 """
 
 from __future__ import annotations
@@ -124,3 +133,35 @@ class EpochBypassRule(Rule):
                 ctx, node,
                 "setattr with a computed field name cannot be verified "
                 "against the epoch field set")
+
+
+#: DrawBatch's private prefill state. Touching it outside the batch
+#: implementation bypasses take()'s draw-order accounting.
+BATCH_INTERNALS = frozenset({"_prefill", "_prefill_args",
+                             "_prefill_cursor"})
+
+#: The one module allowed to touch the prefill buffer.
+_RNG_MODULE_SUFFIX = "repro/engine/rng.py"
+
+
+@register
+class RngBatchBypassRule(Rule):
+    id = "rng-batch-bypass"
+    description = ("direct access to the DrawBatch prefill buffer "
+                   "bypasses draw-order accounting")
+    hint = ("consume batched draws through DrawBatch.take(); only "
+            "repro/engine/rng.py may touch the prefill state")
+    node_types = (ast.Attribute,)
+
+    def begin_file(self, ctx: FileContext) -> Iterable[Finding]:
+        path = ctx.path.replace("\\", "/")
+        self._exempt = path.endswith(_RNG_MODULE_SUFFIX)
+        return ()
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> Iterable[Finding]:
+        if self._exempt or node.attr not in BATCH_INTERNALS:
+            return
+        yield self.finding(
+            ctx, node,
+            f"access to DrawBatch internal {node.attr!r} outside "
+            f"repro/engine/rng.py skips the sanitize ledger")

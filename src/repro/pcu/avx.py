@@ -24,48 +24,134 @@ from repro.units import us
 # Electrical voltage-bump acknowledgement delay.
 GRANT_DELAY_NS = us(20)
 
+_osa = object.__setattr__
+
+# Module-level aliases: on_phase_change runs on every workload phase
+# flip, where the class-attribute enum lookups are measurable.
+_NORMAL = AvxLicense.NORMAL
+_REQUESTING = AvxLicense.REQUESTING
+_LICENSED = AvxLicense.LICENSED
+_RELAXING = AvxLicense.RELAXING
+
+
+def _set_license(core: Core, value: AvxLicense) -> None:
+    """Write ``avx_license`` without the ``Core.__setattr__`` dispatch.
+
+    Every call site transitions between two *different* license states,
+    so the one epoch bump the intercept would have issued is issued here
+    unconditionally — same observable effect, no field-name lookup.
+    """
+    _osa(core, "avx_license", value)
+    cell = core._epoch_cell
+    if cell is not None:
+        cell.bump()
+
 
 @dataclass
 class AvxUnit:
-    """Per-socket manager of the per-core AVX license machines."""
+    """Per-socket manager of the per-core AVX license machines.
+
+    Grant acknowledgements and relax expiries landing on the same
+    nanosecond share one heap event per (deadline, kind) cohort; cores
+    inside a cohort are processed in insertion order, which matches the
+    scheduling order their individual events would have had.
+    """
 
     sim: Simulator
     relax_delay_ns: int
-    _pending: dict[int, object] = field(default_factory=dict)  # core id -> Event
+    # (deadline, kind) -> (Event, {core id -> Core}); insertion-ordered
+    _cohorts: dict[tuple[int, str], tuple[object, dict]] = \
+        field(default_factory=dict)
+    _pending: dict[int, tuple[int, str]] = field(default_factory=dict)
 
-    def on_phase_change(self, core: Core) -> None:
-        """Drive the license machine when a core's workload phase flips."""
-        phase = core.current_phase
-        uses_avx = (phase is not None and phase.active and phase.uses_avx)
-        if uses_avx:
+    def on_phase_change(self, core: Core, bump: bool = True) -> None:
+        """Drive the license machine when a core's workload phase flips.
+
+        ``bump=False`` writes the license without an epoch bump — for
+        callers (the phase-cohort loop) that bump the socket cell once
+        after processing every core of the callback.
+        """
+        phase = core._phase
+        lic = core.avx_license
+        if phase is not None and phase._avx_active:
+            if lic is _LICENSED:
+                # Steady AVX: licensed with nothing pending to cancel.
+                return
             self._cancel(core)
-            if core.avx_license is AvxLicense.NORMAL:
-                core.avx_license = AvxLicense.REQUESTING
-                self._pending[core.core_id] = self.sim.schedule_after(
-                    GRANT_DELAY_NS, lambda _t, c=core: self._grant(c),
-                    label=f"avx-grant-core{core.core_id}")
-            elif core.avx_license is AvxLicense.RELAXING:
+            if lic is _NORMAL:
+                if bump:
+                    _set_license(core, _REQUESTING)
+                else:
+                    _osa(core, "avx_license", _REQUESTING)
+                self._enqueue(core, GRANT_DELAY_NS, "grant")
+            elif lic is _RELAXING:
                 # AVX resumed before the relax window expired.
-                core.avx_license = AvxLicense.LICENSED
+                if bump:
+                    _set_license(core, _LICENSED)
+                else:
+                    _osa(core, "avx_license", _LICENSED)
         else:
-            if core.avx_license in (AvxLicense.LICENSED, AvxLicense.REQUESTING):
+            if lic is _LICENSED or lic is _REQUESTING:
                 self._cancel(core)
-                core.avx_license = AvxLicense.RELAXING
-                self._pending[core.core_id] = self.sim.schedule_after(
-                    self.relax_delay_ns, lambda _t, c=core: self._relax(c),
-                    label=f"avx-relax-core{core.core_id}")
+                if bump:
+                    _set_license(core, _RELAXING)
+                else:
+                    _osa(core, "avx_license", _RELAXING)
+                self._enqueue(core, self.relax_delay_ns, "relax")
 
-    def _grant(self, core: Core) -> None:
-        if core.avx_license is AvxLicense.REQUESTING:
-            core.avx_license = AvxLicense.LICENSED
-        self._pending.pop(core.core_id, None)
+    def _enqueue(self, core: Core, delay_ns: int, kind: str) -> None:
+        t = self.sim.now_ns + delay_ns
+        key = (t, kind)
+        entry = self._cohorts.get(key)
+        if entry is None:
+            fire = self._fire_grants if kind == "grant" else self._fire_relaxes
+            event = self.sim.schedule_at(t, fire, label=f"avx-{kind}")
+            entry = (event, {})
+            self._cohorts[key] = entry
+        entry[1][core.core_id] = core
+        self._pending[core.core_id] = key
 
-    def _relax(self, core: Core) -> None:
-        if core.avx_license is AvxLicense.RELAXING:
-            core.avx_license = AvxLicense.NORMAL
-        self._pending.pop(core.core_id, None)
+    def _fire_grants(self, now_ns: int) -> None:
+        entry = self._cohorts.pop((now_ns, "grant"), None)
+        if entry is None:
+            return
+        pending = self._pending
+        # All cores of this unit share one socket cell: write the
+        # licenses plainly, bump once for the whole cohort.
+        cell = None
+        for core in entry[1].values():
+            if core.avx_license is _REQUESTING:
+                _osa(core, "avx_license", _LICENSED)
+                cell = core._epoch_cell
+            pending.pop(core.core_id, None)
+        if cell is not None:
+            cell.bump()
+
+    def _fire_relaxes(self, now_ns: int) -> None:
+        entry = self._cohorts.pop((now_ns, "relax"), None)
+        if entry is None:
+            return
+        pending = self._pending
+        cell = None
+        for core in entry[1].values():
+            if core.avx_license is _RELAXING:
+                _osa(core, "avx_license", _NORMAL)
+                cell = core._epoch_cell
+            pending.pop(core.core_id, None)
+        if cell is not None:
+            cell.bump()
 
     def _cancel(self, core: Core) -> None:
-        event = self._pending.pop(core.core_id, None)
-        if event is not None:
+        key = self._pending.pop(core.core_id, None)
+        if key is None:
+            return
+        entry = self._cohorts.get(key)
+        if entry is None:
+            return
+        event, cohort = entry
+        cohort.pop(core.core_id, None)
+        if not cohort:
+            # An empty cohort must not fire: a spurious heap event would
+            # split an integration segment and perturb float accumulation.
             event.cancel()
+            del self._cohorts[key]

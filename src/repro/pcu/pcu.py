@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.engine import fastpath
-from repro.engine.rng import spawn_rng
+from repro.engine.rng import DrawBatch, spawn_rng
 from repro.errors import ConfigurationError
 from repro.engine.simulator import Simulator
 from repro.pcu.avx import AvxUnit
@@ -52,6 +52,16 @@ class Pcu:
         self.avx_unit = AvxUnit(sim=sim,
                                 relax_delay_ns=self.spec.avx_relax_delay_ns)
         self.rng = spawn_rng(sim.rng)
+        # Batched draw buffers over this PCU's stream. Tick jitter and
+        # TDP dither are the two per-tick draw sites; prefilling them
+        # block-wise replaces ~one generator call per tick with one per
+        # 256 ticks. Values are identical to sequential draws while the
+        # stream has a single live site (the canonical non-TDP-bound
+        # scenarios); interleaved dither shifts which value lands where
+        # but never the draw *order*, which is what the sanitizer ledger
+        # and the fastpath parity guarantee are about.
+        self._jitter_batch = DrawBatch(self.rng, "integers")
+        self._dither_batch = DrawBatch(self.rng, "normal")
         self.last_decision: FrequencyDecision | None = None
         self.tick_count = 0
         # PROCHOT#-style thermal throttle: while set, every grant is
@@ -65,7 +75,12 @@ class Pcu:
         # Additional tick-timing jitter (fault injection: a disturbed
         # external tick source widens the grant-opportunity spread).
         self.extra_tick_jitter_ns: int = 0
-        self._pending_apply: dict[int, object] = {}
+        # Voltage-ramped frequency switches, batched per fire time: one
+        # decision applies every changed core at now + switch_time, so
+        # one heap event carries the whole socket's applies (per-core
+        # order = insertion order = the order per-core events had).
+        self._apply_batches: dict[int, tuple[object, dict]] = {}
+        self._pending_apply: dict[int, int] = {}   # core id -> fire time
         self._tick_times: list[int] = []      # for tests/analysis
         self._eet_last_stall = 0.0
         self._eet_last_cycles = 0.0
@@ -78,6 +93,7 @@ class Pcu:
                                  else fastpath_enabled)
         self._epoch = getattr(node, "epoch", None) or socket.epoch
         self._ctrl_key: tuple | None = None
+        self._ctrl_sig: tuple | None = None
         self._ctrl_targets: dict[int, float] = {}
         self._ctrl_decide_targets: dict[int, float] = {}
         self._ctrl_activity = 0.0
@@ -160,7 +176,7 @@ class Pcu:
         self._control(now_ns)
         quantum = self.spec.pcu_quantum_ns or us(500)
         spread = TICK_JITTER_NS + self.extra_tick_jitter_ns
-        jitter = int(self.rng.integers(-spread, spread + 1))
+        jitter = int(self._jitter_batch.take(-spread, spread + 1))
         self.sim.schedule_after(max(quantum + jitter, 1), self._tick,
                                 label=f"pcu-tick-s{self.socket.socket_id}")
 
@@ -199,44 +215,96 @@ class Pcu:
                 self.eet.trim_hz, self.prochot_cap_hz, self.limiter.budget_w,
                 self.uncore_limit_min_hz, self.uncore_limit_max_hz)
 
+    def _grant_signature(self) -> tuple:
+        """Content image of the grant-relevant core/uncore state.
+
+        The epoch in :meth:`_control_key` is a conservative proxy: any
+        mutation anywhere bumps it, so churn-heavy workloads (phase
+        flips every few hundred microseconds) never see two ticks under
+        one epoch even when the control inputs cycled back to a point
+        already derived. This signature captures the inputs themselves —
+        per-core request/grant/AVX-cap/activity/stall and the package
+        state — so equal signatures (with equal control knobs) imply
+        byte-equal targets, decide inputs and UFS target, and the cached
+        derivation can be replayed across epochs.
+        """
+        socket = self.socket
+        parts: list = [socket.package_cstate,
+                       self.node.system_fastest_setting()]
+        for core in socket.cores:
+            phase = core.current_phase
+            if core.is_active and phase is not None and phase.active:
+                parts.append((core.requested_hz, core.freq_hz,
+                              core.avx_license.avx_capped or phase.uses_avx,
+                              phase.power_activity, phase.stall_fraction))
+            else:
+                parts.append((core.requested_hz,
+                              core.avx_license.avx_capped))
+        return tuple(parts)
+
+    def _replay_cached(self) -> None:
+        """Re-issue the cached derivation's grants.
+
+        The limiter still re-decides (re-dithering TDP-bound grants
+        exactly as the slow path would — same rng draws in the same
+        order) and the grants are re-applied.
+        """
+        decision = self.limiter.decide(
+            targets_hz=self._ctrl_decide_targets,
+            activity_sum=self._ctrl_activity,
+            ufs_target_hz=self._ctrl_ufs,
+            rng=self._dither_batch,
+        )
+        self._apply_decision(decision, self._ctrl_targets)
+
     def _control(self, now_ns: int) -> None:
         socket = self.socket
         socket.sync_package_state(self.node.any_core_active())
 
         key = self._control_key()
-        if self.fastpath_enabled and key == self._ctrl_key:
-            # Steady state: inputs unchanged since the last tick, so the
-            # target derivation is skipped. The limiter still re-decides
-            # (re-dithering TDP-bound grants exactly as the slow path
-            # would — same rng draws) and the grants are re-applied.
-            decision = self.limiter.decide(
-                targets_hz=self._ctrl_decide_targets,
-                activity_sum=self._ctrl_activity,
-                ufs_target_hz=self._ctrl_ufs,
-                rng=self.rng,
-            )
-            self._apply_decision(decision, self._ctrl_targets)
-            return
+        sig: tuple | None = None
+        if self.fastpath_enabled:
+            if key == self._ctrl_key:
+                # Steady state: nothing moved since the last tick.
+                self._replay_cached()
+                return
+            if self._ctrl_key is not None and key[1:] == self._ctrl_key[1:]:
+                # The epoch moved but every control knob is unchanged;
+                # coalesce if the grant inputs themselves cycled back to
+                # the cached operating point (tick-heavy churn).
+                sig = self._grant_signature()
+                if sig == self._ctrl_sig:
+                    self._ctrl_key = key
+                    self._replay_cached()
+                    return
 
         active = socket.active_cores()
         n_active = max(len(active), 1)
 
         # All cores get a grant — parked cores keep a granted p-state so
         # they resume at the requested frequency when woken (PCPS).
+        # core_target_hz is pure and every input except (request,
+        # avx-cap) is tick-constant, so lockstep fleets resolve one
+        # target and share it across cores.
         targets: dict[int, float] = {}
+        target_memo: dict[tuple, float] = {}
         for core in socket.cores:
             phase = core.current_phase
             avx_capped = (core.avx_license.avx_capped
                           or (phase is not None and phase.active
                               and phase.uses_avx))
-            targets[core.core_id] = self.limiter.core_target_hz(
-                requested_hz=core.requested_hz,
-                n_active=n_active,
-                avx_capped=avx_capped,
-                epb=self.epb,
-                turbo_enabled=self.turbo_enabled,
-                eet_trim_hz=self.eet.trim_hz,
-            )
+            memo_key = (core.requested_hz, avx_capped)
+            target = target_memo.get(memo_key)
+            if target is None:
+                target = target_memo[memo_key] = self.limiter.core_target_hz(
+                    requested_hz=core.requested_hz,
+                    n_active=n_active,
+                    avx_capped=avx_capped,
+                    epb=self.epb,
+                    turbo_enabled=self.turbo_enabled,
+                    eet_trim_hz=self.eet.trim_hz,
+                )
+            targets[core.core_id] = target
 
         if self.prochot_cap_hz is not None:
             # Thermal throttle episode: PROCHOT# clamps every core grant
@@ -258,12 +326,18 @@ class Pcu:
             targets_hz=decide_targets,
             activity_sum=activity_sum,
             ufs_target_hz=ufs_target,
-            rng=self.rng,
+            rng=self._dither_batch,
         )
-        # Cache the derivation under the key observed *before* this tick
-        # mutated anything (applying grants bumps the epoch, forcing one
-        # more full derivation — conservative and correct).
+        # Cache the derivation under the key and signature observed
+        # *before* this tick mutated anything (applying grants bumps the
+        # epoch, forcing one more full derivation — conservative and
+        # correct). `sig` is only non-None when the control knobs were
+        # stable this tick; when a knob moved (EET trim drift, EPB
+        # write) the signature could not be consulted next tick anyway
+        # until the knobs settle, so skip computing it — a None
+        # signature just forces the (bit-identical) full derivation.
         self._ctrl_key = key
+        self._ctrl_sig = sig
         self._ctrl_targets = targets
         self._ctrl_decide_targets = decide_targets
         self._ctrl_activity = activity_sum
@@ -308,19 +382,46 @@ class Pcu:
         if (abs(granted_hz - core.freq_hz) < self._APPLY_THRESHOLD_HZ
                 and core.pending_freq_hz is None):
             return
-        pending = self._pending_apply.pop(core.core_id, None)
-        if pending is not None:
-            pending.cancel()
+        prev_t = self._pending_apply.pop(core.core_id, None)
+        if prev_t is not None:
+            self._drop_from_apply_batch(prev_t, core.core_id)
         core.pending_freq_hz = granted_hz
-        self._pending_apply[core.core_id] = self.sim.schedule_after(
-            self.spec.pstate_switch_time_ns,
-            lambda _t, c=core, f=granted_hz: self._finish_apply(c, f),
-            label=f"freq-apply-core{core.core_id}")
+        t = self.sim.now_ns + self.spec.pstate_switch_time_ns
+        entry = self._apply_batches.get(t)
+        if entry is None:
+            event = self.sim.schedule_at(
+                t, self._finish_apply_batch,
+                label=f"freq-apply-s{self.socket.socket_id}")
+            entry = (event, {})
+            self._apply_batches[t] = entry
+        entry[1][core.core_id] = (core, granted_hz)
+        self._pending_apply[core.core_id] = t
 
-    def _finish_apply(self, core, f_hz: float) -> None:
-        previous = core.freq_hz
-        core.apply_frequency(f_hz)
-        self._pending_apply.pop(core.core_id, None)
-        self.sim.trace.emit(
-            self.sim.now_ns, f"pcu{self.socket.socket_id}", "freq-apply",
-            core_id=core.core_id, from_hz=previous, to_hz=f_hz)
+    def _drop_from_apply_batch(self, t: int, core_id: int) -> None:
+        entry = self._apply_batches.get(t)
+        if entry is None:
+            return
+        event, batch = entry
+        batch.pop(core_id, None)
+        if not batch:
+            # An empty batch must not fire: a spurious event would split
+            # an integration segment and perturb the accumulation order.
+            event.cancel()
+            del self._apply_batches[t]
+
+    def _finish_apply_batch(self, now_ns: int) -> None:
+        entry = self._apply_batches.pop(now_ns, None)
+        if entry is None:
+            return
+        trace = self.sim.trace
+        record = trace.wants("freq-apply")
+        source = f"pcu{self.socket.socket_id}" if record else ""
+        pending = self._pending_apply
+        for core, f_hz in entry[1].values():
+            previous = core.freq_hz
+            core.apply_frequency(f_hz)
+            pending.pop(core.core_id, None)
+            if record:
+                trace.emit(now_ns, source, "freq-apply",
+                           core_id=core.core_id, from_hz=previous,
+                           to_hz=f_hz)

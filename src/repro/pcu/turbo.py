@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import brentq
 
+from repro.engine.rng import DrawBatch
 from repro.pcu.epb import Epb
 from repro.power.model import PowerModel
 from repro.specs.cpu import CpuSpec
@@ -54,10 +55,14 @@ class TdpLimiter:
         self.power_model = power_model
         self.budget_w = budget_w if budget_w is not None else spec.tdp_w
         # The decision is a pure function of its inputs except for the
-        # dither; steady workloads present identical inputs every 500 us
-        # tick, so cache the expensive solve and re-dither on top.
-        self._cache_key: tuple | None = None
-        self._cache_value: tuple[float, float, bool] | None = None
+        # dither; workloads present a small rotating set of (target,
+        # activity, ufs) points — steady fleets one, phase-cycling
+        # fleets one per phase mix — so memoize the expensive brentq
+        # solve per input point and re-dither on top. A single-entry
+        # cache thrashes as soon as two phase mixes alternate.
+        self._solve_memo: dict[tuple, tuple[float, float, bool]] = {}
+
+    _SOLVE_MEMO_MAX = 128
 
     # ---- per-core pre-TDP target ------------------------------------------------
 
@@ -86,7 +91,7 @@ class TdpLimiter:
         targets_hz: dict[int, float],        # active core id -> pre-TDP target
         activity_sum: float,
         ufs_target_hz: float | None,
-        rng: np.random.Generator | None = None,
+        rng: "np.random.Generator | DrawBatch | None" = None,
     ) -> FrequencyDecision:
         spec = self.spec
         if ufs_target_hz is None:
@@ -102,17 +107,26 @@ class TdpLimiter:
         f_common = max(targets_hz.values())
 
         key = (round(f_common), round(activity_sum, 6), round(ufs_cap), budget)
-        if key == self._cache_key and self._cache_value is not None:
-            f_core, f_uncore, tdp_bound = self._cache_value
+        memo = self._solve_memo
+        hit = memo.get(key)
+        if hit is not None:
+            f_core, f_uncore, tdp_bound = hit
         else:
             f_core, f_uncore, tdp_bound = self._solve(
                 f_common, activity_sum, ufs_cap, budget)
-            self._cache_key = key
-            self._cache_value = (f_core, f_uncore, tdp_bound)
+            if len(memo) >= self._SOLVE_MEMO_MAX:
+                memo.clear()
+            memo[key] = (f_core, f_uncore, tdp_bound)
 
         if tdp_bound and rng is not None:
-            f_core = min(max(f_core + float(rng.normal(0.0, DITHER_SIGMA_HZ)),
-                             spec.min_hz), f_common)
+            # The PCU hands in a batched buffer; callers with a bare
+            # generator (tuning scripts, tests) draw directly. Same
+            # distribution, same one-draw-per-decision ledger footprint.
+            if isinstance(rng, DrawBatch):
+                dither = float(rng.take(0.0, DITHER_SIGMA_HZ))
+            else:
+                dither = float(rng.normal(0.0, DITHER_SIGMA_HZ))
+            f_core = min(max(f_core + dither, spec.min_hz), f_common)
 
         grants = {cid: min(t, f_core) for cid, t in targets_hz.items()}
         return FrequencyDecision(core_targets_hz=grants, uncore_hz=f_uncore,

@@ -34,9 +34,13 @@ class Fivr:
         """Current domain voltage (0 when gated off)."""
         return self._output_voltage if self.enabled else 0.0
 
+    _last_f_hz: float = field(init=False, default=-1.0)
+
     def set_frequency(self, f_hz: float) -> float:
         """Regulate the domain voltage for ``f_hz``; returns the voltage."""
-        self._output_voltage = self.vf_curve.voltage(f_hz)
+        if f_hz != self._last_f_hz:
+            self._last_f_hz = f_hz
+            self._output_voltage = self.vf_curve.voltage(f_hz)
         return self._output_voltage
 
     def gate_off(self) -> None:

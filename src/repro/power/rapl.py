@@ -33,6 +33,11 @@ class RaplDomain(enum.Enum):
     DRAM = "dram"
     PP0 = "pp0"
 
+    # Identity hash (consistent with enum identity-equality): the
+    # accumulation path hits the per-domain dicts on every integration
+    # segment, and the Python-level Enum.__hash__ shows up there.
+    __hash__ = object.__hash__
+
 
 class DramRaplMode(enum.Enum):
     """BIOS-selectable DRAM RAPL mode. Haswell-EP supports only mode 1."""
@@ -96,6 +101,19 @@ class RaplBank:
             raise UnsupportedFeatureError(
                 f"RAPL domain {domain.value} not supported on {self.spec.model}")
         self._energy_j[domain] += self.backend.accumulate(true_joules, bias)
+
+    def accumulate_pkg_dram(self, pkg_joules: float, dram_joules: float,
+                            bias: float) -> None:
+        """Fused hot-path accumulate for the two always-present domains.
+
+        The socket integrator credits PACKAGE and DRAM on every segment;
+        both domains exist on every supported part (only PP0 varies), so
+        this skips the per-call membership check of :meth:`accumulate`.
+        """
+        acc = self.backend.accumulate
+        energy = self._energy_j
+        energy[RaplDomain.PACKAGE] += acc(pkg_joules, bias)
+        energy[RaplDomain.DRAM] += acc(dram_joules, bias)
 
     def refresh(self) -> None:
         """Latch accumulated energy into the visible MSR snapshot.

@@ -49,6 +49,12 @@ _UNSET = object()
 # Fallback chain for disabled idle states (cpuidle demotion order).
 _SHALLOWER = {CState.C6: CState.C3, CState.C3: CState.C1}
 
+# Hot-path locals: advance_phase touches these on every phase flip, and
+# the module-global load is measurably cheaper than the two-level
+# class-attribute lookup at that call rate.
+_C0 = CState.C0
+_C6 = CState.C6
+
 
 @dataclass
 class Core:
@@ -75,9 +81,21 @@ class Core:
     requested_idle_cstate: CState | None = None
     # cached current phase — hot path; refreshed on bind/advance
     _phase: "WorkloadPhase | None" = None
+    # cached hardware-thread count — workload only changes via
+    # bind_workload, so min(threads_per_core, smt) is resolved there
+    _nthr: int = 0
+    # phase-sequence cache (see bind_workload)
+    _wl_phases: "tuple[WorkloadPhase, ...] | None" = None
+    _wl_cyclic: bool = False
+    # per-index successor table: phase_index -> (next_index, next_phase)
+    _wl_next: "list[tuple[int, WorkloadPhase]] | None" = None
 
     # Set by the owning Socket after adoption; None while free-standing.
     _epoch_cell = None
+    # Shared one-element list holding the node-wide count of cores in C0;
+    # installed by Node.__post_init__. Every c-state transition keeps it
+    # exact, so Node.any_core_active is an O(1) read instead of a scan.
+    _active_counter = None
     # Conformance-trace probe: called as hook(old_cstate, new_cstate) on
     # every c-state change. None (the default) keeps the hot path free of
     # any tracing cost; repro.conformance installs one per core when the
@@ -87,12 +105,30 @@ class Core:
     def __setattr__(self, name: str, value) -> None:
         if name in _EPOCH_FIELDS:
             cell = self._epoch_cell
-            if cell is not None and getattr(self, name, _UNSET) != value:
-                if name == "cstate" and self._cstate_hook is not None:
-                    self._cstate_hook(self.cstate, value)
-                object.__setattr__(self, name, value)
-                cell.bump()
-                return
+            if cell is not None:
+                old = getattr(self, name, _UNSET)
+                # Identity first: enums and interned phase objects settle
+                # here without a value comparison. `_phase`/`workload`
+                # swaps bump on any identity change — a conservative
+                # over-bump for equal-valued distinct objects, bought to
+                # skip the 13-field dataclass compare on every advance.
+                if old is not value and (name in ("_phase", "workload")
+                                         or old != value):
+                    if name == "cstate":
+                        if self._cstate_hook is not None:
+                            self._cstate_hook(self.cstate, value)
+                        cnt = self._active_counter
+                        if cnt is not None:
+                            # old != value here, so exactly one of the
+                            # two endpoints can be C0.
+                            if value is CState.C0:
+                                cnt[0] += 1
+                            elif old is CState.C0:
+                                cnt[0] -= 1
+                    object.__setattr__(self, name, value)
+                    cell.bump()
+                    return
+                return object.__setattr__(self, name, value)
         object.__setattr__(self, name, value)
 
     def __post_init__(self) -> None:
@@ -108,16 +144,102 @@ class Core:
         self.workload = workload
         self.phase_index = 0
         self._phase = None if workload is None else workload.phase(0)
+        self._nthr = 0 if workload is None \
+            else min(workload.threads_per_core, self.spec.smt)
+        # Phase-sequence cache for advance_phase: the tuple and the
+        # cyclic flag are immutable per workload, so the hot path skips
+        # the next_index/phase method pair. _wl_next resolves the whole
+        # successor computation (wrap/clamp included) to one list index.
+        self._wl_phases = None if workload is None else workload.phases
+        self._wl_cyclic = False if workload is None else workload.cyclic
+        if workload is None:
+            self._wl_next = None
+        else:
+            phases = workload.phases
+            last = len(phases) - 1
+            self._wl_next = [
+                ((i + 1, phases[i + 1]) if i < last
+                 else ((0, phases[0]) if workload.cyclic
+                       else (last, phases[last])))
+                for i in range(len(phases))]
         self._sync_cstate()
 
-    def advance_phase(self) -> WorkloadPhase | None:
-        """Move to the next phase; returns it (None if no workload)."""
-        if self.workload is None:
+    def advance_phase(self, bump: bool = True) -> WorkloadPhase | None:
+        """Move to the next phase; returns it (None if no workload).
+
+        Hot path: writes fields with ``object.__setattr__`` and bumps
+        the epoch cell once itself, instead of paying the
+        ``__setattr__`` dispatch per field. Observable state after the
+        call is identical to routing each write through the intercept
+        (the cell is a dirty counter — one bump invalidates the same
+        caches two would).
+
+        ``bump=False`` defers the epoch bump to the caller: a cohort
+        loop advancing many cores of one socket in one event callback
+        bumps the socket cell once after the loop instead of once per
+        core. Nothing reads the cells until the callback returns, so
+        the deferred bump invalidates exactly the same segments.
+        """
+        nxt = self._wl_next
+        if nxt is None:
             return None
-        self.phase_index = self.workload.next_index(self.phase_index)
-        self._phase = self.workload.phase(self.phase_index)
-        self._sync_cstate()
-        return self._phase
+        osa = object.__setattr__
+        # Workload.next_index/phase, resolved by the successor table.
+        idx, new = nxt[self.phase_index]
+        osa(self, "phase_index", idx)
+        bumped = False
+        if new is not self._phase:
+            osa(self, "_phase", new)
+            bumped = True
+        fivr = self.fivr
+        if new.active:
+            if self.cstate is not _C0:
+                if self._cstate_hook is not None:
+                    self._cstate_hook(self.cstate, _C0)
+                cnt = self._active_counter
+                if cnt is not None:
+                    cnt[0] += 1
+                osa(self, "cstate", _C0)
+                bumped = True
+            if bumped and bump:
+                cell = self._epoch_cell
+                if cell is not None:
+                    cell.bump()
+            if not fivr.enabled:
+                fivr.gate_on()
+            return new
+        # Idle transition. The fast lane covers the common case (no
+        # disabled states, a plain idle target): write the resting state
+        # directly and fold its epoch bump into the phase bump. Anything
+        # unusual falls back to the general enter_cstate path.
+        state = new._idle_state
+        if state is not _C0 and not self.disabled_cstates:
+            osa(self, "requested_idle_cstate", state)
+            if self.cstate is not state:
+                if self._cstate_hook is not None:
+                    self._cstate_hook(self.cstate, state)
+                if self.cstate is _C0:
+                    cnt = self._active_counter
+                    if cnt is not None:
+                        cnt[0] -= 1
+                osa(self, "cstate", state)
+                bumped = True
+            if bumped and bump:
+                cell = self._epoch_cell
+                if cell is not None:
+                    cell.bump()
+            if state is _C6:
+                if fivr.enabled:
+                    fivr.gate_off()
+            elif not fivr.enabled:
+                fivr.gate_on()
+            return new
+        if bumped:
+            cell = self._epoch_cell
+            if cell is not None:
+                cell.bump()
+        self.enter_cstate(state)
+        return new
 
     @property
     def current_phase(self) -> WorkloadPhase | None:
@@ -125,9 +247,7 @@ class Core:
 
     @property
     def n_threads(self) -> int:
-        if self.workload is None:
-            return 0
-        return min(self.workload.threads_per_core, self.spec.smt)
+        return self._nthr
 
     def _sync_cstate(self) -> None:
         phase = self.current_phase
@@ -196,11 +316,21 @@ class Core:
         self.requested_hz = f_hz
 
     def apply_frequency(self, f_hz: float) -> None:
-        """PCU applies a granted frequency (after the switching time)."""
+        """PCU applies a granted frequency (after the switching time).
+
+        Hot path: writes bypass the ``__setattr__`` dispatch; ``freq_hz``
+        bumps the epoch cell directly when the value changes (same
+        observable effect as the intercept, minus the field lookup).
+        """
         if f_hz <= 0:
             raise SimulationError("granted frequency must be positive")
-        self.freq_hz = f_hz
-        self.pending_freq_hz = None
+        osa = object.__setattr__
+        if f_hz != self.freq_hz:
+            osa(self, "freq_hz", f_hz)
+            cell = self._epoch_cell
+            if cell is not None:
+                cell.bump()
+        osa(self, "pending_freq_hz", None)
         self.fivr.set_frequency(f_hz)
 
     # ---- integration helper -------------------------------------------------------------

@@ -37,7 +37,14 @@ class Node:
     mbvr: Mbvr
     psu: PsuModel
     ac_energy_j: float = 0.0
-    _phase_events: dict[int, object] = field(default_factory=dict)
+    # Phase-advance cohorts: fire time -> (event, cores advancing then).
+    # Lockstep fleets put every core's boundary at the same instant, so
+    # one heap event advances the whole cohort instead of one event per
+    # core — per-core order inside a cohort is insertion order, which is
+    # exactly the scheduling order per-core events would have fired in.
+    _phase_cohorts: dict[int, tuple[object, list[Core]]] = field(
+        default_factory=dict)
+    _phase_member: dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # Node-wide epoch: any socket's mutation bumps it, so system
@@ -50,10 +57,22 @@ class Node:
         # Cross-socket (QPI) link health; NUMA-link faults degrade it and
         # placement studies consult it via NumaBandwidthModel.
         self.link_derate = LinkDerate()
-        self._any_active_epoch = -1
-        self._any_active = False
         self._fastest_epoch = -1
         self._fastest: float | None | str = "no-active-core"
+        # O(1) topology lookups: the phase-advance machinery resolves a
+        # core id on every phase flip, which a linear scan over sockets
+        # turns into a tick-heavy hot spot.
+        self._cores_by_id: dict[int, Core] = {
+            c.core_id: c for s in self.sockets for c in s.cores}
+        # Node-wide active-core count, maintained incrementally by every
+        # Core c-state transition (a shared one-element list so cores
+        # can update it without a back-reference protocol). Replaces the
+        # all-core scan in any_core_active.
+        cores = list(self._cores_by_id.values())
+        counter = [sum(1 for c in cores if c.is_active)]
+        self._active_counter = counter
+        for c in cores:
+            object.__setattr__(c, "_active_counter", counter)
 
     def set_fastpath(self, enabled: bool) -> None:
         """Toggle the steady-state fast path on every socket and PCU
@@ -83,11 +102,10 @@ class Node:
         return [c for s in self.sockets for c in s.cores]
 
     def core(self, core_id: int) -> Core:
-        for s in self.sockets:
-            for c in s.cores:
-                if c.core_id == core_id:
-                    return c
-        raise ConfigurationError(f"no core {core_id}")
+        try:
+            return self._cores_by_id[core_id]
+        except KeyError:
+            raise ConfigurationError(f"no core {core_id}") from None
 
     def socket_of(self, core_id: int) -> Socket:
         return self.sockets[self.core(core_id).socket_id]
@@ -98,12 +116,7 @@ class Node:
     # ---- system-wide views used by the PCUs -----------------------------------------
 
     def any_core_active(self) -> bool:
-        if self.fastpath_enabled and self._any_active_epoch == self.epoch.value:
-            return self._any_active
-        value = any(c.is_active for s in self.sockets for c in s.cores)
-        self._any_active = value
-        self._any_active_epoch = self.epoch.value
-        return value
+        return self._active_counter[0] > 0
 
     def system_fastest_setting(self) -> float | None | str:
         """P-state setting of the fastest active core anywhere.
@@ -149,21 +162,80 @@ class Node:
         phase = core.current_phase
         if phase is None or phase.duration_ns is None:
             return
-        self._phase_events[core.core_id] = self.sim.schedule_after(
-            phase.duration_ns,
-            lambda _t, c=core: self._advance_phase(c),
-            label=f"phase-core{core.core_id}")
+        t = self.sim.now_ns + phase.duration_ns
+        entry = self._phase_cohorts.get(t)
+        if entry is None:
+            event = self.sim.schedule_at(t, self._advance_cohort,
+                                         label="phase-cohort")
+            entry = (event, [])
+            self._phase_cohorts[t] = entry
+        entry[1].append(core)
+        self._phase_member[core.core_id] = t
 
-    def _advance_phase(self, core: Core) -> None:
-        self._phase_events.pop(core.core_id, None)
-        core.advance_phase()
-        self.pcu_of(core.core_id).avx_unit.on_phase_change(core)
-        self._schedule_phase_advance(core)
+    def _advance_cohort(self, now_ns: int) -> None:
+        entry = self._phase_cohorts.pop(now_ns, None)
+        if entry is None:
+            return
+        member = self._phase_member
+        units = [pcu.avx_unit for pcu in self.pcus]
+        cohorts = self._phase_cohorts
+        sim = self.sim
+        # Lockstep fleets re-enter the same next cohort core after core;
+        # remember the last (time -> entry) pair so the common case pays
+        # one dict lookup per cohort, not one per core.
+        last_t = -1
+        last_cores = None
+        # Cores defer their epoch bumps (advance_phase(bump=False));
+        # each touched socket is bumped once after the loop. No segment
+        # is integrated between two cores of one callback, so one bump
+        # invalidates exactly what per-core bumps would have.
+        touched: set[int] = set()
+        add_touched = touched.add
+        last_sid = -1
+        for core in entry[1]:
+            phase = core.advance_phase(False)
+            sid = core.socket_id
+            if sid != last_sid:
+                add_touched(sid)
+                last_sid = sid
+            units[sid].on_phase_change(core, False)
+            # _schedule_phase_advance, inlined for the hot loop. The
+            # membership entry is overwritten (not popped first): no
+            # cancel can run between the two points of this loop body.
+            if phase is None or phase.duration_ns is None:
+                member.pop(core.core_id, None)
+                continue
+            t = now_ns + phase.duration_ns
+            if t != last_t:
+                next_entry = cohorts.get(t)
+                if next_entry is None:
+                    event = sim.schedule_at(t, self._advance_cohort,
+                                            label="phase-cohort")
+                    next_entry = (event, [])
+                    cohorts[t] = next_entry
+                last_t = t
+                last_cores = next_entry[1]
+            last_cores.append(core)
+            member[core.core_id] = t
+        sockets = self.sockets
+        for sid in touched:
+            sockets[sid].epoch.bump()
 
     def _cancel_phase_event(self, core_id: int) -> None:
-        event = self._phase_events.pop(core_id, None)
-        if event is not None:
+        t = self._phase_member.pop(core_id, None)
+        if t is None:
+            return
+        entry = self._phase_cohorts.get(t)
+        if entry is None:
+            return
+        event, cores = entry
+        cores[:] = [c for c in cores if c.core_id != core_id]
+        if not cores:
+            # An empty cohort must not fire: a spurious event would
+            # split an integration segment and perturb the float
+            # accumulation order.
             event.cancel()
+            del self._phase_cohorts[t]
 
     # ---- software control interfaces ---------------------------------------------------------
 
@@ -228,9 +300,9 @@ class Node:
         dc_w = 0.0
         for s in self.sockets:
             s.integrate(t0_ns, t1_ns, any_active)
-            breakdown = s.last_breakdown
-            if breakdown is not None:
-                dc_w += breakdown.package_w + breakdown.dram_w
+            if s.last_breakdown is not None:
+                # precomputed breakdown.package_w + breakdown.dram_w
+                dc_w += s._last_dc_w
         ac_w = self.psu.ac_power_w(dc_w)
         self.ac_energy_j += ac_w * (t1_ns - t0_ns) / NS_PER_S
 

@@ -38,7 +38,7 @@ from repro.power.rapl import (
     RaplDomain,
 )
 from repro.specs.cpu import CpuSpec
-from repro.system.core import Core
+from repro.system.core import AVX_REQUEST_THROTTLE, AvxLicense, Core
 from repro.system.counters import CSTATE_ROW, FIELD_ROW
 from repro.system.uncore import Uncore
 from repro.units import NS_PER_S
@@ -58,6 +58,16 @@ _ROW_STALL = FIELD_ROW["stall_cycles"]
 _ROW_L3 = FIELD_ROW["l3_bytes"]
 _ROW_DRAM = FIELD_ROW["dram_bytes"]
 _N_FIELD_ROWS = len(FIELD_ROW)
+_C0_RES_ROW = CSTATE_ROW[CState.C0]
+_CSTATE_C0 = CState.C0
+# The seven rows a uniform lane fills, as one fancy-index vector: one
+# broadcast assignment instead of seven row-slice assignments.
+_UNIFORM_ROWS = np.array(
+    [_ROW_APERF, _ROW_MPERF, _ROW_INSTR_T0, _ROW_INSTR_CORE,
+     _ROW_STALL, _ROW_L3, _ROW_DRAM], dtype=np.intp)
+# Column-index vectors by core count, shared across every _SegmentRates
+# a socket constructs (they are read-only).
+_ARANGE_CACHE: dict[int, np.ndarray] = {}
 
 
 @dataclass(frozen=True)
@@ -74,6 +84,26 @@ class _SegmentRates:
     uclk_rate: float
     breakdown: SocketPowerBreakdown
     bias: float
+    # flat indices (row-major) into the residency matrix for the same
+    # cells `res_rows` addresses column-wise; a 1-D fancy add on these
+    # is cheaper than the 2-D (rows, cols) form and lands on the exact
+    # same int64 cells.
+    res_flat: np.ndarray = field(init=False)
+
+    # breakdown.package_w and the node's dc sum, precomputed once per
+    # operating point instead of re-adding on every segment.
+    pkg_w: float = field(init=False)
+    dc_w: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        n = self.res_rows.shape[0]
+        cols = _ARANGE_CACHE.get(n)
+        if cols is None:
+            cols = _ARANGE_CACHE[n] = np.arange(n, dtype=np.intp)
+        object.__setattr__(self, "res_flat", self.res_rows * n + cols)
+        object.__setattr__(self, "pkg_w", self.breakdown.package_w)
+        object.__setattr__(self, "dc_w",
+                           self.breakdown.package_w + self.breakdown.dram_w)
 
 
 @dataclass
@@ -117,6 +147,8 @@ class Socket:
         self._cnt_res = np.zeros((len(CSTATE_ROW), n), dtype=np.int64)
         self._cnt_scratch = np.empty_like(self._cnt_data)
         self._res_cols = np.arange(n, dtype=np.intp)
+        self._cnt_res_flat = self._cnt_res.reshape(-1)   # shared view
+        self._last_dc_w = 0.0   # package+dram W of the last segment
         for j, core in enumerate(self.cores):
             core.counters.adopt(self._cnt_data[:, j], self._cnt_res[:, j])
             core._epoch_cell = self.epoch
@@ -125,6 +157,19 @@ class Socket:
         # class-level cache slot would alias across sockets).
         self._rates: _SegmentRates | None = None
         self._rates_epoch = -1
+        self._rates_memo: dict[tuple, _SegmentRates] = {}
+        # Residency-row vectors by (row per core) pattern: the patterns
+        # cycle with the workload phases while the full memo key churns
+        # with every dithered grant, so this inner cache hits even when
+        # the outer memo misses. Entries are shared read-only.
+        self._res_rows_cache: dict[tuple, np.ndarray] = {}
+        # Pre-filled rate-matrix template (TSC always runs at nominal);
+        # a memo miss copies it instead of zeroing + refilling the row.
+        self._matrix_template = np.zeros_like(self._cnt_data)
+        self._matrix_template[_ROW_TSC, :] = self.spec.nominal_hz
+        # Staging column for _uniform_rates' one-shot row broadcast.
+        self._uniform_scratch = np.empty((len(_UNIFORM_ROWS), 1),
+                                         dtype=np.float64)
         self._pkg_sync_key: tuple[int, bool] | None = None
         self._active_cache: list[Core] = []
         self._active_epoch = -1
@@ -157,8 +202,8 @@ class Socket:
         if self.fastpath_enabled and self._active_epoch == self.epoch.value:
             return self._active_cache
         active = [c for c in self.cores
-                  if c.is_active and c.current_phase is not None
-                  and c.current_phase.active]
+                  if c.cstate is CState.C0 and (p := c._phase) is not None
+                  and p.active]
         self._active_cache = active
         self._active_epoch = self.epoch.value
         return active
@@ -245,7 +290,15 @@ class Socket:
 
     # ---- the integrator ---------------------------------------------------------------
 
-    def _compute_rates(self) -> "_SegmentRates":
+    def _compute_rates_scalar(self) -> "_SegmentRates":
+        """Reference (per-core scalar) segment-rate computation.
+
+        Kept as the ground truth the vectorized path is proven against:
+        the sanitize-mode epoch check cross-compares both on sampled
+        segments, and the vectorization parity tests assert exact
+        equality over randomized operating points. Not used on the hot
+        path.
+        """
         bw = self.bw_model.solve(self._demands(), self.uncore.freq_hz)
         nominal = self.spec.nominal_hz
         rate_matrix = np.zeros_like(self._cnt_data)
@@ -292,19 +345,301 @@ class Socket:
             bias=bias_num / bias_den if bias_den > 0 else _MODELED_IDLE_BIAS,
         )
 
+    def _compute_rates(self) -> "_SegmentRates":
+        """Segment rates, vectorized across cores over the SoA matrices.
+
+        Evaluates the IPC, bandwidth and power laws with elementwise
+        numpy ops whose expression structure mirrors the scalar
+        reference exactly — elementwise float64 ops are bit-identical to
+        the equivalent scalar arithmetic, and every cross-core reduction
+        replicates the reference's left-to-right fold. The result is
+        byte-equal to :meth:`_compute_rates_scalar` (enforced by the
+        sanitize cross-check and the parity tests), just cheaper when
+        many cores are active.
+        """
+        return self._rates_from_key(self._gather_key())
+
+    def _rates_from_key(self, key: tuple) -> "_SegmentRates":
+        """Rate computation driven entirely by a gathered key.
+
+        The memo key is a complete image of every input (uncore point
+        plus one lane tuple or c-state per core), so a miss reads the
+        key instead of re-walking the cores: one core walk serves both
+        the memo probe and the recompute.
+        """
+        fu = key[0]
+        halted = key[1]
+        rate_matrix = self._matrix_template.copy()
+        c0_row = _C0_RES_ROW
+        res_list: list[int] = []
+        active: list[tuple[int, tuple]] = []   # (column, lane)
+        lane0: tuple | None = None
+        uniform = True
+        for j, part in enumerate(key[2:]):
+            if type(part) is tuple:
+                res_list.append(c0_row)
+                active.append((j, part))
+                if lane0 is None:
+                    lane0 = part
+                elif uniform and part != lane0:
+                    uniform = False
+            else:
+                res_list.append(CSTATE_ROW[part])
+        res_key = tuple(res_list)
+        res_rows = self._res_rows_cache.get(res_key)
+        if res_rows is None:
+            if len(self._res_rows_cache) >= 512:
+                self._res_rows_cache.clear()
+            res_rows = np.array(res_list, dtype=np.intp)
+            self._res_rows_cache[res_key] = res_rows
+
+        if not active:
+            breakdown = self.power_model.socket_power(
+                [], fu, halted, 0.0)
+            return _SegmentRates(
+                rate_matrix=rate_matrix, res_rows=res_rows,
+                uncore_l3_rate=0.0, uncore_dram_rate=0.0,
+                uclk_rate=0.0 if halted else fu,
+                breakdown=breakdown, bias=_MODELED_IDLE_BIAS)
+
+        if uniform:
+            f0, phase0, nthr0, exec0 = lane0
+            return self._uniform_rates(
+                rate_matrix, res_rows, [j for j, _ in active],
+                (f0, phase0, max(nthr0, 1), exec0), fu, halted)
+
+        nominal = self.spec.nominal_hz
+        cols: list[int] = []
+        f_l: list[float] = []
+        nthr_l: list[int] = []
+        exec_l: list[float] = []
+        par_l: list[float] = []
+        slope_l: list[float] = []
+        bwb_l: list[bool] = []
+        stall_l: list[float] = []
+        act_l: list[float] = []
+        bias_l: list[float] = []
+        l3pc_l: list[float] = []
+        drpc_l: list[float] = []
+        for j, lane in active:
+            f_hz, phase, nthr, exec_t = lane
+            cols.append(j)
+            f_l.append(f_hz)
+            nthr_l.append(max(nthr, 1))
+            exec_l.append(exec_t)
+            par_l.append(phase.ipc_parity)
+            slope_l.append(phase.ipc_uncore_slope)
+            bwb_l.append(phase.bw_bound)
+            stall_l.append(phase.stall_fraction)
+            act_l.append(phase.power_activity)
+            bias_l.append(phase.rapl_model_bias)
+            l3pc_l.append(phase.l3_bytes_per_cycle)
+            drpc_l.append(phase.dram_bytes_per_cycle)
+
+        col_idx = np.array(cols, dtype=np.intp)
+        f = np.array(f_l, dtype=np.float64)
+        nthr = np.array(nthr_l, dtype=np.int64)
+        l3pc = np.array(l3pc_l, dtype=np.float64)
+        drpc = np.array(drpc_l, dtype=np.float64)
+
+        l3_rate, dram_rate, l3_gbs, dram_gbs = self.bw_model.solve_soa(
+            f, nthr, l3pc, drpc, fu)
+
+        # Bandwidth throttle (_bw_throttle): achieved/demanded ratio for
+        # bw-bound phases, exact 1.0 everywhere else.
+        throttle = np.ones_like(f)
+        want = (l3pc + drpc) * f
+        bound = np.array(bwb_l, dtype=bool) & (want > 0.0)
+        if bound.any():
+            got = l3_rate[bound] + dram_rate[bound]
+            throttle[bound] = np.minimum(1.0, got / want[bound])
+
+        # Per-thread IPC law (WorkloadPhase.ipc_thread). Multiplying the
+        # non-bw-bound lanes by their exact 1.0 throttle is a bitwise
+        # no-op, matching the reference's conditional multiply.
+        par = np.array(par_l, dtype=np.float64)
+        ratio = f / max(fu, 1.0)
+        ipc = par + np.array(slope_l, dtype=np.float64) * (1.0 - ratio)
+        ipc = np.maximum(ipc, 0.05 * par)
+        ipc = ipc * throttle
+        ipc_thread = ipc * np.array(exec_l, dtype=np.float64)
+        instr = ipc_thread * f
+
+        rate_matrix[_ROW_APERF, col_idx] = f
+        rate_matrix[_ROW_MPERF, col_idx] = nominal
+        rate_matrix[_ROW_INSTR_T0, col_idx] = instr
+        rate_matrix[_ROW_INSTR_CORE, col_idx] = instr * nthr
+        rate_matrix[_ROW_STALL, col_idx] = \
+            np.array(stall_l, dtype=np.float64) * f
+        rate_matrix[_ROW_L3, col_idx] = l3_rate
+        rate_matrix[_ROW_DRAM, col_idx] = dram_rate
+
+        p_core = self.power_model.core_power_w_array(
+            f, np.array(act_l, dtype=np.float64))
+        bias_num = sum((p_core * np.array(bias_l, dtype=np.float64)).tolist())
+        bias_den = sum(p_core.tolist())
+
+        breakdown = SocketPowerBreakdown(
+            static_w=self.spec.power.static_w,
+            core_dyn_w=bias_den,
+            uncore_w=self.power_model.uncore_power_w(fu, halted),
+            dram_w=self.power_model.dram_power_w(dram_gbs))
+        return _SegmentRates(
+            rate_matrix=rate_matrix,
+            res_rows=res_rows,
+            uncore_l3_rate=l3_gbs * 1e9,
+            uncore_dram_rate=dram_gbs * 1e9,
+            uclk_rate=0.0 if halted else fu,
+            breakdown=breakdown,
+            bias=bias_num / bias_den if bias_den > 0 else _MODELED_IDLE_BIAS,
+        )
+
+    def _uniform_rates(self, rate_matrix: np.ndarray, res_rows: np.ndarray,
+                       cols: list[int], lane: tuple, fu: float,
+                       halted: bool) -> "_SegmentRates":
+        """Single-lane segment rates for a homogeneous socket.
+
+        Every active core shares one ``(freq, phase, threads, throttle)``
+        lane — lockstep fleets, gang-scheduled sweeps, the tick-heavy
+        benchmark — so the per-lane laws are evaluated once as scalars
+        and broadcast into the rate matrix. Each expression repeats the
+        SoA path verbatim (scalar float64 ops are bit-identical to the
+        one-lane elementwise op), and the cross-core reductions replay
+        the left-to-right fold over ``n`` equal terms. Guarded by the
+        same sanitize cross-check and parity tests as the SoA path.
+        """
+        f, phase, nthr, exec_throttle = lane
+        n = len(cols)
+        l3pc = phase.l3_bytes_per_cycle
+        drpc = phase.dram_bytes_per_cycle
+
+        l3_rate, dram_rate, l3_gbs, dram_gbs = self.bw_model.solve_uniform(
+            n, f, nthr, l3pc, drpc, fu)
+
+        throttle = 1.0
+        if phase.bw_bound:
+            want = (l3pc + drpc) * f
+            if want > 0.0:
+                throttle = min(1.0, (l3_rate + dram_rate) / want)
+
+        par = phase.ipc_parity
+        ratio = f / max(fu, 1.0)
+        ipc = par + phase.ipc_uncore_slope * (1.0 - ratio)
+        ipc = max(ipc, 0.05 * par)
+        ipc = ipc * throttle
+        ipc_thread = ipc * exec_throttle
+        instr = ipc_thread * f
+
+        if n == rate_matrix.shape[1]:
+            # Whole socket active: one (7,1)-over-(7,n) broadcast fills
+            # every row. The scratch column holds plain scalars, so the
+            # elements are the identical floats the row-by-row
+            # assignments would store.
+            scratch = self._uniform_scratch
+            scratch[0, 0] = f
+            scratch[1, 0] = self.spec.nominal_hz
+            scratch[2, 0] = instr
+            scratch[3, 0] = instr * nthr
+            scratch[4, 0] = phase.stall_fraction * f
+            scratch[5, 0] = l3_rate
+            scratch[6, 0] = dram_rate
+            rate_matrix[_UNIFORM_ROWS] = scratch
+        else:
+            col_idx = np.array(cols, dtype=np.intp)
+            rate_matrix[_ROW_APERF, col_idx] = f
+            rate_matrix[_ROW_MPERF, col_idx] = self.spec.nominal_hz
+            rate_matrix[_ROW_INSTR_T0, col_idx] = instr
+            rate_matrix[_ROW_INSTR_CORE, col_idx] = instr * nthr
+            rate_matrix[_ROW_STALL, col_idx] = phase.stall_fraction * f
+            rate_matrix[_ROW_L3, col_idx] = l3_rate
+            rate_matrix[_ROW_DRAM, col_idx] = dram_rate
+
+        p_core = self.power_model.core_power_w(f, phase.power_activity)
+        p_bias = p_core * phase.rapl_model_bias
+        bias_num = 0.0
+        bias_den = 0.0
+        for _ in range(n):
+            bias_num += p_bias
+            bias_den += p_core
+
+        breakdown = SocketPowerBreakdown(
+            static_w=self.spec.power.static_w,
+            core_dyn_w=bias_den,
+            uncore_w=self.power_model.uncore_power_w(fu, halted),
+            dram_w=self.power_model.dram_power_w(dram_gbs))
+        return _SegmentRates(
+            rate_matrix=rate_matrix,
+            res_rows=res_rows,
+            uncore_l3_rate=l3_gbs * 1e9,
+            uncore_dram_rate=dram_gbs * 1e9,
+            uclk_rate=0.0 if halted else fu,
+            breakdown=breakdown,
+            bias=bias_num / bias_den if bias_den > 0 else _MODELED_IDLE_BIAS,
+        )
+
+    # Operating-point memo: tick-heavy workloads cycle through a handful
+    # of phase combinations, each revisit bumping the epoch; the memo
+    # keys the full rate computation on the operating point itself so a
+    # revisited point costs one key build instead of a model evaluation.
+    _RATES_MEMO_MAX = 256
+
+    def _gather_key(self) -> tuple:
+        """Hashable image of every rate-computation input.
+
+        Phases are frozen dataclasses compared by value, so the key
+        cannot alias across distinct operating points; keying by value
+        (not ``id``) also makes entries immune to object reuse. The key
+        doubles as the gather: :meth:`_rates_from_key` reads its lane
+        tuples instead of walking the cores a second time.
+        """
+        uncore = self.uncore
+        requesting = AvxLicense.REQUESTING
+        c0 = _CSTATE_C0
+        # One comprehension, one conditional expression per core; the
+        # throttle term inlines core.execution_throttle().
+        return (uncore.freq_hz, uncore.halted) + tuple(
+            [(core.freq_hz, p, core._nthr,
+              AVX_REQUEST_THROTTLE
+              if core.avx_license is requesting else 1.0)
+             if (core.cstate is c0 and (p := core._phase) is not None
+                 and p.active)
+             else core.cstate
+             for core in self.cores])
+
+    def _segment_rates(self) -> "_SegmentRates":
+        key = self._gather_key()
+        memo = self._rates_memo
+        rates = memo.get(key)
+        if rates is None:
+            rates = self._rates_from_key(key)
+            if len(memo) >= self._RATES_MEMO_MAX:
+                memo.clear()
+            memo[key] = rates
+        return rates
+
     def integrate(self, t0_ns: int, t1_ns: int,
                   any_active_in_system: bool) -> None:
         dt_ns = t1_ns - t0_ns
         if dt_ns <= 0:
             return
         dt_s = dt_ns / NS_PER_S
-        self.sync_package_state(any_active_in_system)
+        # Inline fast check of sync_package_state's memo key; the method
+        # re-resolves only when the epoch or system activity moved.
+        if not (self.fastpath_enabled
+                and self._pkg_sync_key == (self.epoch.value,
+                                           any_active_in_system)):
+            self.sync_package_state(any_active_in_system)
         self._residency_pkg_ns[self.package_cstate] += dt_ns
 
         rates = self._rates
         if (rates is None or not self.fastpath_enabled
                 or self._rates_epoch != self.epoch.value):
-            rates = self._rates = self._compute_rates()
+            # Fastpath consults the operating-point memo; with the fast
+            # path off every segment recomputes genuinely (bit-identical
+            # either way — the memo stores what the computation returns).
+            rates = self._rates = (self._segment_rates()
+                                   if self.fastpath_enabled
+                                   else self._compute_rates())
             self._rates_epoch = self.epoch.value
         elif self.sanitize_enabled:
             self._check_epoch_consistency(rates)
@@ -314,27 +649,34 @@ class Socket:
         # core; scratch avoids a temporary allocation per segment.
         np.multiply(rates.rate_matrix, dt_s, out=self._cnt_scratch)
         self._cnt_data += self._cnt_scratch
-        self._cnt_res[rates.res_rows, self._res_cols] += dt_ns
+        self._cnt_res_flat[rates.res_flat] += dt_ns
 
-        self.uncore.counters.l3_bytes += rates.uncore_l3_rate * dt_s
-        self.uncore.counters.dram_bytes += rates.uncore_dram_rate * dt_s
-        self.uncore.counters.uclk += rates.uclk_rate * dt_s
+        ucnt = self.uncore.counters
+        ucnt.l3_bytes += rates.uncore_l3_rate * dt_s
+        ucnt.dram_bytes += rates.uncore_dram_rate * dt_s
+        ucnt.uclk += rates.uclk_rate * dt_s
 
-        pkg_e = rates.breakdown.package_w * dt_s
+        pkg_e = rates.pkg_w * dt_s
         dram_e = rates.breakdown.dram_w * dt_s
         self.energy_pkg_j += pkg_e
         self.energy_dram_j += dram_e
-        self.rapl.accumulate(RaplDomain.PACKAGE, pkg_e, rates.bias)
-        self.rapl.accumulate(RaplDomain.DRAM, dram_e, rates.bias)
+        self.rapl.accumulate_pkg_dram(pkg_e, dram_e, rates.bias)
+        self._last_dc_w = rates.dc_w
 
     def _check_epoch_consistency(self, cached: "_SegmentRates") -> None:
         """Sanitize mode: recompute the cached rates on a sampled segment.
 
         Runs on cache-hit segments only, every ``EPOCH_CHECK_STRIDE``-th
-        hit. ``_compute_rates`` is pure (no RNG, no state mutation), so
-        the check observes without perturbing. A mismatch means some
-        rate-relevant field changed without bumping the epoch cell —
-        i.e. a write bypassed the ``__setattr__``-intercepted path.
+        hit. The fresh recompute goes through the **vectorized** SoA
+        path — the one integration actually uses — deliberately
+        bypassing the operating-point memo (a memo hit would just echo
+        the possibly-stale cache back at itself). It is then
+        cross-checked against the scalar reference, so one sampled
+        segment catches both failure modes: a rate-relevant mutation
+        that skipped the epoch bump, and a vectorization bug that made
+        the SoA path drift from the per-core math. Both computations are
+        pure (no RNG, no state mutation), so the check observes without
+        perturbing.
         """
         counter = self._sanitize_segments
         self._sanitize_segments = counter + 1
@@ -356,6 +698,19 @@ class Socket:
                 f"diverge from a fresh recompute at epoch "
                 f"{self.epoch.value} — a c-state change skipped the "
                 "__setattr__-intercepted path")
+        reference = self._compute_rates_scalar()
+        if not (np.array_equal(fresh.rate_matrix, reference.rate_matrix)
+                and np.array_equal(fresh.res_rows, reference.res_rows)
+                and fresh.uncore_l3_rate == reference.uncore_l3_rate
+                and fresh.uncore_dram_rate == reference.uncore_dram_rate
+                and fresh.uclk_rate == reference.uclk_rate
+                and fresh.bias == reference.bias
+                and fresh.breakdown == reference.breakdown):
+            raise EpochConsistencyError(
+                f"socket {self.socket_id}: vectorized segment rates "
+                f"diverge from the scalar reference at epoch "
+                f"{self.epoch.value} — the SoA integration path lost "
+                "bit-parity with the per-core math")
 
     @staticmethod
     def _bw_throttle(core: Core, phase: WorkloadPhase, bw) -> float:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.cstates.states import CState
 from repro.errors import ConfigurationError
 
 # FIRESTARTER is the activity=1.0 reference; LINPACK's core power density
@@ -51,11 +52,32 @@ class WorkloadPhase:
             raise ConfigurationError("active phase needs a positive IPC")
         if self.duration_ns is not None and self.duration_ns <= 0:
             raise ConfigurationError("phase duration must be positive")
+        # Phases sit in operating-point memo keys and are hashed on
+        # every segment-rate lookup; the generated dataclass hash walks
+        # all 13 fields each time, so freeze it once. Equality stays
+        # field-based.
+        object.__setattr__(self, "_hash", hash((
+            self.name, self.duration_ns, self.active, self.avx_fraction,
+            self.power_activity, self.ipc_parity, self.ipc_uncore_slope,
+            self.stall_fraction, self.l3_bytes_per_cycle,
+            self.dram_bytes_per_cycle, self.bw_bound, self.rapl_model_bias,
+            self.idle_cstate)))
+        object.__setattr__(self, "_uses_avx", self.avx_fraction >= 0.05)
+        # The AVX unit's phase-change test, folded to one attribute.
+        object.__setattr__(self, "_avx_active",
+                           self.active and self.avx_fraction >= 0.05)
+        # Resolve the idle-target enum once; the phase-advance hot path
+        # otherwise re-parses the state name on every idle transition.
+        object.__setattr__(self, "_idle_state",
+                           CState.from_name(self.idle_cstate))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def uses_avx(self) -> bool:
         """Enough 256-bit work to trip the AVX frequency license."""
-        return self.avx_fraction >= 0.05
+        return self._uses_avx
 
     def ipc_thread(self, f_core_hz: float, f_uncore_hz: float,
                    bw_throttle: float = 1.0) -> float:

@@ -158,6 +158,28 @@ def sinus(period_ns: int = ms(1000), steps: int = 32,
     return Workload(name="sinus", phases=tuple(phases), cyclic=True)
 
 
+def tick_heavy() -> Workload:
+    """Sub-PCU-quantum compute/AVX/idle churn — the cache worst case.
+
+    Every phase is shorter than the PCU tick, so each cycle forces
+    segment-rate invalidation, AVX license traffic and a C1 nap. Shared
+    by the tick-heavy perf benchmark scenario
+    (``benchmarks/perf/bench_simcore.py``) and the tick-heavy
+    conformance scenario so the golden trace and the perf gate exercise
+    the same event mix.
+    """
+    phases = (
+        WorkloadPhase(name="burst", duration_ns=150_000, power_activity=0.6,
+                      ipc_parity=2.0, stall_fraction=0.05),
+        WorkloadPhase(name="avx", duration_ns=120_000, power_activity=0.9,
+                      avx_fraction=0.9, ipc_parity=1.4, stall_fraction=0.08,
+                      l3_bytes_per_cycle=1.0),
+        WorkloadPhase(name="nap", duration_ns=80_000, active=False,
+                      idle_cstate="C1"),
+    )
+    return Workload(name="tick-heavy", phases=phases, cyclic=True)
+
+
 MICRO_WORKLOADS = (
     "idle", "sinus", "busy_wait", "memory", "compute", "dgemm", "sqrt",
 )

@@ -1,0 +1,15 @@
+"""Known-bad fixture: reaching into the DrawBatch prefill buffer."""
+
+
+def peek_next(batch):
+    return batch._prefill[batch._prefill_cursor]
+
+
+def rewind(batch, n):
+    batch._prefill_cursor -= n
+
+
+def retune_by_hand(batch, rng, lo, hi):
+    batch._prefill = rng.integers(lo, hi, size=256)
+    batch._prefill_args = (lo, hi)
+    batch._prefill_cursor = 0

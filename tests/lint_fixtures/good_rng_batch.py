@@ -1,0 +1,10 @@
+"""Known-good fixture: batched draws through the sanctioned API."""
+
+
+def jitter_ns(batch, lo, hi):
+    # take() refills, retunes and ledgers — no buffer reach-in needed.
+    return batch.take(lo, hi)
+
+
+def dither_hz(batch, sigma):
+    return batch.take(0.0, sigma)

@@ -30,6 +30,7 @@ BAD_FIXTURES = {
     "bad_set_iter.py": {"det-set-iter"},
     "bad_units.py": {"units-mix"},
     "bad_epoch.py": {"epoch-bypass"},
+    "bad_rng_batch.py": {"rng-batch-bypass"},
     "msr_regs_bad.py": {"msr-layout"},
     "trace_schema_bad_version.py": {"trace-schema-version"},
     "trace_schema_bad_digest.py": {"trace-schema-digest"},
@@ -49,6 +50,7 @@ GOOD_FIXTURES = [
     "good_set_iter.py",
     "good_units.py",
     "good_epoch.py",
+    "good_rng_batch.py",
     "msr_regs_good.py",
     "trace_schema_good.py",
     "good_suppression.py",
@@ -93,6 +95,14 @@ class TestRuleFixtures:
         findings = lint_fixture(name)
         assert findings == [], \
             f"{name}: " + "; ".join(f.render() for f in findings)
+
+    def test_rng_batch_rule_exempts_the_rng_module(self):
+        # DrawBatch's own implementation is the one sanctioned toucher
+        # of the prefill buffer.
+        path = REPO_ROOT / "src" / "repro" / "engine" / "rng.py"
+        findings = lint_source(path.read_text(), str(path),
+                               config=LintConfig())
+        assert not [f for f in findings if f.rule == "rng-batch-bypass"]
 
     def test_every_rule_family_has_a_fixture_pair(self):
         covered = set().union(*BAD_FIXTURES.values()) - {"suppression"}

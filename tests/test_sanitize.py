@@ -9,6 +9,7 @@ from repro.engine.simulator import Simulator
 from repro.errors import EpochConsistencyError, SanitizeError
 from repro.system.node import build_haswell_node
 from repro.units import ms
+from repro.workloads import micro
 from repro.workloads.firestarter import firestarter
 
 
@@ -105,6 +106,41 @@ class TestEpochChecker:
         object.__setattr__(core, "freq_hz", core.freq_hz * 0.5)
         with pytest.raises(EpochConsistencyError):
             sim.run_for(ms(10))
+
+    def test_stale_rate_matrix_caught_under_vectorized_path(
+            self, sanitize_mode, monkeypatch):
+        """Corrupting the memoized SoA rate matrix itself is detected.
+
+        The vectorized integration consumes the cached ``_SegmentRates``
+        matrix directly; the sampled check must recompute through the
+        same SoA path and compare against that cache — not against the
+        scalar per-core views — or an in-place corruption would
+        integrate silently forever.
+        """
+        monkeypatch.setattr(sanitize, "EPOCH_CHECK_STRIDE", 1)
+        sim, node = build_haswell_node(seed=409)
+        node.set_fastpath(True)
+        node.run_workload([c.core_id for c in node.all_cores],
+                          micro.tick_heavy())
+        sim.run_for(ms(2))
+        sock = node.sockets[0]
+        assert sock._rates is not None
+        sock._rates.rate_matrix[0, 0] += 1.0e6
+        with pytest.raises(EpochConsistencyError, match="without an epoch"):
+            sim.run_for(ms(5))
+
+    def test_tick_heavy_field_bypass_caught_with_fastpath(
+            self, sanitize_mode, monkeypatch):
+        monkeypatch.setattr(sanitize, "EPOCH_CHECK_STRIDE", 1)
+        sim, node = build_haswell_node(seed=410)
+        node.set_fastpath(True)
+        node.run_workload([c.core_id for c in node.all_cores],
+                          micro.tick_heavy())
+        sim.run_for(ms(2))
+        core = node.core(0)
+        object.__setattr__(core, "freq_hz", core.freq_hz * 0.5)
+        with pytest.raises(EpochConsistencyError):
+            sim.run_for(ms(5))
 
     def test_sanctioned_write_is_not_flagged(self, sanitize_mode):
         sim, node = build_haswell_node(seed=407)
